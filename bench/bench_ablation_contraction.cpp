@@ -1,0 +1,54 @@
+// Ablation — decentralized contraction depth on non-iid data (§5.3).
+//
+// Listing 3's contract() runs `steps` extra gossip rounds per iteration
+// "to force the model states on all machines to get closer to each other".
+// This sweep quantifies exactly that: the inter-peer model drift (largest
+// parameter-difference norm across correct peers, averaged over the run),
+// the message cost of each extra round, and the resulting accuracy.
+#include <cstdio>
+
+#include "core/trainer.h"
+
+int main() {
+  using namespace garfield::core;
+
+  std::printf("Ablation — contraction rounds, decentralized, 9 peers, "
+              "class-concentrated shards\n\n");
+  std::printf("%-20s %-16s %-18s %-18s\n", "contraction steps",
+              "final accuracy", "mean peer drift", "messages");
+
+  for (std::size_t steps = 0; steps <= 3; ++steps) {
+    DeploymentConfig cfg;
+    cfg.deployment = Deployment::kDecentralized;
+    cfg.model = "tiny_mlp";
+    cfg.nw = 9;
+    cfg.fw = 1;
+    cfg.gradient_gar = "median";
+    cfg.model_gar = "median";
+    cfg.non_iid = true;  // class-concentrated shards in every row
+    cfg.contraction_steps = steps;
+    cfg.batch_size = 16;
+    cfg.train_size = 2304;
+    cfg.test_size = 512;
+    cfg.optimizer.lr.gamma0 = 0.08F;
+    cfg.iterations = 200;
+    cfg.eval_every = 0;
+    cfg.alignment_every = 20;  // drift probe cadence
+    cfg.seed = 11;
+    const TrainResult result = train(cfg);
+    double drift = 0.0;
+    for (const AlignmentSample& a : result.alignment) drift += a.max_diff1;
+    if (!result.alignment.empty()) drift /= double(result.alignment.size());
+    std::printf("%-20zu %-16.3f %-18.4f %-18llu\n", steps,
+                result.final_accuracy, drift,
+                static_cast<unsigned long long>(
+                    result.net_stats.requests_sent));
+  }
+  std::printf("\nShape: contraction shrinks the inter-peer model drift (its "
+              "stated purpose);\nmessage count grows linearly with depth. "
+              "Accuracy within a fixed iteration\nbudget does not improve "
+              "here — each peer already aggregates n-f peers'\ngradients "
+              "every step, so extra gossip mostly adds staleness (the "
+              "paper's\nasynchrony-slows-convergence observation).\n");
+  return 0;
+}

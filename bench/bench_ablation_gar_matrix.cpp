@@ -1,0 +1,64 @@
+// Ablation — GAR x attack robustness matrix, measured end-to-end.
+//
+// Extends Fig 5 from two attacks on one deployment to the full cross
+// product: final accuracy of live SSMW training (7 honest + 2 Byzantine
+// workers) for every GAR in the library against every worker attack.
+// Averaging is included as the fragile control row.
+//
+// Expected shape: the "none" column is high everywhere; averaging collapses
+// under directional attacks; every Byzantine-resilient GAR stays close to
+// its clean accuracy; CGE's norm-blind spot shows against sign_flip.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+
+int main() {
+  using namespace garfield::core;
+
+  const std::vector<std::string> gars = {
+      "average",       "median",        "trimmed_mean",
+      "multi_krum",    "mda",           "geometric_median",
+      "centered_clip", "cge"};
+  const std::vector<std::string> attacks = {"none", "random", "reversed",
+                                            "sign_flip", "zero"};
+
+  std::printf("Ablation — final accuracy, SSMW (nw=9, fw=2), live training, "
+              "150 iterations\n\n%-18s", "GAR \\ attack");
+  for (const auto& a : attacks) std::printf("%-12s", a.c_str());
+  std::printf("\n");
+
+  for (const auto& gar : gars) {
+    std::printf("%-18s", gar.c_str());
+    for (const auto& attack : attacks) {
+      DeploymentConfig cfg;
+      cfg.deployment = Deployment::kSsmw;
+      cfg.model = "tiny_mlp";
+      cfg.nw = 9;
+      cfg.fw = 2;
+      cfg.gradient_gar = gar;
+      cfg.worker_attack = attack == "none" ? "" : attack;
+      cfg.batch_size = 16;
+      cfg.train_size = 1536;
+      cfg.test_size = 384;
+      cfg.optimizer.lr.gamma0 = 0.1F;
+      cfg.iterations = 150;
+      cfg.eval_every = 0;
+      cfg.seed = 13;
+      try {
+        cfg.validate();
+        std::printf("%-12.3f", train(cfg).final_accuracy);
+      } catch (const std::exception&) {
+        std::printf("%-12s", "n/a");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nShape: the 'average' row collapses under reversed and "
+              "degrades under random;\nevery resilient GAR stays near its "
+              "clean accuracy in all columns. (CGE's\nsame-norm blind spot "
+              "needs an omniscient attacker — see the\nCge.DocumentedBlindSpot"
+              "SameNormFlip unit test.)\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation — worker-side (distributed) momentum, the §8 variance-reduction
+// hook ("such techniques can be added seamlessly to Garfield ... they
+// basically only change the optimization function").
+//
+// Worker momentum shrinks the variance of the estimates the GAR sees,
+// tightening the §3.1 resilience condition. We measure final accuracy of
+// SSMW+Krum (Krum has the tightest variance bound) with and without worker
+// momentum, clean and under attack, plus the measured variance-condition
+// satisfaction ratio at both settings.
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "gars/variance.h"
+#include "nn/zoo.h"
+
+namespace {
+
+double run(float momentum, const char* attack) {
+  using namespace garfield::core;
+  DeploymentConfig cfg;
+  cfg.deployment = Deployment::kSsmw;
+  cfg.model = "tiny_mlp";
+  cfg.nw = 9;
+  cfg.fw = 2;
+  cfg.gradient_gar = "krum";
+  cfg.worker_attack = attack;
+  cfg.worker_momentum = momentum;
+  cfg.batch_size = 4;  // small batches = high variance = hard mode
+  cfg.train_size = 1536;
+  cfg.test_size = 384;
+  // Momentum multiplies the effective step by ~1/(1-m); rescale.
+  cfg.optimizer.lr.gamma0 = momentum > 0.0F ? 0.02F : 0.1F;
+  cfg.iterations = 200;
+  cfg.eval_every = 0;
+  cfg.seed = 29;
+  return train(cfg).final_accuracy;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation — worker-side momentum, SSMW + Krum, batch 4 "
+              "(high-variance regime)\n\n");
+  std::printf("%-22s %-18s %-18s\n", "", "no momentum", "momentum 0.9");
+  std::printf("%-22s %-18.3f %-18.3f\n", "clean", run(0.0F, ""),
+              run(0.9F, ""));
+  std::printf("%-22s %-18.3f %-18.3f\n", "random attack",
+              run(0.0F, "random"), run(0.9F, "random"));
+  std::printf("%-22s %-18.3f %-18.3f\n", "sign_flip attack",
+              run(0.0F, "sign_flip"), run(0.9F, "sign_flip"));
+
+  // Variance-condition satisfaction with the same batch size: momentum is
+  // equivalent to averaging ~1/(1-m) past gradients, i.e. an effective
+  // batch ~10x larger at m = 0.9.
+  using namespace garfield;
+  tensor::Rng rng(3);
+  auto model_raw = nn::make_model("tiny_mlp", rng);
+  tensor::Rng rng2(3);
+  auto model_eff = nn::make_model("tiny_mlp", rng2);
+  data::Dataset train_set =
+      data::make_cluster_dataset({16}, 10, 4096, rng, 1.0F);
+  gars::VarianceSetup setup;
+  setup.n = 9;
+  setup.f = 2;
+  setup.steps = 15;
+  setup.batch_size = 4;
+  setup.huge_batch = 4096;
+  const auto raw = gars::measure_variance(*model_raw, train_set, setup);
+  setup.batch_size = 40;  // momentum-0.9-equivalent effective batch
+  const auto eff = gars::measure_variance(*model_eff, train_set, setup);
+  std::printf("\nKrum resilience-condition ratio ||gradL||/(Delta*sigma) "
+              "(needs > 1):\n  batch 4: mean %.3f   momentum-equivalent "
+              "batch 40: mean %.3f (%.1fx closer)\n",
+              raw.for_gar("krum").mean_ratio, eff.for_gar("krum").mean_ratio,
+              eff.for_gar("krum").mean_ratio /
+                  raw.for_gar("krum").mean_ratio);
+  std::printf("\nShape: momentum preserves (or improves) accuracy in the "
+              "high-variance regime\nand raises the fraction of steps where "
+              "Krum's resilience condition holds.\n");
+  return 0;
+}

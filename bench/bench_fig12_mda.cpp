@@ -1,0 +1,115 @@
+// Figure 12 (appendix) — convergence of Garfield's protocol with MDA as
+// the GAR, against vanilla and crash-tolerant baselines; per iteration (a)
+// and over wall-clock time (b), on the CPU profile.
+//
+// Paper shapes: (a) all systems share the same per-iteration convergence
+// (MDA adds no iteration-count overhead); (b) the cost appears on the time
+// axis — vanilla reaches 60% first, crash-tolerant ~15% later, the
+// Byzantine (MDA) deployment ~23% later than crash-tolerant.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "sim/deployment_sim.h"
+#include "sim/model_spec.h"
+
+namespace {
+
+using namespace garfield::core;
+namespace gs = garfield::sim;
+
+double latency(gs::SimDeployment dep, bool native, const char* gar) {
+  gs::SimSetup s;
+  s.deployment = dep;
+  s.d = gs::model_spec("CifarNet").parameters;
+  s.batch_size = 32;
+  s.nw = 9;
+  s.fw = 1;
+  s.nps = 3;
+  s.fps = 1;
+  s.gradient_gar = gar;
+  s.model_gar = "mda";
+  s.device = gs::cpu_profile();
+  s.native_runtime = native;
+  return gs::simulate_iteration(s).total();
+}
+
+}  // namespace
+
+int main() {
+  DeploymentConfig cfg;
+  cfg.model = "tiny_mlp";
+  cfg.batch_size = 16;
+  cfg.train_size = 2048;
+  cfg.test_size = 512;
+  cfg.dataset_noise = 1.2F;
+  cfg.optimizer.lr.gamma0 = 0.08F;
+  cfg.iterations = 300;
+  cfg.eval_every = 30;
+  cfg.seed = 55;
+  cfg.nw = 9;
+
+  struct Row {
+    std::string name;
+    TrainResult result;
+    double secs_per_iter;
+  };
+  std::vector<Row> rows;
+  {
+    DeploymentConfig c = cfg;
+    c.deployment = Deployment::kVanilla;
+    rows.push_back({"vanilla", train(c),
+                    latency(gs::SimDeployment::kVanilla, true, "average")});
+  }
+  {
+    DeploymentConfig c = cfg;
+    c.deployment = Deployment::kCrashTolerant;
+    c.nps = 3;
+    rows.push_back({"crash_tolerant", train(c),
+                    latency(gs::SimDeployment::kCrashTolerant, false,
+                            "average")});
+  }
+  {
+    // Garfield with MDA on both gradients and models (MSMW).
+    DeploymentConfig c = cfg;
+    c.deployment = Deployment::kMsmw;
+    c.fw = 1;
+    c.nps = 3;
+    c.fps = 0;
+    c.gradient_gar = "mda";
+    c.model_gar = "mda";
+    rows.push_back({"garfield_mda", train(c),
+                    latency(gs::SimDeployment::kMsmw, false, "mda")});
+  }
+
+  std::printf("Fig 12a — convergence per iteration (MDA as GAR)\n");
+  std::printf("%-10s %-12s %-16s %-14s\n", "iteration", "vanilla",
+              "crash_tolerant", "garfield_mda");
+  const auto& ref = rows[0].result.curve;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    std::printf("%-10zu", ref[i].iteration);
+    for (const Row& r : rows) {
+      std::printf("%-14.3f",
+                  i < r.result.curve.size() ? r.result.curve[i].accuracy
+                                            : 0.0);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nFig 12b — the same runs over wall-clock time\n");
+  std::printf("time to reach accuracy 0.60:\n");
+  for (const Row& r : rows) {
+    for (const EvalPoint& p : r.result.curve) {
+      if (p.accuracy >= 0.60) {
+        std::printf("  %-16s %8.1f s   (%.2f s/iteration)\n", r.name.c_str(),
+                    double(p.iteration) * r.secs_per_iter, r.secs_per_iter);
+        break;
+      }
+    }
+  }
+  std::printf("\nPaper shape: identical per-iteration convergence; on the "
+              "time axis vanilla\nleads, crash-tolerant second, the MDA "
+              "deployment last by a ~23%% margin.\n");
+  return 0;
+}

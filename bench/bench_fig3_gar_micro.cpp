@@ -1,0 +1,80 @@
+// Figure 3 — GAR micro-benchmark (measured, not simulated).
+//
+// Reproduces both panels on this machine's CPU implementation of the GARs:
+//   Fig 3a: aggregation time vs n (number of inputs), fixed d.
+//   Fig 3b: aggregation time vs d (input dimension), fixed n = 17.
+// As in the paper, f = floor((n-3)/4) for all Byzantine-resilient GARs, so
+// the smallest n is 7. The paper's d = 1e7 runs on two 1080 Ti GPUs; we
+// sweep to d = 1e7 on the CPU (expect the same ordering and growth shapes,
+// scaled by hardware: Average ~ Median < Multi-Krum ~ MDA < Bulyan, all
+// linear in d, Krum-family quadratic in n).
+#include <benchmark/benchmark.h>
+
+#include "gars/gar.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using garfield::tensor::FlatVector;
+
+std::vector<FlatVector> make_inputs(std::size_t n, std::size_t d) {
+  garfield::tensor::Rng rng(1234);
+  std::vector<FlatVector> inputs(n, FlatVector(d));
+  for (auto& v : inputs) {
+    for (float& x : v) x = rng.normal();
+  }
+  return inputs;
+}
+
+void run_gar(benchmark::State& state, const std::string& name) {
+  const std::size_t n = std::size_t(state.range(0));
+  const std::size_t d = std::size_t(state.range(1));
+  const std::size_t f = (n - 3) / 4;  // the paper's setting
+  const auto inputs = make_inputs(n, d);
+  const auto gar = garfield::gars::make_gar(
+      name, n, name == "average" ? 0 : f);
+  for (auto _ : state) {
+    FlatVector out = gar->aggregate(inputs);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["n"] = double(n);
+  state.counters["d"] = double(d);
+  state.counters["f"] = double(f);
+}
+
+void register_all() {
+  const std::vector<std::string> gars = {"average", "median", "multi_krum",
+                                         "mda", "bulyan"};
+  // Fig 3a: n sweep at fixed d (paper: d = 1e7; scaled to 1e6 to keep the
+  // CPU sweep minutes, the n-shape is unchanged).
+  for (const auto& g : gars) {
+    for (std::size_t n = 7; n <= 23; n += 2) {
+      benchmark::RegisterBenchmark(
+          ("fig3a/" + g).c_str(),
+          [g](benchmark::State& s) { run_gar(s, g); })
+          ->Args({long(n), 1'000'000})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+  // Fig 3b: d sweep at fixed n = 17.
+  for (const auto& g : gars) {
+    for (long d : {10'000L, 100'000L, 1'000'000L, 10'000'000L}) {
+      benchmark::RegisterBenchmark(
+          ("fig3b/" + g).c_str(),
+          [g](benchmark::State& s) { run_gar(s, g); })
+          ->Args({17, d})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(d >= 10'000'000 ? 1 : 2);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 5 — Garfield's tolerance to two Byzantine attacks (§6.5).
+//
+// The paper trains CifarNet with 11 workers and 3 servers, 1 Byzantine
+// node on each side, for 20 epochs, under (a) random-vector and
+// (b) reversed-and-amplified (x -100) attacks. Vanilla and crash-tolerant
+// deployments fail to learn; MSMW converges normally.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+
+namespace {
+
+using namespace garfield::core;
+
+DeploymentConfig base(const std::string& attack) {
+  DeploymentConfig cfg;
+  cfg.model = "tiny_mlp";
+  cfg.nw = 11;
+  cfg.fw = 1;
+  cfg.worker_attack = attack;
+  cfg.batch_size = 16;
+  cfg.train_size = 2048;
+  cfg.test_size = 512;
+  cfg.optimizer.lr.gamma0 = 0.1F;
+  cfg.iterations = 240;
+  cfg.eval_every = 24;
+  cfg.seed = 33;
+  return cfg;
+}
+
+void run_panel(const char* title, const std::string& attack) {
+  std::vector<std::pair<std::string, TrainResult>> rs;
+  {
+    DeploymentConfig cfg = base(attack);
+    cfg.deployment = Deployment::kVanilla;
+    rs.emplace_back("vanilla", train(cfg));
+  }
+  {
+    DeploymentConfig cfg = base(attack);
+    cfg.deployment = Deployment::kCrashTolerant;
+    cfg.nps = 3;
+    rs.emplace_back("crash_tolerant", train(cfg));
+  }
+  {
+    DeploymentConfig cfg = base(attack);
+    cfg.deployment = Deployment::kMsmw;
+    cfg.nps = 4;
+    cfg.fps = 1;
+    cfg.server_attack = attack;  // Byzantine server too, as in the paper
+    cfg.gradient_gar = "multi_krum";
+    cfg.model_gar = "median";
+    rs.emplace_back("msmw", train(cfg));
+  }
+  std::printf("\n%s\n%-10s %-16s %-16s %-16s\n", title, "iteration",
+              "vanilla", "crash_tolerant", "msmw");
+  const auto& ref = rs.back().second.curve;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    std::printf("%-10zu", ref[i].iteration);
+    for (const auto& [_, r] : rs) {
+      std::printf("%-16.3f", i < r.curve.size() ? r.curve[i].accuracy : 0.0);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  run_panel("Fig 5a — random-vector attack (1 Byzantine worker + 1 server)",
+            "random");
+  run_panel("Fig 5b — reversed-vector attack (x -100)", "reversed");
+  std::printf("\nPaper shape: vanilla and crash-tolerant fail to learn under "
+              "both attacks; MSMW converges to normal accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 7 — overhead breakdown in the CPU-based experiment.
+//
+// Per-iteration latency of each deployment training ResNet-50 (d = 23.5M)
+// on the CPU-cluster profile, split into computation / communication /
+// aggregation, as in the paper's stacked bars. The TF (vanilla) bar uses
+// the native runtime, whose computation and communication the paper cannot
+// separate either — we print them anyway.
+//
+// Paper shapes: computation ~constant (~1.6 s) across systems;
+// communication dominates (75-86% of the fault-tolerance overhead);
+// aggregation contributes ~11% or less; decentralized aggregation is about
+// twice SSMW's (extra model-aggregation step).
+#include <cstdio>
+
+#include "sim/deployment_sim.h"
+#include "sim/model_spec.h"
+
+int main() {
+  using namespace garfield::sim;
+
+  std::printf("Fig 7 — per-iteration latency breakdown, ResNet-50, CPU "
+              "cluster (nw=18, fw=3, nps=6, fps=1)\n\n");
+  std::printf("%-16s %-14s %-16s %-14s %-10s\n", "System", "Computation",
+              "Communication", "Aggregation", "Total");
+
+  const struct {
+    const char* name;
+    SimDeployment dep;
+    bool native;
+  } systems[] = {
+      {"TF (vanilla)", SimDeployment::kVanilla, true},
+      {"Crash-tolerant", SimDeployment::kCrashTolerant, false},
+      {"SSMW", SimDeployment::kSsmw, false},
+      {"MSMW", SimDeployment::kMsmw, false},
+      {"Dec. Learn.", SimDeployment::kDecentralized, false},
+  };
+
+  IterationBreakdown vanilla{};
+  for (const auto& sys : systems) {
+    SimSetup s;
+    s.deployment = sys.dep;
+    s.d = model_spec("ResNet-50").parameters;
+    s.batch_size = 32;
+    s.nw = 18;
+    s.fw = 3;
+    s.nps = 6;
+    s.fps = 1;
+    s.gradient_gar = "multi_krum";
+    s.model_gar = "median";
+    s.device = cpu_profile();
+    s.native_runtime = sys.native;
+    const IterationBreakdown b = simulate_iteration(s);
+    if (sys.native) vanilla = b;
+    std::printf("%-16s %-14.2f %-16.2f %-14.3f %-10.2f\n", sys.name,
+                b.computation, b.communication, b.aggregation, b.total());
+  }
+
+  // Overhead attribution for the headline numbers of §6.6.
+  SimSetup msmw;
+  msmw.deployment = SimDeployment::kMsmw;
+  msmw.d = model_spec("ResNet-50").parameters;
+  msmw.batch_size = 32;
+  msmw.nw = 18;
+  msmw.fw = 3;
+  msmw.nps = 6;
+  msmw.fps = 1;
+  msmw.gradient_gar = "multi_krum";
+  msmw.model_gar = "median";
+  msmw.device = cpu_profile();
+  const IterationBreakdown mb = simulate_iteration(msmw);
+  const double overhead = mb.total() - vanilla.total();
+  std::printf("\nMSMW overhead vs vanilla: %.2f s/iteration, of which "
+              "communication %.0f%%, aggregation %.0f%%\n",
+              overhead,
+              100.0 * (mb.communication - vanilla.communication) / overhead,
+              100.0 * (mb.aggregation - vanilla.aggregation) / overhead);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 9 — communication time of decentralized learning vs the vanilla
+// baseline (GPU profile), with the number of nodes (a) and the model
+// dimension (b).
+//
+// Paper shapes: decentralized communication grows quadratically with n
+// (O(n^2) messages per round) while vanilla grows linearly; both grow
+// linearly with d.
+#include <cstdio>
+
+#include "sim/deployment_sim.h"
+
+int main() {
+  using namespace garfield::sim;
+
+  auto setup = [](SimDeployment dep, std::size_t n, std::size_t d) {
+    SimSetup s;
+    s.deployment = dep;
+    s.d = d;
+    s.batch_size = 100;
+    s.nw = n;
+    s.fw = 0;
+    s.nps = 1;
+    s.fps = 0;
+    s.gradient_gar = "median";
+    s.model_gar = "median";
+    s.device = gpu_profile();
+    s.link = gpu_link();
+    s.native_runtime = dep == SimDeployment::kVanilla;
+    return s;
+  };
+
+  std::printf("Fig 9a — communication time vs n (d = 1e6)\n");
+  std::printf("%-6s %-18s %-14s\n", "n", "decentralized (s)", "vanilla (s)");
+  for (std::size_t n = 2; n <= 6; ++n) {
+    std::printf("%-6zu %-18.4f %-14.4f\n", n,
+                communication_time(setup(SimDeployment::kDecentralized, n,
+                                         1'000'000)),
+                communication_time(setup(SimDeployment::kVanilla, n,
+                                         1'000'000)));
+  }
+
+  std::printf("\nFig 9b — communication time vs d (n = 6)\n");
+  std::printf("%-10s %-18s %-14s\n", "d", "decentralized (s)", "vanilla (s)");
+  for (std::size_t d : {10'000UL, 100'000UL, 1'000'000UL, 10'000'000UL,
+                        100'000'000UL}) {
+    std::printf("%-10zu %-18.4f %-14.4f\n", d,
+                communication_time(setup(SimDeployment::kDecentralized, 6, d)),
+                communication_time(setup(SimDeployment::kVanilla, 6, d)));
+  }
+  std::printf("\nPaper shapes: panel (a) quadratic growth for decentralized, "
+              "linear for vanilla;\npanel (b) linear in d for both.\n");
+  return 0;
+}

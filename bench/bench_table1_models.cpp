@@ -1,0 +1,35 @@
+// Table 1 — models used to evaluate Garfield.
+//
+// Prints (a) the paper's model specs carried by the simulator (exact
+// parameter counts from Table 1, used by every throughput figure) and
+// (b) the trainable scaled-down zoo used by the convergence experiments.
+#include <cstdio>
+
+#include "nn/zoo.h"
+#include "sim/model_spec.h"
+#include "tensor/rng.h"
+
+int main() {
+  std::printf("Table 1 (paper specs, used by the throughput simulator)\n");
+  std::printf("%-12s %-14s %-10s\n", "Model", "# parameters", "Size (MB)");
+  for (const auto& m : garfield::sim::table1_models()) {
+    std::printf("%-12s %-14zu %-10.1f\n", m.name.c_str(), m.parameters,
+                m.size_mb);
+  }
+
+  std::printf("\nTrainable zoo (architecture-faithful, scaled for the "
+              "convergence experiments)\n");
+  std::printf("%-12s %-14s %-16s\n", "Model", "# parameters", "input shape");
+  for (const auto& name : garfield::nn::model_names()) {
+    garfield::tensor::Rng rng(1);
+    const auto model = garfield::nn::make_model(name, rng);
+    std::string shape = "{";
+    for (std::size_t i = 0; i < model->input_shape().size(); ++i) {
+      shape += (i ? "," : "") + std::to_string(model->input_shape()[i]);
+    }
+    shape += "}";
+    std::printf("%-12s %-14zu %-16s\n", name.c_str(), model->dimension(),
+                shape.c_str());
+  }
+  return 0;
+}

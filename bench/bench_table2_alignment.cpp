@@ -1,0 +1,55 @@
+// Table 2 (appendix) — parameter-vector alignment across correct server
+// replicas during MSMW training.
+//
+// Methodology (§"Parameter Vectors Alignment"): every 20 steps, compute
+// the pairwise differences between the correct replicas' parameter
+// vectors, keep the two with the largest norms, and report cos(phi)
+// between those difference vectors plus both norms.
+//
+// Paper shape: after enough steps, cos(phi) stays close to 1 (angles near
+// 0 degrees) — the replicas' disagreement is low-dimensional and aligned,
+// which is what the contraction argument of ByzSGD needs.
+#include <cstdio>
+
+#include "core/trainer.h"
+
+int main() {
+  using namespace garfield::core;
+
+  DeploymentConfig cfg;
+  cfg.deployment = Deployment::kMsmw;
+  cfg.model = "tiny_mlp";
+  cfg.nw = 8;
+  cfg.fw = 1;
+  cfg.nps = 4;
+  cfg.fps = 0;  // all replicas correct; we probe all of them
+  cfg.gradient_gar = "multi_krum";
+  cfg.model_gar = "median";
+  cfg.batch_size = 16;
+  cfg.train_size = 2048;
+  cfg.test_size = 256;
+  cfg.optimizer.lr.gamma0 = 0.08F;
+  cfg.iterations = 400;
+  cfg.eval_every = 0;
+  cfg.alignment_every = 20;  // the paper samples every 20 steps
+  cfg.seed = 77;
+
+  std::printf("Table 2 — alignment of parameter vectors across %zu correct "
+              "server replicas (sampled every %zu steps)\n\n",
+              cfg.nps, cfg.alignment_every);
+
+  const TrainResult result = train(cfg);
+
+  std::printf("%-8s %-22s %-14s %-14s\n", "Step", "cos(phi)", "max diff1",
+              "max diff2");
+  // The paper reports samples "after some large step number": print the
+  // second half of the trajectory.
+  for (const AlignmentSample& s : result.alignment) {
+    if (s.iteration < cfg.iterations / 2) continue;
+    std::printf("%-8zu %-22.6f %-14.4f %-14.4f\n", s.iteration, s.cos_phi,
+                s.max_diff1, s.max_diff2);
+  }
+  std::printf("\nPaper shape: cos(phi) close to 1 (angle near 0 degrees) at "
+              "every sampled step.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Byzantine showdown: reproduce the paper's §6.5 sanity check live.
+//
+// Runs the same learning task under a chosen attack on three systems —
+// vanilla averaging, the crash-tolerant strawman, and MSMW (replicated
+// servers + robust GARs) — and prints their accuracy curves side by side.
+// Expected outcome (Fig 5): vanilla and crash-tolerant fail to learn,
+// MSMW converges normally.
+//
+// Usage: ./examples/byzantine_showdown [attack]   (default: reversed)
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+
+namespace {
+
+garfield::core::DeploymentConfig base_config(const std::string& attack) {
+  garfield::core::DeploymentConfig cfg;
+  cfg.model = "tiny_mlp";
+  cfg.nw = 11;  // the paper trains with 11 workers here
+  cfg.fw = 1;
+  cfg.worker_attack = attack;
+  cfg.batch_size = 16;
+  cfg.train_size = 2048;
+  cfg.test_size = 512;
+  cfg.optimizer.lr.gamma0 = 0.1F;
+  cfg.iterations = 200;
+  cfg.eval_every = 20;
+  cfg.seed = 7;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace garfield::core;
+  const std::string attack = argc > 1 ? argv[1] : "reversed";
+
+  std::map<std::string, TrainResult> results;
+
+  {
+    DeploymentConfig cfg = base_config(attack);
+    cfg.deployment = Deployment::kVanilla;
+    results["vanilla"] = train(cfg);
+  }
+  {
+    DeploymentConfig cfg = base_config(attack);
+    cfg.deployment = Deployment::kCrashTolerant;
+    cfg.nps = 3;
+    results["crash_tolerant"] = train(cfg);
+  }
+  {
+    DeploymentConfig cfg = base_config(attack);
+    cfg.deployment = Deployment::kMsmw;
+    cfg.nps = 4;
+    cfg.fps = 1;
+    cfg.server_attack = attack;  // Byzantine servers too
+    cfg.gradient_gar = "multi_krum";
+    cfg.model_gar = "median";
+    results["msmw"] = train(cfg);
+  }
+
+  std::printf("attack: %s (mounted by %zu worker(s) and, for msmw, 1 server)\n\n",
+              attack.c_str(), base_config(attack).fw);
+  std::printf("%-10s", "iteration");
+  for (const auto& [name, _] : results) std::printf("%-16s", name.c_str());
+  std::printf("\n");
+  const auto& ref = results.begin()->second.curve;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    std::printf("%-10zu", ref[i].iteration);
+    for (const auto& [_, r] : results) {
+      std::printf("%-16.3f", i < r.curve.size() ? r.curve[i].accuracy : 0.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected: vanilla and crash_tolerant stay near 0.1 under a "
+              "strong attack;\nmsmw converges to high accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Decentralized collaborative learning (the paper's §5.3 / Listing 3).
+//
+// Nine peers, no parameter server, each holding a private non-iid shard
+// (every peer sees only ~1-2 classes). Compares training with and without
+// the multi-round contraction step that forces correct models together.
+//
+// Usage: ./examples/decentralized_collaboration [contraction_steps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace garfield::core;
+
+  const std::size_t contraction =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2;
+
+  DeploymentConfig cfg;
+  cfg.deployment = Deployment::kDecentralized;
+  cfg.model = "tiny_mlp";
+  cfg.nw = 9;
+  cfg.fw = 1;
+  cfg.gradient_gar = "median";
+  cfg.model_gar = "median";
+  cfg.non_iid = true;  // each peer's shard is class-concentrated
+  cfg.batch_size = 16;
+  cfg.train_size = 2304;
+  cfg.test_size = 512;
+  cfg.optimizer.lr.gamma0 = 0.08F;
+  cfg.iterations = 200;
+  cfg.eval_every = 25;
+  cfg.seed = 11;
+
+  std::printf("decentralized, non-iid shards, %zu peers (%zu Byzantine)\n\n",
+              cfg.nw, cfg.fw);
+
+  DeploymentConfig no_contract = cfg;
+  no_contract.contraction_steps = 0;  // same non-iid shards, no contract()
+  const TrainResult baseline = train(no_contract);
+
+  cfg.contraction_steps = contraction;
+  const TrainResult contracted = train(cfg);
+
+  std::printf("%-10s %-22s %-22s\n", "iteration", "no-contraction",
+              "with-contraction");
+  for (std::size_t i = 0; i < contracted.curve.size(); ++i) {
+    std::printf("%-10zu %-22.3f %-22.3f\n", contracted.curve[i].iteration,
+                i < baseline.curve.size() ? baseline.curve[i].accuracy : 0.0,
+                contracted.curve[i].accuracy);
+  }
+  std::printf("\nfinal: no-contraction=%.3f  with-contraction(%zu rounds)=%.3f\n",
+              baseline.final_accuracy, contraction,
+              contracted.final_accuracy);
+  std::printf("messages: no-contraction=%llu  with-contraction=%llu "
+              "(contract() costs extra gossip rounds)\n",
+              static_cast<unsigned long long>(
+                  baseline.net_stats.requests_sent),
+              static_cast<unsigned long long>(
+                  contracted.net_stats.requests_sent));
+  return 0;
+}

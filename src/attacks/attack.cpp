@@ -1,0 +1,112 @@
+#include "attacks/attack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace garfield::attacks {
+
+std::vector<std::string> attack_names() {
+  return {"random",           "reversed",        "dropped",
+          "sign_flip",        "zero",            "little_is_enough",
+          "fall_of_empires",  "nan_poison"};
+}
+
+AttackPtr make_attack(const std::string& name) {
+  if (name == "random") return std::make_unique<RandomAttack>();
+  if (name == "reversed") return std::make_unique<ReversedAttack>();
+  if (name == "dropped") return std::make_unique<DroppedAttack>();
+  if (name == "sign_flip") return std::make_unique<SignFlipAttack>();
+  if (name == "zero") return std::make_unique<ZeroAttack>();
+  if (name == "little_is_enough")
+    return std::make_unique<LittleIsEnoughAttack>();
+  if (name == "fall_of_empires")
+    return std::make_unique<FallOfEmpiresAttack>();
+  if (name == "nan_poison") return std::make_unique<NanPoisonAttack>();
+  throw std::invalid_argument("make_attack: unknown attack '" + name + "'");
+}
+
+std::optional<FlatVector> RandomAttack::craft(
+    const FlatVector& honest, std::span<const FlatVector> /*others*/,
+    Rng& rng) const {
+  FlatVector out(honest.size());
+  for (float& v : out) v = rng.normal(0.0F, scale_);
+  return out;
+}
+
+std::optional<FlatVector> ReversedAttack::craft(
+    const FlatVector& honest, std::span<const FlatVector> /*others*/,
+    Rng& /*rng*/) const {
+  FlatVector out = honest;
+  tensor::scale(out, -factor_);
+  return out;
+}
+
+std::optional<FlatVector> DroppedAttack::craft(
+    const FlatVector& /*honest*/, std::span<const FlatVector> /*others*/,
+    Rng& /*rng*/) const {
+  return std::nullopt;
+}
+
+std::optional<FlatVector> SignFlipAttack::craft(
+    const FlatVector& honest, std::span<const FlatVector> /*others*/,
+    Rng& /*rng*/) const {
+  FlatVector out = honest;
+  tensor::scale(out, -1.0F);
+  return out;
+}
+
+std::optional<FlatVector> ZeroAttack::craft(
+    const FlatVector& honest, std::span<const FlatVector> /*others*/,
+    Rng& /*rng*/) const {
+  return FlatVector(honest.size(), 0.0F);
+}
+
+std::optional<FlatVector> LittleIsEnoughAttack::craft(
+    const FlatVector& honest, std::span<const FlatVector> others,
+    Rng& /*rng*/) const {
+  if (others.empty()) return honest;  // nothing to hide inside
+  const std::size_t d = honest.size();
+  FlatVector mu = tensor::mean(others);
+  FlatVector out(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    double var = 0.0;
+    for (const FlatVector& g : others) {
+      const double dv = double(g[j]) - double(mu[j]);
+      var += dv * dv;
+    }
+    var /= double(others.size());
+    out[j] = mu[j] - z_ * float(std::sqrt(var));
+  }
+  return out;
+}
+
+std::optional<FlatVector> NanPoisonAttack::craft(
+    const FlatVector& honest, std::span<const FlatVector> /*others*/,
+    Rng& rng) const {
+  FlatVector out = honest;
+  const std::size_t poisoned = std::max<std::size_t>(
+      1, std::size_t(fraction_ * double(out.size())));
+  for (std::size_t k = 0; k < poisoned; ++k) {
+    const std::size_t i = rng.index(out.size());
+    out[i] = rng.bernoulli(0.5) ? std::numeric_limits<float>::quiet_NaN()
+                                : std::numeric_limits<float>::infinity();
+  }
+  return out;
+}
+
+std::optional<FlatVector> FallOfEmpiresAttack::craft(
+    const FlatVector& honest, std::span<const FlatVector> others,
+    Rng& /*rng*/) const {
+  if (others.empty()) {
+    FlatVector out = honest;
+    tensor::scale(out, -epsilon_);
+    return out;
+  }
+  FlatVector out = tensor::mean(others);
+  tensor::scale(out, -epsilon_);
+  return out;
+}
+
+}  // namespace garfield::attacks

@@ -1,0 +1,155 @@
+// Byzantine attacks (§3.2 "Main objects": ByzantineServer/ByzantineWorker
+// "implement the popular attacks published in the Byzantine ML literature").
+//
+// An Attack turns the payload a correct node *would* send into the payload
+// the adversary actually sends. Omniscient attacks (little-is-enough, fall
+// of empires) additionally see the honest gradients of the other nodes —
+// the strongest adversary model used in the papers they come from.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/vecops.h"
+
+namespace garfield::attacks {
+
+using tensor::FlatVector;
+using tensor::Rng;
+
+/// Interface of a Byzantine payload rewriter.
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  Attack(const Attack&) = delete;
+  Attack& operator=(const Attack&) = delete;
+  Attack() = default;
+
+  /// Produce the Byzantine vector. `honest` is what this node would have
+  /// sent; `others` are honest vectors from correct nodes (empty for
+  /// non-omniscient attacks). Returns std::nullopt to send nothing at all
+  /// (the "dropped vector" attack — a silent node).
+  [[nodiscard]] virtual std::optional<FlatVector> craft(
+      const FlatVector& honest, std::span<const FlatVector> others,
+      Rng& rng) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using AttackPtr = std::unique_ptr<Attack>;
+
+/// Names accepted by make_attack: "random", "reversed", "dropped",
+/// "sign_flip", "zero", "little_is_enough", "fall_of_empires",
+/// "nan_poison".
+[[nodiscard]] std::vector<std::string> attack_names();
+
+/// Factory. Throws std::invalid_argument for unknown names.
+[[nodiscard]] AttackPtr make_attack(const std::string& name);
+
+/// Replace the vector by i.i.d. N(0, scale) noise (Fig 5a).
+class RandomAttack final : public Attack {
+ public:
+  explicit RandomAttack(float scale = 10.0F) : scale_(scale) {}
+  std::optional<FlatVector> craft(const FlatVector& honest,
+                                  std::span<const FlatVector> others,
+                                  Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  float scale_;
+};
+
+/// Reverse and amplify: multiply by -factor (paper uses -100, Fig 5b).
+class ReversedAttack final : public Attack {
+ public:
+  explicit ReversedAttack(float factor = 100.0F) : factor_(factor) {}
+  std::optional<FlatVector> craft(const FlatVector& honest,
+                                  std::span<const FlatVector> others,
+                                  Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "reversed"; }
+
+ private:
+  float factor_;
+};
+
+/// Send nothing — models a mute/crashed Byzantine node.
+class DroppedAttack final : public Attack {
+ public:
+  std::optional<FlatVector> craft(const FlatVector& honest,
+                                  std::span<const FlatVector> others,
+                                  Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "dropped"; }
+};
+
+/// Plain sign flip (multiply by -1), the mildest directional attack.
+class SignFlipAttack final : public Attack {
+ public:
+  std::optional<FlatVector> craft(const FlatVector& honest,
+                                  std::span<const FlatVector> others,
+                                  Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "sign_flip"; }
+};
+
+/// All-zeros vector: stalls learning without looking like an outlier.
+class ZeroAttack final : public Attack {
+ public:
+  std::optional<FlatVector> craft(const FlatVector& honest,
+                                  std::span<const FlatVector> others,
+                                  Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "zero"; }
+};
+
+/// "A little is enough" [Baruch et al.]: mean(others) - z * stddev(others),
+/// coordinate-wise, with z small enough to hide inside the honest variance.
+class LittleIsEnoughAttack final : public Attack {
+ public:
+  explicit LittleIsEnoughAttack(float z = 1.5F) : z_(z) {}
+  std::optional<FlatVector> craft(const FlatVector& honest,
+                                  std::span<const FlatVector> others,
+                                  Rng& rng) const override;
+  [[nodiscard]] std::string name() const override {
+    return "little_is_enough";
+  }
+
+ private:
+  float z_;
+};
+
+/// Poison a fraction of coordinates with NaN/Inf. A single NaN survives
+/// averaging and corrupts the whole model; robust systems must reject such
+/// payloads at ingress (garfield's servers do) — coordinate-wise GARs like
+/// Median would otherwise still let NaN coordinates through.
+class NanPoisonAttack final : public Attack {
+ public:
+  explicit NanPoisonAttack(double fraction = 0.01) : fraction_(fraction) {}
+  std::optional<FlatVector> craft(const FlatVector& honest,
+                                  std::span<const FlatVector> others,
+                                  Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "nan_poison"; }
+
+ private:
+  double fraction_;
+};
+
+/// "Fall of empires" [Xie et al.]: send -epsilon * mean(others), the inner
+/// product manipulation attack.
+class FallOfEmpiresAttack final : public Attack {
+ public:
+  explicit FallOfEmpiresAttack(float epsilon = 1.1F) : epsilon_(epsilon) {}
+  std::optional<FlatVector> craft(const FlatVector& honest,
+                                  std::span<const FlatVector> others,
+                                  Rng& rng) const override;
+  [[nodiscard]] std::string name() const override {
+    return "fall_of_empires";
+  }
+
+ private:
+  float epsilon_;
+};
+
+}  // namespace garfield::attacks

@@ -1,0 +1,43 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "net/wire.h"
+
+namespace garfield::core {
+
+void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
+  const std::vector<std::uint8_t> blob =
+      net::encode(checkpoint.iteration, checkpoint.parameters);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("checkpoint: cannot open '" + tmp +
+                               "' for writing");
+    }
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              std::streamsize(blob.size()));
+    if (!out) throw std::runtime_error("checkpoint: write failed for " + tmp);
+  }
+  std::filesystem::rename(tmp, path);  // atomic on POSIX
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw std::runtime_error("checkpoint: cannot open '" + path + "'");
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> blob(static_cast<std::size_t>(size), 0);
+  in.read(reinterpret_cast<char*>(blob.data()), size);
+  if (!in) throw std::runtime_error("checkpoint: read failed for " + path);
+  net::WireMessage msg = net::decode(blob);
+  return Checkpoint{msg.iteration, std::move(msg.payload)};
+}
+
+}  // namespace garfield::core

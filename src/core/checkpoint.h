@@ -1,0 +1,30 @@
+// Model checkpointing.
+//
+// The paper's related work notes that classic parameter servers tolerate
+// crashes via checkpoints [6]; garfield ships the same facility so any
+// deployment can persist its model state and resume. Checkpoints use the
+// CRC-verified wire format — a torn write or disk corruption is detected
+// at load time, never silently trained on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/vecops.h"
+
+namespace garfield::core {
+
+struct Checkpoint {
+  std::uint64_t iteration = 0;
+  tensor::FlatVector parameters;
+};
+
+/// Atomically write a checkpoint (temp file + rename). Throws
+/// std::runtime_error on I/O failure.
+void save_checkpoint(const std::string& path, const Checkpoint& checkpoint);
+
+/// Load and verify. Throws net::WireError on corruption and
+/// std::runtime_error if the file cannot be read.
+[[nodiscard]] Checkpoint load_checkpoint(const std::string& path);
+
+}  // namespace garfield::core

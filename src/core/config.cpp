@@ -1,0 +1,82 @@
+#include "core/config.h"
+
+#include <stdexcept>
+
+#include "gars/gar.h"
+
+namespace garfield::core {
+
+std::string to_string(Deployment d) {
+  switch (d) {
+    case Deployment::kVanilla: return "vanilla";
+    case Deployment::kCrashTolerant: return "crash_tolerant";
+    case Deployment::kSsmw: return "ssmw";
+    case Deployment::kMsmw: return "msmw";
+    case Deployment::kDecentralized: return "decentralized";
+  }
+  return "unknown";
+}
+
+Deployment deployment_from_string(const std::string& s) {
+  if (s == "vanilla") return Deployment::kVanilla;
+  if (s == "crash_tolerant") return Deployment::kCrashTolerant;
+  if (s == "ssmw") return Deployment::kSsmw;
+  if (s == "msmw") return Deployment::kMsmw;
+  if (s == "decentralized") return Deployment::kDecentralized;
+  throw std::invalid_argument("unknown deployment '" + s + "'");
+}
+
+std::size_t DeploymentConfig::total_nodes() const {
+  // Decentralized deployments have nw peers and no separate servers.
+  if (deployment == Deployment::kDecentralized) return nw;
+  return nps + nw;
+}
+
+void DeploymentConfig::validate() const {
+  if (nw == 0) throw std::invalid_argument("config: nw must be >= 1");
+  if (fw >= nw) throw std::invalid_argument("config: fw must be < nw");
+  if (deployment != Deployment::kDecentralized) {
+    if (nps == 0) throw std::invalid_argument("config: nps must be >= 1");
+    if (fps >= nps) throw std::invalid_argument("config: fps must be < nps");
+  }
+  if (batch_size == 0) throw std::invalid_argument("config: batch_size >= 1");
+  // GAR existence + resilience inequalities at the effective input counts.
+  switch (deployment) {
+    case Deployment::kVanilla:
+    case Deployment::kCrashTolerant:
+      break;  // averaging only
+    case Deployment::kSsmw: {
+      const std::size_t q = asynchronous ? nw - fw : nw;
+      if (q < gars::gar_min_n(gradient_gar, fw)) {
+        throw std::invalid_argument("config: " + gradient_gar +
+                                    " cannot tolerate fw with this nw");
+      }
+      break;
+    }
+    case Deployment::kMsmw: {
+      const std::size_t qw = nw - fw;
+      if (qw < gars::gar_min_n(gradient_gar, fw)) {
+        throw std::invalid_argument("config: gradient GAR precondition "
+                                    "violated (qw too small)");
+      }
+      // Model aggregation sees (peers pulled + own state) inputs.
+      const std::size_t qps = asynchronous ? nps - fps : nps;
+      if (qps < gars::gar_min_n(model_gar, fps)) {
+        throw std::invalid_argument("config: model GAR precondition violated "
+                                    "(qps too small)");
+      }
+      break;
+    }
+    case Deployment::kDecentralized: {
+      const std::size_t q = nw - fw;
+      if (q < gars::gar_min_n(gradient_gar, fw) ||
+          q < gars::gar_min_n(model_gar, fw)) {
+        throw std::invalid_argument(
+            "config: decentralized GAR precondition violated");
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace garfield::core

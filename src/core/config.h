@@ -1,0 +1,97 @@
+// Deployment configuration shared by the Controller and the trainers.
+//
+// Mirrors the knobs of the paper's experiments: cluster shape (n_w, f_w,
+// n_ps, f_ps), GAR choice for gradients and for models, attack selection,
+// synchrony assumption (quorum sizes), data distribution (iid or not) and
+// the contraction depth of decentralized learning.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "nn/optimizer.h"
+
+namespace garfield::core {
+
+/// Which application (§5) to run.
+enum class Deployment {
+  kVanilla,         ///< single trusted server, plain averaging
+  kCrashTolerant,   ///< replicated servers, averaging, primary/backup
+  kSsmw,            ///< single server, robust GAR on gradients
+  kMsmw,            ///< replicated servers, GARs on gradients and models
+  kDecentralized,   ///< peer-to-peer, every node is Server+Worker
+};
+
+[[nodiscard]] std::string to_string(Deployment d);
+[[nodiscard]] Deployment deployment_from_string(const std::string& s);
+
+struct DeploymentConfig {
+  Deployment deployment = Deployment::kSsmw;
+
+  // --- learning task -----------------------------------------------------
+  std::string model = "tiny_mlp";
+  std::string dataset = "cluster";     ///< "cluster" | "teacher"
+  float dataset_noise = 1.0F;          ///< cluster dataset difficulty
+  std::size_t train_size = 2048;
+  std::size_t test_size = 512;
+  std::size_t batch_size = 16;         ///< per-worker mini-batch (paper: b/n)
+  nn::SgdOptimizer::Options optimizer{};
+  /// Worker-side (distributed) momentum — the §8 variance-reduction hook.
+  float worker_momentum = 0.0F;
+
+  // --- cluster shape ------------------------------------------------------
+  std::size_t nw = 5;    ///< workers
+  std::size_t fw = 0;    ///< declared Byzantine workers
+  std::size_t nps = 1;   ///< parameter-server replicas
+  std::size_t fps = 0;   ///< declared Byzantine servers
+
+  // --- resilience ---------------------------------------------------------
+  std::string gradient_gar = "average";  ///< GAR applied to worker gradients
+  std::string model_gar = "median";      ///< GAR applied to server models
+  /// Synchronous runs wait for all n replies; asynchronous ones for n - f.
+  bool asynchronous = false;
+
+  // --- adversary ----------------------------------------------------------
+  /// Attack the last fw workers / last fps servers actually mount
+  /// ("" = declared-only, everyone behaves — the paper's throughput mode).
+  std::string worker_attack;
+  std::string server_attack;
+  /// Crash the primary server at this iteration (0 = never); used by the
+  /// crash-tolerant baseline's failover test.
+  std::size_t crash_primary_at = 0;
+
+  // --- data distribution --------------------------------------------------
+  /// Shard training data by class (strongly non-iid) instead of iid.
+  bool non_iid = false;
+  /// Decentralized contract() rounds per iteration (0 disables; Listing 3
+  /// uses it when data is non-iid).
+  std::size_t contraction_steps = 0;
+
+  // --- persistence ----------------------------------------------------------
+  /// Reporting server writes a wire-format checkpoint here every
+  /// checkpoint_every iterations ("" disables).
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 0;
+  /// Start from a saved checkpoint instead of fresh initialization; every
+  /// replica is seeded with the loaded parameters.
+  std::string resume_from;
+
+  // --- run control ----------------------------------------------------------
+  std::size_t iterations = 200;
+  std::size_t eval_every = 20;          ///< accuracy probe period (0 = never)
+  std::size_t alignment_every = 0;      ///< Table-2 probe period (0 = off)
+  std::uint64_t seed = 1;
+
+  // --- simulated network --------------------------------------------------
+  std::chrono::microseconds base_latency{0};
+  std::chrono::microseconds jitter{0};
+
+  /// Total node count of the deployment.
+  [[nodiscard]] std::size_t total_nodes() const;
+  /// Validate shape invariants (resilience inequalities, byzantine counts);
+  /// throws std::invalid_argument on violation.
+  void validate() const;
+};
+
+}  // namespace garfield::core

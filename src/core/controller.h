@@ -1,0 +1,37 @@
+// Controller (§3.2): cluster deployment, parameter definition and
+// experiment launching.
+//
+// The paper's controller parses cluster information (jobs, IPs, ports) and
+// starts the training procedure over SSH. Here a deployment is described by
+// a small key=value text format and launched as an in-process run; the
+// grammar covers every experiment knob in DeploymentConfig.
+#pragma once
+
+#include <string>
+
+#include "core/config.h"
+#include "core/trainer.h"
+
+namespace garfield::core {
+
+/// Parse a key=value experiment description ('#' starts a comment, blank
+/// lines ignored). Unknown keys throw std::invalid_argument. Example:
+///
+///   deployment = msmw
+///   model      = cifarnet
+///   nw = 10      fw = 3       # whitespace-insensitive
+///   nps = 3      fps = 1
+///   gradient_gar = multi_krum
+///   iterations = 500
+[[nodiscard]] DeploymentConfig parse_config(const std::string& text);
+
+/// parse_config over the contents of a file.
+[[nodiscard]] DeploymentConfig load_config_file(const std::string& path);
+
+/// Render a config back to the textual format (round-trips parse_config).
+[[nodiscard]] std::string format_config(const DeploymentConfig& config);
+
+/// Convenience: parse, validate, run.
+[[nodiscard]] TrainResult run_experiment(const std::string& config_text);
+
+}  // namespace garfield::core

@@ -1,0 +1,144 @@
+#include "core/server.h"
+
+#include <cassert>
+
+#include "core/worker.h"
+
+namespace garfield::core {
+
+Server::Server(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
+               nn::SgdOptimizer::Options opt,
+               std::vector<net::NodeId> workers,
+               std::vector<net::NodeId> peer_servers)
+    : id_(id),
+      cluster_(cluster),
+      model_(std::move(model)),
+      optimizer_(opt),
+      workers_(std::move(workers)),
+      peer_servers_(std::move(peer_servers)),
+      params_(model_->parameters()) {
+  cluster_.register_handler(id_, kGetModel, [this](const net::Request& req) {
+    return serve_model(req);
+  });
+  cluster_.register_handler(id_, kGetAggrGrad,
+                            [this](const net::Request& req) {
+                              return serve_aggr_grad(req);
+                            });
+}
+
+net::Payload Server::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return params_;
+}
+
+std::vector<net::Payload> Server::validate(std::vector<net::Reply> replies) {
+  std::vector<net::Payload> out;
+  out.reserve(replies.size());
+  const std::size_t d = model_->dimension();
+  for (net::Reply& r : replies) {
+    if (r.payload.size() != d || !tensor::all_finite(r.payload)) {
+      rejected_.fetch_add(1);
+      continue;
+    }
+    out.push_back(std::move(r.payload));
+  }
+  return out;
+}
+
+std::vector<net::Payload> Server::get_gradients(std::uint64_t t,
+                                                std::size_t q) {
+  auto arg = std::make_shared<const net::Payload>(snapshot());
+  return validate(
+      cluster_.collect(id_, workers_, kGetGradient, t, std::move(arg), q));
+}
+
+std::vector<net::Payload> Server::get_models(std::size_t q) {
+  return validate(cluster_.collect(id_, peer_servers_, kGetModel,
+                                   steps_taken(), nullptr, q));
+}
+
+std::vector<net::Payload> Server::get_aggr_grads(std::uint64_t t,
+                                                 std::size_t q) {
+  return validate(
+      cluster_.collect(id_, peer_servers_, kGetAggrGrad, t, nullptr, q));
+}
+
+void Server::set_latest_aggr_grad(net::Payload grad) {
+  std::lock_guard lock(mutex_);
+  latest_aggr_grad_ = std::move(grad);
+}
+
+void Server::update_model(const net::Payload& aggregated_gradient) {
+  std::lock_guard lock(mutex_);
+  optimizer_.step(params_, aggregated_gradient, step_);
+  ++step_;
+}
+
+void Server::write_model(const net::Payload& parameters) {
+  std::lock_guard lock(mutex_);
+  assert(parameters.size() == params_.size());
+  params_ = parameters;
+}
+
+double Server::compute_accuracy(const data::Batch& test) {
+  std::lock_guard lock(mutex_);
+  model_->set_parameters(params_);
+  return model_->accuracy(test.inputs, test.labels);
+}
+
+double Server::compute_loss(const data::Batch& test) {
+  std::lock_guard lock(mutex_);
+  model_->set_parameters(params_);
+  return model_->loss(test.inputs, test.labels);
+}
+
+net::Payload Server::parameters() const { return snapshot(); }
+
+std::uint64_t Server::steps_taken() const {
+  std::lock_guard lock(mutex_);
+  return step_;
+}
+
+std::uint64_t Server::rejected_payloads() const { return rejected_.load(); }
+
+std::optional<net::Payload> Server::serve_model(const net::Request&) {
+  return snapshot();
+}
+
+std::optional<net::Payload> Server::serve_aggr_grad(const net::Request&) {
+  std::lock_guard lock(mutex_);
+  if (latest_aggr_grad_.empty()) return std::nullopt;
+  return latest_aggr_grad_;
+}
+
+ByzantineServer::ByzantineServer(net::NodeId id, net::Cluster& cluster,
+                                 nn::ModelPtr model,
+                                 nn::SgdOptimizer::Options opt,
+                                 std::vector<net::NodeId> workers,
+                                 std::vector<net::NodeId> peer_servers,
+                                 attacks::AttackPtr attack, tensor::Rng rng)
+    : Server(id, cluster, std::move(model), opt, std::move(workers),
+             std::move(peer_servers)),
+      attack_(std::move(attack)),
+      rng_(rng) {}
+
+std::optional<net::Payload> ByzantineServer::corrupt(net::Payload honest) {
+  std::lock_guard lock(attack_mutex_);
+  return attack_->craft(honest, {}, rng_);
+}
+
+std::optional<net::Payload> ByzantineServer::serve_model(
+    const net::Request& req) {
+  std::optional<net::Payload> honest = Server::serve_model(req);
+  if (!honest) return std::nullopt;
+  return corrupt(std::move(*honest));
+}
+
+std::optional<net::Payload> ByzantineServer::serve_aggr_grad(
+    const net::Request& req) {
+  std::optional<net::Payload> honest = Server::serve_aggr_grad(req);
+  if (!honest) return std::nullopt;
+  return corrupt(std::move(*honest));
+}
+
+}  // namespace garfield::core

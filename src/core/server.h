@@ -1,0 +1,131 @@
+// Server and ByzantineServer (§3.2 "Main objects").
+//
+// The server stores and updates the model state and drives learning steps.
+// Its Networking interface is the paper's two abstractions:
+//   get_gradients(t, qw) — pull gradient estimates from workers, keep the
+//                          fastest qw;
+//   get_models(qps)      — pull parameter vectors from the other server
+//                          replicas, keep the fastest qps.
+// plus update_model() (optimizer step on an aggregated gradient),
+// write_model() (overwrite state after model aggregation — the MSMW /
+// decentralized convergence step) and compute_accuracy().
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "attacks/attack.h"
+#include "data/dataset.h"
+#include "net/cluster.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+
+namespace garfield::core {
+
+/// RPC methods served by servers.
+inline constexpr const char* kGetModel = "get_model";
+inline constexpr const char* kGetAggrGrad = "get_aggr_grad";
+
+class Server {
+ public:
+  Server(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
+         nn::SgdOptimizer::Options opt, std::vector<net::NodeId> workers,
+         std::vector<net::NodeId> peer_servers);
+  virtual ~Server() = default;
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] net::NodeId id() const { return id_; }
+  [[nodiscard]] std::size_t dimension() const { return model_->dimension(); }
+
+  /// Pull gradients for iteration t from the workers; fastest q win.
+  [[nodiscard]] std::vector<net::Payload> get_gradients(std::uint64_t t,
+                                                        std::size_t q);
+
+  /// Pull models from the peer server replicas; fastest q win.
+  [[nodiscard]] std::vector<net::Payload> get_models(std::size_t q);
+
+  /// Pull contracted gradients from peers (decentralized contract() round).
+  [[nodiscard]] std::vector<net::Payload> get_aggr_grads(std::uint64_t t,
+                                                         std::size_t q);
+
+  /// Publish this node's latest aggregated gradient for peers to pull.
+  void set_latest_aggr_grad(net::Payload grad);
+
+  /// SGD step with an aggregated gradient (Equation (2)).
+  void update_model(const net::Payload& aggregated_gradient);
+
+  /// Overwrite the parameter vector (after model-GAR aggregation).
+  void write_model(const net::Payload& parameters);
+
+  /// Top-1 accuracy of the current state on a test batch.
+  [[nodiscard]] double compute_accuracy(const data::Batch& test);
+  /// Mean loss of the current state on a test batch.
+  [[nodiscard]] double compute_loss(const data::Batch& test);
+
+  /// Snapshot of the current parameter vector.
+  [[nodiscard]] net::Payload parameters() const;
+
+  [[nodiscard]] std::uint64_t steps_taken() const;
+
+  /// Payloads dropped at ingress (wrong dimension or non-finite values).
+  /// A Byzantine node can send anything; malformed vectors are rejected
+  /// before they can reach a GAR — a NaN survives even coordinate-wise
+  /// medians of even input counts, so this gate is load-bearing.
+  [[nodiscard]] std::uint64_t rejected_payloads() const;
+
+ protected:
+  /// What get_model serves; ByzantineServer corrupts it.
+  [[nodiscard]] virtual std::optional<net::Payload> serve_model(
+      const net::Request& req);
+  [[nodiscard]] virtual std::optional<net::Payload> serve_aggr_grad(
+      const net::Request& req);
+
+  [[nodiscard]] net::Payload snapshot() const;
+
+ private:
+  /// Keep only well-formed payloads; counts the dropped ones.
+  [[nodiscard]] std::vector<net::Payload> validate(
+      std::vector<net::Reply> replies);
+
+  net::NodeId id_;
+  net::Cluster& cluster_;
+  nn::ModelPtr model_;  // used for evaluation; params_ is canonical
+  nn::SgdOptimizer optimizer_;
+  std::vector<net::NodeId> workers_;
+  std::vector<net::NodeId> peer_servers_;
+
+  mutable std::mutex mutex_;
+  net::Payload params_;
+  net::Payload latest_aggr_grad_;
+  std::uint64_t step_ = 0;
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+/// A server under adversarial control: serves corrupted models and
+/// contracted gradients to the replicas/peers pulling from it.
+class ByzantineServer final : public Server {
+ public:
+  ByzantineServer(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
+                  nn::SgdOptimizer::Options opt,
+                  std::vector<net::NodeId> workers,
+                  std::vector<net::NodeId> peer_servers,
+                  attacks::AttackPtr attack, tensor::Rng rng);
+
+ protected:
+  std::optional<net::Payload> serve_model(const net::Request& req) override;
+  std::optional<net::Payload> serve_aggr_grad(
+      const net::Request& req) override;
+
+ private:
+  [[nodiscard]] std::optional<net::Payload> corrupt(net::Payload honest);
+
+  attacks::AttackPtr attack_;
+  std::mutex attack_mutex_;
+  tensor::Rng rng_;
+};
+
+}  // namespace garfield::core

@@ -1,0 +1,439 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <thread>
+
+#include "core/checkpoint.h"
+#include "core/server.h"
+#include "core/worker.h"
+#include "gars/gar.h"
+#include "nn/zoo.h"
+
+namespace garfield::core {
+
+namespace {
+
+using net::Payload;
+using tensor::Rng;
+
+/// Aggregate with the named GAR sized to the actual reply count. Garfield
+/// builds the rule per call because asynchronous collection can legally
+/// return any q in [n-f, n].
+Payload aggregate(const std::string& gar_name, std::size_t f,
+                  const std::vector<Payload>& inputs) {
+  assert(!inputs.empty());
+  const gars::GarPtr gar = gars::make_gar(gar_name, inputs.size(), f);
+  return gar->aggregate(inputs);
+}
+
+/// Everything a deployment run needs to keep alive while threads execute.
+struct Runtime {
+  DeploymentConfig config;
+  std::vector<std::unique_ptr<Server>> servers;
+  std::vector<std::unique_ptr<Worker>> workers;
+  data::Batch test;
+  std::vector<std::vector<EvalPoint>> curves;  // one per server
+  std::vector<AlignmentSample> alignment;
+  std::mutex alignment_mutex;
+  // Declared last so it is destroyed FIRST: tearing down the cluster joins
+  // its thread pool, draining in-flight RPC handler invocations (replies
+  // beyond the awaited quorum may still be executing) before the servers
+  // and workers those handlers reference are freed.
+  std::unique_ptr<net::Cluster> cluster;
+};
+
+data::Dataset make_dataset(const DeploymentConfig& cfg,
+                           const tensor::Shape& input_shape,
+                           std::size_t classes, std::size_t n, Rng& rng) {
+  if (cfg.dataset == "teacher")
+    return data::make_teacher_dataset(input_shape, classes, n, rng);
+  return data::make_cluster_dataset(input_shape, classes, n, rng,
+                                    cfg.dataset_noise);
+}
+
+/// Build cluster, servers and workers for a parameter-server deployment
+/// (vanilla / crash-tolerant / SSMW / MSMW). Node ids: servers [0, nps),
+/// workers [nps, nps + nw).
+void build_parameter_server(Runtime& rt) {
+  const DeploymentConfig& cfg = rt.config;
+  Rng root(cfg.seed);
+  Rng model_rng = root.fork(1);   // same weights on every replica
+  Rng data_rng = root.fork(2);
+
+  auto proto = nn::make_model(cfg.model, model_rng);
+  const tensor::Shape input_shape = proto->input_shape();
+  const std::size_t classes = proto->num_classes();
+
+  // Draw train and test from one generator call so they share the same
+  // prototypes/teacher, then split.
+  data::Dataset full = make_dataset(cfg, input_shape, classes,
+                                    cfg.train_size + cfg.test_size, data_rng);
+  auto [train, test_set] = full.split(cfg.train_size);
+  rt.test = test_set.all();
+  std::vector<data::Dataset> shards =
+      cfg.non_iid ? data::shard_by_class(train, cfg.nw)
+                  : data::shard_iid(train, cfg.nw, data_rng);
+
+  net::Cluster::Options net_opts;
+  net_opts.nodes = cfg.nps + cfg.nw;
+  net_opts.base_latency = cfg.base_latency;
+  net_opts.jitter = cfg.jitter;
+  net_opts.seed = cfg.seed ^ 0xc1u;
+  rt.cluster = std::make_unique<net::Cluster>(net_opts);
+
+  std::vector<net::NodeId> worker_ids, server_ids;
+  for (std::size_t s = 0; s < cfg.nps; ++s) server_ids.push_back(s);
+  for (std::size_t w = 0; w < cfg.nw; ++w) worker_ids.push_back(cfg.nps + w);
+
+  const bool servers_attack =
+      !cfg.server_attack.empty() && cfg.fps > 0;
+  for (std::size_t s = 0; s < cfg.nps; ++s) {
+    Rng replica_rng = root.fork(1);  // identical initial replicas
+    nn::ModelPtr model = nn::make_model(cfg.model, replica_rng);
+    std::vector<net::NodeId> peers;
+    for (net::NodeId other : server_ids)
+      if (other != s) peers.push_back(other);
+    const bool byz = servers_attack && s >= cfg.nps - cfg.fps;
+    if (byz) {
+      rt.servers.push_back(std::make_unique<ByzantineServer>(
+          s, *rt.cluster, std::move(model), cfg.optimizer, worker_ids,
+          std::move(peers), attacks::make_attack(cfg.server_attack),
+          root.fork(100 + s)));
+    } else {
+      rt.servers.push_back(std::make_unique<Server>(
+          s, *rt.cluster, std::move(model), cfg.optimizer, worker_ids,
+          std::move(peers)));
+    }
+  }
+
+  const bool workers_attack = !cfg.worker_attack.empty() && cfg.fw > 0;
+  for (std::size_t w = 0; w < cfg.nw; ++w) {
+    Rng replica_rng = root.fork(1);
+    nn::ModelPtr model = nn::make_model(cfg.model, replica_rng);
+    const net::NodeId id = cfg.nps + w;
+    const bool byz = workers_attack && w >= cfg.nw - cfg.fw;
+    if (byz) {
+      rt.workers.push_back(std::make_unique<ByzantineWorker>(
+          id, *rt.cluster, std::move(model), std::move(shards[w]),
+          cfg.batch_size, root.fork(200 + w),
+          attacks::make_attack(cfg.worker_attack), cfg.worker_momentum));
+    } else {
+      rt.workers.push_back(std::make_unique<Worker>(
+          id, *rt.cluster, std::move(model), std::move(shards[w]),
+          cfg.batch_size, root.fork(200 + w), cfg.worker_momentum));
+    }
+  }
+  rt.curves.resize(cfg.nps);
+}
+
+/// Build the peer-to-peer runtime: nw nodes, each Server + Worker with the
+/// same node id.
+void build_decentralized(Runtime& rt) {
+  const DeploymentConfig& cfg = rt.config;
+  Rng root(cfg.seed);
+  Rng data_rng = root.fork(2);
+
+  Rng proto_rng = root.fork(1);
+  auto proto = nn::make_model(cfg.model, proto_rng);
+  const tensor::Shape input_shape = proto->input_shape();
+  const std::size_t classes = proto->num_classes();
+
+  data::Dataset full = make_dataset(cfg, input_shape, classes,
+                                    cfg.train_size + cfg.test_size, data_rng);
+  auto [train, test_set] = full.split(cfg.train_size);
+  rt.test = test_set.all();
+  std::vector<data::Dataset> shards =
+      cfg.non_iid ? data::shard_by_class(train, cfg.nw)
+                  : data::shard_iid(train, cfg.nw, data_rng);
+
+  net::Cluster::Options net_opts;
+  net_opts.nodes = cfg.nw;
+  net_opts.base_latency = cfg.base_latency;
+  net_opts.jitter = cfg.jitter;
+  net_opts.seed = cfg.seed ^ 0xc2u;
+  rt.cluster = std::make_unique<net::Cluster>(net_opts);
+
+  std::vector<net::NodeId> all_ids;
+  for (std::size_t i = 0; i < cfg.nw; ++i) all_ids.push_back(i);
+
+  const bool attack = !cfg.worker_attack.empty() && cfg.fw > 0;
+  for (std::size_t i = 0; i < cfg.nw; ++i) {
+    Rng replica_rng = root.fork(1);
+    nn::ModelPtr server_model = nn::make_model(cfg.model, replica_rng);
+    Rng worker_model_rng = root.fork(1);
+    nn::ModelPtr worker_model = nn::make_model(cfg.model, worker_model_rng);
+    std::vector<net::NodeId> peers;
+    for (net::NodeId other : all_ids)
+      if (other != i) peers.push_back(other);
+    const bool byz = attack && i >= cfg.nw - cfg.fw;
+    if (byz) {
+      rt.servers.push_back(std::make_unique<ByzantineServer>(
+          i, *rt.cluster, std::move(server_model), cfg.optimizer, all_ids,
+          std::move(peers), attacks::make_attack(cfg.server_attack.empty()
+                                                     ? cfg.worker_attack
+                                                     : cfg.server_attack),
+          root.fork(100 + i)));
+      rt.workers.push_back(std::make_unique<ByzantineWorker>(
+          i, *rt.cluster, std::move(worker_model), std::move(shards[i]),
+          cfg.batch_size, root.fork(200 + i),
+          attacks::make_attack(cfg.worker_attack), cfg.worker_momentum));
+    } else {
+      rt.servers.push_back(std::make_unique<Server>(
+          i, *rt.cluster, std::move(server_model), cfg.optimizer, all_ids,
+          std::move(peers)));
+      rt.workers.push_back(std::make_unique<Worker>(
+          i, *rt.cluster, std::move(worker_model), std::move(shards[i]),
+          cfg.batch_size, root.fork(200 + i), cfg.worker_momentum));
+    }
+  }
+  rt.curves.resize(cfg.nw);
+}
+
+/// Resume support: overwrite every replica's state with the checkpoint.
+void maybe_resume(Runtime& rt) {
+  if (rt.config.resume_from.empty()) return;
+  const Checkpoint ckpt = load_checkpoint(rt.config.resume_from);
+  for (auto& server : rt.servers) server->write_model(ckpt.parameters);
+}
+
+/// Persist the reporting server's state on the configured cadence.
+void maybe_checkpoint(Runtime& rt, std::size_t server_index, std::size_t it) {
+  const DeploymentConfig& cfg = rt.config;
+  if (cfg.checkpoint_every == 0 || cfg.checkpoint_path.empty()) return;
+  if ((it + 1) % cfg.checkpoint_every != 0 && it + 1 != cfg.iterations)
+    return;
+  save_checkpoint(cfg.checkpoint_path,
+                  Checkpoint{it + 1, rt.servers[server_index]->parameters()});
+}
+
+void maybe_eval(Runtime& rt, std::size_t server_index, std::size_t it) {
+  const DeploymentConfig& cfg = rt.config;
+  if (cfg.eval_every == 0) return;
+  if (it % cfg.eval_every != 0 && it + 1 != cfg.iterations) return;
+  Server& s = *rt.servers[server_index];
+  EvalPoint p;
+  p.iteration = it;
+  p.accuracy = s.compute_accuracy(rt.test);
+  p.loss = s.compute_loss(rt.test);
+  rt.curves[server_index].push_back(p);
+}
+
+/// Table-2 probe: pairwise parameter differences across correct replicas,
+/// keep the two of largest norm, report the cosine of their angle.
+void maybe_alignment(Runtime& rt, std::size_t correct_servers,
+                     std::size_t it) {
+  const DeploymentConfig& cfg = rt.config;
+  if (cfg.alignment_every == 0 || it % cfg.alignment_every != 0) return;
+  if (correct_servers < 3) return;  // need >= 2 difference vectors
+  std::vector<Payload> params;
+  params.reserve(correct_servers);
+  for (std::size_t s = 0; s < correct_servers; ++s)
+    params.push_back(rt.servers[s]->parameters());
+  struct Diff {
+    double norm;
+    Payload vec;
+  };
+  std::vector<Diff> diffs;
+  for (std::size_t a = 0; a < params.size(); ++a) {
+    for (std::size_t b = a + 1; b < params.size(); ++b) {
+      Payload d(params[a].size());
+      tensor::subtract(params[a], params[b], d);
+      diffs.push_back({tensor::norm(d), std::move(d)});
+    }
+  }
+  std::partial_sort(diffs.begin(), diffs.begin() + 2, diffs.end(),
+                    [](const Diff& x, const Diff& y) {
+                      return x.norm > y.norm;
+                    });
+  AlignmentSample sample;
+  sample.iteration = it;
+  sample.max_diff1 = diffs[0].norm;
+  sample.max_diff2 = diffs[1].norm;
+  // A difference vector's sign is an artifact of pair ordering (a-b vs
+  // b-a); alignment is about the angle between the *lines*, so report the
+  // magnitude of the cosine.
+  sample.cos_phi = std::abs(tensor::cosine(diffs[0].vec, diffs[1].vec));
+  std::lock_guard lock(rt.alignment_mutex);
+  rt.alignment.push_back(sample);
+}
+
+// ------------------------------------------------------------ loop bodies
+
+void vanilla_loop(Runtime& rt, std::size_t s) {
+  const DeploymentConfig& cfg = rt.config;
+  Server& server = *rt.servers[s];
+  for (std::size_t it = 0; it < cfg.iterations; ++it) {
+    const std::vector<Payload> grads = server.get_gradients(it, cfg.nw);
+    if (grads.empty()) continue;
+    server.update_model(aggregate("average", 0, grads));
+    if (s == 0) {
+      maybe_eval(rt, s, it);
+      maybe_checkpoint(rt, s, it);
+    }
+  }
+}
+
+void crash_tolerant_loop(Runtime& rt, std::size_t s) {
+  const DeploymentConfig& cfg = rt.config;
+  Server& server = *rt.servers[s];
+  for (std::size_t it = 0; it < cfg.iterations; ++it) {
+    if (rt.cluster->is_crashed(s)) return;  // this replica is dead
+    const std::vector<Payload> grads = server.get_gradients(it, cfg.nw);
+    if (grads.empty()) continue;
+    server.update_model(aggregate("average", 0, grads));
+    maybe_eval(rt, s, it);
+    // Fault injection: the primary fail-stops at the configured step.
+    if (s == 0 && cfg.crash_primary_at != 0 && it + 1 == cfg.crash_primary_at)
+      rt.cluster->crash(s);
+  }
+}
+
+void ssmw_loop(Runtime& rt, std::size_t s) {
+  const DeploymentConfig& cfg = rt.config;
+  Server& server = *rt.servers[s];
+  const std::size_t q = cfg.asynchronous ? cfg.nw - cfg.fw : cfg.nw;
+  for (std::size_t it = 0; it < cfg.iterations; ++it) {
+    const std::vector<Payload> grads = server.get_gradients(it, q);
+    if (grads.size() < gars::gar_min_n(cfg.gradient_gar, cfg.fw)) continue;
+    server.update_model(aggregate(cfg.gradient_gar, cfg.fw, grads));
+    if (s == 0) {
+      maybe_eval(rt, s, it);
+      maybe_checkpoint(rt, s, it);
+    }
+  }
+}
+
+void msmw_loop(Runtime& rt, std::size_t s) {
+  const DeploymentConfig& cfg = rt.config;
+  Server& server = *rt.servers[s];
+  const std::size_t qw = cfg.asynchronous ? cfg.nw - cfg.fw : cfg.nw;
+  // Model exchange: pull from peers, then include own state, so the GAR
+  // sees (peers pulled + 1) inputs.
+  const std::size_t q_peers = cfg.asynchronous
+                                  ? cfg.nps - cfg.fps - 1
+                                  : cfg.nps - 1;
+  const std::size_t correct_servers = cfg.nps - cfg.fps;
+  for (std::size_t it = 0; it < cfg.iterations; ++it) {
+    const std::vector<Payload> grads = server.get_gradients(it, qw);
+    if (grads.size() >= gars::gar_min_n(cfg.gradient_gar, cfg.fw)) {
+      server.update_model(aggregate(cfg.gradient_gar, cfg.fw, grads));
+    }
+    std::vector<Payload> models = server.get_models(q_peers);
+    models.push_back(server.parameters());
+    if (models.size() >= gars::gar_min_n(cfg.model_gar, cfg.fps)) {
+      server.write_model(aggregate(cfg.model_gar, cfg.fps, models));
+    }
+    if (s == 0) {
+      maybe_eval(rt, s, it);
+      maybe_alignment(rt, correct_servers, it);
+      maybe_checkpoint(rt, s, it);
+    }
+  }
+}
+
+void decentralized_loop(Runtime& rt, std::size_t s) {
+  const DeploymentConfig& cfg = rt.config;
+  Server& server = *rt.servers[s];
+  const std::size_t q = cfg.nw - cfg.fw;  // n - f throughout (Listing 3)
+  for (std::size_t it = 0; it < cfg.iterations; ++it) {
+    const std::vector<Payload> grads = server.get_gradients(it, q);
+    if (grads.size() < gars::gar_min_n(cfg.gradient_gar, cfg.fw)) continue;
+    Payload aggr = aggregate(cfg.gradient_gar, cfg.fw, grads);
+    if (cfg.contraction_steps > 0) {
+      // contract(): multi-round gossip forcing correct nodes together.
+      // Listing 3 enables it for non-iid data; it is keyed on the step
+      // count here so the ablation can isolate its effect.
+      for (std::size_t step = 0; step < cfg.contraction_steps; ++step) {
+        server.set_latest_aggr_grad(aggr);
+        std::vector<Payload> peer_grads = server.get_aggr_grads(it, q - 1);
+        peer_grads.push_back(aggr);
+        if (peer_grads.size() < gars::gar_min_n(cfg.gradient_gar, cfg.fw))
+          break;
+        aggr = aggregate(cfg.gradient_gar, cfg.fw, peer_grads);
+      }
+    }
+    server.update_model(aggr);
+    std::vector<Payload> models = server.get_models(q - 1);
+    models.push_back(server.parameters());
+    if (models.size() >= gars::gar_min_n(cfg.model_gar, cfg.fw)) {
+      server.write_model(aggregate(cfg.model_gar, cfg.fw, models));
+    }
+    if (s == 0) {
+      maybe_eval(rt, s, it);
+      // Inter-peer drift probe: same methodology as the Table-2 server
+      // alignment, applied to the correct peers' model replicas.
+      maybe_alignment(rt, cfg.nw - cfg.fw, it);
+    }
+  }
+}
+
+}  // namespace
+
+TrainResult train(const DeploymentConfig& config) {
+  config.validate();
+  Runtime rt;
+  rt.config = config;
+
+  const bool decentralized =
+      config.deployment == Deployment::kDecentralized;
+  if (decentralized) {
+    build_decentralized(rt);
+  } else {
+    build_parameter_server(rt);
+  }
+  maybe_resume(rt);
+
+  // Spawn one driving thread per server replica / peer. Byzantine servers
+  // run the same loop (their lies live in their RPC handlers).
+  std::vector<std::thread> threads;
+  const std::size_t loops = rt.servers.size();
+  threads.reserve(loops);
+  for (std::size_t s = 0; s < loops; ++s) {
+    threads.emplace_back([&rt, s] {
+      switch (rt.config.deployment) {
+        case Deployment::kVanilla: vanilla_loop(rt, s); break;
+        case Deployment::kCrashTolerant: crash_tolerant_loop(rt, s); break;
+        case Deployment::kSsmw: ssmw_loop(rt, s); break;
+        case Deployment::kMsmw: msmw_loop(rt, s); break;
+        case Deployment::kDecentralized: decentralized_loop(rt, s); break;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  TrainResult result;
+  result.iterations_run = config.iterations;
+  result.net_stats = rt.cluster->stats();
+  for (const auto& server : rt.servers) {
+    result.rejected_payloads += server->rejected_payloads();
+  }
+  result.alignment = std::move(rt.alignment);
+
+  // Reporting replica: server 0, except after a primary crash in the
+  // crash-tolerant protocol, where the next replica takes over (its state
+  // may be behind — the paper's "outdated model" note).
+  result.curve = std::move(rt.curves[0]);
+  if (config.deployment == Deployment::kCrashTolerant &&
+      config.crash_primary_at != 0 && rt.curves.size() > 1) {
+    for (const EvalPoint& p : rt.curves[1]) {
+      if (p.iteration >= config.crash_primary_at) result.curve.push_back(p);
+    }
+    std::sort(result.curve.begin(), result.curve.end(),
+              [](const EvalPoint& a, const EvalPoint& b) {
+                return a.iteration < b.iteration;
+              });
+  }
+  if (!result.curve.empty()) {
+    result.final_accuracy = result.curve.back().accuracy;
+    result.final_loss = result.curve.back().loss;
+  } else if (!rt.servers.empty()) {
+    result.final_accuracy = rt.servers[0]->compute_accuracy(rt.test);
+    result.final_loss = rt.servers[0]->compute_loss(rt.test);
+  }
+  return result;
+}
+
+}  // namespace garfield::core

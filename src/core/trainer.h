@@ -1,0 +1,58 @@
+// Deployment trainers: the five applications of §5 and §6.2, runnable on
+// the in-process threaded cluster.
+//
+//  - Vanilla          : 1 trusted server, plain averaging (the TF/PyTorch
+//                       baseline).
+//  - CrashTolerant    : primary/backup replicated servers with averaging;
+//                       survives fail-silent crashes but not Byzantine lies.
+//  - SSMW (Listing 1) : single trusted server + robust gradient GAR
+//                       (the AggregaThor architecture).
+//  - MSMW (Listing 2) : replicated servers; robust GAR on gradients *and*
+//                       on models, with a model-exchange round per step.
+//  - Decentralized (Listing 3): peer-to-peer, every node is Server+Worker,
+//                       optional multi-round contraction for non-iid data.
+//
+// Every loop is executed by one thread per server/peer; workers are
+// passive RPC handlers. Evaluation probes run on the reporting replica.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "net/cluster.h"
+
+namespace garfield::core {
+
+/// One accuracy probe on the reporting replica.
+struct EvalPoint {
+  std::size_t iteration = 0;
+  double accuracy = 0.0;
+  double loss = 0.0;
+};
+
+/// One Table-2 alignment probe: |cos(angle)| between the two largest
+/// parameter-difference vectors across correct server replicas (the sign
+/// of a difference vector is an artifact of pair ordering).
+struct AlignmentSample {
+  std::size_t iteration = 0;
+  double cos_phi = 0.0;
+  double max_diff1 = 0.0;
+  double max_diff2 = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EvalPoint> curve;         ///< reporting replica's probes
+  double final_accuracy = 0.0;
+  double final_loss = 0.0;
+  net::NetStats net_stats;              ///< whole-cluster traffic
+  /// Malformed payloads (wrong dimension / NaN / Inf) dropped at server
+  /// ingress, summed over all correct servers.
+  std::uint64_t rejected_payloads = 0;
+  std::vector<AlignmentSample> alignment;
+  std::size_t iterations_run = 0;
+};
+
+/// Run the configured deployment to completion and report its curve.
+[[nodiscard]] TrainResult train(const DeploymentConfig& config);
+
+}  // namespace garfield::core

@@ -1,0 +1,75 @@
+#include "core/worker.h"
+
+#include <cassert>
+
+namespace garfield::core {
+
+Worker::Worker(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
+               data::Dataset shard, std::size_t batch_size, tensor::Rng rng,
+               float momentum)
+    : rng_(rng),
+      id_(id),
+      model_(std::move(model)),
+      shard_(std::move(shard)),
+      sampler_(shard_, batch_size, rng_.fork(0xb0)),
+      momentum_(momentum) {
+  cluster.register_handler(id_, kGetGradient,
+                           [this](const net::Request& req) {
+                             return serve_gradient(req);
+                           });
+}
+
+nn::GradientResult Worker::honest_gradient(const net::Request& req) {
+  std::lock_guard lock(mutex_);
+  assert(req.argument && req.argument->size() == model_->dimension());
+  model_->set_parameters(*req.argument);
+  const data::Batch batch = sampler_.next();
+  nn::GradientResult result = model_->gradient(batch.inputs, batch.labels);
+  loss_sum_ += result.loss;
+  ++served_;
+  if (momentum_ > 0.0F) {
+    // Distributed momentum: v = m*v + g; the server receives v.
+    if (velocity_.size() != result.gradient.size()) {
+      velocity_.assign(result.gradient.size(), 0.0F);
+    }
+    for (std::size_t i = 0; i < velocity_.size(); ++i) {
+      velocity_[i] = momentum_ * velocity_[i] + result.gradient[i];
+    }
+    result.gradient = velocity_;
+  }
+  return result;
+}
+
+std::optional<net::Payload> Worker::serve_gradient(const net::Request& req) {
+  return honest_gradient(req).gradient;
+}
+
+double Worker::mean_loss() const {
+  std::lock_guard lock(mutex_);
+  return served_ == 0 ? 0.0 : loss_sum_ / double(served_);
+}
+
+std::uint64_t Worker::gradients_served() const {
+  std::lock_guard lock(mutex_);
+  return served_;
+}
+
+ByzantineWorker::ByzantineWorker(net::NodeId id, net::Cluster& cluster,
+                                 nn::ModelPtr model, data::Dataset shard,
+                                 std::size_t batch_size, tensor::Rng rng,
+                                 attacks::AttackPtr attack, float momentum)
+    : Worker(id, cluster, std::move(model), std::move(shard), batch_size,
+             rng, momentum),
+      attack_(std::move(attack)) {}
+
+std::optional<net::Payload> ByzantineWorker::serve_gradient(
+    const net::Request& req) {
+  const nn::GradientResult honest = honest_gradient(req);
+  // Non-omniscient in the live cluster: the adversary sees only its own
+  // honest estimate. Omniscient variants are exercised directly against
+  // GARs in the robustness-matrix tests.
+  std::lock_guard lock(attack_mutex_);
+  return attack_->craft(honest.gradient, {}, rng_);
+}
+
+}  // namespace garfield::core

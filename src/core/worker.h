@@ -1,0 +1,83 @@
+// Worker and ByzantineWorker (§3.2 "Main objects").
+//
+// The worker is passive: it owns a data shard and a private model replica,
+// and answers get_gradient pulls from servers. The request carries the
+// requesting server's current parameter vector (the pull-based equivalent
+// of the server broadcasting its parameters), the reply is the gradient of
+// the loss on the worker's next mini-batch at those parameters.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "attacks/attack.h"
+#include "data/dataset.h"
+#include "net/cluster.h"
+#include "nn/model.h"
+
+namespace garfield::core {
+
+/// RPC method served by workers.
+inline constexpr const char* kGetGradient = "get_gradient";
+
+class Worker {
+ public:
+  /// momentum > 0 enables *worker-side* momentum (distributed momentum,
+  /// [23] in the paper): the worker replies with its exponentially-averaged
+  /// gradient v = m*v + g instead of the raw estimate. This reduces the
+  /// variance the GAR sees, which §8 points at as the technique restoring
+  /// GAR resilience guarantees when the variance condition is violated.
+  Worker(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
+         data::Dataset shard, std::size_t batch_size, tensor::Rng rng,
+         float momentum = 0.0F);
+  virtual ~Worker() = default;
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  [[nodiscard]] net::NodeId id() const { return id_; }
+  /// Mean training loss of the gradients served so far (diagnostics).
+  [[nodiscard]] double mean_loss() const;
+  [[nodiscard]] std::uint64_t gradients_served() const;
+
+ protected:
+  /// Compute the honest gradient for a request (thread-safe).
+  [[nodiscard]] nn::GradientResult honest_gradient(const net::Request& req);
+
+  /// Handler body; ByzantineWorker overrides to corrupt the reply.
+  [[nodiscard]] virtual std::optional<net::Payload> serve_gradient(
+      const net::Request& req);
+
+  tensor::Rng rng_;
+
+ private:
+  net::NodeId id_;
+  nn::ModelPtr model_;
+  data::Dataset shard_;
+  data::BatchSampler sampler_;
+  float momentum_;
+  tensor::FlatVector velocity_;  // worker-side momentum state
+  mutable std::mutex mutex_;
+  double loss_sum_ = 0.0;
+  std::uint64_t served_ = 0;
+};
+
+/// A worker under adversarial control: computes the honest gradient, then
+/// rewrites it with the configured attack before replying.
+class ByzantineWorker final : public Worker {
+ public:
+  ByzantineWorker(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
+                  data::Dataset shard, std::size_t batch_size,
+                  tensor::Rng rng, attacks::AttackPtr attack,
+                  float momentum = 0.0F);
+
+ protected:
+  std::optional<net::Payload> serve_gradient(const net::Request& req) override;
+
+ private:
+  attacks::AttackPtr attack_;
+  std::mutex attack_mutex_;
+};
+
+}  // namespace garfield::core

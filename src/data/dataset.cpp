@@ -1,0 +1,178 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace garfield::data {
+
+Dataset::Dataset(Tensor inputs, std::vector<std::size_t> labels,
+                 std::size_t num_classes)
+    : inputs_(std::move(inputs)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  if (inputs_.rank() < 2) {
+    throw std::invalid_argument("Dataset: inputs must be {n, ...}");
+  }
+  if (inputs_.dim(0) != labels_.size()) {
+    throw std::invalid_argument("Dataset: inputs/labels size mismatch");
+  }
+  sample_shape_.assign(inputs_.shape().begin() + 1, inputs_.shape().end());
+  sample_numel_ = tensor::shape_numel(sample_shape_);
+}
+
+Batch Dataset::gather(std::span<const std::size_t> indices) const {
+  tensor::Shape shape = sample_shape_;
+  shape.insert(shape.begin(), indices.size());
+  Batch batch;
+  batch.inputs = Tensor(std::move(shape));
+  batch.labels.reserve(indices.size());
+  float* out = batch.inputs.data().data();
+  const float* in = inputs_.data().data();
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const std::size_t i = indices[k];
+    assert(i < size());
+    std::copy(in + i * sample_numel_, in + (i + 1) * sample_numel_,
+              out + k * sample_numel_);
+    batch.labels.push_back(labels_[i]);
+  }
+  return batch;
+}
+
+Batch Dataset::all() const {
+  std::vector<std::size_t> idx(size());
+  std::iota(idx.begin(), idx.end(), 0);
+  return gather(idx);
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Batch b = gather(indices);
+  return Dataset(std::move(b.inputs), std::move(b.labels), num_classes_);
+}
+
+std::pair<Dataset, Dataset> Dataset::split(std::size_t n_train) const {
+  if (n_train > size()) {
+    throw std::invalid_argument("Dataset::split: n_train exceeds size");
+  }
+  std::vector<std::size_t> head(n_train), tail(size() - n_train);
+  std::iota(head.begin(), head.end(), 0);
+  std::iota(tail.begin(), tail.end(), n_train);
+  return {subset(head), subset(tail)};
+}
+
+Dataset make_cluster_dataset(const tensor::Shape& sample_shape,
+                             std::size_t num_classes, std::size_t n, Rng& rng,
+                             float noise) {
+  const std::size_t d = tensor::shape_numel(sample_shape);
+  std::vector<Tensor> prototypes;
+  prototypes.reserve(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c)
+    prototypes.push_back(Tensor::randn(sample_shape, rng));
+  tensor::Shape full = sample_shape;
+  full.insert(full.begin(), n);
+  Tensor inputs(std::move(full));
+  std::vector<std::size_t> labels(n);
+  float* out = inputs.data().data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = i % num_classes;  // balanced classes
+    labels[i] = c;
+    const float* proto = prototypes[c].data().data();
+    for (std::size_t j = 0; j < d; ++j)
+      out[i * d + j] = proto[j] + rng.normal(0.0F, noise);
+  }
+  return Dataset(std::move(inputs), std::move(labels), num_classes);
+}
+
+Dataset make_teacher_dataset(const tensor::Shape& sample_shape,
+                             std::size_t num_classes, std::size_t n,
+                             Rng& rng) {
+  const std::size_t d = tensor::shape_numel(sample_shape);
+  const std::size_t hidden = std::max<std::size_t>(2 * num_classes, 16);
+  // Frozen random teacher: tanh(x W1) W2, label = argmax.
+  Tensor w1 = Tensor::randn({d, hidden}, rng, 0.0F, 1.0F / std::sqrt(float(d)));
+  Tensor w2 = Tensor::randn({hidden, num_classes}, rng, 0.0F,
+                            1.0F / std::sqrt(float(hidden)));
+  tensor::Shape full = sample_shape;
+  full.insert(full.begin(), n);
+  Tensor inputs(std::move(full));
+  for (float& v : inputs.data()) v = rng.normal();
+  Tensor flat = inputs.reshaped({n, d});
+  Tensor h = tensor::matmul(flat, w1);
+  for (float& v : h.data()) v = std::tanh(v);
+  Tensor logits = tensor::matmul(h, w2);
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data().data() + i * num_classes;
+    labels[i] = std::size_t(
+        std::distance(row, std::max_element(row, row + num_classes)));
+  }
+  return Dataset(std::move(inputs), std::move(labels), num_classes);
+}
+
+std::vector<Dataset> shard_iid(const Dataset& dataset, std::size_t parts,
+                               Rng& rng) {
+  assert(parts > 0);
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  std::vector<Dataset> shards;
+  shards.reserve(parts);
+  const std::size_t chunk = dataset.size() / parts;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t begin = p * chunk;
+    const std::size_t end = (p + 1 == parts) ? dataset.size() : begin + chunk;
+    shards.push_back(dataset.subset(
+        std::span<const std::size_t>(order.data() + begin, end - begin)));
+  }
+  return shards;
+}
+
+std::vector<Dataset> shard_by_class(const Dataset& dataset,
+                                    std::size_t parts) {
+  assert(parts > 0);
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return dataset.labels()[a] < dataset.labels()[b];
+                   });
+  std::vector<Dataset> shards;
+  shards.reserve(parts);
+  const std::size_t chunk = dataset.size() / parts;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t begin = p * chunk;
+    const std::size_t end = (p + 1 == parts) ? dataset.size() : begin + chunk;
+    shards.push_back(dataset.subset(
+        std::span<const std::size_t>(order.data() + begin, end - begin)));
+  }
+  return shards;
+}
+
+BatchSampler::BatchSampler(const Dataset& dataset, std::size_t batch_size,
+                           Rng rng)
+    : dataset_(&dataset), batch_size_(batch_size), rng_(rng) {
+  assert(batch_size_ > 0);
+  order_.resize(dataset.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  reshuffle();
+}
+
+void BatchSampler::reshuffle() {
+  std::shuffle(order_.begin(), order_.end(), rng_.engine());
+  cursor_ = 0;
+}
+
+Batch BatchSampler::next() {
+  if (cursor_ >= order_.size()) {
+    ++epoch_;
+    reshuffle();
+  }
+  const std::size_t take = std::min(batch_size_, order_.size() - cursor_);
+  std::span<const std::size_t> idx(order_.data() + cursor_, take);
+  cursor_ += take;
+  return dataset_->gather(idx);
+}
+
+}  // namespace garfield::data

@@ -1,0 +1,119 @@
+// Synthetic datasets.
+//
+// Substitution for MNIST / CIFAR-10 (unavailable offline): procedurally
+// generated classification problems with controllable difficulty. Two
+// generators are provided:
+//  - ClusterDataset: class prototypes + Gaussian noise ("easy MNIST-like").
+//  - TeacherDataset: labels produced by a random frozen teacher network
+//    ("hard CIFAR-like", non-linear decision boundaries).
+// Both are deterministic in the seed, and shardable across workers in iid
+// and non-iid fashion (the non-iid case drives the decentralized
+// contraction experiments of §5.3).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace garfield::data {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+/// One mini-batch: inputs {b, ...} plus integer labels.
+struct Batch {
+  Tensor inputs;
+  std::vector<std::size_t> labels;
+
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+};
+
+/// A materialized labelled dataset.
+class Dataset {
+ public:
+  Dataset() = default;
+  /// inputs: {n, ...sample_shape}; labels: n entries in [0, num_classes).
+  Dataset(Tensor inputs, std::vector<std::size_t> labels,
+          std::size_t num_classes);
+
+  [[nodiscard]] std::size_t size() const { return labels_.size(); }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  [[nodiscard]] const tensor::Shape& sample_shape() const {
+    return sample_shape_;
+  }
+
+  /// Gather the given sample indices into a batch.
+  [[nodiscard]] Batch gather(std::span<const std::size_t> indices) const;
+
+  /// The whole dataset as one batch (test-set evaluation).
+  [[nodiscard]] Batch all() const;
+
+  /// Subset by indices; used by the sharders.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Split into a {train, test} pair: the first n_train samples and the
+  /// rest. Use this (not two generator calls) to get train and test data
+  /// from the *same* underlying distribution — each generator call draws
+  /// fresh class prototypes / a fresh teacher.
+  [[nodiscard]] std::pair<Dataset, Dataset> split(std::size_t n_train) const;
+
+  [[nodiscard]] const std::vector<std::size_t>& labels() const {
+    return labels_;
+  }
+
+ private:
+  Tensor inputs_;                    // {n, ...}
+  std::vector<std::size_t> labels_;  // n
+  std::size_t num_classes_ = 0;
+  tensor::Shape sample_shape_;
+  std::size_t sample_numel_ = 0;
+};
+
+/// Gaussian clusters around per-class prototypes.
+/// noise controls difficulty: ~0.5 trivial, ~1.5 hard.
+[[nodiscard]] Dataset make_cluster_dataset(const tensor::Shape& sample_shape,
+                                           std::size_t num_classes,
+                                           std::size_t n, Rng& rng,
+                                           float noise);
+
+/// Labels from a random 2-layer teacher network over N(0,1) inputs.
+[[nodiscard]] Dataset make_teacher_dataset(const tensor::Shape& sample_shape,
+                                           std::size_t num_classes,
+                                           std::size_t n, Rng& rng);
+
+/// Split into `parts` near-equal shards after a seeded shuffle (iid).
+[[nodiscard]] std::vector<Dataset> shard_iid(const Dataset& dataset,
+                                             std::size_t parts, Rng& rng);
+
+/// Sort by label, then split contiguously: each shard sees only a few
+/// classes (strongly non-iid).
+[[nodiscard]] std::vector<Dataset> shard_by_class(const Dataset& dataset,
+                                                  std::size_t parts);
+
+/// Draws reshuffled mini-batches, epoch after epoch, deterministically.
+class BatchSampler {
+ public:
+  BatchSampler(const Dataset& dataset, std::size_t batch_size, Rng rng);
+
+  /// Next mini-batch; reshuffles when the epoch is exhausted. The final
+  /// short batch of an epoch is emitted as-is.
+  [[nodiscard]] Batch next();
+
+  [[nodiscard]] std::size_t batch_size() const { return batch_size_; }
+  [[nodiscard]] std::size_t epoch() const { return epoch_; }
+
+ private:
+  void reshuffle();
+
+  const Dataset* dataset_;
+  std::size_t batch_size_;
+  Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+  std::size_t epoch_ = 0;
+};
+
+}  // namespace garfield::data

@@ -1,0 +1,142 @@
+// Extended GARs: geometric median (RFA / smoothed Weiszfeld), centered
+// clipping and norm-based comparative gradient elimination. These are the
+// "other rules" §7 of the paper says Garfield can straightforwardly
+// include; they share the same init()/aggregate() interface and factory.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "gars/gar.h"
+
+namespace garfield::gars {
+
+namespace {
+
+void require(bool cond, const std::string& message) {
+  if (!cond) throw std::invalid_argument(message);
+}
+
+}  // namespace
+
+// --------------------------------------------------------- GeometricMedian
+
+GeometricMedian::GeometricMedian(std::size_t n, std::size_t f,
+                                 Options options)
+    : Gar(n, f), options_(options) {
+  require(n >= 2 * f + 1, "geometric_median: requires n >= 2f+1");
+  require(options_.max_iterations > 0,
+          "geometric_median: needs at least one iteration");
+}
+
+FlatVector GeometricMedian::aggregate(
+    std::span<const FlatVector> inputs) const {
+  check_inputs(inputs);
+  const std::size_t d = inputs.front().size();
+  // Start from the coordinate-wise mean and run Weiszfeld updates:
+  //   z <- sum_i(x_i / max(||x_i - z||, eps)) / sum_i(1 / max(...)).
+  FlatVector center = tensor::mean(inputs);
+  FlatVector next(d);
+  for (std::size_t it = 0; it < options_.max_iterations; ++it) {
+    double weight_sum = 0.0;
+    std::fill(next.begin(), next.end(), 0.0F);
+    bool on_point = false;
+    for (const FlatVector& x : inputs) {
+      const double dist =
+          std::sqrt(tensor::squared_distance(x, center));
+      if (dist < options_.smoothing) {
+        // Weiszfeld is undefined exactly on an input; that input is
+        // already a 1/n-weight optimum candidate — snap to it.
+        center = x;
+        on_point = true;
+        break;
+      }
+      const double w = 1.0 / dist;
+      weight_sum += w;
+      tensor::axpy(float(w), x, next);
+    }
+    if (on_point) break;
+    tensor::scale(next, float(1.0 / weight_sum));
+    const double moved = tensor::squared_distance(next, center);
+    const double scale = std::max(1.0, tensor::dot(center, center));
+    center.swap(next);
+    if (moved / scale < options_.tolerance * options_.tolerance) break;
+  }
+  return center;
+}
+
+// ------------------------------------------------------------ CenteredClip
+
+CenteredClip::CenteredClip(std::size_t n, std::size_t f, Options options)
+    : Gar(n, f), options_(options) {
+  require(n >= 2 * f + 1, "centered_clip: requires n >= 2f+1");
+  require(options_.iterations > 0,
+          "centered_clip: needs at least one iteration");
+}
+
+FlatVector CenteredClip::aggregate(std::span<const FlatVector> inputs) const {
+  check_inputs(inputs);
+  const std::size_t n = inputs.size();
+  const std::size_t d = inputs.front().size();
+  // Robust starting point: coordinate-wise-median-free — use the input
+  // closest to the mean? The standard recipe starts from the previous
+  // round's momentum; stateless here, we start from the mean and rely on
+  // clipping to pull Byzantine leverage down.
+  FlatVector center = tensor::mean(inputs);
+
+  for (std::size_t it = 0; it < options_.iterations; ++it) {
+    // Auto radius: median distance from the current center.
+    double tau = options_.tau;
+    if (tau <= 0.0) {
+      std::vector<double> dists(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        dists[i] = std::sqrt(tensor::squared_distance(inputs[i], center));
+      }
+      std::nth_element(dists.begin(), dists.begin() + long(n / 2),
+                       dists.end());
+      tau = dists[n / 2];
+      if (tau == 0.0) break;  // all inputs at the center already
+    }
+    // center += (1/n) sum_i clip(x_i - center, tau)
+    FlatVector shift(d, 0.0F);
+    for (const FlatVector& x : inputs) {
+      const double dist = std::sqrt(tensor::squared_distance(x, center));
+      const double lambda = dist > tau ? tau / dist : 1.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        shift[j] += float(lambda * (double(x[j]) - double(center[j])));
+      }
+    }
+    tensor::scale(shift, 1.0F / float(n));
+    tensor::add(center, shift, center);
+  }
+  return center;
+}
+
+// -------------------------------------------------------------------- Cge
+
+Cge::Cge(std::size_t n, std::size_t f) : Gar(n, f) {
+  require(n >= 2 * f + 1, "cge: requires n >= 2f+1");
+}
+
+FlatVector Cge::aggregate(std::span<const FlatVector> inputs) const {
+  check_inputs(inputs);
+  const std::size_t n = inputs.size();
+  const std::size_t keep = n - f_;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> norms(n);
+  for (std::size_t i = 0; i < n; ++i) norms[i] = tensor::dot(inputs[i], inputs[i]);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (norms[a] != norms[b]) return norms[a] < norms[b];
+    return std::lexicographical_compare(inputs[a].begin(), inputs[a].end(),
+                                        inputs[b].begin(), inputs[b].end());
+  });
+  FlatVector out(inputs.front().size(), 0.0F);
+  for (std::size_t k = 0; k < keep; ++k) {
+    tensor::axpy(1.0F, inputs[order[k]], out);
+  }
+  tensor::scale(out, 1.0F / float(keep));
+  return out;
+}
+
+}  // namespace garfield::gars

@@ -1,0 +1,399 @@
+#include "gars/gar.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "gars/median3.h"
+#include "tensor/parallel.h"
+
+namespace garfield::gars {
+
+using tensor::parallel_for;
+
+void Gar::check_inputs(std::span<const FlatVector> inputs) const {
+  if (inputs.size() != n_) {
+    throw std::invalid_argument(name() + ": expected " + std::to_string(n_) +
+                                " inputs, got " +
+                                std::to_string(inputs.size()));
+  }
+  const std::size_t d = inputs.front().size();
+  if (d == 0) throw std::invalid_argument(name() + ": empty input vectors");
+  for (const FlatVector& v : inputs) {
+    if (v.size() != d) {
+      throw std::invalid_argument(name() + ": ragged input dimensions");
+    }
+  }
+}
+
+namespace {
+
+void require(bool cond, const std::string& message) {
+  if (!cond) throw std::invalid_argument(message);
+}
+
+/// Pairwise squared distances, symmetric n x n (diagonal zero).
+std::vector<double> pairwise_sq_distances(std::span<const FlatVector> inputs) {
+  const std::size_t n = inputs.size();
+  std::vector<double> dist(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = tensor::squared_distance(inputs[i], inputs[j]);
+      dist[i * n + j] = d;
+      dist[j * n + i] = d;
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::string> gar_names() {
+  return {"average",    "median", "trimmed_mean",     "krum",
+          "multi_krum", "mda",    "bulyan",           "geometric_median",
+          "centered_clip", "cge"};
+}
+
+std::size_t gar_min_n(const std::string& name, std::size_t f) {
+  if (name == "average") return std::max<std::size_t>(1, f + 1);
+  if (name == "median" || name == "trimmed_mean" || name == "mda" ||
+      name == "geometric_median" || name == "centered_clip" ||
+      name == "cge")
+    return 2 * f + 1;
+  if (name == "krum" || name == "multi_krum") return 2 * f + 3;
+  if (name == "bulyan") return 4 * f + 3;
+  throw std::invalid_argument("gar_min_n: unknown GAR '" + name + "'");
+}
+
+GarPtr make_gar(const std::string& name, std::size_t n, std::size_t f) {
+  if (name == "average") return std::make_unique<Average>(n, f);
+  if (name == "median") return std::make_unique<Median>(n, f);
+  if (name == "trimmed_mean") return std::make_unique<TrimmedMean>(n, f);
+  if (name == "krum") return std::make_unique<Krum>(n, f);
+  if (name == "multi_krum") return std::make_unique<MultiKrum>(n, f);
+  if (name == "mda") return std::make_unique<Mda>(n, f);
+  if (name == "bulyan") return std::make_unique<Bulyan>(n, f);
+  if (name == "geometric_median")
+    return std::make_unique<GeometricMedian>(n, f);
+  if (name == "centered_clip") return std::make_unique<CenteredClip>(n, f);
+  if (name == "cge") return std::make_unique<Cge>(n, f);
+  throw std::invalid_argument("make_gar: unknown GAR '" + name + "'");
+}
+
+// ---------------------------------------------------------------- Average
+
+Average::Average(std::size_t n, std::size_t f) : Gar(n, f) {
+  require(n >= 1, "average: needs at least one input");
+}
+
+FlatVector Average::aggregate(std::span<const FlatVector> inputs) const {
+  check_inputs(inputs);
+  return tensor::mean(inputs);
+}
+
+// ---------------------------------------------------------------- Median
+
+Median::Median(std::size_t n, std::size_t f) : Gar(n, f) {
+  require(n >= gar_min_n("median", f),
+          "median: requires n >= 2f+1 (got n=" + std::to_string(n) +
+              ", f=" + std::to_string(f) + ")");
+}
+
+FlatVector Median::aggregate(std::span<const FlatVector> inputs) const {
+  check_inputs(inputs);
+  const std::size_t n = inputs.size();
+  const std::size_t d = inputs.front().size();
+  FlatVector out(d);
+  if (n == 1) return inputs.front();
+  if (n == 3) {
+    // Fast path via the branchless SIMT primitive of §4.3.
+    const float* a = inputs[0].data();
+    const float* b = inputs[1].data();
+    const float* c = inputs[2].data();
+    parallel_for(d, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t j = begin; j < end; ++j)
+        out[j] = median3_branchless(a[j], b[j], c[j]);
+    });
+    return out;
+  }
+  // General path: each core owns a contiguous share of coordinates and runs
+  // introselect (std::nth_element) per coordinate — the paper's CPU scheme.
+  parallel_for(d, [&](std::size_t begin, std::size_t end) {
+    std::vector<float> column(n);
+    for (std::size_t j = begin; j < end; ++j) {
+      for (std::size_t i = 0; i < n; ++i) column[i] = inputs[i][j];
+      const std::size_t mid = n / 2;
+      std::nth_element(column.begin(), column.begin() + long(mid),
+                       column.end());
+      if (n % 2 == 1) {
+        out[j] = column[mid];
+      } else {
+        // Even count: average the two central order statistics.
+        const float hi = column[mid];
+        const float lo =
+            *std::max_element(column.begin(), column.begin() + long(mid));
+        out[j] = 0.5F * (lo + hi);
+      }
+    }
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------- TrimmedMean
+
+TrimmedMean::TrimmedMean(std::size_t n, std::size_t f) : Gar(n, f) {
+  require(n >= gar_min_n("trimmed_mean", f),
+          "trimmed_mean: requires n >= 2f+1");
+}
+
+FlatVector TrimmedMean::aggregate(std::span<const FlatVector> inputs) const {
+  check_inputs(inputs);
+  const std::size_t n = inputs.size();
+  const std::size_t d = inputs.front().size();
+  const std::size_t keep = n - 2 * f_;
+  FlatVector out(d);
+  parallel_for(d, [&](std::size_t begin, std::size_t end) {
+    std::vector<float> column(n);
+    for (std::size_t j = begin; j < end; ++j) {
+      for (std::size_t i = 0; i < n; ++i) column[i] = inputs[i][j];
+      std::sort(column.begin(), column.end());
+      double acc = 0.0;
+      for (std::size_t i = f_; i < f_ + keep; ++i) acc += column[i];
+      out[j] = float(acc / double(keep));
+    }
+  });
+  return out;
+}
+
+// ---------------------------------------------------------- DistanceCache
+
+DistanceCache::DistanceCache(std::span<const FlatVector> inputs)
+    : n_(inputs.size()),
+      matrix_(pairwise_sq_distances(inputs)),
+      active_(inputs.size(), true) {}
+
+std::size_t DistanceCache::active_count() const {
+  return std::size_t(std::count(active_.begin(), active_.end(), true));
+}
+
+// ---------------------------------------------------------------- Krum
+
+Krum::Krum(std::size_t n, std::size_t f) : Gar(n, f) {
+  require(n >= gar_min_n("krum", f),
+          "krum: requires n >= 2f+3 (got n=" + std::to_string(n) +
+              ", f=" + std::to_string(f) + ")");
+}
+
+std::vector<double> Krum::scores(std::span<const FlatVector> inputs) const {
+  const std::size_t q = inputs.size();
+  assert(q >= 3);
+  const std::vector<double> dist = pairwise_sq_distances(inputs);
+  // Sum of distances to the q-f-2 closest neighbours (at least one).
+  const std::size_t neighbours =
+      q > f_ + 2 ? q - f_ - 2 : std::size_t(1);
+  std::vector<double> result(q, 0.0);
+  std::vector<double> row(q - 1);
+  for (std::size_t i = 0; i < q; ++i) {
+    std::size_t k = 0;
+    for (std::size_t j = 0; j < q; ++j) {
+      if (j != i) row[k++] = dist[i * q + j];
+    }
+    std::partial_sort(row.begin(), row.begin() + long(neighbours), row.end());
+    double acc = 0.0;
+    for (std::size_t m = 0; m < neighbours; ++m) acc += row[m];
+    result[i] = acc;
+  }
+  return result;
+}
+
+std::vector<std::size_t> Krum::selection_order(
+    std::span<const FlatVector> inputs) const {
+  const std::vector<double> s = scores(inputs);
+  std::vector<std::size_t> order(inputs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (s[a] != s[b]) return s[a] < s[b];
+    return std::lexicographical_compare(inputs[a].begin(), inputs[a].end(),
+                                        inputs[b].begin(), inputs[b].end());
+  });
+  return order;
+}
+
+std::size_t Krum::select(std::span<const FlatVector> inputs) const {
+  return selection_order(inputs).front();
+}
+
+std::size_t Krum::select_cached(const DistanceCache& cache,
+                                std::span<const FlatVector> inputs) const {
+  assert(cache.size() == inputs.size());
+  const std::size_t q = cache.active_count();
+  assert(q >= 3);
+  const std::size_t neighbours = q > f_ + 2 ? q - f_ - 2 : std::size_t(1);
+  double best_score = std::numeric_limits<double>::infinity();
+  std::size_t best = cache.size();
+  std::vector<double> row;
+  row.reserve(q - 1);
+  for (std::size_t i = 0; i < cache.size(); ++i) {
+    if (!cache.is_active(i)) continue;
+    row.clear();
+    for (std::size_t j = 0; j < cache.size(); ++j) {
+      if (j != i && cache.is_active(j)) row.push_back(cache.squared_distance(i, j));
+    }
+    std::partial_sort(row.begin(), row.begin() + long(neighbours), row.end());
+    double score = 0.0;
+    for (std::size_t m = 0; m < neighbours; ++m) score += row[m];
+    const bool better =
+        score < best_score ||
+        (score == best_score && best < cache.size() &&
+         std::lexicographical_compare(inputs[i].begin(), inputs[i].end(),
+                                      inputs[best].begin(),
+                                      inputs[best].end()));
+    if (better) {
+      best_score = score;
+      best = i;
+    }
+  }
+  assert(best < cache.size());
+  return best;
+}
+
+FlatVector Krum::aggregate(std::span<const FlatVector> inputs) const {
+  check_inputs(inputs);
+  return inputs[select(inputs)];
+}
+
+// ---------------------------------------------------------------- MultiKrum
+
+MultiKrum::MultiKrum(std::size_t n, std::size_t f)
+    : Krum(n, f), m_(n - f - 2) {}
+
+FlatVector MultiKrum::aggregate(std::span<const FlatVector> inputs) const {
+  check_inputs(inputs);
+  const std::vector<std::size_t> order = selection_order(inputs);
+  const std::size_t d = inputs.front().size();
+  FlatVector out(d, 0.0F);
+  for (std::size_t k = 0; k < m_; ++k)
+    tensor::axpy(1.0F, inputs[order[k]], out);
+  tensor::scale(out, 1.0F / float(m_));
+  return out;
+}
+
+// ---------------------------------------------------------------- MDA
+
+Mda::Mda(std::size_t n, std::size_t f) : Gar(n, f) {
+  require(n >= gar_min_n("mda", f), "mda: requires n >= 2f+1");
+}
+
+FlatVector Mda::aggregate(std::span<const FlatVector> inputs) const {
+  check_inputs(inputs);
+  const std::size_t n = inputs.size();
+  const std::size_t keep = n - f_;
+  const std::vector<double> dist = pairwise_sq_distances(inputs);
+
+  // Enumerate all C(n, keep) subsets with the classic combination walk and
+  // track the one with minimum diameter (max pairwise distance).
+  std::vector<std::size_t> comb(keep);
+  std::iota(comb.begin(), comb.end(), 0);
+  std::vector<std::size_t> best = comb;
+  double best_diameter = std::numeric_limits<double>::infinity();
+  while (true) {
+    double diameter = 0.0;
+    for (std::size_t a = 0; a < keep && diameter < best_diameter; ++a) {
+      for (std::size_t b = a + 1; b < keep; ++b) {
+        diameter = std::max(diameter, dist[comb[a] * n + comb[b]]);
+        if (diameter >= best_diameter) break;
+      }
+    }
+    if (diameter < best_diameter) {
+      best_diameter = diameter;
+      best = comb;
+    }
+    // Advance to the next combination.
+    long i = long(keep) - 1;
+    while (i >= 0 && comb[std::size_t(i)] == n - keep + std::size_t(i)) --i;
+    if (i < 0) break;
+    ++comb[std::size_t(i)];
+    for (std::size_t j = std::size_t(i) + 1; j < keep; ++j)
+      comb[j] = comb[j - 1] + 1;
+  }
+
+  const std::size_t d = inputs.front().size();
+  FlatVector out(d, 0.0F);
+  for (std::size_t idx : best) tensor::axpy(1.0F, inputs[idx], out);
+  tensor::scale(out, 1.0F / float(keep));
+  return out;
+}
+
+// ---------------------------------------------------------------- Bulyan
+
+Bulyan::Bulyan(std::size_t n, std::size_t f) : Gar(n, f) {
+  require(n >= gar_min_n("bulyan", f),
+          "bulyan: requires n >= 4f+3 (got n=" + std::to_string(n) +
+              ", f=" + std::to_string(f) + ")");
+}
+
+FlatVector Bulyan::aggregate(std::span<const FlatVector> inputs) const {
+  check_inputs(inputs);
+  const std::size_t n = inputs.size();
+  const std::size_t d = inputs.front().size();
+  const std::size_t theta = n - 2 * f_;  // selection-set size
+  const std::size_t beta = theta - 2 * f_;  // values averaged per coordinate
+
+  // Phase 1: iterate Krum over a logically shrinking pool, harvesting
+  // theta vectors. The O(n^2 d) pairwise distances are computed once and
+  // cached across rounds (§4.4); each selection round is then O(n^2).
+  DistanceCache cache(inputs);
+  std::vector<FlatVector> selected;
+  selected.reserve(theta);
+  const Krum krum_rule(n, f_);
+  for (std::size_t k = 0; k < theta; ++k) {
+    std::size_t pick;
+    if (cache.active_count() >= 3) {
+      pick = krum_rule.select_cached(cache, inputs);
+    } else {
+      // Degenerate tail (only reachable when f = 0): take the
+      // lexicographically smallest remaining vector, deterministically.
+      pick = cache.size();
+      for (std::size_t i = 0; i < cache.size(); ++i) {
+        if (!cache.is_active(i)) continue;
+        if (pick == cache.size() ||
+            std::lexicographical_compare(inputs[i].begin(), inputs[i].end(),
+                                         inputs[pick].begin(),
+                                         inputs[pick].end())) {
+          pick = i;
+        }
+      }
+    }
+    selected.push_back(inputs[pick]);
+    cache.remove(pick);
+  }
+
+  // Phase 2: per coordinate, average the beta values closest to the median
+  // of the selected set.
+  FlatVector out(d);
+  parallel_for(d, [&](std::size_t begin, std::size_t end) {
+    std::vector<float> column(theta);
+    for (std::size_t j = begin; j < end; ++j) {
+      for (std::size_t i = 0; i < theta; ++i) column[i] = selected[i][j];
+      const std::size_t mid = theta / 2;
+      std::nth_element(column.begin(), column.begin() + long(mid),
+                       column.end());
+      const float med = column[mid];
+      std::partial_sort(column.begin(), column.begin() + long(beta),
+                        column.end(), [med](float a, float b) {
+                          const float da = std::abs(a - med);
+                          const float db = std::abs(b - med);
+                          if (da != db) return da < db;
+                          return a < b;  // deterministic on symmetric ties
+                        });
+      double acc = 0.0;
+      for (std::size_t i = 0; i < beta; ++i) acc += column[i];
+      out[j] = float(acc / double(beta));
+    }
+  });
+  return out;
+}
+
+}  // namespace garfield::gars

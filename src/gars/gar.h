@@ -1,0 +1,245 @@
+// Gradient Aggregation Rules (GARs) — the paper's §3.1.
+//
+// A GAR is a function (R^d)^q -> R^d aggregating q gradient (or model)
+// vectors, of which up to f may be Byzantine. Garfield mirrors the paper's
+// two-call interface: make_gar(name, n, f) is init(), Gar::aggregate() is
+// aggregate(). Each rule validates its resilience precondition (the
+// inequality relating q and f) at construction.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/vecops.h"
+
+namespace garfield::gars {
+
+using tensor::FlatVector;
+
+/// Interface of a gradient aggregation rule.
+class Gar {
+ public:
+  virtual ~Gar() = default;
+
+  Gar(const Gar&) = delete;
+  Gar& operator=(const Gar&) = delete;
+
+  /// Aggregate exactly n() vectors of equal dimension into one.
+  [[nodiscard]] virtual FlatVector aggregate(
+      std::span<const FlatVector> inputs) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t f() const { return f_; }
+
+ protected:
+  Gar(std::size_t n, std::size_t f) : n_(n), f_(f) {}
+
+  /// Throws std::invalid_argument unless sizes match (n inputs, equal d>0).
+  void check_inputs(std::span<const FlatVector> inputs) const;
+
+  std::size_t n_;
+  std::size_t f_;
+};
+
+using GarPtr = std::unique_ptr<Gar>;
+
+/// Names accepted by make_gar: "average", "median", "trimmed_mean",
+/// "krum", "multi_krum", "mda", "bulyan", plus the extended rules the
+/// paper's related-work section points at: "geometric_median" (RFA),
+/// "centered_clip", "cge" (norm-based comparative gradient elimination).
+[[nodiscard]] std::vector<std::string> gar_names();
+
+/// Minimum number of inputs rule `name` needs to tolerate f Byzantine ones.
+/// average: 1 (tolerates none); median/trimmed_mean/mda: 2f+1;
+/// krum/multi_krum: 2f+3; bulyan: 4f+3.
+[[nodiscard]] std::size_t gar_min_n(const std::string& name, std::size_t f);
+
+/// The paper's init(): build a rule for n inputs with at most f Byzantine.
+/// Throws std::invalid_argument for unknown names or n < gar_min_n(name, f).
+[[nodiscard]] GarPtr make_gar(const std::string& name, std::size_t n,
+                              std::size_t f);
+
+// ------------------------------------------------------------------------
+// Concrete rules. Exposed so callers can construct them directly; most code
+// should go through make_gar.
+
+/// Arithmetic mean — the vanilla (non-resilient) baseline.
+class Average final : public Gar {
+ public:
+  Average(std::size_t n, std::size_t f);
+  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
+  [[nodiscard]] std::string name() const override { return "average"; }
+};
+
+/// Coordinate-wise median [Xie et al.]. Requires n >= 2f+1. O(nd).
+class Median final : public Gar {
+ public:
+  Median(std::size_t n, std::size_t f);
+  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
+  [[nodiscard]] std::string name() const override { return "median"; }
+};
+
+/// Coordinate-wise trimmed mean: drop the f lowest and f highest values of
+/// every coordinate, average the rest. Requires n >= 2f+1. O(n log n · d).
+class TrimmedMean final : public Gar {
+ public:
+  TrimmedMean(std::size_t n, std::size_t f);
+  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
+  [[nodiscard]] std::string name() const override { return "trimmed_mean"; }
+};
+
+/// Cache of pairwise squared distances over a fixed input set, with O(1)
+/// logical removal. §4.4: "aggregating gradients may require multiple
+/// iterations, calculating some distance-based scores ... we cache the
+/// results of each of these iterations and hence remove redundant
+/// computations" — Bulyan's iterated-Krum phase computes the O(n^2 d)
+/// distance matrix once and reuses it across all selection rounds.
+class DistanceCache {
+ public:
+  explicit DistanceCache(std::span<const FlatVector> inputs);
+
+  [[nodiscard]] double squared_distance(std::size_t i, std::size_t j) const {
+    return matrix_[i * n_ + j];
+  }
+  /// Logically remove an input from the active set.
+  void remove(std::size_t i) { active_[i] = false; }
+  [[nodiscard]] bool is_active(std::size_t i) const { return active_[i]; }
+  [[nodiscard]] std::size_t active_count() const;
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_;
+  std::vector<double> matrix_;
+  std::vector<bool> active_;
+};
+
+/// Krum [Blanchard et al.]: score each vector by the sum of squared
+/// distances to its n-f-2 nearest neighbours; return the argmin vector.
+/// Requires n >= 2f+3. O(n^2 d).
+class Krum : public Gar {
+ public:
+  Krum(std::size_t n, std::size_t f);
+  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
+  [[nodiscard]] std::string name() const override { return "krum"; }
+
+  /// Index of the Krum-selected vector (exposed for Bulyan and tests).
+  [[nodiscard]] std::size_t select(std::span<const FlatVector> inputs) const;
+
+  /// Krum selection over the active subset of a distance cache — the
+  /// O(q^2) re-scoring path used by Bulyan's iterations, with no O(d) work.
+  [[nodiscard]] std::size_t select_cached(const DistanceCache& cache,
+                                          std::span<const FlatVector> inputs)
+      const;
+
+ protected:
+  /// Krum scores for an arbitrary pool of q >= 3 vectors with the
+  /// neighbourhood size q-f-2 (clamped to >= 1).
+  [[nodiscard]] std::vector<double> scores(
+      std::span<const FlatVector> inputs) const;
+
+  /// Input indices ordered by ascending score. Exact score ties are real
+  /// (mutual nearest neighbours score identically), so ties break on the
+  /// vectors' lexicographic order — this keeps aggregation invariant to
+  /// reply-arrival order, which is adversarial under asynchrony.
+  [[nodiscard]] std::vector<std::size_t> selection_order(
+      std::span<const FlatVector> inputs) const;
+};
+
+/// Multi-Krum: average the m = n-f-2 smallest-scoring vectors.
+class MultiKrum final : public Krum {
+ public:
+  MultiKrum(std::size_t n, std::size_t f);
+  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
+  [[nodiscard]] std::string name() const override { return "multi_krum"; }
+
+  [[nodiscard]] std::size_t m() const { return m_; }
+
+ private:
+  std::size_t m_;
+};
+
+/// MDA (Minimum-Diameter Averaging) [Rousseeuw]: average the subset of
+/// size n-f with the smallest diameter. Requires n >= 2f+1.
+/// O(C(n,f) + n^2 d) — exponential when f = Θ(n).
+class Mda final : public Gar {
+ public:
+  Mda(std::size_t n, std::size_t f);
+  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
+  [[nodiscard]] std::string name() const override { return "mda"; }
+};
+
+/// Bulyan [El Mhamdi et al.]: iterate Krum n-2f times to build a selection
+/// set, then per coordinate average the n-4f values closest to the median
+/// of the selected set. Requires n >= 4f+3. O(n^2 d).
+class Bulyan final : public Gar {
+ public:
+  Bulyan(std::size_t n, std::size_t f);
+  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
+  [[nodiscard]] std::string name() const override { return "bulyan"; }
+};
+
+// ------------------------------------------------------------------------
+// Extended rules (beyond the four the paper ships; §7 notes Garfield "can
+// straightforwardly include the other ones").
+
+/// Geometric median via the smoothed Weiszfeld iteration (RFA, Pillutla et
+/// al.). Minimizes the sum of Euclidean distances to the inputs — a
+/// rotation-invariant robust center. Requires n >= 2f+1. O(k n d) for k
+/// Weiszfeld rounds.
+class GeometricMedian final : public Gar {
+ public:
+  struct Options {
+    std::size_t max_iterations = 32;
+    double tolerance = 1e-8;      ///< relative movement stopping criterion
+    double smoothing = 1e-6;      ///< Weiszfeld denominator floor
+  };
+
+  GeometricMedian(std::size_t n, std::size_t f, Options options);
+  GeometricMedian(std::size_t n, std::size_t f)
+      : GeometricMedian(n, f, Options{}) {}
+  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
+  [[nodiscard]] std::string name() const override {
+    return "geometric_median";
+  }
+
+ private:
+  Options options_;
+};
+
+/// Centered clipping (Karimireddy et al.): iteratively re-center on the
+/// clipped mean — every input's deviation from the current center is
+/// clipped to radius tau before averaging. Requires n >= 2f+1. O(k n d).
+class CenteredClip final : public Gar {
+ public:
+  struct Options {
+    /// Re-centering rounds. Each round shrinks a far outlier's leverage to
+    /// at most tau/n, so ~10 rounds collapse even 1e4-scale outliers.
+    std::size_t iterations = 10;
+    double tau = 0.0;  ///< clipping radius; 0 = auto (median distance)
+  };
+
+  CenteredClip(std::size_t n, std::size_t f, Options options);
+  CenteredClip(std::size_t n, std::size_t f)
+      : CenteredClip(n, f, Options{}) {}
+  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
+  [[nodiscard]] std::string name() const override { return "centered_clip"; }
+
+ private:
+  Options options_;
+};
+
+/// Comparative gradient elimination (norm filtering): sort inputs by
+/// Euclidean norm and average the n-f smallest. Cheap — O(n d) — but only
+/// robust against magnitude-based attacks. Requires n >= 2f+1.
+class Cge final : public Gar {
+ public:
+  Cge(std::size_t n, std::size_t f);
+  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
+  [[nodiscard]] std::string name() const override { return "cge"; }
+};
+
+}  // namespace garfield::gars

@@ -1,0 +1,37 @@
+// Branchless 3-element ordering primitive (§4.3 of the paper).
+//
+// GPUs execute warps in lock-step, so branch-heavy selection (introselect)
+// does not scale there; the paper builds its SIMT median around a primitive
+// that reorders 3 values using only comparisons converted to integers (the
+// "selection instruction"). We reproduce the same index arithmetic; on CPUs
+// it compiles to cmov/setcc, i.e. it is also branch-free.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace garfield::gars {
+
+/// Reorder {v0, v1, v2} into ascending order without branches, using the
+/// exact index computation from the paper:
+///   c = { v0>v1, v0>v2, v1>v2 }
+///   i0 = (1 + c0 + 2*c1 + c2 - (c1^c2)) / 2
+///   i1 = (4 - c0 - 2*c1 - c2 + (c0^c1)) / 2
+///   w  = { v[i0], v[3-i0-i1], v[i1] }
+[[nodiscard]] inline std::array<float, 3> sort3_branchless(float v0, float v1,
+                                                           float v2) {
+  const int c0 = int(v0 > v1);
+  const int c1 = int(v0 > v2);
+  const int c2 = int(v1 > v2);
+  const std::size_t i0 = std::size_t((1 + c0 + 2 * c1 + c2 - (c1 ^ c2)) / 2);
+  const std::size_t i1 = std::size_t((4 - c0 - 2 * c1 - c2 + (c0 ^ c1)) / 2);
+  const float v[3] = {v0, v1, v2};
+  return {v[i0], v[3 - i0 - i1], v[i1]};
+}
+
+/// Median of three values via the branchless network.
+[[nodiscard]] inline float median3_branchless(float v0, float v1, float v2) {
+  return sort3_branchless(v0, v1, v2)[1];
+}
+
+}  // namespace garfield::gars

@@ -1,0 +1,115 @@
+#include "gars/variance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/vecops.h"
+
+namespace garfield::gars {
+
+using tensor::FlatVector;
+
+const VarianceStat& VarianceReport::for_gar(const std::string& name) const {
+  for (const VarianceStat& s : stats) {
+    if (s.gar == name) return s;
+  }
+  throw std::invalid_argument("VarianceReport: no stat for GAR '" + name +
+                              "'");
+}
+
+double variance_delta(const std::string& gar, std::size_t n, std::size_t f) {
+  const double nd = double(n), fd = double(f);
+  if (gar == "mda") {
+    // 2 * sqrt(2f / (n - f))
+    return 2.0 * std::sqrt(2.0 * fd / (nd - fd));
+  }
+  if (gar == "krum" || gar == "multi_krum") {
+    // sqrt(2 * (n - f + (f(n-f-2) + f^2 (n-f-1)) / (n - 2f - 2)))
+    const double denom = nd - 2.0 * fd - 2.0;
+    if (denom <= 0.0) return std::numeric_limits<double>::infinity();
+    const double inner =
+        nd - fd + (fd * (nd - fd - 2.0) + fd * fd * (nd - fd - 1.0)) / denom;
+    return std::sqrt(2.0 * inner);
+  }
+  if (gar == "median") {
+    return std::sqrt(nd - fd);
+  }
+  throw std::invalid_argument("variance_delta: no bound known for GAR '" +
+                              gar + "'");
+}
+
+VarianceReport measure_variance(nn::Model& model, const data::Dataset& train,
+                                const VarianceSetup& setup) {
+  if (setup.n <= setup.f) {
+    throw std::invalid_argument("measure_variance: need n > f");
+  }
+  const std::size_t honest = setup.n - setup.f;
+  tensor::Rng rng(setup.seed);
+  data::BatchSampler worker_sampler(train, setup.batch_size, rng.fork(1));
+  data::BatchSampler huge_sampler(
+      train, std::min(setup.huge_batch, train.size()), rng.fork(2));
+
+  const std::vector<std::string> gars = {"mda", "krum", "median"};
+  std::vector<std::vector<double>> ratios(gars.size());
+
+  FlatVector params = model.parameters();
+  nn::SgdOptimizer sgd({.lr = {.gamma0 = setup.lr}});
+
+  for (std::size_t step = 0; step < setup.steps; ++step) {
+    model.set_parameters(params);
+    // True-gradient estimate from a huge batch.
+    const data::Batch big = huge_sampler.next();
+    const nn::GradientResult truth = model.gradient(big.inputs, big.labels);
+    const double grad_norm = tensor::norm(truth.gradient);
+
+    // Per-worker estimates at the experiment's batch size.
+    std::vector<FlatVector> grads;
+    grads.reserve(honest);
+    for (std::size_t i = 0; i < honest; ++i) {
+      const data::Batch b = worker_sampler.next();
+      grads.push_back(model.gradient(b.inputs, b.labels).gradient);
+    }
+    // sigma^2 = E ||g - Eg||^2, with Eg approximated by the huge batch.
+    double var = 0.0;
+    for (const FlatVector& g : grads)
+      var += tensor::squared_distance(g, truth.gradient);
+    var /= double(honest);
+    const double sigma = std::sqrt(var);
+
+    for (std::size_t k = 0; k < gars.size(); ++k) {
+      const double delta = variance_delta(gars[k], setup.n, setup.f);
+      const double denom = delta * sigma;
+      ratios[k].push_back(denom > 0.0
+                              ? grad_norm / denom
+                              : std::numeric_limits<double>::infinity());
+    }
+
+    // Advance theta so successive samples see the real training trajectory.
+    sgd.step(params, truth.gradient, step);
+  }
+
+  VarianceReport report;
+  report.steps = setup.steps;
+  for (std::size_t k = 0; k < gars.size(); ++k) {
+    VarianceStat stat;
+    stat.gar = gars[k];
+    stat.delta = variance_delta(gars[k], setup.n, setup.f);
+    std::size_t satisfied = 0;
+    double sum = 0.0, mn = std::numeric_limits<double>::infinity();
+    for (double r : ratios[k]) {
+      if (r > 1.0) ++satisfied;
+      sum += r;
+      mn = std::min(mn, r);
+    }
+    stat.fraction_satisfied =
+        ratios[k].empty() ? 0.0 : double(satisfied) / double(ratios[k].size());
+    stat.mean_ratio = ratios[k].empty() ? 0.0 : sum / double(ratios[k].size());
+    stat.min_ratio = ratios[k].empty() ? 0.0 : mn;
+    report.stats.push_back(stat);
+  }
+  return report;
+}
+
+}  // namespace garfield::gars

@@ -1,0 +1,61 @@
+// Variance-condition checker — the C++ equivalent of the paper's
+// measure_variance.py tool (§3.1).
+//
+// Each GAR is provably resilient only while the gradient-estimate noise is
+// small relative to the true gradient:
+//     exists kappa > 1:  kappa * Delta(GAR, n, f) * sqrt(E||g - Eg||^2)
+//                          <= ||grad L(theta)||
+// The tool runs a few training steps, estimates the true gradient with a
+// huge batch, the per-worker variance with the experiment's batch size, and
+// reports how often each GAR's condition holds.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+
+namespace garfield::gars {
+
+/// Experiment description, mirroring the script's inputs.
+struct VarianceSetup {
+  std::size_t n = 10;          ///< total number of workers
+  std::size_t f = 2;           ///< declared Byzantine workers
+  std::size_t batch_size = 32; ///< per-worker mini-batch size
+  std::size_t steps = 20;      ///< training steps to sample
+  std::size_t huge_batch = 2048;  ///< batch used to estimate the true gradient
+  float lr = 0.05F;            ///< SGD rate used to advance theta between samples
+  std::uint64_t seed = 1;
+};
+
+/// Per-GAR outcome over the sampled steps.
+struct VarianceStat {
+  std::string gar;
+  double delta = 0.0;           ///< the Delta(GAR, n, f) coefficient
+  double fraction_satisfied = 0.0;  ///< steps where ratio > 1
+  double mean_ratio = 0.0;      ///< mean of ||gradL|| / (Delta * sigma)
+  double min_ratio = 0.0;
+};
+
+struct VarianceReport {
+  std::vector<VarianceStat> stats;
+  std::size_t steps = 0;
+
+  [[nodiscard]] const VarianceStat& for_gar(const std::string& name) const;
+};
+
+/// Delta coefficient of the resilience condition, as given in §3.1.
+/// Supported names: "mda", "krum" (also used for multi_krum), "median".
+[[nodiscard]] double variance_delta(const std::string& gar, std::size_t n,
+                                    std::size_t f);
+
+/// Run the measurement: advances `model` with plain SGD on `train` for
+/// setup.steps steps, sampling the condition at every step.
+[[nodiscard]] VarianceReport measure_variance(nn::Model& model,
+                                              const data::Dataset& train,
+                                              const VarianceSetup& setup);
+
+}  // namespace garfield::gars

@@ -1,0 +1,146 @@
+#include "net/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <thread>
+
+namespace garfield::net {
+
+Cluster::Cluster(const Options& options)
+    : nodes_(options.nodes), options_(options), rng_(options.seed) {
+  if (nodes_ == 0) throw std::invalid_argument("Cluster: needs >= 1 node");
+  states_.reserve(nodes_);
+  for (std::size_t i = 0; i < nodes_; ++i)
+    states_.push_back(std::make_unique<NodeState>());
+  const std::size_t threads =
+      options.pool_threads > 0 ? options.pool_threads : 2 * nodes_;
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::register_handler(NodeId node, const std::string& method,
+                               Handler handler) {
+  assert(node < nodes_);
+  std::lock_guard lock(states_[node]->mutex);
+  states_[node]->handlers[method] = std::move(handler);
+}
+
+void Cluster::crash(NodeId node) {
+  assert(node < nodes_);
+  states_[node]->crashed.store(true);
+}
+
+bool Cluster::is_crashed(NodeId node) const {
+  assert(node < nodes_);
+  return states_[node]->crashed.load();
+}
+
+void Cluster::set_straggler_lag(NodeId node, Duration lag) {
+  assert(node < nodes_);
+  states_[node]->straggler_lag_us.store(lag.count());
+}
+
+void Cluster::dispatch(Request request,
+                       std::function<void(std::optional<Payload>)> on_done,
+                       Duration delay) {
+  requests_sent_.fetch_add(1);
+  if (request.argument) floats_transferred_.fetch_add(request.argument->size());
+  pool_->submit([this, request = std::move(request),
+                 on_done = std::move(on_done), delay]() mutable {
+    NodeState& callee = *states_[request.to];
+    const Duration lag{callee.straggler_lag_us.load()};
+    const Duration total = delay + lag;
+    if (total.count() > 0) std::this_thread::sleep_for(total);
+    // A crashed callee is fail-silent: the caller never hears back. We
+    // deliver nullopt so single-call users don't hang; Collector users see
+    // it as a missing reply, preserving quorum semantics.
+    if (callee.crashed.load()) {
+      on_done(std::nullopt);
+      return;
+    }
+    Handler handler;
+    {
+      std::lock_guard lock(callee.mutex);
+      auto it = callee.handlers.find(request.method);
+      if (it != callee.handlers.end()) handler = it->second;
+    }
+    if (!handler) {
+      on_done(std::nullopt);
+      return;
+    }
+    std::optional<Payload> reply = handler(request);
+    if (reply) {
+      replies_received_.fetch_add(1);
+      floats_transferred_.fetch_add(reply->size());
+    }
+    on_done(std::move(reply));
+  });
+}
+
+void Cluster::call(NodeId from, NodeId to, const std::string& method,
+                   std::uint64_t iteration,
+                   std::shared_ptr<const Payload> argument,
+                   std::function<void(std::optional<Payload>)> on_done) {
+  assert(from < nodes_ && to < nodes_);
+  Duration delay = options_.base_latency;
+  if (options_.jitter.count() > 0) {
+    std::lock_guard lock(rng_mutex_);
+    delay += Duration{std::int64_t(
+        rng_.uniform(0.0F, float(options_.jitter.count())))};
+  }
+  Request request{from, to, method, iteration, std::move(argument)};
+  dispatch(std::move(request), std::move(on_done), delay);
+}
+
+std::vector<Reply> Cluster::collect(NodeId from,
+                                    std::span<const NodeId> peers,
+                                    const std::string& method,
+                                    std::uint64_t iteration,
+                                    std::shared_ptr<const Payload> argument,
+                                    std::size_t q, Duration timeout) {
+  if (q > peers.size()) {
+    throw std::invalid_argument("Cluster::collect: q=" + std::to_string(q) +
+                                " > peers=" + std::to_string(peers.size()));
+  }
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<Reply> replies;
+    std::size_t responses = 0;  // including declined/crashed callbacks
+  };
+  auto state = std::make_shared<State>();
+  const std::size_t total = peers.size();
+  for (NodeId peer : peers) {
+    call(from, peer, method, iteration, argument,
+         [state, peer, q](std::optional<Payload> payload) {
+           std::lock_guard lock(state->mutex);
+           ++state->responses;
+           if (payload && state->replies.size() < q) {
+             state->replies.push_back(Reply{peer, std::move(*payload)});
+           }
+           state->cv.notify_all();
+         });
+  }
+  std::unique_lock lock(state->mutex);
+  const auto deadline = Clock::now() + timeout;
+  state->cv.wait_until(lock, deadline, [&] {
+    return state->replies.size() >= q || state->responses == total;
+  });
+  // Fastest-q decides *membership*; normalize the order by origin id so
+  // downstream floating-point reductions (e.g. averaging) are
+  // bit-reproducible whenever the membership is.
+  std::vector<Reply> replies = std::move(state->replies);
+  lock.unlock();
+  std::sort(replies.begin(), replies.end(),
+            [](const Reply& a, const Reply& b) { return a.from < b.from; });
+  return replies;
+}
+
+NetStats Cluster::stats() const {
+  return NetStats{requests_sent_.load(), replies_received_.load(),
+                  floats_transferred_.load()};
+}
+
+}  // namespace garfield::net

@@ -1,0 +1,143 @@
+// Simulated cluster: the stand-in for Garfield's gRPC communication layer.
+//
+// The paper's networking (§4.1–4.2) is point-to-point *pull-based* RPC:
+// when a node needs data it initiates parallel remote calls to its peers,
+// each peer runs a server answering such requests, and the caller keeps the
+// fastest q replies (get_gradients(t, q) / get_models(q)). This module
+// reproduces that abstraction in-process:
+//
+//  - every node registers handlers (method name -> function);
+//  - calls execute on a shared thread pool, optionally after a simulated
+//    link delay (per-link latency + seeded jitter + per-node straggler lag);
+//  - crashed nodes never answer; Byzantine behaviour lives in the handler
+//    (a Byzantine node simply serves corrupted payloads — separate
+//    replicated state, there is no shared graph to protect);
+//  - Collector implements fastest-q-of-n with a deadline, the liveness
+//    primitive that lets Garfield run in asynchronous settings.
+//
+// Transfer accounting (requests, replies, floats moved) feeds the
+// communication-cost experiments.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/thread_pool.h"
+#include "tensor/rng.h"
+#include "tensor/vecops.h"
+
+namespace garfield::net {
+
+using NodeId = std::size_t;
+using Payload = tensor::FlatVector;
+using Clock = std::chrono::steady_clock;
+using Duration = std::chrono::microseconds;
+
+/// A pull request: "node `from` asks node `to` to run `method`".
+/// `iteration` tags the training step; `argument` carries the caller's data
+/// (e.g. the server's current model when requesting a gradient).
+struct Request {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::string method;
+  std::uint64_t iteration = 0;
+  std::shared_ptr<const Payload> argument;  // may be null
+};
+
+/// Handler executed at the callee. Returning std::nullopt means "no reply"
+/// (the dropped-vector attack); throwing is a bug, not a Byzantine fault.
+using Handler = std::function<std::optional<Payload>(const Request&)>;
+
+/// One successful reply, tagged with its origin.
+struct Reply {
+  NodeId from = 0;
+  Payload payload;
+};
+
+/// Cumulative traffic counters.
+struct NetStats {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t replies_received = 0;
+  std::uint64_t floats_transferred = 0;  // request arguments + replies
+};
+
+class Cluster {
+ public:
+  struct Options {
+    std::size_t nodes = 1;
+    std::size_t pool_threads = 0;   ///< 0 => 2 * nodes
+    Duration base_latency{0};      ///< fixed per-call delay
+    Duration jitter{0};            ///< uniform extra delay in [0, jitter]
+    std::uint64_t seed = 42;
+  };
+
+  explicit Cluster(const Options& options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return nodes_; }
+
+  /// Register/replace the handler a node serves for `method`.
+  void register_handler(NodeId node, const std::string& method,
+                        Handler handler);
+
+  /// Crash a node: it stops answering any request, forever (fail-silent).
+  void crash(NodeId node);
+  [[nodiscard]] bool is_crashed(NodeId node) const;
+
+  /// Add fixed extra service delay to one node (straggler injection).
+  void set_straggler_lag(NodeId node, Duration lag);
+
+  /// Pull from every peer in `peers` in parallel and return the fastest
+  /// `q` replies (arrival order). Returns fewer than q only if the deadline
+  /// expires first; q > peers.size() is an error.
+  [[nodiscard]] std::vector<Reply> collect(
+      NodeId from, std::span<const NodeId> peers, const std::string& method,
+      std::uint64_t iteration, std::shared_ptr<const Payload> argument,
+      std::size_t q, Duration timeout = std::chrono::seconds(30));
+
+  /// Single async pull; the callback fires once with the reply or, when the
+  /// callee is crashed / declines to answer, with std::nullopt after the
+  /// simulated delay.
+  void call(NodeId from, NodeId to, const std::string& method,
+            std::uint64_t iteration, std::shared_ptr<const Payload> argument,
+            std::function<void(std::optional<Payload>)> on_done);
+
+  [[nodiscard]] NetStats stats() const;
+
+ private:
+  struct NodeState {
+    std::mutex mutex;
+    std::unordered_map<std::string, Handler> handlers;
+    std::atomic<bool> crashed{false};
+    std::atomic<std::int64_t> straggler_lag_us{0};
+  };
+
+  void dispatch(Request request,
+                std::function<void(std::optional<Payload>)> on_done,
+                Duration delay);
+
+  std::size_t nodes_;
+  Options options_;
+  std::vector<std::unique_ptr<NodeState>> states_;
+  std::unique_ptr<ThreadPool> pool_;
+  mutable std::mutex rng_mutex_;
+  tensor::Rng rng_;
+  std::atomic<std::uint64_t> requests_sent_{0};
+  std::atomic<std::uint64_t> replies_received_{0};
+  std::atomic<std::uint64_t> floats_transferred_{0};
+};
+
+}  // namespace garfield::net

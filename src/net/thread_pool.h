@@ -1,0 +1,40 @@
+// Fixed-size thread pool used by the simulated cluster to execute RPC
+// handler invocations concurrently, the way a gRPC server's completion
+// queues would.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace garfield::net {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; never blocks. Tasks submitted after shutdown begins
+  /// are silently dropped.
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace garfield::net

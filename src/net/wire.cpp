@@ -1,0 +1,103 @@
+#include "net/wire.h"
+
+#include <array>
+#include <cstring>
+
+namespace garfield::net {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x44465247;  // "GRFD" little-endian
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 28;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(in[at + std::size_t(i)]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(in[at + std::size_t(i)]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (std::uint8_t b : bytes) c = table[(c ^ b) & 0xFFU] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFU;
+}
+
+std::size_t wire_size(std::size_t d) { return kHeaderSize + 4 * d; }
+
+std::vector<std::uint8_t> encode(std::uint64_t iteration,
+                                 std::span<const float> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(wire_size(payload.size()));
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+  put_u64(out, iteration);
+  put_u64(out, std::uint64_t(payload.size()));
+  // Payload bytes, then backfill the CRC slot.
+  std::vector<std::uint8_t> body(payload.size() * 4);
+  if (!payload.empty()) {
+    std::memcpy(body.data(), payload.data(), body.size());
+  }
+  put_u32(out, crc32(body));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+WireMessage decode(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize) {
+    throw WireError("wire: truncated header (" +
+                    std::to_string(bytes.size()) + " bytes)");
+  }
+  if (get_u32(bytes, 0) != kMagic) throw WireError("wire: bad magic");
+  const std::uint32_t version = get_u32(bytes, 4);
+  if (version != kVersion) {
+    throw WireError("wire: unsupported version " + std::to_string(version));
+  }
+  WireMessage msg;
+  msg.iteration = get_u64(bytes, 8);
+  const std::uint64_t d = get_u64(bytes, 16);
+  const std::uint32_t expected_crc = get_u32(bytes, 24);
+  if (bytes.size() != kHeaderSize + 4 * d) {
+    throw WireError("wire: size mismatch (header claims " +
+                    std::to_string(d) + " elements, blob has " +
+                    std::to_string((bytes.size() - kHeaderSize) / 4) + ")");
+  }
+  const std::span<const std::uint8_t> body = bytes.subspan(kHeaderSize);
+  if (crc32(body) != expected_crc) {
+    throw WireError("wire: checksum mismatch — payload corrupted");
+  }
+  msg.payload.resize(d);
+  if (d > 0) std::memcpy(msg.payload.data(), body.data(), body.size());
+  return msg;
+}
+
+}  // namespace garfield::net

@@ -1,0 +1,56 @@
+// Wire format for flat vectors.
+//
+// The paper serializes tensors through protocol buffers (§4.1); this is
+// the equivalent boundary format for anything garfield persists or ships
+// outside process memory (checkpoints, traces). Layout, little-endian:
+//
+//   offset size  field
+//   0      4     magic "GRFD"
+//   4      4     version (currently 1)
+//   8      8     iteration tag
+//   16     8     element count d
+//   24     4     CRC-32 of the payload bytes
+//   28     4d    payload (float32)
+//
+// decode() verifies magic, version, size consistency and the checksum, and
+// throws WireError on any mismatch — a truncated or bit-flipped blob never
+// becomes a silently-wrong model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/vecops.h"
+
+namespace garfield::net {
+
+/// Corruption or format violation detected while decoding.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A decoded message.
+struct WireMessage {
+  std::uint64_t iteration = 0;
+  tensor::FlatVector payload;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial) of a byte range.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Total encoded size for a d-element vector.
+[[nodiscard]] std::size_t wire_size(std::size_t d);
+
+/// Serialize payload with the given iteration tag.
+[[nodiscard]] std::vector<std::uint8_t> encode(
+    std::uint64_t iteration, std::span<const float> payload);
+
+/// Parse and verify; throws WireError on malformed/corrupt input.
+[[nodiscard]] WireMessage decode(std::span<const std::uint8_t> bytes);
+
+}  // namespace garfield::net

@@ -1,0 +1,64 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace garfield::nn {
+
+LossResult SoftmaxCrossEntropy::compute(
+    const Tensor& logits, const std::vector<std::size_t>& labels) const {
+  assert(logits.rank() == 2 && logits.dim(0) == labels.size());
+  const std::size_t b = logits.dim(0), c = logits.dim(1);
+  LossResult result;
+  result.grad = Tensor::zeros(logits.shape());
+  double total = 0.0;
+  for (std::size_t i = 0; i < b; ++i) {
+    const float* row = logits.data().data() + i * c;
+    float* grow = result.grad.data().data() + i * c;
+    const float mx = *std::max_element(row, row + c);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < c; ++j) denom += std::exp(double(row[j] - mx));
+    const double log_denom = std::log(denom);
+    assert(labels[i] < c);
+    total += log_denom - double(row[labels[i]] - mx);
+    // dL/dlogit = softmax - onehot, averaged over the batch.
+    for (std::size_t j = 0; j < c; ++j) {
+      const double p = std::exp(double(row[j] - mx)) / denom;
+      grow[j] = float(p / double(b));
+    }
+    grow[labels[i]] -= 1.0F / float(b);
+  }
+  result.value = total / double(b);
+  return result;
+}
+
+LossResult MeanSquaredError::compute(const Tensor& output,
+                                     const Tensor& target) const {
+  assert(output.numel() == target.numel());
+  LossResult result;
+  result.grad = Tensor::zeros(output.shape());
+  const std::size_t n = output.numel();
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = double(output[i]) - double(target[i]);
+    total += d * d;
+    result.grad[i] = float(2.0 * d / double(n));
+  }
+  result.value = total / double(n);
+  return result;
+}
+
+std::vector<std::size_t> predict_classes(const Tensor& logits) {
+  assert(logits.rank() == 2);
+  const std::size_t b = logits.dim(0), c = logits.dim(1);
+  std::vector<std::size_t> out(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    const float* row = logits.data().data() + i * c;
+    out[i] = std::size_t(
+        std::distance(row, std::max_element(row, row + c)));
+  }
+  return out;
+}
+
+}  // namespace garfield::nn

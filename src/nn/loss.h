@@ -1,0 +1,38 @@
+// Loss functions. Each returns the scalar loss for a batch and produces the
+// gradient w.r.t. the network output for backward().
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace garfield::nn {
+
+using tensor::Tensor;
+
+/// Result of a loss evaluation: scalar value plus dL/d(logits).
+struct LossResult {
+  double value = 0.0;
+  Tensor grad;
+};
+
+/// Softmax + negative log-likelihood over integer class labels.
+/// logits: {batch, classes}; labels: batch entries in [0, classes).
+class SoftmaxCrossEntropy {
+ public:
+  [[nodiscard]] LossResult compute(const Tensor& logits,
+                                   const std::vector<std::size_t>& labels) const;
+};
+
+/// Mean squared error against a dense target of the same shape.
+class MeanSquaredError {
+ public:
+  [[nodiscard]] LossResult compute(const Tensor& output,
+                                   const Tensor& target) const;
+};
+
+/// argmax-per-row predictions for {batch, classes} logits.
+[[nodiscard]] std::vector<std::size_t> predict_classes(const Tensor& logits);
+
+}  // namespace garfield::nn

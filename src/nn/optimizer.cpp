@@ -1,0 +1,29 @@
+#include "nn/optimizer.h"
+
+#include <cassert>
+
+namespace garfield::nn {
+
+void SgdOptimizer::step(FlatVector& params, const FlatVector& gradient,
+                        std::size_t step) {
+  assert(params.size() == gradient.size());
+  const float lr = options_.lr.at(step);
+  const std::size_t n = params.size();
+  if (options_.momentum > 0.0F) {
+    if (velocity_.size() != n) velocity_.assign(n, 0.0F);
+    for (std::size_t i = 0; i < n; ++i) {
+      float g = gradient[i] + options_.weight_decay * params[i];
+      velocity_[i] = options_.momentum * velocity_[i] + g;
+      params[i] -= lr * velocity_[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float g = gradient[i] + options_.weight_decay * params[i];
+      params[i] -= lr * g;
+    }
+  }
+}
+
+void SgdOptimizer::reset() { velocity_.clear(); }
+
+}  // namespace garfield::nn

@@ -1,0 +1,55 @@
+// SGD optimizer over flat parameter vectors.
+//
+// Servers in garfield hold model state as a flat vector and apply
+// aggregated gradients to it (Equation (2) of the paper:
+// x_{k+1} = x_k - gamma_k * G). Momentum is included because the paper's
+// concluding remarks point at distributed momentum as the variance-reduction
+// technique that restores GAR guarantees.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/vecops.h"
+
+namespace garfield::nn {
+
+using tensor::FlatVector;
+
+/// Learning-rate schedule: constant, or inverse decay gamma0 / (1 + k/decay).
+struct LrSchedule {
+  float gamma0 = 0.05F;
+  float decay_steps = 0.0F;  // 0 => constant
+
+  [[nodiscard]] float at(std::size_t step) const {
+    if (decay_steps <= 0.0F) return gamma0;
+    return gamma0 / (1.0F + float(step) / decay_steps);
+  }
+};
+
+/// Stochastic gradient descent with optional momentum and L2 weight decay.
+class SgdOptimizer {
+ public:
+  struct Options {
+    LrSchedule lr;
+    float momentum = 0.0F;
+    float weight_decay = 0.0F;
+  };
+
+  SgdOptimizer() : options_() {}
+  explicit SgdOptimizer(Options options) : options_(options) {}
+
+  /// Apply one update in place; step index selects the learning rate.
+  void step(FlatVector& params, const FlatVector& gradient, std::size_t step);
+
+  /// Forget momentum state (used when a server re-writes its model from
+  /// other replicas and the old velocity no longer applies).
+  void reset();
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  FlatVector velocity_;
+};
+
+}  // namespace garfield::nn

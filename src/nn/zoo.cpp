@@ -1,0 +1,166 @@
+#include "nn/zoo.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "nn/layers.h"
+
+namespace garfield::nn {
+
+namespace {
+
+ModelPtr make_tiny_mlp(tensor::Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->push(std::make_unique<Linear>(16, 32, rng));
+  net->push(std::make_unique<ReLU>());
+  net->push(std::make_unique<Linear>(32, 10, rng));
+  return std::make_unique<Model>("tiny_mlp", std::move(net),
+                                 tensor::Shape{16}, 10);
+}
+
+ModelPtr make_small_mlp(tensor::Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->push(std::make_unique<Linear>(64, 128, rng));
+  net->push(std::make_unique<ReLU>());
+  net->push(std::make_unique<Linear>(128, 64, rng));
+  net->push(std::make_unique<ReLU>());
+  net->push(std::make_unique<Linear>(64, 10, rng));
+  return std::make_unique<Model>("small_mlp", std::move(net),
+                                 tensor::Shape{64}, 10);
+}
+
+ModelPtr make_mnist_cnn(tensor::Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->push(std::make_unique<Conv2d>(1, 8, 3, 1, 1, rng));
+  net->push(std::make_unique<ReLU>());
+  net->push(std::make_unique<MaxPool2d>(2, 2));
+  net->push(std::make_unique<Conv2d>(8, 16, 3, 1, 1, rng));
+  net->push(std::make_unique<ReLU>());
+  net->push(std::make_unique<MaxPool2d>(2, 2));
+  net->push(std::make_unique<Flatten>());
+  net->push(std::make_unique<Linear>(16 * 4 * 4, 64, rng));
+  net->push(std::make_unique<ReLU>());
+  net->push(std::make_unique<Linear>(64, 10, rng));
+  return std::make_unique<Model>("mnist_cnn", std::move(net),
+                                 tensor::Shape{1, 16, 16}, 10);
+}
+
+ModelPtr make_cifarnet(tensor::Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->push(std::make_unique<Conv2d>(3, 16, 3, 1, 1, rng));
+  net->push(std::make_unique<ReLU>());
+  net->push(std::make_unique<MaxPool2d>(2, 2));
+  net->push(std::make_unique<Conv2d>(16, 32, 3, 1, 1, rng));
+  net->push(std::make_unique<ReLU>());
+  net->push(std::make_unique<MaxPool2d>(2, 2));
+  net->push(std::make_unique<Flatten>());
+  net->push(std::make_unique<Linear>(32 * 4 * 4, 128, rng));
+  net->push(std::make_unique<ReLU>());
+  net->push(std::make_unique<Linear>(128, 10, rng));
+  return std::make_unique<Model>("cifarnet", std::move(net),
+                                 tensor::Shape{3, 16, 16}, 10);
+}
+
+ModelPtr make_resnet_mini(tensor::Rng& rng) {
+  auto residual_block = [&rng](std::size_t channels) {
+    auto inner = std::make_unique<Sequential>();
+    inner->push(std::make_unique<Conv2d>(channels, channels, 3, 1, 1, rng));
+    inner->push(std::make_unique<ReLU>());
+    inner->push(std::make_unique<Conv2d>(channels, channels, 3, 1, 1, rng));
+    return std::make_unique<Residual>(std::move(inner));
+  };
+  auto net = std::make_unique<Sequential>();
+  net->push(std::make_unique<Conv2d>(3, 8, 3, 1, 1, rng));
+  net->push(std::make_unique<ReLU>());
+  net->push(residual_block(8));
+  net->push(std::make_unique<ReLU>());
+  net->push(std::make_unique<MaxPool2d>(2, 2));
+  net->push(residual_block(8));
+  net->push(std::make_unique<ReLU>());
+  net->push(std::make_unique<MaxPool2d>(2, 2));
+  net->push(std::make_unique<Flatten>());
+  net->push(std::make_unique<Linear>(8 * 4 * 4, 10, rng));
+  return std::make_unique<Model>("resnet_mini", std::move(net),
+                                 tensor::Shape{3, 16, 16}, 10);
+}
+
+ModelPtr make_inception_mini(tensor::Rng& rng) {
+  auto inception_block = [&rng](std::size_t in_ch) {
+    std::vector<ModulePtr> branches;
+    // 1x1 branch.
+    auto b1 = std::make_unique<Sequential>();
+    b1->push(std::make_unique<Conv2d>(in_ch, 4, 1, 1, 0, rng));
+    b1->push(std::make_unique<ReLU>());
+    branches.push_back(std::move(b1));
+    // 3x3 branch (1x1 reduce then 3x3).
+    auto b3 = std::make_unique<Sequential>();
+    b3->push(std::make_unique<Conv2d>(in_ch, 4, 1, 1, 0, rng));
+    b3->push(std::make_unique<ReLU>());
+    b3->push(std::make_unique<Conv2d>(4, 8, 3, 1, 1, rng));
+    b3->push(std::make_unique<ReLU>());
+    branches.push_back(std::move(b3));
+    // 5x5 branch (as two stacked 3x3, the Inception-v2 trick).
+    auto b5 = std::make_unique<Sequential>();
+    b5->push(std::make_unique<Conv2d>(in_ch, 2, 1, 1, 0, rng));
+    b5->push(std::make_unique<ReLU>());
+    b5->push(std::make_unique<Conv2d>(2, 4, 3, 1, 1, rng));
+    b5->push(std::make_unique<ReLU>());
+    b5->push(std::make_unique<Conv2d>(4, 4, 3, 1, 1, rng));
+    b5->push(std::make_unique<ReLU>());
+    branches.push_back(std::move(b5));
+    return std::make_unique<ChannelConcat>(std::move(branches));
+  };
+  auto net = std::make_unique<Sequential>();
+  net->push(std::make_unique<Conv2d>(3, 8, 3, 1, 1, rng));
+  net->push(std::make_unique<ReLU>());
+  net->push(std::make_unique<MaxPool2d>(2, 2));
+  net->push(inception_block(8));  // out: 4 + 8 + 4 = 16 channels
+  net->push(std::make_unique<MaxPool2d>(2, 2));
+  net->push(std::make_unique<Flatten>());
+  net->push(std::make_unique<Linear>(16 * 4 * 4, 10, rng));
+  return std::make_unique<Model>("inception_mini", std::move(net),
+                                 tensor::Shape{3, 16, 16}, 10);
+}
+
+ModelPtr make_vgg_mini(tensor::Rng& rng) {
+  // Stacked 3x3 conv pairs + pool, then a heavy FC head — the VGG shape
+  // (most parameters in the classifier, like the 491 MB original).
+  auto net = std::make_unique<Sequential>();
+  net->push(std::make_unique<Conv2d>(3, 8, 3, 1, 1, rng));
+  net->push(std::make_unique<ReLU>());
+  net->push(std::make_unique<Conv2d>(8, 8, 3, 1, 1, rng));
+  net->push(std::make_unique<ReLU>());
+  net->push(std::make_unique<MaxPool2d>(2, 2));
+  net->push(std::make_unique<Conv2d>(8, 16, 3, 1, 1, rng));
+  net->push(std::make_unique<ReLU>());
+  net->push(std::make_unique<Conv2d>(16, 16, 3, 1, 1, rng));
+  net->push(std::make_unique<ReLU>());
+  net->push(std::make_unique<MaxPool2d>(2, 2));
+  net->push(std::make_unique<Flatten>());
+  net->push(std::make_unique<Linear>(16 * 4 * 4, 256, rng));
+  net->push(std::make_unique<ReLU>());
+  net->push(std::make_unique<Dropout>(0.3, rng));
+  net->push(std::make_unique<Linear>(256, 10, rng));
+  return std::make_unique<Model>("vgg_mini", std::move(net),
+                                 tensor::Shape{3, 16, 16}, 10);
+}
+
+}  // namespace
+
+std::vector<std::string> model_names() {
+  return {"tiny_mlp",  "small_mlp",      "mnist_cnn", "cifarnet",
+          "resnet_mini", "inception_mini", "vgg_mini"};
+}
+
+ModelPtr make_model(const std::string& name, tensor::Rng& rng) {
+  if (name == "tiny_mlp") return make_tiny_mlp(rng);
+  if (name == "small_mlp") return make_small_mlp(rng);
+  if (name == "mnist_cnn") return make_mnist_cnn(rng);
+  if (name == "cifarnet") return make_cifarnet(rng);
+  if (name == "resnet_mini") return make_resnet_mini(rng);
+  if (name == "inception_mini") return make_inception_mini(rng);
+  if (name == "vgg_mini") return make_vgg_mini(rng);
+  throw std::invalid_argument("make_model: unknown model '" + name + "'");
+}
+
+}  // namespace garfield::nn

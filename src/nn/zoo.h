@@ -1,0 +1,35 @@
+// Model zoo.
+//
+// Trainable stand-ins for the paper's evaluation models (Table 1). The
+// original CifarNet/ResNet/VGG at full parameter count are infeasible to
+// train on this offline substrate; the zoo provides architecture-faithful,
+// scaled-down versions for the convergence experiments. The full Table-1
+// dimensions are carried by garfield::sim::ModelSpec for the throughput
+// experiments, which depend only on d.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "tensor/rng.h"
+
+namespace garfield::nn {
+
+/// Names accepted by make_model().
+[[nodiscard]] std::vector<std::string> model_names();
+
+/// Build a model by name; weights are initialized from rng, so identical
+/// (name, seed) pairs build bit-identical models on every node — the
+/// "separate replicated graphs" of §4.1.
+///
+/// - "tiny_mlp"       16-d input MLP, ~1k params. Unit-test workhorse.
+/// - "small_mlp"      64-d input MLP, ~20k params.
+/// - "mnist_cnn"      1x16x16 conv net, the MNIST_CNN-class model.
+/// - "cifarnet"       3x16x16 conv net, the CifarNet-class model.
+/// - "resnet_mini"    residual blocks + skip connections (ResNet family).
+/// - "inception_mini" parallel 1x1/3x3/5x5 branches (Inception family).
+/// - "vgg_mini"       stacked 3x3 convs + heavy FC head (VGG family).
+[[nodiscard]] ModelPtr make_model(const std::string& name, tensor::Rng& rng);
+
+}  // namespace garfield::nn

@@ -1,0 +1,205 @@
+#include "sim/deployment_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace garfield::sim {
+
+std::string to_string(SimDeployment d) {
+  switch (d) {
+    case SimDeployment::kVanilla: return "vanilla";
+    case SimDeployment::kCrashTolerant: return "crash_tolerant";
+    case SimDeployment::kSsmw: return "ssmw";
+    case SimDeployment::kMsmw: return "msmw";
+    case SimDeployment::kDecentralized: return "decentralized";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Deserialization of many concurrent replies is spread over this many
+/// cores (§4.1: "we parallelize the replicated communication").
+constexpr double kSerParallelism = 8.0;
+
+/// One communication stage (see header for the stage model).
+/// nic_floats: the largest per-node send-or-receive volume of the stage.
+/// ser_floats: floats (de)serialized at the busiest node, already divided
+///             by kSerParallelism where calls are concurrent.
+/// total_floats: volume crossing the switch fabric.
+double stage_time(const SimSetup& s, double nic_floats, double ser_floats,
+                  double total_floats) {
+  double t = s.link.latency + nic_floats / s.link.bandwidth_floats +
+             total_floats / (s.fabric_links * s.link.bandwidth_floats);
+  if (!s.native_runtime) {
+    t += ser_floats / s.device.serialize_rate + s.device.rpc_overhead;
+  }
+  return t;
+}
+
+/// Extra wait for the q-th fastest of n replies under straggler jitter.
+double straggler_wait(const SimSetup& s, double compute, std::size_t q) {
+  return s.straggler_sigma * compute * std::log(1.0 + double(q));
+}
+
+/// Gradient quorum actually awaited.
+std::size_t gradient_quorum(const SimSetup& s) {
+  return s.asynchronous ? s.nw - s.fw : s.nw;
+}
+
+IterationBreakdown simulate_parameter_server(const SimSetup& s) {
+  const double dd = double(s.d);
+  const double nw = double(s.nw);
+  IterationBreakdown b;
+
+  // Servers pulling gradients this iteration (they attach their model).
+  double pulling_servers = 1.0;
+  if (s.deployment == SimDeployment::kCrashTolerant ||
+      s.deployment == SimDeployment::kMsmw) {
+    pulling_servers = double(s.nps);
+  }
+
+  // Stage A: model distribution. Vanilla/SSMW/crash: workers learn the
+  // model from one (primary) server; MSMW: every replica sends its own.
+  // The sender serializes the model once and reuses the buffer for every
+  // destination; receivers deserialize model_senders copies each.
+  const double model_senders =
+      s.deployment == SimDeployment::kMsmw ? double(s.nps) : 1.0;
+  b.communication += stage_time(
+      s, std::max(nw * dd, model_senders * dd),  // server out vs worker in
+      (1.0 + model_senders) * dd,
+      model_senders * nw * dd);
+
+  // Stage B: gradient computation, plus waiting for the quorum's tail.
+  const double compute = s.device.iteration_overhead +
+      dd * double(s.batch_size) / s.device.compute_rate;
+  b.computation += compute;
+  const std::size_t q = gradient_quorum(s);
+  b.communication += straggler_wait(s, compute, q);
+
+  // Stage C: gradient collection. Every pulling server receives q
+  // gradients (deserialized on parallel RPC threads); every worker
+  // serializes once and uploads to every pulling server.
+  b.communication += stage_time(
+      s, std::max(double(q) * dd, pulling_servers * dd),
+      dd + double(q) * dd / kSerParallelism,
+      pulling_servers * double(q) * dd);
+
+  // Stage D: aggregation of gradients.
+  const std::string grad_gar =
+      (s.deployment == SimDeployment::kVanilla ||
+       s.deployment == SimDeployment::kCrashTolerant)
+          ? "average"
+          : s.gradient_gar;
+  const double agg = gar_time(grad_gar, q, s.fw, s.d, s.device);
+  if (s.native_runtime) {
+    // reduce()-style streaming aggregation hides behind communication.
+    b.aggregation += 0.1 * agg;
+  } else {
+    b.aggregation += agg;
+  }
+
+  // Stage E (MSMW only): model exchange among replicas + model GAR.
+  if (s.deployment == SimDeployment::kMsmw) {
+    const double peers = double(s.nps - 1);
+    b.communication += stage_time(s, peers * dd,
+                                  dd + peers * dd / kSerParallelism,
+                                  double(s.nps) * peers * dd);
+    const std::size_t q_models = s.asynchronous ? s.nps - s.fps : s.nps;
+    b.aggregation += gar_time(s.model_gar, q_models, s.fps, s.d, s.device);
+  }
+  return b;
+}
+
+IterationBreakdown simulate_decentralized(const SimSetup& s) {
+  const double dd = double(s.d);
+  const double n = double(s.nw);
+  const double peers = n - 1.0;
+  const std::size_t q = s.nw - s.fw;
+  IterationBreakdown b;
+
+  // Gradient computation happens at every peer in parallel.
+  const double compute = s.device.iteration_overhead +
+      dd * double(s.batch_size) / s.device.compute_rate;
+  b.computation += compute;
+  b.communication += straggler_wait(s, compute, q);
+
+  // All-to-all gradient exchange: every peer sends to and receives from all
+  // others — O(n^2) messages per round, the scalability killer of Fig 9a.
+  const double all_to_all_total = n * peers * dd;
+  const double all_to_all_ser = dd + peers * dd / kSerParallelism;
+  b.communication +=
+      stage_time(s, peers * dd, all_to_all_ser, all_to_all_total);
+  b.aggregation += gar_time(s.gradient_gar, q, s.fw, s.d, s.device);
+
+  // Non-iid contraction rounds: gossip the aggregated gradients again.
+  for (std::size_t r = 0; r < s.contraction_steps; ++r) {
+    b.communication +=
+        stage_time(s, peers * dd, all_to_all_ser, all_to_all_total);
+    b.aggregation += gar_time(s.gradient_gar, q, s.fw, s.d, s.device);
+  }
+
+  // All-to-all model exchange + model aggregation.
+  b.communication +=
+      stage_time(s, peers * dd, all_to_all_ser, all_to_all_total);
+  b.aggregation += gar_time(s.model_gar, q, s.fw, s.d, s.device);
+  return b;
+}
+
+}  // namespace
+
+IterationBreakdown simulate_iteration(const SimSetup& setup) {
+  IterationBreakdown b =
+      setup.deployment == SimDeployment::kDecentralized
+          ? simulate_decentralized(setup)
+          : simulate_parameter_server(setup);
+  if (setup.native_runtime) {
+    // The frameworks' own distributed runtimes overlap parameter pushes
+    // with gradient pulls and stream transfers; model that as halving the
+    // exposed communication time.
+    b.communication *= 0.5;
+  }
+  if (setup.pipelined && !setup.native_runtime) {
+    // §4.2: per-layer access lets the PyTorch backend overlap aggregation
+    // with gradient transfer; the overlapped pair costs the max plus a
+    // small residual rather than the sum.
+    const double comm = b.communication;
+    const double agg = b.aggregation;
+    const double overlapped = std::max(comm, agg) + 0.2 * std::min(comm, agg);
+    b.communication = overlapped * comm / (comm + agg);
+    b.aggregation = overlapped * agg / (comm + agg);
+    // Part of the computation also hides inside communication (Fig 16's
+    // "less computation than vanilla" observation).
+    b.computation *= 0.85;
+  }
+  return b;
+}
+
+double updates_per_sec(const SimSetup& setup) {
+  return 1.0 / simulate_iteration(setup).total();
+}
+
+double batches_per_sec(const SimSetup& setup) {
+  return double(setup.nw) * updates_per_sec(setup);
+}
+
+double communication_time(const SimSetup& setup) {
+  return simulate_iteration(setup).communication;
+}
+
+double slowdown_vs_vanilla(const SimSetup& setup) {
+  SimSetup vanilla = setup;
+  vanilla.deployment = SimDeployment::kVanilla;
+  vanilla.native_runtime = true;
+  vanilla.pipelined = false;
+  vanilla.contraction_steps = 0;
+  vanilla.nps = 1;
+  vanilla.fps = 0;
+  vanilla.fw = 0;
+  vanilla.asynchronous = false;
+  return simulate_iteration(setup).total() /
+         simulate_iteration(vanilla).total();
+}
+
+}  // namespace garfield::sim

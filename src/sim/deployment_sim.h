@@ -1,0 +1,90 @@
+// Per-deployment iteration-latency composition.
+//
+// simulate_iteration() walks the stages of one training iteration of each
+// §5 application on the modelled cluster and returns the same breakdown
+// the paper measures (Fig 7/16): computation, communication (transfer +
+// serialization + RPC overhead + straggler waits) and robust aggregation.
+// Throughput figures (Fig 6, 8, 9, 10, 13, 14, 15) are derived from it.
+//
+// Stage model: every communication stage costs
+//     latency + max-per-node-NIC-floats / link-bandwidth
+//             + serialized-floats * 2 / serialize-rate
+//             + stage-floats-total / fabric-capacity
+// The fabric term models switch contention: parameter-server traffic is
+// O(n) per iteration, decentralized traffic is O(n^2) — which is exactly
+// why decentralized learning does not scale (Fig 9a).
+#pragma once
+
+#include <string>
+
+#include "sim/cost_model.h"
+#include "sim/model_spec.h"
+
+namespace garfield::sim {
+
+enum class SimDeployment {
+  kVanilla,
+  kCrashTolerant,
+  kSsmw,
+  kMsmw,
+  kDecentralized,
+};
+
+[[nodiscard]] std::string to_string(SimDeployment d);
+
+struct SimSetup {
+  SimDeployment deployment = SimDeployment::kSsmw;
+  std::size_t d = 23539850;      ///< model dimension (ResNet-50 default)
+  std::size_t batch_size = 32;   ///< per-worker mini-batch
+  std::size_t nw = 18;           ///< workers (or peers when decentralized)
+  std::size_t fw = 3;
+  std::size_t nps = 6;           ///< ignored by vanilla/ssmw/decentralized
+  std::size_t fps = 1;
+  std::string gradient_gar = "bulyan";
+  std::string model_gar = "median";
+  bool asynchronous = true;      ///< wait for n-f replies instead of n
+  DeviceProfile device = cpu_profile();
+  LinkProfile link{};
+  /// Native-runtime baseline (vanilla TF / PyTorch): optimized collectives,
+  /// no per-message protobuf serialization, streaming aggregation.
+  bool native_runtime = false;
+  /// PyTorch-backend Garfield (§4.2): per-layer pipelining overlaps
+  /// communication with aggregation.
+  bool pipelined = false;
+  /// Decentralized contraction rounds per iteration (non-iid data).
+  std::size_t contraction_steps = 0;
+  /// Relative straggler tail: waiting for the q-th of n replies costs
+  /// an extra straggler_sigma * compute * log(1+q).
+  double straggler_sigma = 0.04;
+  /// Switch-fabric capacity in units of link bandwidth.
+  double fabric_links = 8.0;
+};
+
+struct IterationBreakdown {
+  double computation = 0.0;
+  double communication = 0.0;
+  double aggregation = 0.0;
+
+  [[nodiscard]] double total() const {
+    return computation + communication + aggregation;
+  }
+};
+
+/// Latency composition of one iteration at the reporting server/peer.
+[[nodiscard]] IterationBreakdown simulate_iteration(const SimSetup& setup);
+
+/// Model updates per second (1 / iteration latency).
+[[nodiscard]] double updates_per_sec(const SimSetup& setup);
+
+/// Mini-batches processed per second (nw per iteration — employing more
+/// workers grows the effective batch, Fig 8's metric).
+[[nodiscard]] double batches_per_sec(const SimSetup& setup);
+
+/// Communication component only (Fig 9's metric).
+[[nodiscard]] double communication_time(const SimSetup& setup);
+
+/// Slowdown of `setup` relative to the native vanilla baseline on the same
+/// device/model (Fig 6/15's metric).
+[[nodiscard]] double slowdown_vs_vanilla(const SimSetup& setup);
+
+}  // namespace garfield::sim

@@ -1,0 +1,27 @@
+#include "sim/model_spec.h"
+
+#include <stdexcept>
+
+namespace garfield::sim {
+
+const std::vector<ModelSpec>& table1_models() {
+  // Parameter counts and sizes exactly as reported in Table 1.
+  static const std::vector<ModelSpec> kModels = {
+      {"MNIST_CNN", 79510, 0.3},      {"CifarNet", 1756426, 6.7},
+      {"Inception", 5602874, 21.4},   {"ResNet-50", 23539850, 89.8},
+      {"ResNet-200", 62697610, 239.2}, {"VGG", 128807306, 491.4},
+  };
+  return kModels;
+}
+
+const ModelSpec& model_spec(const std::string& name) {
+  for (const ModelSpec& m : table1_models()) {
+    if (m.name == name) return m;
+  }
+  // The appendix PyTorch experiment swaps ResNet-200 for ResNet-152.
+  static const ModelSpec kResNet152{"ResNet-152", 60192808, 229.6};
+  if (name == "ResNet-152") return kResNet152;
+  throw std::invalid_argument("model_spec: unknown model '" + name + "'");
+}
+
+}  // namespace garfield::sim

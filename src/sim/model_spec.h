@@ -1,0 +1,26 @@
+// Table 1 of the paper: the models used to evaluate Garfield, carried as
+// dimension descriptors for the throughput experiments (which depend only
+// on d, the number of parameters).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace garfield::sim {
+
+struct ModelSpec {
+  std::string name;
+  std::size_t parameters = 0;  ///< d
+  double size_mb = 0.0;        ///< 4 bytes per float32 parameter
+
+  [[nodiscard]] double size_bytes() const { return double(parameters) * 4.0; }
+};
+
+/// The six rows of Table 1 (MNIST_CNN ... VGG).
+[[nodiscard]] const std::vector<ModelSpec>& table1_models();
+
+/// Lookup by name; throws std::invalid_argument when absent.
+[[nodiscard]] const ModelSpec& model_spec(const std::string& name);
+
+}  // namespace garfield::sim

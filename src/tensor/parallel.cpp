@@ -1,0 +1,39 @@
+#include "tensor/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace garfield::tensor {
+
+namespace {
+constexpr std::size_t kInlineThreshold = 1 << 16;
+}
+
+std::size_t parallel_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = parallel_threads();
+  if (n < kInlineThreshold || workers == 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t shards = std::min(workers, n);
+  const std::size_t chunk = (n + shards - 1) / shards;
+  std::vector<std::thread> threads;
+  threads.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t begin = s * chunk;
+    const std::size_t end = std::min(begin + chunk, n);
+    if (begin >= end) break;
+    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace garfield::tensor

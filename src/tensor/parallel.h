@@ -1,0 +1,22 @@
+// Minimal data-parallel helper.
+//
+// The paper parallelizes GAR coordinate work across CPU cores (§4.3: "each
+// of the m >= 1 available cores processes a continuous share of n/m
+// coordinates"). parallel_for reproduces exactly that partitioning.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace garfield::tensor {
+
+/// Number of worker threads parallel_for will use (hardware_concurrency,
+/// at least 1).
+[[nodiscard]] std::size_t parallel_threads();
+
+/// Run fn(begin, end) over contiguous shards of [0, n). Runs inline when the
+/// range is small (below ~64k elements) to avoid thread overhead.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace garfield::tensor

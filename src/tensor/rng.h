@@ -1,0 +1,60 @@
+// Deterministic random number generation for garfield.
+//
+// Every component that needs randomness (dataset synthesis, weight
+// initialization, Byzantine attacks, network jitter) receives an explicit
+// Rng seeded from (experiment seed, node id, purpose tag) so that entire
+// distributed training runs are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace garfield::tensor {
+
+/// Seeded pseudo-random generator wrapping std::mt19937_64.
+///
+/// Not thread-safe; give each thread / node its own instance via fork().
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : engine_(seed), seed_mix_(seed ^ 0x2545f4914f6cdd1dULL) {}
+
+  /// Derive an independent stream, e.g. one per node id. SplitMix-style
+  /// mixing of (parent seed, tag) keeps child streams decorrelated even
+  /// for adjacent tags, and distinct parent seeds yield distinct children.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const {
+    std::uint64_t z = seed_mix_ + (tag + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
+
+  float normal(float mean = 0.0F, float stddev = 1.0F) {
+    std::normal_distribution<float> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  float uniform(float lo = 0.0F, float hi = 1.0F) {
+    std::uniform_real_distribution<float> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [0, n).
+  std::size_t index(std::size_t n) {
+    std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+    return dist(engine_);
+  }
+
+  bool bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_mix_;
+};
+
+}  // namespace garfield::tensor

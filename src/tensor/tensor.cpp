@@ -1,0 +1,173 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace garfield::tensor {
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0F) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  if (data_.size() != shape_numel(shape_)) {
+    throw std::invalid_argument("Tensor: values size " +
+                                std::to_string(data_.size()) +
+                                " does not match shape " +
+                                shape_to_string(shape_));
+  }
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = rng.normal(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = rng.uniform(lo, hi);
+  return t;
+}
+
+float& Tensor::at(std::size_t r, std::size_t c) {
+  assert(rank() == 2);
+  return data_[r * shape_[1] + c];
+}
+
+float Tensor::at(std::size_t r, std::size_t c) const {
+  assert(rank() == 2);
+  return data_[r * shape_[1] + c];
+}
+
+Tensor Tensor::reshaped(Shape shape) const {
+  if (shape_numel(shape) != numel()) {
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch " +
+                                shape_to_string(shape_) + " -> " +
+                                shape_to_string(shape));
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor& Tensor::operator+=(const Tensor& rhs) {
+  assert(numel() == rhs.numel());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& rhs) {
+  assert(numel() == rhs.numel());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float alpha) {
+  for (float& v : data_) v *= alpha;
+  return *this;
+}
+
+double Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+double Tensor::mean() const { return empty() ? 0.0 : sum() / double(numel()); }
+
+float Tensor::max() const {
+  assert(!empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::size_t Tensor::argmax() const {
+  assert(!empty());
+  return std::size_t(std::distance(
+      data_.begin(), std::max_element(data_.begin(), data_.end())));
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  assert(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(0));
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  // ikj loop order: streams through b row-wise, cache friendly.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a.data()[i * k + p];
+      if (av == 0.0F) continue;
+      const float* brow = b.data().data() + p * n;
+      float* orow = out.data().data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  assert(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(1));
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor out({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data().data() + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.data().data() + j * k;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += double(arow[p]) * brow[p];
+      out.at(i, j) = float(acc);
+    }
+  }
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  assert(a.rank() == 2 && b.rank() == 2 && a.dim(0) == b.dim(0));
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a.data().data() + p * m;
+    const float* brow = b.data().data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0F) continue;
+      float* orow = out.data().data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  assert(a.rank() == 2);
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+  return out;
+}
+
+}  // namespace garfield::tensor

@@ -1,0 +1,79 @@
+#include "tensor/vecops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace garfield::tensor {
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> x, float alpha) {
+  for (float& v : x) v *= alpha;
+}
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) acc += double(a[i]) * double(b[i]);
+  return acc;
+}
+
+double squared_distance(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = double(a[i]) - double(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+double norm(std::span<const float> x) { return std::sqrt(dot(x, x)); }
+
+void subtract(std::span<const float> a, std::span<const float> b,
+              std::span<float> out) {
+  assert(a.size() == b.size() && a.size() == out.size());
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void add(std::span<const float> a, std::span<const float> b,
+         std::span<float> out) {
+  assert(a.size() == b.size() && a.size() == out.size());
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+FlatVector mean(std::span<const FlatVector> inputs) {
+  assert(!inputs.empty());
+  const std::size_t d = inputs.front().size();
+  FlatVector out(d, 0.0F);
+  for (const FlatVector& v : inputs) {
+    assert(v.size() == d);
+    axpy(1.0F, v, out);
+  }
+  scale(out, 1.0F / float(inputs.size()));
+  return out;
+}
+
+double cosine(std::span<const float> a, std::span<const float> b) {
+  const double na = norm(a);
+  const double nb = norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot(a, b) / (na * nb);
+}
+
+bool all_finite(std::span<const float> x) {
+  for (float v : x) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace garfield::tensor

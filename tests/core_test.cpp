@@ -1,0 +1,465 @@
+// Tests for garfield::core — config validation, controller parsing,
+// Server/Worker objects over the live cluster, and integration tests of
+// all five deployments (convergence, determinism, fault injection).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/config.h"
+#include "core/controller.h"
+#include "core/server.h"
+#include "core/trainer.h"
+#include "core/worker.h"
+#include "nn/zoo.h"
+
+namespace gc = garfield::core;
+namespace gt = garfield::tensor;
+namespace gd = garfield::data;
+namespace gn = garfield::net;
+
+namespace {
+
+/// Small fast config shared by the integration tests.
+gc::DeploymentConfig fast_config() {
+  gc::DeploymentConfig cfg;
+  cfg.model = "tiny_mlp";
+  cfg.train_size = 1024;
+  cfg.test_size = 256;
+  cfg.batch_size = 16;
+  cfg.optimizer.lr.gamma0 = 0.1F;
+  cfg.dataset_noise = 1.0F;
+  cfg.iterations = 120;
+  cfg.eval_every = 30;
+  cfg.seed = 3;
+  return cfg;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ config
+
+TEST(Config, ValidatesClusterShape) {
+  gc::DeploymentConfig cfg = fast_config();
+  cfg.nw = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = fast_config();
+  cfg.fw = cfg.nw;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = fast_config();
+  cfg.deployment = gc::Deployment::kMsmw;
+  cfg.nps = 2;
+  cfg.fps = 2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Config, ValidatesGarPreconditions) {
+  gc::DeploymentConfig cfg = fast_config();
+  cfg.deployment = gc::Deployment::kSsmw;
+  cfg.gradient_gar = "krum";
+  cfg.nw = 4;
+  cfg.fw = 1;  // krum needs 2f+3 = 5
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.nw = 5;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, TotalNodes) {
+  gc::DeploymentConfig cfg = fast_config();
+  cfg.nw = 5;
+  cfg.nps = 3;
+  cfg.deployment = gc::Deployment::kMsmw;
+  EXPECT_EQ(cfg.total_nodes(), 8u);
+  cfg.deployment = gc::Deployment::kDecentralized;
+  EXPECT_EQ(cfg.total_nodes(), 5u);
+}
+
+TEST(Config, DeploymentNamesRoundTrip) {
+  for (gc::Deployment d :
+       {gc::Deployment::kVanilla, gc::Deployment::kCrashTolerant,
+        gc::Deployment::kSsmw, gc::Deployment::kMsmw,
+        gc::Deployment::kDecentralized}) {
+    EXPECT_EQ(gc::deployment_from_string(gc::to_string(d)), d);
+  }
+  EXPECT_THROW((void)gc::deployment_from_string("p2p"),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- controller
+
+TEST(Controller, ParsesKeyValueText) {
+  const gc::DeploymentConfig cfg = gc::parse_config(R"(
+    deployment = msmw
+    model = cifarnet          # comment
+    nw = 10   fw = 3
+    nps = 3   fps = 1
+    gradient_gar = multi_krum
+    asynchronous = true
+    lr = 0.05
+    iterations = 500
+  )");
+  EXPECT_EQ(cfg.deployment, gc::Deployment::kMsmw);
+  EXPECT_EQ(cfg.model, "cifarnet");
+  EXPECT_EQ(cfg.nw, 10u);
+  EXPECT_EQ(cfg.fw, 3u);
+  EXPECT_EQ(cfg.nps, 3u);
+  EXPECT_EQ(cfg.fps, 1u);
+  EXPECT_EQ(cfg.gradient_gar, "multi_krum");
+  EXPECT_TRUE(cfg.asynchronous);
+  EXPECT_FLOAT_EQ(cfg.optimizer.lr.gamma0, 0.05F);
+  EXPECT_EQ(cfg.iterations, 500u);
+}
+
+TEST(Controller, ParsesSpaceSeparatedAssignments) {
+  const gc::DeploymentConfig cfg = gc::parse_config("nw = 7\nfw=2\nseed =9");
+  EXPECT_EQ(cfg.nw, 7u);
+  EXPECT_EQ(cfg.fw, 2u);
+  EXPECT_EQ(cfg.seed, 9u);
+}
+
+TEST(Controller, RejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW((void)gc::parse_config("warp_speed = 9"),
+               std::invalid_argument);
+  EXPECT_THROW((void)gc::parse_config("nw = many"), std::invalid_argument);
+  EXPECT_THROW((void)gc::parse_config("asynchronous = maybe"),
+               std::invalid_argument);
+  EXPECT_THROW((void)gc::parse_config("nw"), std::invalid_argument);
+}
+
+TEST(Controller, FormatRoundTrips) {
+  gc::DeploymentConfig cfg = fast_config();
+  cfg.deployment = gc::Deployment::kDecentralized;
+  cfg.nw = 9;
+  cfg.fw = 2;
+  cfg.worker_attack = "reversed";
+  cfg.non_iid = true;
+  const gc::DeploymentConfig back = gc::parse_config(gc::format_config(cfg));
+  EXPECT_EQ(back.deployment, cfg.deployment);
+  EXPECT_EQ(back.nw, cfg.nw);
+  EXPECT_EQ(back.fw, cfg.fw);
+  EXPECT_EQ(back.worker_attack, cfg.worker_attack);
+  EXPECT_EQ(back.non_iid, cfg.non_iid);
+  EXPECT_EQ(back.iterations, cfg.iterations);
+}
+
+// ------------------------------------------------- server/worker objects
+
+TEST(ServerWorker, GradientPullRoundTrip) {
+  gn::Cluster::Options opts;
+  opts.nodes = 3;
+  gn::Cluster cluster(opts);
+  gt::Rng rng(5);
+
+  auto server_model = garfield::nn::make_model("tiny_mlp", rng);
+  const std::size_t dim = server_model->dimension();
+  gt::Rng data_rng(6);
+  gd::Dataset data = gd::make_cluster_dataset({16}, 10, 64, data_rng, 1.0F);
+
+  gc::Server server(0, cluster, std::move(server_model), {}, {1, 2}, {});
+  gt::Rng w1(7), w2(8);
+  gc::Worker worker1(1, cluster, garfield::nn::make_model("tiny_mlp", w1),
+                     data, 8, gt::Rng(9));
+  gc::Worker worker2(2, cluster, garfield::nn::make_model("tiny_mlp", w2),
+                     data, 8, gt::Rng(10));
+
+  auto grads = server.get_gradients(0, 2);
+  ASSERT_EQ(grads.size(), 2u);
+  EXPECT_EQ(grads[0].size(), dim);
+  EXPECT_EQ(grads[1].size(), dim);
+  EXPECT_TRUE(gt::all_finite(grads[0]));
+  EXPECT_EQ(worker1.gradients_served() + worker2.gradients_served(), 2u);
+}
+
+TEST(ServerWorker, UpdateModelAppliesSgdStep) {
+  gn::Cluster::Options opts;
+  opts.nodes = 1;
+  gn::Cluster cluster(opts);
+  gt::Rng rng(11);
+  garfield::nn::SgdOptimizer::Options sgd;
+  sgd.lr.gamma0 = 1.0F;
+  gc::Server server(0, cluster, garfield::nn::make_model("tiny_mlp", rng),
+                    sgd, {}, {});
+  const gn::Payload before = server.parameters();
+  gn::Payload grad(before.size(), 1.0F);
+  server.update_model(grad);
+  const gn::Payload after = server.parameters();
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_FLOAT_EQ(after[i], before[i] - 1.0F);
+  EXPECT_EQ(server.steps_taken(), 1u);
+}
+
+TEST(ServerWorker, WriteModelOverwritesState) {
+  gn::Cluster::Options opts;
+  opts.nodes = 1;
+  gn::Cluster cluster(opts);
+  gt::Rng rng(12);
+  gc::Server server(0, cluster, garfield::nn::make_model("tiny_mlp", rng),
+                    {}, {}, {});
+  gn::Payload target(server.dimension(), 0.25F);
+  server.write_model(target);
+  EXPECT_EQ(server.parameters(), target);
+}
+
+TEST(ServerWorker, GetModelsPullsPeerState) {
+  gn::Cluster::Options opts;
+  opts.nodes = 2;
+  gn::Cluster cluster(opts);
+  gt::Rng r1(13), r2(13);
+  gc::Server s0(0, cluster, garfield::nn::make_model("tiny_mlp", r1), {}, {},
+                {1});
+  gc::Server s1(1, cluster, garfield::nn::make_model("tiny_mlp", r2), {}, {},
+                {0});
+  gn::Payload marker(s1.dimension(), 9.0F);
+  s1.write_model(marker);
+  auto models = s0.get_models(1);
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_EQ(models[0], marker);
+}
+
+TEST(ServerWorker, ByzantineServerServesCorruptedModel) {
+  gn::Cluster::Options opts;
+  opts.nodes = 2;
+  gn::Cluster cluster(opts);
+  gt::Rng r1(14), r2(14);
+  gc::Server honest(0, cluster, garfield::nn::make_model("tiny_mlp", r1), {},
+                    {}, {1});
+  gc::ByzantineServer byz(1, cluster,
+                          garfield::nn::make_model("tiny_mlp", r2), {}, {},
+                          {0}, garfield::attacks::make_attack("reversed"),
+                          gt::Rng(15));
+  gn::Payload marker(byz.dimension(), 1.0F);
+  byz.write_model(marker);
+  auto models = honest.get_models(1);
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_FLOAT_EQ(models[0][0], -100.0F);  // reversed & amplified
+}
+
+TEST(ServerWorker, AggrGradGossip) {
+  gn::Cluster::Options opts;
+  opts.nodes = 2;
+  gn::Cluster cluster(opts);
+  gt::Rng r1(16), r2(16);
+  gc::Server s0(0, cluster, garfield::nn::make_model("tiny_mlp", r1), {}, {},
+                {1});
+  gc::Server s1(1, cluster, garfield::nn::make_model("tiny_mlp", r2), {}, {},
+                {0});
+  // Before publication: no reply, collect returns empty.
+  auto none = s0.get_aggr_grads(0, 1);
+  EXPECT_TRUE(none.empty());
+  gn::Payload grad(s1.dimension(), 2.5F);
+  s1.set_latest_aggr_grad(grad);
+  auto got = s0.get_aggr_grads(0, 1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], grad);
+}
+
+TEST(ServerWorker, IngressValidationRejectsMalformedPayloads) {
+  gn::Cluster::Options opts;
+  opts.nodes = 3;
+  gn::Cluster cluster(opts);
+  gt::Rng r1(17), r2(17), r3(17);
+  gc::Server s0(0, cluster, garfield::nn::make_model("tiny_mlp", r1), {}, {},
+                {1, 2});
+  gc::Server s1(1, cluster, garfield::nn::make_model("tiny_mlp", r2), {}, {},
+                {0, 2});
+  gc::Server s2(2, cluster, garfield::nn::make_model("tiny_mlp", r3), {}, {},
+                {0, 1});
+  // s1 gossips a wrong-dimension vector, s2 a NaN-poisoned one.
+  s1.set_latest_aggr_grad(gn::Payload{1.0F, 2.0F});
+  gn::Payload poisoned(s2.dimension(), 1.0F);
+  poisoned[3] = std::numeric_limits<float>::quiet_NaN();
+  s2.set_latest_aggr_grad(poisoned);
+  auto got = s0.get_aggr_grads(0, 2);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(s0.rejected_payloads(), 2u);
+}
+
+// ---------------------------------------------------------- deployments
+
+TEST(Deployments, VanillaConverges) {
+  gc::DeploymentConfig cfg = fast_config();
+  cfg.deployment = gc::Deployment::kVanilla;
+  cfg.nw = 4;
+  const gc::TrainResult result = gc::train(cfg);
+  EXPECT_GT(result.final_accuracy, 0.75);
+  ASSERT_GE(result.curve.size(), 2u);
+  EXPECT_GT(result.final_accuracy, result.curve.front().accuracy);
+}
+
+TEST(Deployments, SsmwWithEachGarConverges) {
+  for (const char* gar : {"median", "multi_krum", "mda"}) {
+    gc::DeploymentConfig cfg = fast_config();
+    cfg.deployment = gc::Deployment::kSsmw;
+    cfg.nw = 7;
+    cfg.fw = 1;
+    cfg.gradient_gar = gar;
+    const gc::TrainResult result = gc::train(cfg);
+    EXPECT_GT(result.final_accuracy, 0.7) << gar;
+  }
+}
+
+TEST(Deployments, MsmwConvergesAndAligns) {
+  gc::DeploymentConfig cfg = fast_config();
+  cfg.deployment = gc::Deployment::kMsmw;
+  cfg.nw = 7;
+  cfg.fw = 1;
+  cfg.nps = 3;
+  cfg.fps = 0;
+  cfg.gradient_gar = "multi_krum";
+  cfg.model_gar = "median";
+  cfg.alignment_every = 30;
+  const gc::TrainResult result = gc::train(cfg);
+  EXPECT_GT(result.final_accuracy, 0.7);
+  ASSERT_FALSE(result.alignment.empty());
+  for (const auto& a : result.alignment) {
+    EXPECT_GE(a.max_diff1, a.max_diff2);
+  }
+}
+
+TEST(Deployments, DecentralizedConverges) {
+  gc::DeploymentConfig cfg = fast_config();
+  cfg.deployment = gc::Deployment::kDecentralized;
+  cfg.nw = 7;
+  cfg.fw = 1;
+  cfg.gradient_gar = "median";
+  cfg.model_gar = "median";
+  const gc::TrainResult result = gc::train(cfg);
+  EXPECT_GT(result.final_accuracy, 0.6);
+}
+
+TEST(Deployments, DecentralizedNonIidWithContraction) {
+  gc::DeploymentConfig cfg = fast_config();
+  cfg.deployment = gc::Deployment::kDecentralized;
+  cfg.nw = 5;
+  cfg.fw = 0;
+  cfg.gradient_gar = "median";
+  cfg.model_gar = "median";
+  cfg.non_iid = true;
+  cfg.contraction_steps = 2;
+  cfg.iterations = 150;
+  const gc::TrainResult result = gc::train(cfg);
+  // Non-iid is harder; require clear learning, not full accuracy.
+  EXPECT_GT(result.final_accuracy, 0.4);
+}
+
+TEST(Deployments, CrashTolerantSurvivesPrimaryCrash) {
+  gc::DeploymentConfig cfg = fast_config();
+  cfg.deployment = gc::Deployment::kCrashTolerant;
+  cfg.nw = 4;
+  cfg.nps = 3;
+  cfg.crash_primary_at = 40;
+  const gc::TrainResult result = gc::train(cfg);
+  // Failover replica finishes the run and reaches good accuracy.
+  EXPECT_GT(result.final_accuracy, 0.7);
+  EXPECT_GE(result.curve.back().iteration, cfg.iterations - cfg.eval_every);
+}
+
+TEST(Deployments, MsmwSurvivesByzantineWorkersAndServers) {
+  gc::DeploymentConfig cfg = fast_config();
+  cfg.deployment = gc::Deployment::kMsmw;
+  cfg.nw = 8;
+  cfg.fw = 1;
+  cfg.nps = 4;
+  cfg.fps = 1;
+  cfg.gradient_gar = "multi_krum";
+  cfg.model_gar = "median";
+  cfg.worker_attack = "reversed";
+  cfg.server_attack = "reversed";
+  const gc::TrainResult result = gc::train(cfg);
+  EXPECT_GT(result.final_accuracy, 0.7);
+}
+
+TEST(Deployments, VanillaCollapsesUnderReversedAttack) {
+  gc::DeploymentConfig cfg = fast_config();
+  cfg.deployment = gc::Deployment::kVanilla;
+  cfg.nw = 8;
+  cfg.fw = 1;
+  cfg.worker_attack = "reversed";
+  const gc::TrainResult result = gc::train(cfg);
+  EXPECT_LT(result.final_accuracy, 0.3);
+}
+
+TEST(Deployments, SsmwToleratesDroppedWorkersAsynchronously) {
+  gc::DeploymentConfig cfg = fast_config();
+  cfg.deployment = gc::Deployment::kSsmw;
+  cfg.nw = 8;
+  cfg.fw = 2;
+  cfg.gradient_gar = "median";
+  cfg.asynchronous = true;  // wait for nw - fw only
+  cfg.worker_attack = "dropped";
+  const gc::TrainResult result = gc::train(cfg);
+  EXPECT_GT(result.final_accuracy, 0.7);
+}
+
+TEST(Deployments, SurvivesNanPoisonEvenWithAveraging) {
+  // The ingress gate (not the GAR) is what stops NaN poisoning: a single
+  // NaN would survive plain averaging and destroy the model. With the
+  // gate, even the vanilla deployment keeps learning.
+  gc::DeploymentConfig cfg = fast_config();
+  cfg.deployment = gc::Deployment::kVanilla;
+  cfg.nw = 8;
+  cfg.fw = 2;
+  cfg.worker_attack = "nan_poison";
+  const gc::TrainResult result = gc::train(cfg);
+  EXPECT_GT(result.final_accuracy, 0.7);
+  EXPECT_GT(result.rejected_payloads, 0u);
+}
+
+TEST(Deployments, WorkerMomentumStillConverges) {
+  gc::DeploymentConfig cfg = fast_config();
+  cfg.deployment = gc::Deployment::kSsmw;
+  cfg.nw = 7;
+  cfg.fw = 1;
+  cfg.gradient_gar = "multi_krum";
+  cfg.worker_momentum = 0.9F;
+  cfg.optimizer.lr.gamma0 = 0.02F;  // momentum amplifies the step ~1/(1-m)
+  const gc::TrainResult result = gc::train(cfg);
+  EXPECT_GT(result.final_accuracy, 0.7);
+}
+
+TEST(Deployments, NetStatsAccumulateTraffic) {
+  gc::DeploymentConfig cfg = fast_config();
+  cfg.deployment = gc::Deployment::kVanilla;
+  cfg.nw = 3;
+  cfg.iterations = 10;
+  cfg.eval_every = 0;
+  const gc::TrainResult result = gc::train(cfg);
+  // 10 iterations x 3 workers: one request+reply per worker per iteration.
+  EXPECT_EQ(result.net_stats.requests_sent, 30u);
+  EXPECT_EQ(result.net_stats.replies_received, 30u);
+  EXPECT_GT(result.net_stats.floats_transferred, 0u);
+}
+
+TEST(Deployments, DecentralizedUsesQuadraticMessages) {
+  gc::DeploymentConfig base = fast_config();
+  base.deployment = gc::Deployment::kDecentralized;
+  base.fw = 0;
+  base.gradient_gar = "median";
+  base.model_gar = "median";
+  base.iterations = 5;
+  base.eval_every = 0;
+
+  auto msgs = [&](std::size_t n) {
+    gc::DeploymentConfig cfg = base;
+    cfg.nw = n;
+    return gc::train(cfg).net_stats.requests_sent;
+  };
+  const auto m3 = msgs(3), m6 = msgs(6);
+  // Per iteration: each of n nodes pulls gradients from n peers and models
+  // from n-1 peers -> Theta(n^2) messages. Doubling n should roughly
+  // quadruple traffic.
+  EXPECT_GT(double(m6), 3.0 * double(m3));
+}
+
+TEST(Deployments, RunExperimentFromText) {
+  const gc::TrainResult result = gc::run_experiment(R"(
+    deployment = ssmw
+    model = tiny_mlp
+    nw = 5  fw = 1
+    gradient_gar = median
+    train_size = 512  test_size = 128
+    batch_size = 16   lr = 0.1
+    iterations = 60   eval_every = 20
+    seed = 4
+  )");
+  EXPECT_GT(result.final_accuracy, 0.5);
+}

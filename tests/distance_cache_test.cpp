@@ -1,0 +1,126 @@
+// Tests for the §4.4 distance cache and Bulyan's cached iterated-Krum
+// phase, including equivalence with a naive (recomputing) reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "gars/gar.h"
+#include "tensor/rng.h"
+
+namespace gg = garfield::gars;
+namespace gt = garfield::tensor;
+
+using gt::FlatVector;
+
+namespace {
+
+std::vector<FlatVector> random_inputs(std::size_t n, std::size_t d,
+                                      std::uint64_t seed) {
+  gt::Rng rng(seed);
+  std::vector<FlatVector> out(n, FlatVector(d));
+  for (auto& v : out) {
+    for (float& x : v) x = rng.normal();
+  }
+  return out;
+}
+
+/// Reference Bulyan phase-1: iterate plain Krum on a physically shrinking
+/// pool (the pre-cache implementation).
+std::vector<FlatVector> naive_selection(std::vector<FlatVector> pool,
+                                        std::size_t n, std::size_t f) {
+  const std::size_t theta = n - 2 * f;
+  const gg::Krum krum(n, f);
+  std::vector<FlatVector> selected;
+  for (std::size_t k = 0; k < theta; ++k) {
+    const std::size_t pick = krum.select(pool);
+    selected.push_back(pool[pick]);
+    pool.erase(pool.begin() + long(pick));
+  }
+  return selected;
+}
+
+}  // namespace
+
+TEST(DistanceCache, MatrixIsSymmetricWithZeroDiagonal) {
+  auto in = random_inputs(6, 10, 1);
+  gg::DistanceCache cache(in);
+  EXPECT_EQ(cache.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(cache.squared_distance(i, i), 0.0);
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(cache.squared_distance(i, j),
+                       cache.squared_distance(j, i));
+      EXPECT_DOUBLE_EQ(cache.squared_distance(i, j),
+                       gt::squared_distance(in[i], in[j]));
+    }
+  }
+}
+
+TEST(DistanceCache, RemoveTracksActiveSet) {
+  auto in = random_inputs(5, 4, 2);
+  gg::DistanceCache cache(in);
+  EXPECT_EQ(cache.active_count(), 5u);
+  cache.remove(2);
+  cache.remove(4);
+  EXPECT_EQ(cache.active_count(), 3u);
+  EXPECT_FALSE(cache.is_active(2));
+  EXPECT_TRUE(cache.is_active(0));
+}
+
+TEST(DistanceCache, SelectCachedMatchesSelectOnFullSet) {
+  for (std::uint64_t seed : {3u, 4u, 5u, 6u}) {
+    auto in = random_inputs(9, 16, seed);
+    gg::Krum krum(9, 2);
+    gg::DistanceCache cache(in);
+    EXPECT_EQ(krum.select_cached(cache, in), krum.select(in)) << seed;
+  }
+}
+
+TEST(DistanceCache, CachedBulyanSelectionMatchesNaive) {
+  // The cached phase-1 must produce the same selection sequence as the
+  // naive recomputing version — value-for-value.
+  for (std::uint64_t seed : {7u, 8u, 9u}) {
+    const std::size_t n = 11, f = 2;
+    auto in = random_inputs(n, 12, seed);
+    const auto naive = naive_selection(in, n, f);
+
+    gg::DistanceCache cache(in);
+    gg::Krum krum(n, f);
+    std::vector<FlatVector> cached;
+    for (std::size_t k = 0; k < n - 2 * f; ++k) {
+      const std::size_t pick = krum.select_cached(cache, in);
+      cached.push_back(in[pick]);
+      cache.remove(pick);
+    }
+    ASSERT_EQ(naive.size(), cached.size()) << seed;
+    for (std::size_t k = 0; k < naive.size(); ++k) {
+      EXPECT_EQ(naive[k], cached[k]) << "seed " << seed << " round " << k;
+    }
+  }
+}
+
+TEST(DistanceCache, BulyanEndToEndUnchangedByCaching) {
+  // Bulyan's aggregate (which now uses the cache internally) must still
+  // average beta values around the median of the naive selection set.
+  const std::size_t n = 7, f = 1, d = 8;
+  auto in = random_inputs(n, d, 10);
+  gg::GarPtr bulyan = gg::make_gar("bulyan", n, f);
+  const FlatVector out = bulyan->aggregate(in);
+
+  const auto selected = naive_selection(in, n, f);
+  // Recompute phase 2 by hand for coordinate 0.
+  std::vector<float> col;
+  for (const auto& v : selected) col.push_back(v[0]);
+  std::sort(col.begin(), col.end());
+  const float med = col[col.size() / 2];
+  std::sort(col.begin(), col.end(), [med](float a, float b) {
+    const float da = std::abs(a - med), db = std::abs(b - med);
+    if (da != db) return da < db;
+    return a < b;
+  });
+  const std::size_t beta = selected.size() - 2 * f;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < beta; ++i) acc += col[i];
+  EXPECT_NEAR(out[0], float(acc / double(beta)), 1e-6F);
+}

@@ -1,0 +1,341 @@
+// Unit and property tests for garfield::gars — every GAR's correctness on
+// hand-checkable inputs, the resilience preconditions, permutation
+// invariance, and the central robustness property: with at most f
+// adversarial inputs the aggregate stays near the honest gradients.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "gars/gar.h"
+#include "gars/median3.h"
+#include "tensor/rng.h"
+#include "tensor/vecops.h"
+
+namespace gg = garfield::gars;
+namespace gt = garfield::tensor;
+
+using gt::FlatVector;
+
+namespace {
+
+std::vector<FlatVector> honest_cloud(std::size_t n, std::size_t d,
+                                     gt::Rng& rng, float center = 1.0F,
+                                     float spread = 0.1F) {
+  std::vector<FlatVector> out(n, FlatVector(d));
+  for (auto& v : out) {
+    for (float& x : v) x = center + rng.normal(0.0F, spread);
+  }
+  return out;
+}
+
+double distance_to_center(const FlatVector& v, float center) {
+  FlatVector ref(v.size(), center);
+  return std::sqrt(gt::squared_distance(v, ref));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- factory
+
+TEST(GarFactory, KnowsAllNames) {
+  for (const std::string& name : gg::gar_names()) {
+    const std::size_t f = name == "average" ? 0 : 1;
+    gg::GarPtr gar = gg::make_gar(name, gg::gar_min_n(name, f), f);
+    EXPECT_EQ(gar->name(), name);
+  }
+}
+
+TEST(GarFactory, UnknownNameThrows) {
+  EXPECT_THROW((void)gg::make_gar("resilient_mean_9000", 5, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)gg::gar_min_n("nope", 1), std::invalid_argument);
+}
+
+TEST(GarFactory, EnforcesResiliencePreconditions) {
+  EXPECT_THROW((void)gg::make_gar("median", 2, 1), std::invalid_argument);
+  EXPECT_NO_THROW((void)gg::make_gar("median", 3, 1));
+  EXPECT_THROW((void)gg::make_gar("krum", 4, 1), std::invalid_argument);
+  EXPECT_NO_THROW((void)gg::make_gar("krum", 5, 1));
+  EXPECT_THROW((void)gg::make_gar("bulyan", 6, 1), std::invalid_argument);
+  EXPECT_NO_THROW((void)gg::make_gar("bulyan", 7, 1));
+  EXPECT_THROW((void)gg::make_gar("mda", 2, 1), std::invalid_argument);
+  EXPECT_THROW((void)gg::make_gar("trimmed_mean", 2, 1),
+               std::invalid_argument);
+}
+
+TEST(Gar, RejectsWrongInputCountAndRaggedDimensions) {
+  gg::GarPtr avg = gg::make_gar("average", 3, 0);
+  std::vector<FlatVector> two = {{1, 2}, {3, 4}};
+  EXPECT_THROW((void)avg->aggregate(two), std::invalid_argument);
+  std::vector<FlatVector> ragged = {{1, 2}, {3, 4}, {5}};
+  EXPECT_THROW((void)avg->aggregate(ragged), std::invalid_argument);
+  std::vector<FlatVector> empty = {{}, {}, {}};
+  EXPECT_THROW((void)avg->aggregate(empty), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- average
+
+TEST(AverageGar, ComputesMean) {
+  gg::GarPtr gar = gg::make_gar("average", 3, 0);
+  std::vector<FlatVector> in = {{0, 3}, {3, 3}, {6, 3}};
+  FlatVector out = gar->aggregate(in);
+  EXPECT_FLOAT_EQ(out[0], 3.0F);
+  EXPECT_FLOAT_EQ(out[1], 3.0F);
+}
+
+// -------------------------------------------------------------- median
+
+TEST(MedianGar, OddCountExactMedian) {
+  gg::GarPtr gar = gg::make_gar("median", 5, 2);
+  std::vector<FlatVector> in = {{1}, {9}, {5}, {3}, {7}};
+  EXPECT_FLOAT_EQ(gar->aggregate(in)[0], 5.0F);
+}
+
+TEST(MedianGar, EvenCountAveragesMiddles) {
+  gg::GarPtr gar = gg::make_gar("median", 4, 1);
+  std::vector<FlatVector> in = {{1}, {2}, {3}, {10}};
+  EXPECT_FLOAT_EQ(gar->aggregate(in)[0], 2.5F);
+}
+
+TEST(MedianGar, ThreeInputsUsesBranchlessPath) {
+  gg::GarPtr gar = gg::make_gar("median", 3, 1);
+  std::vector<FlatVector> in = {{5, -1}, {1, 0}, {3, 7}};
+  FlatVector out = gar->aggregate(in);
+  EXPECT_FLOAT_EQ(out[0], 3.0F);
+  EXPECT_FLOAT_EQ(out[1], 0.0F);
+}
+
+TEST(MedianGar, CoordinateWiseIndependence) {
+  gg::GarPtr gar = gg::make_gar("median", 3, 1);
+  std::vector<FlatVector> in = {{1, 100}, {2, 50}, {3, 0}};
+  FlatVector out = gar->aggregate(in);
+  EXPECT_FLOAT_EQ(out[0], 2.0F);
+  EXPECT_FLOAT_EQ(out[1], 50.0F);
+}
+
+TEST(MedianGar, IgnoresFExtremes) {
+  gg::GarPtr gar = gg::make_gar("median", 5, 2);
+  std::vector<FlatVector> in = {{1.0F}, {1.1F}, {0.9F}, {1e9F}, {-1e9F}};
+  EXPECT_NEAR(gar->aggregate(in)[0], 1.0F, 0.2F);
+}
+
+// --------------------------------------------------------- trimmed mean
+
+TEST(TrimmedMeanGar, DropsExtremes) {
+  gg::GarPtr gar = gg::make_gar("trimmed_mean", 5, 1);
+  std::vector<FlatVector> in = {{2}, {4}, {6}, {100}, {-100}};
+  EXPECT_FLOAT_EQ(gar->aggregate(in)[0], 4.0F);  // mean of {2,4,6}
+}
+
+TEST(TrimmedMeanGar, FZeroIsPlainMean) {
+  gg::GarPtr gar = gg::make_gar("trimmed_mean", 3, 0);
+  std::vector<FlatVector> in = {{1}, {2}, {9}};
+  EXPECT_FLOAT_EQ(gar->aggregate(in)[0], 4.0F);
+}
+
+// ------------------------------------------------------------------ krum
+
+TEST(KrumGar, ReturnsOneOfTheInputs) {
+  gt::Rng rng(1);
+  auto in = honest_cloud(7, 5, rng);
+  gg::GarPtr gar = gg::make_gar("krum", 7, 2);
+  FlatVector out = gar->aggregate(in);
+  bool is_input = false;
+  for (const auto& v : in) {
+    if (v == out) is_input = true;
+  }
+  EXPECT_TRUE(is_input);
+}
+
+TEST(KrumGar, PicksFromTheDenseCluster) {
+  // 5 vectors near 0, 2 outliers far away: Krum must select a cluster one.
+  std::vector<FlatVector> in = {{0.0F, 0.1F}, {0.1F, 0.0F},  {-0.1F, 0.0F},
+                                {0.0F, -0.1F}, {0.05F, 0.05F}, {50.0F, 50.0F},
+                                {-50.0F, 50.0F}};
+  gg::GarPtr gar = gg::make_gar("krum", 7, 2);
+  FlatVector out = gar->aggregate(in);
+  EXPECT_LT(std::abs(out[0]), 1.0F);
+  EXPECT_LT(std::abs(out[1]), 1.0F);
+}
+
+TEST(MultiKrumGar, AveragesSelectionSet) {
+  gt::Rng rng(2);
+  auto in = honest_cloud(9, 4, rng, 2.0F, 0.05F);
+  // Two adversarial inputs far away.
+  in[7].assign(4, 1000.0F);
+  in[8].assign(4, -1000.0F);
+  gg::GarPtr gar = gg::make_gar("multi_krum", 9, 2);
+  FlatVector out = gar->aggregate(in);
+  EXPECT_LT(distance_to_center(out, 2.0F), 0.5);
+}
+
+TEST(MultiKrumGar, MatchesManualSelectionSize) {
+  gg::MultiKrum mk(9, 2);
+  EXPECT_EQ(mk.m(), 5u);  // n - f - 2
+}
+
+// ------------------------------------------------------------------- mda
+
+TEST(MdaGar, AveragesMinimumDiameterSubset) {
+  // 3 tight vectors + 1 outlier, f = 1: subset of size 3 with min diameter
+  // is the tight cluster, so the aggregate is its mean.
+  std::vector<FlatVector> in = {{1.0F}, {1.2F}, {0.8F}, {100.0F}};
+  gg::GarPtr gar = gg::make_gar("mda", 4, 1);
+  EXPECT_NEAR(gar->aggregate(in)[0], 1.0F, 1e-5F);
+}
+
+TEST(MdaGar, ExactSubsetChoice) {
+  // Constructed so the minimum-diameter 2-subset is {10.0, 10.4}, not the
+  // pair containing 9.0.
+  std::vector<FlatVector> in = {{9.0F}, {10.0F}, {10.4F}};
+  gg::GarPtr gar = gg::make_gar("mda", 3, 1);
+  EXPECT_NEAR(gar->aggregate(in)[0], 10.2F, 1e-5F);
+}
+
+TEST(MdaGar, FZeroAveragesEverything) {
+  std::vector<FlatVector> in = {{2.0F}, {4.0F}, {9.0F}};
+  gg::GarPtr gar = gg::make_gar("mda", 3, 0);
+  EXPECT_FLOAT_EQ(gar->aggregate(in)[0], 5.0F);
+}
+
+// ---------------------------------------------------------------- bulyan
+
+TEST(BulyanGar, SurvivesCoordinateAttack) {
+  // 7 inputs, f = 1. Adversary poisons a single coordinate massively (the
+  // attack Bulyan was designed against).
+  gt::Rng rng(3);
+  auto in = honest_cloud(7, 6, rng, 1.0F, 0.05F);
+  in[6] = FlatVector(6, 1.0F);
+  in[6][3] = 1e6F;  // hidden single-coordinate poison
+  gg::GarPtr gar = gg::make_gar("bulyan", 7, 1);
+  FlatVector out = gar->aggregate(in);
+  EXPECT_LT(std::abs(out[3] - 1.0F), 0.5F);
+}
+
+TEST(BulyanGar, CleanInputsStayNearMean) {
+  gt::Rng rng(4);
+  auto in = honest_cloud(7, 8, rng, -3.0F, 0.02F);
+  gg::GarPtr gar = gg::make_gar("bulyan", 7, 1);
+  EXPECT_LT(distance_to_center(gar->aggregate(in), -3.0F), 0.3);
+}
+
+// --------------------------------------------------------- median3 (§4.3)
+
+TEST(Median3, ExhaustiveOverPermutations) {
+  const float vals[3] = {-2.5F, 0.0F, 7.25F};
+  int perm[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                    {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  for (auto& p : perm) {
+    auto sorted =
+        gg::sort3_branchless(vals[p[0]], vals[p[1]], vals[p[2]]);
+    EXPECT_FLOAT_EQ(sorted[0], -2.5F);
+    EXPECT_FLOAT_EQ(sorted[1], 0.0F);
+    EXPECT_FLOAT_EQ(sorted[2], 7.25F);
+    EXPECT_FLOAT_EQ(
+        gg::median3_branchless(vals[p[0]], vals[p[1]], vals[p[2]]), 0.0F);
+  }
+}
+
+TEST(Median3, HandlesTies) {
+  EXPECT_FLOAT_EQ(gg::median3_branchless(1.0F, 1.0F, 5.0F), 1.0F);
+  EXPECT_FLOAT_EQ(gg::median3_branchless(5.0F, 1.0F, 1.0F), 1.0F);
+  EXPECT_FLOAT_EQ(gg::median3_branchless(2.0F, 2.0F, 2.0F), 2.0F);
+}
+
+TEST(Median3, RandomAgreesWithSort) {
+  gt::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    float a = rng.normal(), b = rng.normal(), c = rng.normal();
+    std::array<float, 3> v{a, b, c};
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(gg::median3_branchless(a, b, c), v[1]);
+  }
+}
+
+// -------------------------------------------------- property: robustness
+
+struct RobustCase {
+  std::string gar;
+  std::size_t n;
+  std::size_t f;
+};
+
+class GarRobustness : public ::testing::TestWithParam<RobustCase> {};
+
+/// With f adversarial vectors at +/-10^4 and honest vectors near `center`,
+/// every Byzantine-resilient GAR must output something near `center`.
+TEST_P(GarRobustness, BoundedDeviationUnderOutliers) {
+  const RobustCase& c = GetParam();
+  gt::Rng rng(7);
+  const std::size_t d = 24;
+  auto in = honest_cloud(c.n, d, rng, 1.0F, 0.1F);
+  for (std::size_t k = 0; k < c.f; ++k) {
+    const float sign = (k % 2 == 0) ? 1.0F : -1.0F;
+    in[c.n - 1 - k].assign(d, sign * 1e4F);
+  }
+  gg::GarPtr gar = gg::make_gar(c.gar, c.n, c.f);
+  FlatVector out = gar->aggregate(in);
+  EXPECT_LT(distance_to_center(out, 1.0F), 1.0)
+      << c.gar << " n=" << c.n << " f=" << c.f;
+}
+
+/// GARs must be invariant to the order in which replies arrive (the paper's
+/// collect keeps the *fastest* q — arrival order is adversarial).
+TEST_P(GarRobustness, PermutationInvariant) {
+  const RobustCase& c = GetParam();
+  gt::Rng rng(8);
+  const std::size_t d = 12;
+  auto in = honest_cloud(c.n, d, rng, 0.0F, 1.0F);
+  gg::GarPtr gar = gg::make_gar(c.gar, c.n, c.f);
+  FlatVector base = gar->aggregate(in);
+  std::reverse(in.begin(), in.end());
+  FlatVector reversed = gar->aggregate(in);
+  for (std::size_t j = 0; j < d; ++j) EXPECT_FLOAT_EQ(base[j], reversed[j]);
+}
+
+/// Aggregating n identical vectors must return that vector (idempotence).
+TEST_P(GarRobustness, IdempotentOnIdenticalInputs) {
+  const RobustCase& c = GetParam();
+  const std::size_t d = 9;
+  FlatVector v(d);
+  for (std::size_t j = 0; j < d; ++j) v[j] = float(j) - 4.0F;
+  std::vector<FlatVector> in(c.n, v);
+  gg::GarPtr gar = gg::make_gar(c.gar, c.n, c.f);
+  FlatVector out = gar->aggregate(in);
+  for (std::size_t j = 0; j < d; ++j) EXPECT_NEAR(out[j], v[j], 1e-5F);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGars, GarRobustness,
+    ::testing::Values(RobustCase{"median", 5, 2}, RobustCase{"median", 9, 3},
+                      RobustCase{"trimmed_mean", 7, 2},
+                      RobustCase{"krum", 7, 2}, RobustCase{"krum", 9, 3},
+                      RobustCase{"multi_krum", 7, 2},
+                      RobustCase{"multi_krum", 11, 4},
+                      RobustCase{"mda", 7, 2}, RobustCase{"mda", 9, 3},
+                      RobustCase{"bulyan", 7, 1}, RobustCase{"bulyan", 11, 2}),
+    [](const ::testing::TestParamInfo<RobustCase>& info) {
+      return info.param.gar + "_n" + std::to_string(info.param.n) + "_f" +
+             std::to_string(info.param.f);
+    });
+
+// --------------------------------------- property: dimension scalability
+
+class GarDimensions : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GarDimensions, AllGarsHandleDimension) {
+  const std::size_t d = GetParam();
+  gt::Rng rng(9);
+  const std::size_t n = 7, f = 1;
+  auto in = honest_cloud(n, d, rng, 0.5F, 0.1F);
+  for (const std::string& name : gg::gar_names()) {
+    gg::GarPtr gar = gg::make_gar(name, n, name == "average" ? 0 : f);
+    FlatVector out = gar->aggregate(in);
+    ASSERT_EQ(out.size(), d) << name;
+    EXPECT_TRUE(gt::all_finite(out)) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, GarDimensions,
+                         ::testing::Values(1, 2, 63, 64, 65, 1000, 100000));

@@ -1,0 +1,216 @@
+// Tests for garfield::net — thread pool, pull-RPC, fastest-q collection,
+// crash and straggler injection, traffic accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "net/cluster.h"
+#include "net/thread_pool.h"
+
+namespace gn = garfield::net;
+using namespace std::chrono_literals;
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  gn::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (count.load() < 100 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  gn::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+namespace {
+
+gn::Cluster::Options small_cluster(std::size_t n) {
+  gn::Cluster::Options opts;
+  opts.nodes = n;
+  return opts;
+}
+
+/// Register an echo handler that replies with a constant payload.
+void serve_constant(gn::Cluster& cluster, gn::NodeId node, float value,
+                    std::size_t d = 4) {
+  cluster.register_handler(node, "echo",
+                           [value, d](const gn::Request&) {
+                             return gn::Payload(d, value);
+                           });
+}
+
+}  // namespace
+
+TEST(Cluster, RejectsZeroNodes) {
+  gn::Cluster::Options opts;
+  opts.nodes = 0;
+  EXPECT_THROW(gn::Cluster cluster(opts), std::invalid_argument);
+}
+
+TEST(Cluster, SingleCallRoundTrip) {
+  gn::Cluster cluster(small_cluster(2));
+  serve_constant(cluster, 1, 7.0F);
+  std::promise<std::optional<gn::Payload>> done;
+  cluster.call(0, 1, "echo", 0, nullptr,
+               [&done](std::optional<gn::Payload> p) {
+                 done.set_value(std::move(p));
+               });
+  auto result = done.get_future().get();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FLOAT_EQ((*result)[0], 7.0F);
+}
+
+TEST(Cluster, UnknownMethodYieldsNoReply) {
+  gn::Cluster cluster(small_cluster(2));
+  std::promise<std::optional<gn::Payload>> done;
+  cluster.call(0, 1, "nope", 0, nullptr,
+               [&done](std::optional<gn::Payload> p) {
+                 done.set_value(std::move(p));
+               });
+  EXPECT_FALSE(done.get_future().get().has_value());
+}
+
+TEST(Cluster, RequestCarriesArgumentAndIteration) {
+  gn::Cluster cluster(small_cluster(2));
+  cluster.register_handler(1, "probe", [](const gn::Request& req) {
+    EXPECT_EQ(req.from, 0u);
+    EXPECT_EQ(req.to, 1u);
+    EXPECT_EQ(req.iteration, 42u);
+    EXPECT_TRUE(req.argument);
+    return gn::Payload{float(req.argument->at(0) * 2)};
+  });
+  auto arg = std::make_shared<const gn::Payload>(gn::Payload{21.0F});
+  std::promise<std::optional<gn::Payload>> done;
+  cluster.call(0, 1, "probe", 42, arg,
+               [&done](std::optional<gn::Payload> p) {
+                 done.set_value(std::move(p));
+               });
+  auto result = done.get_future().get();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FLOAT_EQ((*result)[0], 42.0F);
+}
+
+TEST(Cluster, CollectReturnsQFastest) {
+  gn::Cluster cluster(small_cluster(5));
+  for (gn::NodeId i = 1; i < 5; ++i) serve_constant(cluster, i, float(i));
+  std::vector<gn::NodeId> peers{1, 2, 3, 4};
+  auto replies = cluster.collect(0, peers, "echo", 0, nullptr, 3);
+  EXPECT_EQ(replies.size(), 3u);
+}
+
+TEST(Cluster, CollectAllWhenQEqualsN) {
+  gn::Cluster cluster(small_cluster(4));
+  for (gn::NodeId i = 1; i < 4; ++i) serve_constant(cluster, i, float(i));
+  std::vector<gn::NodeId> peers{1, 2, 3};
+  auto replies = cluster.collect(0, peers, "echo", 0, nullptr, 3);
+  EXPECT_EQ(replies.size(), 3u);
+}
+
+TEST(Cluster, CollectRejectsOversizedQuorum) {
+  gn::Cluster cluster(small_cluster(3));
+  std::vector<gn::NodeId> peers{1, 2};
+  EXPECT_THROW((void)cluster.collect(0, peers, "echo", 0, nullptr, 3),
+               std::invalid_argument);
+}
+
+TEST(Cluster, CrashedNodeNeverReplies) {
+  gn::Cluster cluster(small_cluster(4));
+  for (gn::NodeId i = 1; i < 4; ++i) serve_constant(cluster, i, float(i));
+  cluster.crash(2);
+  EXPECT_TRUE(cluster.is_crashed(2));
+  std::vector<gn::NodeId> peers{1, 2, 3};
+  // q = 2 is satisfiable by the two live nodes.
+  auto replies = cluster.collect(0, peers, "echo", 0, nullptr, 2);
+  EXPECT_EQ(replies.size(), 2u);
+  for (const auto& r : replies) EXPECT_NE(r.from, 2u);
+}
+
+TEST(Cluster, CollectTimesOutGracefullyWhenQuorumImpossible) {
+  gn::Cluster cluster(small_cluster(3));
+  serve_constant(cluster, 1, 1.0F);
+  cluster.crash(2);
+  std::vector<gn::NodeId> peers{1, 2};
+  // q = 2 but only one live replier: returns 1 reply once both callbacks
+  // resolved (crashed responds nullopt), well before the deadline.
+  auto replies = cluster.collect(0, peers, "echo", 0, nullptr, 2, 2s);
+  EXPECT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].from, 1u);
+}
+
+TEST(Cluster, StragglersLoseTheRace) {
+  gn::Cluster cluster(small_cluster(4));
+  for (gn::NodeId i = 1; i < 4; ++i) serve_constant(cluster, i, float(i));
+  cluster.set_straggler_lag(1, 300ms);
+  std::vector<gn::NodeId> peers{1, 2, 3};
+  auto replies = cluster.collect(0, peers, "echo", 0, nullptr, 2);
+  ASSERT_EQ(replies.size(), 2u);
+  for (const auto& r : replies) EXPECT_NE(r.from, 1u);
+}
+
+TEST(Cluster, HandlerMayDeclineToReply) {
+  gn::Cluster cluster(small_cluster(2));
+  cluster.register_handler(1, "maybe", [](const gn::Request&) {
+    return std::optional<gn::Payload>{};  // Byzantine "dropped"
+  });
+  std::promise<std::optional<gn::Payload>> done;
+  cluster.call(0, 1, "maybe", 0, nullptr,
+               [&done](std::optional<gn::Payload> p) {
+                 done.set_value(std::move(p));
+               });
+  EXPECT_FALSE(done.get_future().get().has_value());
+}
+
+TEST(Cluster, StatsCountTraffic) {
+  gn::Cluster cluster(small_cluster(3));
+  serve_constant(cluster, 1, 1.0F, 10);
+  serve_constant(cluster, 2, 2.0F, 10);
+  auto arg = std::make_shared<const gn::Payload>(gn::Payload(5, 0.0F));
+  std::vector<gn::NodeId> peers{1, 2};
+  (void)cluster.collect(0, peers, "echo", 0, arg, 2);
+  const gn::NetStats stats = cluster.stats();
+  EXPECT_EQ(stats.requests_sent, 2u);
+  EXPECT_EQ(stats.replies_received, 2u);
+  // 2 requests x 5 floats + 2 replies x 10 floats.
+  EXPECT_EQ(stats.floats_transferred, 30u);
+}
+
+TEST(Cluster, ConcurrentCollectsDoNotInterfere) {
+  gn::Cluster cluster(small_cluster(6));
+  for (gn::NodeId i = 1; i < 6; ++i) serve_constant(cluster, i, float(i));
+  std::vector<gn::NodeId> peers{1, 2, 3, 4, 5};
+  std::atomic<int> total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cluster, &peers, &total] {
+      for (int k = 0; k < 20; ++k) {
+        auto replies =
+            cluster.collect(0, peers, "echo", std::uint64_t(k), nullptr, 3);
+        total.fetch_add(int(replies.size()));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(total.load(), 4 * 20 * 3);
+}
+
+TEST(Cluster, LatencyAndJitterDelayDelivery) {
+  gn::Cluster::Options opts;
+  opts.nodes = 2;
+  opts.base_latency = 50ms;
+  gn::Cluster cluster(opts);
+  serve_constant(cluster, 1, 1.0F);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<gn::NodeId> peers{1};
+  (void)cluster.collect(0, peers, "echo", 0, nullptr, 1);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, 45ms);
+}

@@ -1,0 +1,104 @@
+// Tests for the measure_variance tool (§3.1) and the Delta coefficients.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gars/variance.h"
+#include "nn/zoo.h"
+
+namespace gg = garfield::gars;
+namespace gt = garfield::tensor;
+namespace gd = garfield::data;
+
+TEST(VarianceDelta, MatchesClosedForms) {
+  // Median: sqrt(n - f).
+  EXPECT_DOUBLE_EQ(gg::variance_delta("median", 10, 2), std::sqrt(8.0));
+  // MDA: 2 sqrt(2f / (n - f)).
+  EXPECT_DOUBLE_EQ(gg::variance_delta("mda", 10, 2),
+                   2.0 * std::sqrt(4.0 / 8.0));
+  // Krum: sqrt(2 (n-f + (f(n-f-2) + f^2(n-f-1)) / (n-2f-2))).
+  const double inner = 8.0 + (2.0 * 6.0 + 4.0 * 7.0) / 4.0;
+  EXPECT_DOUBLE_EQ(gg::variance_delta("krum", 10, 2),
+                   std::sqrt(2.0 * inner));
+  EXPECT_EQ(gg::variance_delta("multi_krum", 10, 2),
+            gg::variance_delta("krum", 10, 2));
+}
+
+TEST(VarianceDelta, KrumDegenerateDenominator) {
+  // n = 2f + 2 makes the denominator zero: the bound is vacuous (inf).
+  EXPECT_TRUE(std::isinf(gg::variance_delta("krum", 6, 2)));
+}
+
+TEST(VarianceDelta, UnknownGarThrows) {
+  EXPECT_THROW((void)gg::variance_delta("average", 5, 1),
+               std::invalid_argument);
+}
+
+TEST(VarianceDelta, MdaIsWeakestAssumption) {
+  // §3.1: MDA's variance assumption is weaker than Krum's and Median's,
+  // i.e. its Delta is the smallest for the same (n, f).
+  for (std::size_t n : {7, 11, 15}) {
+    for (std::size_t f : {1, 2}) {
+      const double mda = gg::variance_delta("mda", n, f);
+      EXPECT_LT(mda, gg::variance_delta("krum", n, f));
+      EXPECT_LT(mda, gg::variance_delta("median", n, f));
+    }
+  }
+}
+
+TEST(MeasureVariance, ReportsAllGars) {
+  gt::Rng rng(1);
+  auto model = garfield::nn::make_model("tiny_mlp", rng);
+  gd::Dataset train = gd::make_cluster_dataset({16}, 10, 512, rng, 0.8F);
+  gg::VarianceSetup setup;
+  setup.n = 8;
+  setup.f = 2;
+  setup.steps = 5;
+  setup.batch_size = 16;
+  setup.huge_batch = 512;
+  gg::VarianceReport report = gg::measure_variance(*model, train, setup);
+  EXPECT_EQ(report.steps, 5u);
+  ASSERT_EQ(report.stats.size(), 3u);
+  for (const auto& stat : report.stats) {
+    EXPECT_GE(stat.fraction_satisfied, 0.0);
+    EXPECT_LE(stat.fraction_satisfied, 1.0);
+    EXPECT_GT(stat.mean_ratio, 0.0);
+    EXPECT_LE(stat.min_ratio, stat.mean_ratio);
+  }
+  EXPECT_NO_THROW((void)report.for_gar("mda"));
+  EXPECT_THROW((void)report.for_gar("bulyan"), std::invalid_argument);
+}
+
+TEST(MeasureVariance, LargerBatchSatisfiesConditionMoreOften) {
+  // The condition compares gradient noise to gradient norm; bigger worker
+  // batches reduce noise, so the satisfaction ratio must not get worse.
+  gt::Rng rng(2);
+  auto model_small = garfield::nn::make_model("tiny_mlp", rng);
+  gt::Rng rng2(2);
+  auto model_big = garfield::nn::make_model("tiny_mlp", rng2);
+  gd::Dataset train = gd::make_cluster_dataset({16}, 10, 1024, rng, 1.0F);
+
+  gg::VarianceSetup small;
+  small.n = 8;
+  small.f = 2;
+  small.steps = 8;
+  small.batch_size = 4;
+  small.huge_batch = 1024;
+  gg::VarianceSetup big = small;
+  big.batch_size = 128;
+
+  const auto rs = gg::measure_variance(*model_small, train, small);
+  const auto rb = gg::measure_variance(*model_big, train, big);
+  EXPECT_GE(rb.for_gar("mda").mean_ratio, rs.for_gar("mda").mean_ratio);
+}
+
+TEST(MeasureVariance, RequiresMoreWorkersThanByzantine) {
+  gt::Rng rng(3);
+  auto model = garfield::nn::make_model("tiny_mlp", rng);
+  gd::Dataset train = gd::make_cluster_dataset({16}, 10, 128, rng, 1.0F);
+  gg::VarianceSetup bad;
+  bad.n = 2;
+  bad.f = 2;
+  EXPECT_THROW((void)gg::measure_variance(*model, train, bad),
+               std::invalid_argument);
+}
