@@ -7,6 +7,7 @@
 // the message cost of each extra round, and the resulting accuracy.
 #include <cstdio>
 
+#include "bench_support.h"
 #include "core/trainer.h"
 
 int main() {
@@ -35,7 +36,7 @@ int main() {
     cfg.eval_every = 0;
     cfg.alignment_every = 20;  // drift probe cadence
     cfg.seed = 11;
-    const TrainResult result = train(cfg);
+    const TrainResult result = train(garfield::bench::smoke(cfg));
     double drift = 0.0;
     for (const AlignmentSample& a : result.alignment) drift += a.max_diff1;
     if (!result.alignment.empty()) drift /= double(result.alignment.size());

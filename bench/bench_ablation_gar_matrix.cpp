@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_support.h"
 #include "core/trainer.h"
 
 int main() {
@@ -48,7 +49,7 @@ int main() {
       cfg.seed = 13;
       try {
         cfg.validate();
-        std::printf("%-12.3f", train(cfg).final_accuracy);
+        std::printf("%-12.3f", train(garfield::bench::smoke(cfg)).final_accuracy);
       } catch (const std::exception&) {
         std::printf("%-12s", "n/a");
       }

@@ -9,6 +9,7 @@
 // satisfaction ratio at both settings.
 #include <cstdio>
 
+#include "bench_support.h"
 #include "core/trainer.h"
 #include "data/dataset.h"
 #include "gars/variance.h"
@@ -34,7 +35,7 @@ double run(float momentum, const char* attack) {
   cfg.iterations = 200;
   cfg.eval_every = 0;
   cfg.seed = 29;
-  return train(cfg).final_accuracy;
+  return train(garfield::bench::smoke(cfg)).final_accuracy;
 }
 
 }  // namespace

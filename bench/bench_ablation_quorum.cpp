@@ -7,6 +7,7 @@
 //  - latency: larger quorums wait deeper into the straggler tail.
 #include <cstdio>
 
+#include "bench_support.h"
 #include "core/trainer.h"
 #include "sim/deployment_sim.h"
 #include "sim/model_spec.h"
@@ -37,7 +38,7 @@ int main() {
     cfg.iterations = 150;
     cfg.eval_every = 0;
     cfg.seed = 17;
-    const TrainResult result = train(cfg);
+    const TrainResult result = train(garfield::bench::smoke(cfg));
 
     gs::SimSetup sim;
     sim.deployment = gs::SimDeployment::kSsmw;

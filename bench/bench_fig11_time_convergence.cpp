@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_support.h"
 #include "core/trainer.h"
 #include "sim/deployment_sim.h"
 #include "sim/model_spec.h"
@@ -63,7 +64,7 @@ int main() {
   {
     DeploymentConfig c = cfg;
     c.deployment = Deployment::kVanilla;
-    rows.push_back({"vanilla", train(c),
+    rows.push_back({"vanilla", train(garfield::bench::smoke(c)),
                     iteration_latency(gs::SimDeployment::kVanilla, true)});
   }
   {
@@ -71,7 +72,7 @@ int main() {
     c.deployment = Deployment::kCrashTolerant;
     c.nps = 3;
     rows.push_back(
-        {"crash_tolerant", train(c),
+        {"crash_tolerant", train(garfield::bench::smoke(c)),
          iteration_latency(gs::SimDeployment::kCrashTolerant, false)});
   }
   {
@@ -79,7 +80,7 @@ int main() {
     c.deployment = Deployment::kSsmw;
     c.fw = 1;
     c.gradient_gar = "multi_krum";
-    rows.push_back({"garfield_ssmw", train(c),
+    rows.push_back({"garfield_ssmw", train(garfield::bench::smoke(c)),
                     iteration_latency(gs::SimDeployment::kSsmw, false)});
   }
   {
@@ -90,7 +91,7 @@ int main() {
     c.fps = 0;
     c.gradient_gar = "multi_krum";
     c.model_gar = "median";
-    rows.push_back({"garfield_msmw", train(c),
+    rows.push_back({"garfield_msmw", train(garfield::bench::smoke(c)),
                     iteration_latency(gs::SimDeployment::kMsmw, false)});
   }
 

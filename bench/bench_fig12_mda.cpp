@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_support.h"
 #include "core/trainer.h"
 #include "sim/deployment_sim.h"
 #include "sim/model_spec.h"
@@ -59,14 +60,14 @@ int main() {
   {
     DeploymentConfig c = cfg;
     c.deployment = Deployment::kVanilla;
-    rows.push_back({"vanilla", train(c),
+    rows.push_back({"vanilla", train(garfield::bench::smoke(c)),
                     latency(gs::SimDeployment::kVanilla, true, "average")});
   }
   {
     DeploymentConfig c = cfg;
     c.deployment = Deployment::kCrashTolerant;
     c.nps = 3;
-    rows.push_back({"crash_tolerant", train(c),
+    rows.push_back({"crash_tolerant", train(garfield::bench::smoke(c)),
                     latency(gs::SimDeployment::kCrashTolerant, false,
                             "average")});
   }
@@ -79,7 +80,7 @@ int main() {
     c.fps = 0;
     c.gradient_gar = "mda";
     c.model_gar = "mda";
-    rows.push_back({"garfield_mda", train(c),
+    rows.push_back({"garfield_mda", train(garfield::bench::smoke(c)),
                     latency(gs::SimDeployment::kMsmw, false, "mda")});
   }
 

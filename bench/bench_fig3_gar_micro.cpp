@@ -10,6 +10,7 @@
 // linear in d, Krum-family quadratic in n).
 #include <benchmark/benchmark.h>
 
+#include "bench_support.h"
 #include "gars/gar.h"
 #include "tensor/rng.h"
 
@@ -45,6 +46,21 @@ void run_gar(benchmark::State& state, const std::string& name) {
 void register_all() {
   const std::vector<std::string> gars = {"average", "median", "multi_krum",
                                          "mda", "bulyan"};
+  // Smoke mode (ctest bench-smoke): one tiny point per GAR and panel so the
+  // registration + aggregation path runs in milliseconds.
+  if (garfield::bench::smoke_mode()) {
+    for (const auto& g : gars) {
+      for (const char* panel : {"fig3a/", "fig3b/"}) {
+        benchmark::RegisterBenchmark(
+            (panel + g).c_str(),
+            [g](benchmark::State& s) { run_gar(s, g); })
+            ->Args({7, 1'000})
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+    return;
+  }
   // Fig 3a: n sweep at fixed d (paper: d = 1e7; scaled to 1e6 to keep the
   // CPU sweep minutes, the n-shape is unchanged).
   for (const auto& g : gars) {

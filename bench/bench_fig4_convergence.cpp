@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_support.h"
 #include "core/trainer.h"
 
 namespace {
@@ -63,14 +64,14 @@ int main() {
     DeploymentConfig cfg = task("tiny_mlp", 300);
     cfg.deployment = Deployment::kVanilla;
     cfg.nw = 9;
-    panel_a.emplace_back("vanilla", train(cfg));
+    panel_a.emplace_back("vanilla", train(garfield::bench::smoke(cfg)));
   }
   {
     DeploymentConfig cfg = task("tiny_mlp", 300);
     cfg.deployment = Deployment::kCrashTolerant;
     cfg.nw = 9;
     cfg.nps = 3;
-    panel_a.emplace_back("crash_tolerant", train(cfg));
+    panel_a.emplace_back("crash_tolerant", train(garfield::bench::smoke(cfg)));
   }
   {
     DeploymentConfig cfg = task("tiny_mlp", 300);
@@ -78,7 +79,7 @@ int main() {
     cfg.nw = 9;
     cfg.fw = 1;
     cfg.gradient_gar = "multi_krum";
-    panel_a.emplace_back("ssmw", train(cfg));
+    panel_a.emplace_back("ssmw", train(garfield::bench::smoke(cfg)));
   }
   {
     // AggregaThor's architecture: SSMW + Multi-Krum, synchronous network.
@@ -88,7 +89,7 @@ int main() {
     cfg.fw = 2;
     cfg.gradient_gar = "multi_krum";
     cfg.asynchronous = false;
-    panel_a.emplace_back("aggregathor", train(cfg));
+    panel_a.emplace_back("aggregathor", train(garfield::bench::smoke(cfg)));
   }
   {
     DeploymentConfig cfg = task("tiny_mlp", 300);
@@ -99,7 +100,7 @@ int main() {
     cfg.fps = 0;
     cfg.gradient_gar = "multi_krum";
     cfg.model_gar = "median";
-    panel_a.emplace_back("msmw", train(cfg));
+    panel_a.emplace_back("msmw", train(garfield::bench::smoke(cfg)));
   }
   {
     DeploymentConfig cfg = task("tiny_mlp", 300);
@@ -108,7 +109,7 @@ int main() {
     cfg.fw = 1;
     cfg.gradient_gar = "median";
     cfg.model_gar = "median";
-    panel_a.emplace_back("decentralized", train(cfg));
+    panel_a.emplace_back("decentralized", train(garfield::bench::smoke(cfg)));
   }
   print_panel("Fig 4a — convergence, CifarNet-class task (accuracy vs iteration)",
               panel_a);
@@ -119,14 +120,14 @@ int main() {
     DeploymentConfig cfg = task("mnist_cnn", 200);
     cfg.deployment = Deployment::kVanilla;
     cfg.nw = 10;
-    panel_b.emplace_back("vanilla", train(cfg));
+    panel_b.emplace_back("vanilla", train(garfield::bench::smoke(cfg)));
   }
   {
     DeploymentConfig cfg = task("mnist_cnn", 200);
     cfg.deployment = Deployment::kCrashTolerant;
     cfg.nw = 10;
     cfg.nps = 3;
-    panel_b.emplace_back("crash_tolerant", train(cfg));
+    panel_b.emplace_back("crash_tolerant", train(garfield::bench::smoke(cfg)));
   }
   {
     // The paper's PyTorch variant: Multi-Krum under network synchrony.
@@ -136,7 +137,7 @@ int main() {
     cfg.fw = 3;
     cfg.gradient_gar = "multi_krum";
     cfg.asynchronous = false;
-    panel_b.emplace_back("ssmw", train(cfg));
+    panel_b.emplace_back("ssmw", train(garfield::bench::smoke(cfg)));
   }
   {
     // The paper's TensorFlow variant: Bulyan under asynchrony
@@ -150,7 +151,7 @@ int main() {
     cfg.gradient_gar = "bulyan";
     cfg.model_gar = "median";
     cfg.asynchronous = true;
-    panel_b.emplace_back("msmw", train(cfg));
+    panel_b.emplace_back("msmw", train(garfield::bench::smoke(cfg)));
   }
   {
     DeploymentConfig cfg = task("mnist_cnn", 200);
@@ -159,7 +160,7 @@ int main() {
     cfg.fw = 3;
     cfg.gradient_gar = "median";
     cfg.model_gar = "median";
-    panel_b.emplace_back("decentralized", train(cfg));
+    panel_b.emplace_back("decentralized", train(garfield::bench::smoke(cfg)));
   }
   print_panel("Fig 4b — convergence, larger model, asynchronous variants "
               "(accuracy vs iteration)",

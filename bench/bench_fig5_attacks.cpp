@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_support.h"
 #include "core/trainer.h"
 
 namespace {
@@ -35,13 +36,13 @@ void run_panel(const char* title, const std::string& attack) {
   {
     DeploymentConfig cfg = base(attack);
     cfg.deployment = Deployment::kVanilla;
-    rs.emplace_back("vanilla", train(cfg));
+    rs.emplace_back("vanilla", train(garfield::bench::smoke(cfg)));
   }
   {
     DeploymentConfig cfg = base(attack);
     cfg.deployment = Deployment::kCrashTolerant;
     cfg.nps = 3;
-    rs.emplace_back("crash_tolerant", train(cfg));
+    rs.emplace_back("crash_tolerant", train(garfield::bench::smoke(cfg)));
   }
   {
     DeploymentConfig cfg = base(attack);
@@ -51,7 +52,7 @@ void run_panel(const char* title, const std::string& attack) {
     cfg.server_attack = attack;  // Byzantine server too, as in the paper
     cfg.gradient_gar = "multi_krum";
     cfg.model_gar = "median";
-    rs.emplace_back("msmw", train(cfg));
+    rs.emplace_back("msmw", train(garfield::bench::smoke(cfg)));
   }
   std::printf("\n%s\n%-10s %-16s %-16s %-16s\n", title, "iteration",
               "vanilla", "crash_tolerant", "msmw");

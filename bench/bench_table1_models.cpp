@@ -25,7 +25,8 @@ int main() {
     const auto model = garfield::nn::make_model(name, rng);
     std::string shape = "{";
     for (std::size_t i = 0; i < model->input_shape().size(); ++i) {
-      shape += (i ? "," : "") + std::to_string(model->input_shape()[i]);
+      if (i) shape += ",";
+      shape += std::to_string(model->input_shape()[i]);
     }
     shape += "}";
     std::printf("%-12s %-14zu %-16s\n", name.c_str(), model->dimension(),

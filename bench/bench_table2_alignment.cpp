@@ -11,6 +11,7 @@
 // which is what the contraction argument of ByzSGD needs.
 #include <cstdio>
 
+#include "bench_support.h"
 #include "core/trainer.h"
 
 int main() {
@@ -38,7 +39,7 @@ int main() {
               "server replicas (sampled every %zu steps)\n\n",
               cfg.nps, cfg.alignment_every);
 
-  const TrainResult result = train(cfg);
+  const TrainResult result = train(garfield::bench::smoke(cfg));
 
   std::printf("%-8s %-22s %-14s %-14s\n", "Step", "cos(phi)", "max diff1",
               "max diff2");

@@ -55,7 +55,9 @@ int main(int argc, char** argv) {
   resume.checkpoint_every = 0;
   resume.iterations = 50;
   resume.eval_every = 10;
-  resume.seed = 42;  // fresh data order; only the weights carry over
+  // Keep the seed: it also synthesizes the dataset, so changing it would
+  // swap the learning task itself and fake a restart-from-scratch dip.
+  resume.seed = cfg.seed;
   const TrainResult second = train(resume);
   for (const EvalPoint& p : second.curve) {
     std::printf("  resumed iteration %3zu: accuracy %.3f\n", p.iteration,

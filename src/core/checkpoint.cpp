@@ -10,8 +10,13 @@
 namespace garfield::core {
 
 void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
-  const std::vector<std::uint8_t> blob =
+  std::vector<std::uint8_t> blob =
       net::encode(checkpoint.iteration, checkpoint.parameters);
+  if (!checkpoint.velocity.empty()) {
+    const std::vector<std::uint8_t> tail =
+        net::encode(checkpoint.iteration, checkpoint.velocity);
+    blob.insert(blob.end(), tail.begin(), tail.end());
+  }
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -36,8 +41,29 @@ Checkpoint load_checkpoint(const std::string& path) {
   std::vector<std::uint8_t> blob(static_cast<std::size_t>(size), 0);
   in.read(reinterpret_cast<char*>(blob.data()), size);
   if (!in) throw std::runtime_error("checkpoint: read failed for " + path);
-  net::WireMessage msg = net::decode(blob);
-  return Checkpoint{msg.iteration, std::move(msg.payload)};
+  const std::span<const std::uint8_t> bytes(blob);
+  const std::size_t head = net::encoded_size(bytes);
+  net::WireMessage msg = net::decode(bytes.first(head));
+  Checkpoint checkpoint{msg.iteration, std::move(msg.payload), {}};
+  if (head < bytes.size()) {
+    net::WireMessage tail = net::decode(bytes.subspan(head));
+    if (tail.iteration != checkpoint.iteration) {
+      throw net::WireError(
+          "checkpoint: velocity iteration tag mismatch (parameters at " +
+          std::to_string(checkpoint.iteration) + ", velocity at " +
+          std::to_string(tail.iteration) + ")");
+    }
+    // A mismatched velocity would be silently discarded by the optimizer's
+    // first step — fail loudly here instead, like every other corruption.
+    if (tail.payload.size() != checkpoint.parameters.size()) {
+      throw net::WireError(
+          "checkpoint: velocity dimension mismatch (" +
+          std::to_string(tail.payload.size()) + " vs " +
+          std::to_string(checkpoint.parameters.size()) + " parameters)");
+    }
+    checkpoint.velocity = std::move(tail.payload);
+  }
+  return checkpoint;
 }
 
 }  // namespace garfield::core

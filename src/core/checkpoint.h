@@ -17,6 +17,11 @@ namespace garfield::core {
 struct Checkpoint {
   std::uint64_t iteration = 0;
   tensor::FlatVector parameters;
+  /// Optimizer momentum buffer. Empty when momentum is off (or for
+  /// checkpoints written before this field existed — the on-disk format is
+  /// one wire message for the parameters optionally followed by a second
+  /// one, with a matching iteration tag, for the velocity).
+  tensor::FlatVector velocity;
 };
 
 /// Atomically write a checkpoint (temp file + rename). Throws

@@ -69,6 +69,19 @@ class Server {
   /// Snapshot of the current parameter vector.
   [[nodiscard]] net::Payload parameters() const;
 
+  /// Snapshot of the optimizer's momentum buffer (persisted in checkpoints;
+  /// empty when momentum is off or no step has run yet).
+  [[nodiscard]] tensor::FlatVector optimizer_velocity() const {
+    std::lock_guard lock(mutex_);
+    return optimizer_.velocity();
+  }
+
+  /// Reinstate a checkpointed momentum buffer (checkpoint resume).
+  void restore_optimizer_velocity(tensor::FlatVector velocity) {
+    std::lock_guard lock(mutex_);
+    optimizer_.restore_velocity(std::move(velocity));
+  }
+
   [[nodiscard]] std::uint64_t steps_taken() const;
 
   /// Payloads dropped at ingress (wrong dimension or non-finite values).

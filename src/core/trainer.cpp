@@ -196,7 +196,13 @@ void build_decentralized(Runtime& rt) {
 void maybe_resume(Runtime& rt) {
   if (rt.config.resume_from.empty()) return;
   const Checkpoint ckpt = load_checkpoint(rt.config.resume_from);
-  for (auto& server : rt.servers) server->write_model(ckpt.parameters);
+  for (auto& server : rt.servers) {
+    server->write_model(ckpt.parameters);
+    // A resumed momentum run continues with the exact saved velocity.
+    if (!ckpt.velocity.empty()) {
+      server->restore_optimizer_velocity(ckpt.velocity);
+    }
+  }
 }
 
 /// Persist the reporting server's state on the configured cadence.
@@ -205,8 +211,10 @@ void maybe_checkpoint(Runtime& rt, std::size_t server_index, std::size_t it) {
   if (cfg.checkpoint_every == 0 || cfg.checkpoint_path.empty()) return;
   if ((it + 1) % cfg.checkpoint_every != 0 && it + 1 != cfg.iterations)
     return;
-  save_checkpoint(cfg.checkpoint_path,
-                  Checkpoint{it + 1, rt.servers[server_index]->parameters()});
+  save_checkpoint(
+      cfg.checkpoint_path,
+      Checkpoint{it + 1, rt.servers[server_index]->parameters(),
+                 rt.servers[server_index]->optimizer_velocity()});
 }
 
 void maybe_eval(Runtime& rt, std::size_t server_index, std::size_t it) {

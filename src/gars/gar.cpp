@@ -85,7 +85,10 @@ GarPtr make_gar(const std::string& name, std::size_t n, std::size_t f) {
 // ---------------------------------------------------------------- Average
 
 Average::Average(std::size_t n, std::size_t f) : Gar(n, f) {
-  require(n >= 1, "average: needs at least one input");
+  // Matches gar_min_n("average", f): the mean tolerates no Byzantine input,
+  // so it at least needs more inputs than declared adversaries.
+  require(n >= gar_min_n("average", f),
+          "average: needs at least f+1 inputs");
 }
 
 FlatVector Average::aggregate(std::span<const FlatVector> inputs) const {

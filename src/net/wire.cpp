@@ -72,6 +72,27 @@ std::vector<std::uint8_t> encode(std::uint64_t iteration,
   return out;
 }
 
+std::size_t encoded_size(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize) {
+    throw WireError("wire: truncated header (" +
+                    std::to_string(bytes.size()) + " bytes)");
+  }
+  if (get_u32(bytes, 0) != kMagic) throw WireError("wire: bad magic");
+  const std::uint32_t version = get_u32(bytes, 4);
+  if (version != kVersion) {
+    throw WireError("wire: unsupported version " + std::to_string(version));
+  }
+  const std::uint64_t d = get_u64(bytes, 16);
+  // Compare in element space: computing kHeaderSize + 4*d with an untrusted
+  // 64-bit d could wrap and defeat the truncation check.
+  if (d > (bytes.size() - kHeaderSize) / 4) {
+    throw WireError("wire: truncated message (header claims " +
+                    std::to_string(d) + " elements, blob has " +
+                    std::to_string((bytes.size() - kHeaderSize) / 4) + ")");
+  }
+  return kHeaderSize + 4 * std::size_t(d);
+}
+
 WireMessage decode(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < kHeaderSize) {
     throw WireError("wire: truncated header (" +
@@ -86,7 +107,9 @@ WireMessage decode(std::span<const std::uint8_t> bytes) {
   msg.iteration = get_u64(bytes, 8);
   const std::uint64_t d = get_u64(bytes, 16);
   const std::uint32_t expected_crc = get_u32(bytes, 24);
-  if (bytes.size() != kHeaderSize + 4 * d) {
+  // Element-space comparison: kHeaderSize + 4*d could wrap for a hostile d.
+  if ((bytes.size() - kHeaderSize) % 4 != 0 ||
+      d != (bytes.size() - kHeaderSize) / 4) {
     throw WireError("wire: size mismatch (header claims " +
                     std::to_string(d) + " elements, blob has " +
                     std::to_string((bytes.size() - kHeaderSize) / 4) + ")");

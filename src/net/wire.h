@@ -50,6 +50,12 @@ struct WireMessage {
 [[nodiscard]] std::vector<std::uint8_t> encode(
     std::uint64_t iteration, std::span<const float> payload);
 
+/// Byte length of the message at the head of `bytes`, per its header.
+/// Validates magic, version and that the blob holds the full message;
+/// throws WireError otherwise. Lets containers (e.g. checkpoints) store
+/// several messages back to back and split them before decode().
+[[nodiscard]] std::size_t encoded_size(std::span<const std::uint8_t> bytes);
+
 /// Parse and verify; throws WireError on malformed/corrupt input.
 [[nodiscard]] WireMessage decode(std::span<const std::uint8_t> bytes);
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 
 #include "tensor/vecops.h"
 
@@ -44,6 +45,15 @@ class SgdOptimizer {
   /// Forget momentum state (used when a server re-writes its model from
   /// other replicas and the old velocity no longer applies).
   void reset();
+
+  /// Momentum buffer; empty until the first momentum step. Checkpoints
+  /// persist it so a resumed run continues with the same velocity.
+  [[nodiscard]] const FlatVector& velocity() const { return velocity_; }
+
+  /// Reinstate a saved momentum buffer (checkpoint resume).
+  void restore_velocity(FlatVector velocity) {
+    velocity_ = std::move(velocity);
+  }
 
   [[nodiscard]] const Options& options() const { return options_; }
 

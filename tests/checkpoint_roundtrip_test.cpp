@@ -1,0 +1,197 @@
+// Checkpoint round-trip regression: a saved model must reload bit-exactly —
+// parameters, optimizer velocity and iteration tag — and corruption or
+// mixed-up blobs must be rejected, never silently trained on.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/checkpoint.h"
+#include "net/wire.h"
+#include "support/test_support.h"
+#include "tensor/rng.h"
+
+namespace gc = garfield::core;
+namespace gn = garfield::net;
+namespace ts = garfield::testsupport;
+
+using garfield::tensor::FlatVector;
+
+namespace {
+
+class CheckpointRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("garfield_ckpt_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const char* name) const {
+    return (dir_ / name).string();
+  }
+
+  [[nodiscard]] static FlatVector random_vector(std::size_t d,
+                                                std::uint64_t seed) {
+    garfield::tensor::Rng rng(seed);
+    FlatVector v(d);
+    for (float& x : v) x = rng.normal();
+    return v;
+  }
+
+  std::filesystem::path dir_;
+};
+
+}  // namespace
+
+TEST_F(CheckpointRoundTrip, ModelAndOptimizerStateSurviveExactly) {
+  gc::Checkpoint original;
+  original.iteration = 123456789ULL;
+  original.parameters = random_vector(513, 1);  // odd size, not a power of 2
+  original.velocity = random_vector(513, 2);
+
+  gc::save_checkpoint(path("full.ckpt"), original);
+  const gc::Checkpoint loaded = gc::load_checkpoint(path("full.ckpt"));
+
+  EXPECT_EQ(loaded.iteration, original.iteration);
+  ASSERT_EQ(loaded.parameters.size(), original.parameters.size());
+  ASSERT_EQ(loaded.velocity.size(), original.velocity.size());
+  // Bit-exact: compare the raw bytes, not float values (which would let a
+  // lossy encoder sneak through rounding, and would misbehave on NaN).
+  EXPECT_EQ(std::memcmp(loaded.parameters.data(), original.parameters.data(),
+                        original.parameters.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(loaded.velocity.data(), original.velocity.data(),
+                        original.velocity.size() * sizeof(float)),
+            0);
+}
+
+TEST_F(CheckpointRoundTrip, EmptyVelocityRoundTripsAsEmpty) {
+  gc::Checkpoint original;
+  original.iteration = 7;
+  original.parameters = random_vector(64, 3);
+
+  gc::save_checkpoint(path("plain.ckpt"), original);
+  const gc::Checkpoint loaded = gc::load_checkpoint(path("plain.ckpt"));
+
+  EXPECT_EQ(loaded.iteration, 7u);
+  EXPECT_TRUE(loaded.velocity.empty());
+  EXPECT_LE(ts::max_abs_diff(loaded.parameters, original.parameters), 0.0);
+}
+
+TEST_F(CheckpointRoundTrip, LegacySingleBlobFilesStillLoad) {
+  // Files written before the velocity field existed are exactly one wire
+  // message; they must keep loading with an empty velocity.
+  const FlatVector params = random_vector(32, 4);
+  const std::vector<std::uint8_t> blob = gn::encode(42, params);
+  {
+    std::ofstream out(path("legacy.ckpt"), std::ios::binary);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              std::streamsize(blob.size()));
+  }
+  const gc::Checkpoint loaded = gc::load_checkpoint(path("legacy.ckpt"));
+  EXPECT_EQ(loaded.iteration, 42u);
+  EXPECT_EQ(loaded.parameters, params);
+  EXPECT_TRUE(loaded.velocity.empty());
+}
+
+TEST_F(CheckpointRoundTrip, MismatchedVelocityIterationIsRejected) {
+  // A velocity blob from a different iteration than the parameters means
+  // the file was stitched from two checkpoints — corrupt, not loadable.
+  std::vector<std::uint8_t> blob = gn::encode(10, random_vector(16, 5));
+  const std::vector<std::uint8_t> tail = gn::encode(11, random_vector(16, 6));
+  blob.insert(blob.end(), tail.begin(), tail.end());
+  {
+    std::ofstream out(path("stitched.ckpt"), std::ios::binary);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              std::streamsize(blob.size()));
+  }
+  EXPECT_THROW(gc::load_checkpoint(path("stitched.ckpt")), gn::WireError);
+}
+
+TEST_F(CheckpointRoundTrip, MismatchedVelocityDimensionIsRejected) {
+  // A velocity of the wrong dimension would be silently zeroed by the
+  // optimizer's first step; the loader must reject it up front.
+  std::vector<std::uint8_t> blob = gn::encode(10, random_vector(16, 12));
+  const std::vector<std::uint8_t> tail = gn::encode(10, random_vector(8, 13));
+  blob.insert(blob.end(), tail.begin(), tail.end());
+  {
+    std::ofstream out(path("shortvel.ckpt"), std::ios::binary);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              std::streamsize(blob.size()));
+  }
+  EXPECT_THROW(gc::load_checkpoint(path("shortvel.ckpt")), gn::WireError);
+}
+
+TEST_F(CheckpointRoundTrip, OverflowingElementCountIsRejected) {
+  // A header whose element count makes kHeaderSize + 4*d wrap must fail as
+  // WireError, not crash in payload.resize(). Craft a 28-byte file with
+  // valid magic/version and d = 2^62.
+  std::vector<std::uint8_t> blob = gn::encode(1, FlatVector{});
+  ASSERT_EQ(blob.size(), gn::wire_size(0));
+  const std::uint64_t huge = std::uint64_t{1} << 62;
+  for (int i = 0; i < 8; ++i) {
+    blob[16 + std::size_t(i)] = std::uint8_t(huge >> (8 * i));
+  }
+  {
+    std::ofstream out(path("overflow.ckpt"), std::ios::binary);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              std::streamsize(blob.size()));
+  }
+  EXPECT_THROW(gc::load_checkpoint(path("overflow.ckpt")), gn::WireError);
+}
+
+TEST_F(CheckpointRoundTrip, BitFlipIsDetected) {
+  gc::Checkpoint original;
+  original.iteration = 99;
+  original.parameters = random_vector(128, 7);
+  original.velocity = random_vector(128, 8);
+  gc::save_checkpoint(path("flip.ckpt"), original);
+
+  // Flip one payload byte in the second (velocity) message.
+  std::fstream f(path("flip.ckpt"),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  const std::size_t head = gn::wire_size(original.parameters.size());
+  f.seekp(std::streamoff(head + 40));
+  char byte = 0;
+  f.seekg(std::streamoff(head + 40));
+  f.read(&byte, 1);
+  byte = char(byte ^ 0x20);
+  f.seekp(std::streamoff(head + 40));
+  f.write(&byte, 1);
+  f.close();
+
+  EXPECT_THROW(gc::load_checkpoint(path("flip.ckpt")), gn::WireError);
+}
+
+TEST_F(CheckpointRoundTrip, TruncationIsDetected) {
+  gc::Checkpoint original;
+  original.iteration = 5;
+  original.parameters = random_vector(64, 9);
+  original.velocity = random_vector(64, 10);
+  gc::save_checkpoint(path("trunc.ckpt"), original);
+
+  const auto full = std::filesystem::file_size(path("trunc.ckpt"));
+  std::filesystem::resize_file(path("trunc.ckpt"), full - 5);
+  EXPECT_THROW(gc::load_checkpoint(path("trunc.ckpt")), gn::WireError);
+}
+
+TEST_F(CheckpointRoundTrip, SaveLeavesNoTempFileBehind) {
+  gc::Checkpoint original;
+  original.iteration = 1;
+  original.parameters = random_vector(8, 11);
+  gc::save_checkpoint(path("atomic.ckpt"), original);
+  EXPECT_TRUE(std::filesystem::exists(path("atomic.ckpt")));
+  EXPECT_FALSE(std::filesystem::exists(path("atomic.ckpt") + ".tmp"));
+}
+
+TEST_F(CheckpointRoundTrip, MissingFileThrowsRuntimeError) {
+  EXPECT_THROW(gc::load_checkpoint(path("does_not_exist.ckpt")),
+               std::runtime_error);
+}

@@ -1,0 +1,158 @@
+// Determinism regression for the selection-based GARs.
+//
+// The selection_order contract (gars/gar.h): exact Krum-score ties are real
+// — mutual nearest neighbours score identically — so ties break on the
+// vectors' lexicographic order, keeping aggregation invariant to
+// reply-arrival order, which is adversarial under asynchrony. These tests
+// pin that contract: Krum, Multi-Krum and Bulyan must return bit-identical
+// aggregates under any input permutation, including clouds engineered to
+// contain exact score ties, with all randomness drawn from fixed
+// tensor/rng.h seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "gars/gar.h"
+#include "support/test_support.h"
+#include "tensor/rng.h"
+
+namespace gg = garfield::gars;
+namespace gt = garfield::tensor;
+namespace ts = garfield::testsupport;
+
+using gt::FlatVector;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 20260728;
+
+/// Shuffle a copy of `inputs` with the given seed.
+std::vector<FlatVector> shuffled(const std::vector<FlatVector>& inputs,
+                                 std::uint64_t seed) {
+  std::vector<FlatVector> out = inputs;
+  gt::Rng rng(seed);
+  std::shuffle(out.begin(), out.end(), rng.engine());
+  return out;
+}
+
+/// Bitwise vector equality (== would treat NaN oddly; none expected here,
+/// but a determinism test should compare representations, not values).
+bool bit_equal(const FlatVector& a, const FlatVector& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(),
+                                   a.size() * sizeof(float)) == 0);
+}
+
+/// A cloud with deliberate exact ties: pairs of identical vectors are
+/// mutual nearest neighbours with identical Krum scores, exercising the
+/// lexicographic tie-break rather than leaving it to luck.
+std::vector<FlatVector> tied_cloud(std::size_t pairs, std::size_t d,
+                                   gt::Rng& rng) {
+  std::vector<FlatVector> out;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    FlatVector v(d);
+    for (float& x : v) x = rng.normal();
+    out.push_back(v);
+    out.push_back(std::move(v));  // exact duplicate
+  }
+  return out;
+}
+
+struct Case {
+  const char* gar;
+  std::size_t n;
+  std::size_t f;
+};
+
+const Case kCases[] = {
+    {"krum", 9, 2},
+    {"krum", 11, 3},
+    {"multi_krum", 9, 2},
+    {"multi_krum", 13, 4},
+    {"bulyan", 7, 1},
+    {"bulyan", 11, 2},
+};
+
+}  // namespace
+
+TEST(Determinism, SelectionGarsAreBitwiseInvariantUnderPermutation) {
+  for (const Case& c : kCases) {
+    gt::Rng rng(kSeed);
+    const ts::CloudSpec spec{c.n, 24, 0.0F, 1.0F};
+    const std::vector<FlatVector> inputs = ts::honest_cloud(spec, rng);
+    const gg::GarPtr gar = gg::make_gar(c.gar, c.n, c.f);
+    const FlatVector base = gar->aggregate(inputs);
+
+    for (std::uint64_t perm_seed = 1; perm_seed <= 8; ++perm_seed) {
+      const FlatVector out = gar->aggregate(shuffled(inputs, perm_seed));
+      EXPECT_TRUE(bit_equal(base, out))
+          << c.gar << " n=" << c.n << " f=" << c.f
+          << " diverged under permutation seed " << perm_seed;
+    }
+    std::vector<FlatVector> reversed = inputs;
+    std::reverse(reversed.begin(), reversed.end());
+    EXPECT_TRUE(bit_equal(base, gar->aggregate(reversed)))
+        << c.gar << " diverged under reversal";
+  }
+}
+
+TEST(Determinism, ExactScoreTiesBreakOnLexicographicOrder) {
+  // With exact duplicates in the cloud, scores tie exactly; the contract
+  // says the winning *vector* is still permutation-independent.
+  for (const Case& c : kCases) {
+    gt::Rng rng(kSeed + c.n);
+    std::vector<FlatVector> inputs = tied_cloud(c.n / 2, 16, rng);
+    while (inputs.size() < c.n) {
+      FlatVector v(16);
+      for (float& x : v) x = rng.normal();
+      inputs.push_back(std::move(v));
+    }
+    ASSERT_EQ(inputs.size(), c.n);
+
+    const gg::GarPtr gar = gg::make_gar(c.gar, c.n, c.f);
+    const FlatVector base = gar->aggregate(inputs);
+    for (std::uint64_t perm_seed = 11; perm_seed <= 16; ++perm_seed) {
+      EXPECT_TRUE(bit_equal(base, gar->aggregate(shuffled(inputs, perm_seed))))
+          << c.gar << " n=" << c.n << " f=" << c.f
+          << " tie-break diverged under permutation seed " << perm_seed;
+    }
+  }
+}
+
+TEST(Determinism, KrumSelectsTheSameVectorRegardlessOfIndexing) {
+  // select() returns an index into the (permuted) span; the *vector* at
+  // that index must be the same one every time.
+  gt::Rng rng(kSeed);
+  const ts::CloudSpec spec{11, 20, 0.0F, 1.0F};
+  const std::vector<FlatVector> inputs = ts::honest_cloud(spec, rng);
+  const gg::Krum krum(11, 3);
+  const FlatVector winner = inputs[krum.select(inputs)];
+
+  for (std::uint64_t perm_seed = 21; perm_seed <= 26; ++perm_seed) {
+    const std::vector<FlatVector> p = shuffled(inputs, perm_seed);
+    EXPECT_TRUE(bit_equal(winner, p[krum.select(p)])) << perm_seed;
+  }
+}
+
+TEST(Determinism, FixedSeedsReproduceAcrossIndependentRuns) {
+  // Two fully independent constructions from the same rng seed must agree
+  // bit-for-bit end to end (cloud, rule, aggregate).
+  for (const Case& c : kCases) {
+    FlatVector first;
+    for (int run = 0; run < 2; ++run) {
+      gt::Rng rng(kSeed ^ c.f);
+      const ts::CloudSpec spec{c.n, 24, 1.0F, 0.5F};
+      const std::vector<FlatVector> inputs = ts::honest_cloud(spec, rng);
+      const FlatVector out =
+          gg::make_gar(c.gar, c.n, c.f)->aggregate(inputs);
+      if (run == 0) {
+        first = out;
+      } else {
+        EXPECT_TRUE(bit_equal(first, out)) << c.gar << " not reproducible";
+      }
+    }
+  }
+}

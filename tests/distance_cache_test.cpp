@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "gars/gar.h"
 #include "tensor/rng.h"
@@ -123,4 +124,80 @@ TEST(DistanceCache, BulyanEndToEndUnchangedByCaching) {
   double acc = 0.0;
   for (std::size_t i = 0; i < beta; ++i) acc += col[i];
   EXPECT_NEAR(out[0], float(acc / double(beta)), 1e-6F);
+}
+
+// ------------------------------------------------- edge cases (bring-up PR)
+
+TEST(DistanceCache, RemoveUntilMinimumActiveKeepsSelectionValid) {
+  // select_cached supports shrinking the active set down to its documented
+  // minimum of 3; at every stage the pick must be an active index and must
+  // agree with plain select() over the physically compacted survivors.
+  const std::size_t n = 10, f = 2, d = 8;
+  auto in = random_inputs(n, d, 21);
+  gg::DistanceCache cache(in);
+  gg::Krum krum(n, f);
+
+  std::vector<std::size_t> alive(n);
+  std::iota(alive.begin(), alive.end(), std::size_t{0});
+  gt::Rng removal_rng(22);
+  while (alive.size() > 3) {
+    // Compact the active inputs and cross-check the cached selection.
+    std::vector<FlatVector> pool;
+    for (std::size_t i : alive) pool.push_back(in[i]);
+    const std::size_t cached_pick = krum.select_cached(cache, in);
+    ASSERT_TRUE(cache.is_active(cached_pick));
+    EXPECT_EQ(in[cached_pick], pool[krum.select(pool)])
+        << "active=" << alive.size();
+
+    // Remove a random survivor (not necessarily the pick) and re-check
+    // the book-keeping.
+    const std::size_t victim = removal_rng.index(alive.size());
+    cache.remove(alive[victim]);
+    EXPECT_FALSE(cache.is_active(alive[victim]));
+    alive.erase(alive.begin() + long(victim));
+    EXPECT_EQ(cache.active_count(), alive.size());
+  }
+
+  // At exactly 3 active inputs the neighbourhood clamps to 1 and selection
+  // still works.
+  ASSERT_EQ(cache.active_count(), 3u);
+  const std::size_t last_pick = krum.select_cached(cache, in);
+  EXPECT_TRUE(cache.is_active(last_pick));
+}
+
+TEST(DistanceCache, RemoveIsIdempotent) {
+  auto in = random_inputs(6, 4, 23);
+  gg::DistanceCache cache(in);
+  cache.remove(1);
+  cache.remove(1);  // double removal must not underflow the active count
+  EXPECT_EQ(cache.active_count(), 5u);
+  EXPECT_FALSE(cache.is_active(1));
+}
+
+TEST(DistanceCache, SelectCachedAgreesWithSelectOnRandomClouds) {
+  // Property check over random clouds and random removal patterns: the
+  // cached O(q^2) path must always agree with the uncached select() on the
+  // compacted active subset — same winning vector, not just same score.
+  for (std::uint64_t seed = 31; seed < 43; ++seed) {
+    const std::size_t n = 12, f = 2;
+    auto in = random_inputs(n, 10, seed);
+    gg::DistanceCache cache(in);
+    gg::Krum krum(n, f);
+    gt::Rng removal_rng(seed * 7919);
+
+    std::vector<std::size_t> alive(n);
+    std::iota(alive.begin(), alive.end(), std::size_t{0});
+    const std::size_t removals = 1 + removal_rng.index(n - 4);
+    for (std::size_t r = 0; r < removals; ++r) {
+      const std::size_t victim = removal_rng.index(alive.size());
+      cache.remove(alive[victim]);
+      alive.erase(alive.begin() + long(victim));
+    }
+
+    std::vector<FlatVector> pool;
+    for (std::size_t i : alive) pool.push_back(in[i]);
+    const std::size_t cached_pick = krum.select_cached(cache, in);
+    ASSERT_TRUE(cache.is_active(cached_pick)) << seed;
+    EXPECT_EQ(in[cached_pick], pool[krum.select(pool)]) << "seed " << seed;
+  }
 }

@@ -1,0 +1,109 @@
+// Integration sweep of the paper's central robustness claim: for every GAR
+// in gar_names(), every published attack, and several (n, f) quorum points,
+// the aggregate of a mostly-honest gradient cloud must stay near the honest
+// mean — and the resilience preconditions of gar_min_n must be exactly the
+// boundary the factory enforces. Built on the ScenarioMatrix runner in
+// tests/support, which models garfield's server ingress (silent nodes and
+// non-finite payloads never reach a rule).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "attacks/attack.h"
+#include "gars/gar.h"
+#include "support/test_support.h"
+#include "tensor/vecops.h"
+
+namespace ts = garfield::testsupport;
+namespace gg = garfield::gars;
+namespace ga = garfield::attacks;
+namespace gt = garfield::tensor;
+
+TEST(ScenarioMatrix, CoversEveryGarAndEveryAttack) {
+  ts::ScenarioMatrix matrix;
+  std::set<std::string> gars_seen;
+  std::set<std::string> attacks_seen;
+  const std::size_t cells = matrix.for_each([&](const ts::Scenario& s) {
+    gars_seen.insert(s.gar);
+    attacks_seen.insert(s.attack);
+  });
+  for (const std::string& name : gg::gar_names()) {
+    EXPECT_TRUE(gars_seen.contains(name)) << name << " missing from matrix";
+  }
+  for (const std::string& name : ga::attack_names()) {
+    EXPECT_TRUE(attacks_seen.contains(name)) << name << " missing from matrix";
+  }
+  EXPECT_GE(cells, gg::gar_names().size() * ga::attack_names().size());
+}
+
+TEST(ScenarioMatrix, EveryCellSurvivesAFullySilentAdversary) {
+  // The matrix promises n - f >= gar_min_n(gar, f): even if the whole
+  // Byzantine cohort sends nothing, the received quorum still constructs.
+  ts::ScenarioMatrix matrix;
+  matrix.for_each([&](const ts::Scenario& s) {
+    ASSERT_GT(s.n, s.f);
+    EXPECT_GE(s.n - s.f, gg::gar_min_n(s.gar, s.f))
+        << s.gar << " n=" << s.n << " f=" << s.f;
+  });
+}
+
+TEST(ScenarioMatrix, FactoryEnforcesResiliencePreconditionBoundary) {
+  for (const std::string& name : gg::gar_names()) {
+    for (std::size_t f = 1; f <= 3; ++f) {
+      const std::size_t min_n = gg::gar_min_n(name, f);
+      EXPECT_NO_THROW(gg::make_gar(name, min_n, f)) << name << " f=" << f;
+      if (min_n > 1) {
+        EXPECT_THROW(gg::make_gar(name, min_n - 1, f), std::invalid_argument)
+            << name << " f=" << f;
+      }
+    }
+  }
+}
+
+TEST(ScenarioMatrix, AggregateStaysNearHonestMeanUnderEveryAttack) {
+  ts::ScenarioMatrix matrix;
+  std::size_t checked = 0;
+  matrix.for_each([&](const ts::Scenario& s) {
+    const ts::ScenarioResult r = ts::run_scenario(s);
+    EXPECT_TRUE(gt::all_finite(r.aggregate))
+        << s.gar << " x " << s.attack << " produced non-finite output";
+    EXPECT_LE(r.rms_deviation, ts::robustness_tolerance(s))
+        << s.gar << " x " << s.attack << " n=" << s.n << " f=" << s.f
+        << " seed=" << s.seed;
+    ++checked;
+  });
+  EXPECT_GE(checked, 250u);  // 10 GARs x 8 attacks x several quorum points
+}
+
+TEST(ScenarioMatrix, SilentAndCorruptPayloadsNeverReachTheRule) {
+  // "dropped" sends nothing; "nan_poison" is rejected by the ingress
+  // finite-check. Both shrink the received quorum to exactly the honest set.
+  for (const std::string attack : {"dropped", "nan_poison"}) {
+    ts::Scenario s;
+    s.gar = "krum";
+    s.attack = attack;
+    s.f = 2;
+    s.n = gg::gar_min_n("krum", s.f) + s.f;
+    const ts::ScenarioResult r = ts::run_scenario(s);
+    EXPECT_EQ(r.received, s.n - s.f) << attack;
+    EXPECT_TRUE(gt::all_finite(r.aggregate)) << attack;
+  }
+}
+
+TEST(ScenarioMatrix, ScenariosAreReproducible) {
+  ts::Scenario s;
+  s.gar = "bulyan";
+  s.attack = "little_is_enough";
+  s.f = 1;
+  s.n = gg::gar_min_n("bulyan", s.f) + s.f;
+  const ts::ScenarioResult a = ts::run_scenario(s);
+  const ts::ScenarioResult b = ts::run_scenario(s);
+  EXPECT_EQ(a.aggregate, b.aggregate);
+  EXPECT_EQ(a.honest_mean, b.honest_mean);
+
+  s.seed += 1;
+  const ts::ScenarioResult c = ts::run_scenario(s);
+  EXPECT_NE(a.aggregate, c.aggregate) << "seed must matter";
+}

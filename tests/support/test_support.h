@@ -1,0 +1,108 @@
+// Shared test support for garfield's gtest suites.
+//
+// Centralizes what every Byzantine-resilience test needs: seeded gradient
+// clouds, attack-scenario fixtures that model garfield's server ingress
+// (finite-payload filtering, silent nodes shrinking the quorum), tolerance
+// helpers, and a ScenarioMatrix runner that sweeps GAR x attack x (n, f)
+// cells of the paper's robustness claim.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/vecops.h"
+
+namespace garfield::testsupport {
+
+using tensor::FlatVector;
+using tensor::Rng;
+
+// ------------------------------------------------------- cloud generation
+
+/// Parameters of a synthetic "honest" gradient cloud: every coordinate is
+/// i.i.d. N(center, spread), mirroring the concentrated honest gradients
+/// the paper's resilience proofs assume.
+struct CloudSpec {
+  std::size_t n = 0;
+  std::size_t d = 32;
+  float center = 1.0F;
+  float spread = 0.1F;
+};
+
+/// Draw spec.n vectors from the spec's distribution using rng.
+[[nodiscard]] std::vector<FlatVector> honest_cloud(const CloudSpec& spec,
+                                                   Rng& rng);
+
+// ------------------------------------------------------ tolerance helpers
+
+/// Coordinate-wise mean. Precondition: !inputs.empty().
+[[nodiscard]] FlatVector mean_of(std::span<const FlatVector> inputs);
+
+/// Root-mean-square per-coordinate difference: ||a - b||_2 / sqrt(d).
+/// Dimension-free, so one tolerance works across every d in a sweep.
+[[nodiscard]] double rms_diff(const FlatVector& a, const FlatVector& b);
+
+/// Largest absolute coordinate difference.
+[[nodiscard]] double max_abs_diff(const FlatVector& a, const FlatVector& b);
+
+// ------------------------------------------------------- attack scenarios
+
+/// One GAR x attack x (n, f) cell. n counts expected inputs (honest plus
+/// Byzantine); the fixture crafts the f Byzantine payloads with the named
+/// attack, giving omniscient attacks the honest vectors as required.
+struct Scenario {
+  std::string gar;
+  std::string attack;
+  std::size_t n = 0;
+  std::size_t f = 0;
+  std::size_t d = 32;
+  float center = 1.0F;
+  float spread = 0.1F;
+  std::uint64_t seed = 42;
+};
+
+struct ScenarioResult {
+  FlatVector aggregate;
+  FlatVector honest_mean;   ///< mean of the n-f honest vectors
+  double rms_deviation = 0; ///< rms_diff(aggregate, honest_mean)
+  std::size_t received = 0; ///< inputs that survived ingress filtering
+};
+
+/// Run one cell. Models garfield's server ingress: non-finite payloads are
+/// rejected and silent ("dropped") nodes contribute nothing, so the rule is
+/// built for the received quorum with the same Byzantine budget f. The
+/// caller must size n so that n - f >= gar_min_n(gar, f) — ScenarioMatrix
+/// guarantees this by construction.
+[[nodiscard]] ScenarioResult run_scenario(const Scenario& scenario);
+
+/// RMS tolerance under which `scenario`'s aggregate must stay of the honest
+/// mean. A few honest spreads for resilient cells; deliberately loose for
+/// the known-weak cells (e.g. norm-filtering CGE against the zero attack,
+/// which pulls the aggregate toward the origin without looking like an
+/// outlier) where only boundedness is guaranteed.
+[[nodiscard]] double robustness_tolerance(const Scenario& scenario);
+
+// --------------------------------------------------------- matrix runner
+
+/// Sweep generator for the scenario matrix. For every (gar, f, slack)
+/// combination it emits n = gar_min_n(gar, f) + f + slack expected inputs —
+/// the +f keeps the quorum valid even when the whole Byzantine cohort goes
+/// silent — crossed with every attack. The non-resilient "average" baseline
+/// runs with f = 0 (it tolerates none) as a sanity row.
+struct ScenarioMatrix {
+  std::vector<std::string> gars;         ///< empty = gar_names()
+  std::vector<std::string> attacks;      ///< empty = attack_names()
+  std::vector<std::size_t> byzantine_fs = {1, 2};
+  std::vector<std::size_t> quorum_slacks = {0, 2};
+  std::size_t d = 32;
+  std::uint64_t seed = 42;
+
+  /// Invoke fn on every cell. Returns the number of cells visited.
+  std::size_t for_each(const std::function<void(const Scenario&)>& fn) const;
+};
+
+}  // namespace garfield::testsupport

@@ -107,7 +107,7 @@ TEST(Checkpoint, SaveLoadRoundTrip) {
 
 TEST(Checkpoint, LoadRejectsCorruptedFile) {
   const std::string path = temp_path("garfield_ckpt_corrupt.bin");
-  gc::save_checkpoint(path, gc::Checkpoint{1, gt::FlatVector(64, 1.0F)});
+  gc::save_checkpoint(path, gc::Checkpoint{1, gt::FlatVector(64, 1.0F), {}});
   {
     std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
     f.seekp(64);
