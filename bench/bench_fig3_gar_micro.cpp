@@ -8,10 +8,20 @@
 // sweep to d = 1e7 on the CPU (expect the same ordering and growth shapes,
 // scaled by hardware: Average ~ Median < Multi-Krum ~ MDA < Bulyan, all
 // linear in d, Krum-family quadratic in n).
+//
+// A third section ("fig3c") tracks the §4.3 multi-core claim: each rule is
+// timed through the aggregate_into hot path at 1 / 2 / max threads
+// (set_parallel_threads) and the serial-vs-parallel speedup is printed, so
+// the coordinate-sharding scaling is a recorded number, not an assumption.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 
 #include "bench_support.h"
 #include "gars/gar.h"
+#include "tensor/parallel.h"
 #include "tensor/rng.h"
 
 namespace {
@@ -86,11 +96,69 @@ void register_all() {
   }
 }
 
+// Fig 3c: serial-vs-parallel scaling of the aggregate_into hot path. Times
+// each rule at 1 / 2 / max threads on one reused AggregationContext and
+// prints the speedup over the 1-thread run — the §4.3 scaling claim as a
+// tracked number. Smoke mode shrinks d so the sweep stays in milliseconds.
+void thread_scaling_report() {
+  namespace gt = garfield::tensor;
+  using clock = std::chrono::steady_clock;
+
+  const bool smoke = garfield::bench::smoke_mode();
+  const std::size_t n = 17;
+  const std::size_t f = (n - 3) / 4;
+  const std::size_t d = smoke ? 200'000 : 10'000'000;
+  const int reps = smoke ? 1 : 3;
+  const auto inputs = make_inputs(n, d);
+
+  // Always sweep 2 threads — even on a single-core host this drives the
+  // sharded code path (expect ~1.0x there; the speedup column only means
+  // something when hardware threads > 1).
+  std::vector<std::size_t> thread_counts = {1, 2};
+  const std::size_t max_threads = gt::parallel_threads();
+  if (max_threads > 2) thread_counts.push_back(max_threads);
+
+  std::printf(
+      "\nfig3c/thread_scaling: aggregate_into, n=%zu d=%zu f=%zu "
+      "(hardware threads: %zu)\n",
+      n, d, f, max_threads);
+  std::printf("%-14s %9s %12s %9s\n", "gar", "threads", "time_ms",
+              "speedup");
+  for (const auto& g : {std::string("average"), std::string("median"),
+                        std::string("trimmed_mean"), std::string("krum"),
+                        std::string("multi_krum"), std::string("bulyan")}) {
+    const auto gar =
+        garfield::gars::make_gar(g, n, g == "average" ? 0 : f);
+    garfield::gars::AggregationContext ctx;
+    FlatVector out;
+    double serial_ms = 0.0;
+    for (const std::size_t threads : thread_counts) {
+      gt::set_parallel_threads(threads);
+      gar->aggregate_into(inputs, ctx, out);  // warm-up + buffer growth
+      double best_ms = 1e300;
+      for (int rep = 0; rep < reps; ++rep) {
+        const auto begin = clock::now();
+        gar->aggregate_into(inputs, ctx, out);
+        const auto end = clock::now();
+        best_ms = std::min(
+            best_ms,
+            std::chrono::duration<double, std::milli>(end - begin).count());
+      }
+      if (threads == 1) serial_ms = best_ms;
+      std::printf("%-14s %9zu %12.3f %8.2fx\n", g.c_str(), threads, best_ms,
+                  serial_ms / best_ms);
+      benchmark::DoNotOptimize(out.data());
+    }
+    gt::set_parallel_threads(0);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   register_all();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  thread_scaling_report();
   return 0;
 }

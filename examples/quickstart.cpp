@@ -6,6 +6,12 @@
 // training converges anyway; swap gradient_gar for "average" to watch the
 // attack destroy the run.
 //
+// The [gar] argument is a registry spec string, so tuned rules work from
+// the command line without code changes, e.g.:
+//   ./examples/quickstart centered_clip:tau=0.5,iterations=20
+//   ./examples/quickstart multi_krum:m=2
+//   ./examples/quickstart average:pre_clip=1
+//
 // Build & run:   ./examples/quickstart [gar]
 #include <cstdio>
 #include <string>

@@ -40,7 +40,10 @@ void DeploymentConfig::validate() const {
     if (fps >= nps) throw std::invalid_argument("config: fps must be < nps");
   }
   if (batch_size == 0) throw std::invalid_argument("config: batch_size >= 1");
-  // GAR existence + resilience inequalities at the effective input counts.
+  // GAR existence (spec string parses, options are known and well-typed)
+  // plus resilience inequalities at the effective input counts. Probing the
+  // registry with a throwaway construction surfaces a bad spec at config
+  // time instead of mid-training.
   switch (deployment) {
     case Deployment::kVanilla:
     case Deployment::kCrashTolerant:
@@ -51,6 +54,7 @@ void DeploymentConfig::validate() const {
         throw std::invalid_argument("config: " + gradient_gar +
                                     " cannot tolerate fw with this nw");
       }
+      (void)gars::make_gar(gradient_gar, q, fw);
       break;
     }
     case Deployment::kMsmw: {
@@ -59,12 +63,14 @@ void DeploymentConfig::validate() const {
         throw std::invalid_argument("config: gradient GAR precondition "
                                     "violated (qw too small)");
       }
+      (void)gars::make_gar(gradient_gar, qw, fw);
       // Model aggregation sees (peers pulled + own state) inputs.
       const std::size_t qps = asynchronous ? nps - fps : nps;
       if (qps < gars::gar_min_n(model_gar, fps)) {
         throw std::invalid_argument("config: model GAR precondition violated "
                                     "(qps too small)");
       }
+      (void)gars::make_gar(model_gar, qps, fps);
       break;
     }
     case Deployment::kDecentralized: {
@@ -74,6 +80,8 @@ void DeploymentConfig::validate() const {
         throw std::invalid_argument(
             "config: decentralized GAR precondition violated");
       }
+      (void)gars::make_gar(gradient_gar, q, fw);
+      (void)gars::make_gar(model_gar, q, fw);
       break;
     }
   }

@@ -47,6 +47,10 @@ struct DeploymentConfig {
   std::size_t fps = 0;   ///< declared Byzantine servers
 
   // --- resilience ---------------------------------------------------------
+  /// GAR spec strings (gars/registry.h grammar): a bare registry name
+  /// ("krum") or a name with typed options
+  /// ("centered_clip:tau=0.5,iterations=20"). validate() rejects unknown
+  /// rules, unknown/malformed options and violated resilience inequalities.
   std::string gradient_gar = "average";  ///< GAR applied to worker gradients
   std::string model_gar = "median";      ///< GAR applied to server models
   /// Synchronous runs wait for all n replies; asynchronous ones for n - f.

@@ -22,6 +22,7 @@ namespace garfield::core {
 ///   nw = 10      fw = 3       # whitespace-insensitive
 ///   nps = 3      fps = 1
 ///   gradient_gar = multi_krum
+///   model_gar = centered_clip:tau=0.5,iterations=20   # GAR spec w/ options
 ///   iterations = 500
 [[nodiscard]] DeploymentConfig parse_config(const std::string& text);
 

@@ -18,6 +18,7 @@
 
 #include "attacks/attack.h"
 #include "data/dataset.h"
+#include "gars/gar.h"
 #include "net/cluster.h"
 #include "nn/model.h"
 #include "nn/optimizer.h"
@@ -84,6 +85,14 @@ class Server {
 
   [[nodiscard]] std::uint64_t steps_taken() const;
 
+  /// Scratch state for this server's aggregation calls (distance cache,
+  /// score/work buffers). One context per server keeps steady-state
+  /// aggregation allocation-free; it belongs to the server's driving loop
+  /// thread and must not be shared across threads.
+  [[nodiscard]] gars::AggregationContext& aggregation_context() {
+    return aggregation_context_;
+  }
+
   /// Payloads dropped at ingress (wrong dimension or non-finite values).
   /// A Byzantine node can send anything; malformed vectors are rejected
   /// before they can reach a GAR — a NaN survives even coordinate-wise
@@ -110,6 +119,8 @@ class Server {
   nn::SgdOptimizer optimizer_;
   std::vector<net::NodeId> workers_;
   std::vector<net::NodeId> peer_servers_;
+
+  gars::AggregationContext aggregation_context_;
 
   mutable std::mutex mutex_;
   net::Payload params_;

@@ -10,6 +10,7 @@
 #include "core/server.h"
 #include "core/worker.h"
 #include "gars/gar.h"
+#include "gars/registry.h"
 #include "nn/zoo.h"
 
 namespace garfield::core {
@@ -19,14 +20,36 @@ namespace {
 using net::Payload;
 using tensor::Rng;
 
-/// Aggregate with the named GAR sized to the actual reply count. Garfield
-/// builds the rule per call because asynchronous collection can legally
-/// return any q in [n-f, n].
-Payload aggregate(const std::string& gar_name, std::size_t f,
-                  const std::vector<Payload>& inputs) {
+/// Aggregate with a pre-parsed GAR spec sized to the actual reply count.
+/// Garfield builds the rule per call because asynchronous collection can
+/// legally return any q in [n-f, n]; the rule object is a few words, while
+/// all heavy scratch (distance matrix, work vectors) lives in the caller's
+/// AggregationContext and is reused across iterations.
+Payload aggregate(const gars::GarSpec& spec, std::size_t f,
+                  const std::vector<Payload>& inputs,
+                  gars::AggregationContext& ctx) {
   assert(!inputs.empty());
-  const gars::GarPtr gar = gars::make_gar(gar_name, inputs.size(), f);
-  return gar->aggregate(inputs);
+  const gars::GarPtr gar = gars::make_gar(spec, inputs.size(), f);
+  Payload out;
+  gar->aggregate_into(inputs, ctx, out);
+  return out;
+}
+
+/// Parsed spec plus its resilience floor, resolved once per loop instead of
+/// once per iteration. min_n is the option-aware floor (gar_min_n over the
+/// parsed spec), so a quorum that satisfies the rule but not its options
+/// (e.g. multi_krum:m=8 at a degraded q) skips the round instead of
+/// throwing out of the loop thread.
+struct GarPlan {
+  gars::GarSpec spec;
+  std::size_t min_n = 0;
+};
+
+GarPlan plan_gar(const std::string& spec_string, std::size_t f) {
+  GarPlan plan;
+  plan.spec = gars::parse_gar_spec(spec_string);
+  plan.min_n = gars::gar_min_n(plan.spec, f);
+  return plan;
 }
 
 /// Everything a deployment run needs to keep alive while threads execute.
@@ -273,10 +296,12 @@ void maybe_alignment(Runtime& rt, std::size_t correct_servers,
 void vanilla_loop(Runtime& rt, std::size_t s) {
   const DeploymentConfig& cfg = rt.config;
   Server& server = *rt.servers[s];
+  const GarPlan avg = plan_gar("average", 0);
+  gars::AggregationContext& ctx = server.aggregation_context();
   for (std::size_t it = 0; it < cfg.iterations; ++it) {
     const std::vector<Payload> grads = server.get_gradients(it, cfg.nw);
     if (grads.empty()) continue;
-    server.update_model(aggregate("average", 0, grads));
+    server.update_model(aggregate(avg.spec, 0, grads, ctx));
     if (s == 0) {
       maybe_eval(rt, s, it);
       maybe_checkpoint(rt, s, it);
@@ -287,11 +312,13 @@ void vanilla_loop(Runtime& rt, std::size_t s) {
 void crash_tolerant_loop(Runtime& rt, std::size_t s) {
   const DeploymentConfig& cfg = rt.config;
   Server& server = *rt.servers[s];
+  const GarPlan avg = plan_gar("average", 0);
+  gars::AggregationContext& ctx = server.aggregation_context();
   for (std::size_t it = 0; it < cfg.iterations; ++it) {
     if (rt.cluster->is_crashed(s)) return;  // this replica is dead
     const std::vector<Payload> grads = server.get_gradients(it, cfg.nw);
     if (grads.empty()) continue;
-    server.update_model(aggregate("average", 0, grads));
+    server.update_model(aggregate(avg.spec, 0, grads, ctx));
     maybe_eval(rt, s, it);
     // Fault injection: the primary fail-stops at the configured step.
     if (s == 0 && cfg.crash_primary_at != 0 && it + 1 == cfg.crash_primary_at)
@@ -303,10 +330,12 @@ void ssmw_loop(Runtime& rt, std::size_t s) {
   const DeploymentConfig& cfg = rt.config;
   Server& server = *rt.servers[s];
   const std::size_t q = cfg.asynchronous ? cfg.nw - cfg.fw : cfg.nw;
+  const GarPlan grad = plan_gar(cfg.gradient_gar, cfg.fw);
+  gars::AggregationContext& ctx = server.aggregation_context();
   for (std::size_t it = 0; it < cfg.iterations; ++it) {
     const std::vector<Payload> grads = server.get_gradients(it, q);
-    if (grads.size() < gars::gar_min_n(cfg.gradient_gar, cfg.fw)) continue;
-    server.update_model(aggregate(cfg.gradient_gar, cfg.fw, grads));
+    if (grads.size() < grad.min_n) continue;
+    server.update_model(aggregate(grad.spec, cfg.fw, grads, ctx));
     if (s == 0) {
       maybe_eval(rt, s, it);
       maybe_checkpoint(rt, s, it);
@@ -324,15 +353,18 @@ void msmw_loop(Runtime& rt, std::size_t s) {
                                   ? cfg.nps - cfg.fps - 1
                                   : cfg.nps - 1;
   const std::size_t correct_servers = cfg.nps - cfg.fps;
+  const GarPlan grad = plan_gar(cfg.gradient_gar, cfg.fw);
+  const GarPlan model = plan_gar(cfg.model_gar, cfg.fps);
+  gars::AggregationContext& ctx = server.aggregation_context();
   for (std::size_t it = 0; it < cfg.iterations; ++it) {
     const std::vector<Payload> grads = server.get_gradients(it, qw);
-    if (grads.size() >= gars::gar_min_n(cfg.gradient_gar, cfg.fw)) {
-      server.update_model(aggregate(cfg.gradient_gar, cfg.fw, grads));
+    if (grads.size() >= grad.min_n) {
+      server.update_model(aggregate(grad.spec, cfg.fw, grads, ctx));
     }
     std::vector<Payload> models = server.get_models(q_peers);
     models.push_back(server.parameters());
-    if (models.size() >= gars::gar_min_n(cfg.model_gar, cfg.fps)) {
-      server.write_model(aggregate(cfg.model_gar, cfg.fps, models));
+    if (models.size() >= model.min_n) {
+      server.write_model(aggregate(model.spec, cfg.fps, models, ctx));
     }
     if (s == 0) {
       maybe_eval(rt, s, it);
@@ -346,10 +378,13 @@ void decentralized_loop(Runtime& rt, std::size_t s) {
   const DeploymentConfig& cfg = rt.config;
   Server& server = *rt.servers[s];
   const std::size_t q = cfg.nw - cfg.fw;  // n - f throughout (Listing 3)
+  const GarPlan grad = plan_gar(cfg.gradient_gar, cfg.fw);
+  const GarPlan model = plan_gar(cfg.model_gar, cfg.fw);
+  gars::AggregationContext& ctx = server.aggregation_context();
   for (std::size_t it = 0; it < cfg.iterations; ++it) {
     const std::vector<Payload> grads = server.get_gradients(it, q);
-    if (grads.size() < gars::gar_min_n(cfg.gradient_gar, cfg.fw)) continue;
-    Payload aggr = aggregate(cfg.gradient_gar, cfg.fw, grads);
+    if (grads.size() < grad.min_n) continue;
+    Payload aggr = aggregate(grad.spec, cfg.fw, grads, ctx);
     if (cfg.contraction_steps > 0) {
       // contract(): multi-round gossip forcing correct nodes together.
       // Listing 3 enables it for non-iid data; it is keyed on the step
@@ -358,16 +393,15 @@ void decentralized_loop(Runtime& rt, std::size_t s) {
         server.set_latest_aggr_grad(aggr);
         std::vector<Payload> peer_grads = server.get_aggr_grads(it, q - 1);
         peer_grads.push_back(aggr);
-        if (peer_grads.size() < gars::gar_min_n(cfg.gradient_gar, cfg.fw))
-          break;
-        aggr = aggregate(cfg.gradient_gar, cfg.fw, peer_grads);
+        if (peer_grads.size() < grad.min_n) break;
+        aggr = aggregate(grad.spec, cfg.fw, peer_grads, ctx);
       }
     }
     server.update_model(aggr);
     std::vector<Payload> models = server.get_models(q - 1);
     models.push_back(server.parameters());
-    if (models.size() >= gars::gar_min_n(cfg.model_gar, cfg.fw)) {
-      server.write_model(aggregate(cfg.model_gar, cfg.fw, models));
+    if (models.size() >= model.min_n) {
+      server.write_model(aggregate(model.spec, cfg.fw, models, ctx));
     }
     if (s == 0) {
       maybe_eval(rt, s, it);

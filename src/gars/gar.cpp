@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "gars/median3.h"
+#include "gars/registry.h"
 #include "tensor/parallel.h"
 
 namespace garfield::gars {
@@ -28,88 +29,169 @@ void Gar::check_inputs(std::span<const FlatVector> inputs) const {
   }
 }
 
+void Gar::aggregate_into(std::span<const FlatVector> inputs,
+                         AggregationContext& ctx, FlatVector& out) const {
+  check_inputs(inputs);
+  out.resize(inputs.front().size());
+  do_aggregate(inputs, ctx, out);
+}
+
+FlatVector Gar::aggregate(std::span<const FlatVector> inputs) const {
+  AggregationContext ctx;
+  FlatVector out;
+  aggregate_into(inputs, ctx, out);
+  return out;
+}
+
 namespace {
 
 void require(bool cond, const std::string& message) {
   if (!cond) throw std::invalid_argument(message);
 }
 
-/// Pairwise squared distances, symmetric n x n (diagonal zero).
-std::vector<double> pairwise_sq_distances(std::span<const FlatVector> inputs) {
-  const std::size_t n = inputs.size();
-  std::vector<double> dist(n * n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double d = tensor::squared_distance(inputs[i], inputs[j]);
-      dist[i * n + j] = d;
-      dist[j * n + i] = d;
-    }
-  }
-  return dist;
-}
-
 }  // namespace
 
-std::vector<std::string> gar_names() {
-  return {"average",    "median", "trimmed_mean",     "krum",
-          "multi_krum", "mda",    "bulyan",           "geometric_median",
-          "centered_clip", "cge"};
+// ---------------------------------------------------------- DistanceCache
+
+void DistanceCache::reset(std::span<const FlatVector> inputs) {
+  n_ = inputs.size();
+  active_count_ = n_;
+  matrix_.assign(n_ * n_, 0.0);
+  active_.assign(n_, true);
+  if (n_ < 2) return;
+  // Shard the upper triangle over cores by flat pair index. Each pair is
+  // one O(d) squared-distance computation, so the grain (minimum pairs per
+  // shard) scales inversely with d: small models stay on the inline serial
+  // path where a thread spawn would dwarf the work. Every pair writes two
+  // disjoint matrix slots; results are bitwise independent of the layout.
+  const std::size_t n = n_;
+  const std::size_t pairs = n * (n - 1) / 2;
+  const std::size_t d = inputs.front().size();
+  const std::size_t grain = std::max<std::size_t>(
+      1, tensor::kParallelForGrain / std::max<std::size_t>(1, d));
+  parallel_for(pairs, grain, [&](std::size_t begin, std::size_t end) {
+    // Map the flat pair index `begin` to its (i, j) coordinates by walking
+    // row lengths (row i holds n-1-i pairs), then iterate in order.
+    std::size_t i = 0;
+    std::size_t p = begin;
+    while (p >= n - 1 - i) {
+      p -= n - 1 - i;
+      ++i;
+    }
+    std::size_t j = i + 1 + p;
+    for (std::size_t k = begin; k < end; ++k) {
+      const double dist = tensor::squared_distance(inputs[i], inputs[j]);
+      matrix_[i * n + j] = dist;
+      matrix_[j * n + i] = dist;
+      if (++j == n) {
+        ++i;
+        j = i + 1;
+      }
+    }
+  });
 }
 
-std::size_t gar_min_n(const std::string& name, std::size_t f) {
-  if (name == "average") return std::max<std::size_t>(1, f + 1);
-  if (name == "median" || name == "trimmed_mean" || name == "mda" ||
-      name == "geometric_median" || name == "centered_clip" ||
-      name == "cge")
-    return 2 * f + 1;
-  if (name == "krum" || name == "multi_krum") return 2 * f + 3;
-  if (name == "bulyan") return 4 * f + 3;
-  throw std::invalid_argument("gar_min_n: unknown GAR '" + name + "'");
+// ----------------------------------------------------- registry descriptors
+
+namespace detail {
+
+void register_core_gars(GarRegistry& registry) {
+  registry.add(
+      {.name = "average",
+       .min_n = [](std::size_t f) { return std::max<std::size_t>(1, f + 1); },
+       .option_floor = {},
+       .factory = [](std::size_t n, std::size_t f,
+                     const GarOptions&) -> GarPtr {
+         return std::make_unique<Average>(n, f);
+       }});
+  registry.add({.name = "median",
+                .min_n = [](std::size_t f) { return 2 * f + 1; },
+                .option_floor = {},
+                .factory = [](std::size_t n, std::size_t f,
+                              const GarOptions&) -> GarPtr {
+                  return std::make_unique<Median>(n, f);
+                }});
+  registry.add(
+      {.name = "trimmed_mean",
+       .min_n = [](std::size_t f) { return 2 * f + 1; },
+       // trim=K keeps n-2K values, so a spec'd trim raises the floor.
+       .option_floor =
+           [](std::size_t, const GarOptions& options) {
+             return 2 * options.get_size("trim", 0) + 1;
+           },
+       .factory = [](std::size_t n, std::size_t f,
+                     const GarOptions& options) -> GarPtr {
+         return std::make_unique<TrimmedMean>(n, f,
+                                              options.get_size("trim", f));
+       }});
+  registry.add({.name = "krum",
+                .min_n = [](std::size_t f) { return 2 * f + 3; },
+                .option_floor = {},
+                .factory = [](std::size_t n, std::size_t f,
+                              const GarOptions&) -> GarPtr {
+                  return std::make_unique<Krum>(n, f);
+                }});
+  registry.add(
+      {.name = "multi_krum",
+       .min_n = [](std::size_t f) { return 2 * f + 3; },
+       // m averaged vectors need m <= n-f-2, i.e. n >= m+f+2.
+       .option_floor =
+           [](std::size_t f, const GarOptions& options) {
+             return options.get_size("m", 1) + f + 2;
+           },
+       .factory = [](std::size_t n, std::size_t f,
+                     const GarOptions& options) -> GarPtr {
+         return std::make_unique<MultiKrum>(n, f,
+                                            options.get_size("m", n - f - 2));
+       }});
+  registry.add({.name = "mda",
+                .min_n = [](std::size_t f) { return 2 * f + 1; },
+                .option_floor = {},
+                .factory = [](std::size_t n, std::size_t f,
+                              const GarOptions&) -> GarPtr {
+                  return std::make_unique<Mda>(n, f);
+                }});
+  registry.add({.name = "bulyan",
+                .min_n = [](std::size_t f) { return 4 * f + 3; },
+                .option_floor = {},
+                .factory = [](std::size_t n, std::size_t f,
+                              const GarOptions&) -> GarPtr {
+                  return std::make_unique<Bulyan>(n, f);
+                }});
 }
 
-GarPtr make_gar(const std::string& name, std::size_t n, std::size_t f) {
-  if (name == "average") return std::make_unique<Average>(n, f);
-  if (name == "median") return std::make_unique<Median>(n, f);
-  if (name == "trimmed_mean") return std::make_unique<TrimmedMean>(n, f);
-  if (name == "krum") return std::make_unique<Krum>(n, f);
-  if (name == "multi_krum") return std::make_unique<MultiKrum>(n, f);
-  if (name == "mda") return std::make_unique<Mda>(n, f);
-  if (name == "bulyan") return std::make_unique<Bulyan>(n, f);
-  if (name == "geometric_median")
-    return std::make_unique<GeometricMedian>(n, f);
-  if (name == "centered_clip") return std::make_unique<CenteredClip>(n, f);
-  if (name == "cge") return std::make_unique<Cge>(n, f);
-  throw std::invalid_argument("make_gar: unknown GAR '" + name + "'");
-}
+}  // namespace detail
 
 // ---------------------------------------------------------------- Average
 
 Average::Average(std::size_t n, std::size_t f) : Gar(n, f) {
   // Matches gar_min_n("average", f): the mean tolerates no Byzantine input,
   // so it at least needs more inputs than declared adversaries.
-  require(n >= gar_min_n("average", f),
+  require(n >= std::max<std::size_t>(1, f + 1),
           "average: needs at least f+1 inputs");
 }
 
-FlatVector Average::aggregate(std::span<const FlatVector> inputs) const {
-  check_inputs(inputs);
-  return tensor::mean(inputs);
+void Average::do_aggregate(std::span<const FlatVector> inputs,
+                           AggregationContext&, FlatVector& out) const {
+  tensor::mean_into(inputs, out);
 }
 
 // ---------------------------------------------------------------- Median
 
 Median::Median(std::size_t n, std::size_t f) : Gar(n, f) {
-  require(n >= gar_min_n("median", f),
+  require(n >= 2 * f + 1,
           "median: requires n >= 2f+1 (got n=" + std::to_string(n) +
               ", f=" + std::to_string(f) + ")");
 }
 
-FlatVector Median::aggregate(std::span<const FlatVector> inputs) const {
-  check_inputs(inputs);
+void Median::do_aggregate(std::span<const FlatVector> inputs,
+                          AggregationContext&, FlatVector& out) const {
   const std::size_t n = inputs.size();
   const std::size_t d = inputs.front().size();
-  FlatVector out(d);
-  if (n == 1) return inputs.front();
+  if (n == 1) {
+    std::copy(inputs.front().begin(), inputs.front().end(), out.begin());
+    return;
+  }
   if (n == 3) {
     // Fast path via the branchless SIMT primitive of §4.3.
     const float* a = inputs[0].data();
@@ -119,7 +201,7 @@ FlatVector Median::aggregate(std::span<const FlatVector> inputs) const {
       for (std::size_t j = begin; j < end; ++j)
         out[j] = median3_branchless(a[j], b[j], c[j]);
     });
-    return out;
+    return;
   }
   // General path: each core owns a contiguous share of coordinates and runs
   // introselect (std::nth_element) per coordinate — the paper's CPU scheme.
@@ -141,91 +223,85 @@ FlatVector Median::aggregate(std::span<const FlatVector> inputs) const {
       }
     }
   });
-  return out;
 }
 
 // ---------------------------------------------------------------- TrimmedMean
 
-TrimmedMean::TrimmedMean(std::size_t n, std::size_t f) : Gar(n, f) {
-  require(n >= gar_min_n("trimmed_mean", f),
-          "trimmed_mean: requires n >= 2f+1");
+TrimmedMean::TrimmedMean(std::size_t n, std::size_t f)
+    : TrimmedMean(n, f, f) {}
+
+TrimmedMean::TrimmedMean(std::size_t n, std::size_t f, std::size_t trim)
+    : Gar(n, f), trim_(trim) {
+  require(n >= 2 * f + 1, "trimmed_mean: requires n >= 2f+1");
+  require(n > 2 * trim_,
+          "trimmed_mean: trim=" + std::to_string(trim_) +
+              " leaves no inputs (needs n > 2*trim, n=" + std::to_string(n) +
+              ")");
 }
 
-FlatVector TrimmedMean::aggregate(std::span<const FlatVector> inputs) const {
-  check_inputs(inputs);
+void TrimmedMean::do_aggregate(std::span<const FlatVector> inputs,
+                               AggregationContext&, FlatVector& out) const {
   const std::size_t n = inputs.size();
   const std::size_t d = inputs.front().size();
-  const std::size_t keep = n - 2 * f_;
-  FlatVector out(d);
+  const std::size_t keep = n - 2 * trim_;
+  const std::size_t trim = trim_;
   parallel_for(d, [&](std::size_t begin, std::size_t end) {
     std::vector<float> column(n);
     for (std::size_t j = begin; j < end; ++j) {
       for (std::size_t i = 0; i < n; ++i) column[i] = inputs[i][j];
       std::sort(column.begin(), column.end());
       double acc = 0.0;
-      for (std::size_t i = f_; i < f_ + keep; ++i) acc += column[i];
+      for (std::size_t i = trim; i < trim + keep; ++i) acc += column[i];
       out[j] = float(acc / double(keep));
     }
   });
-  return out;
-}
-
-// ---------------------------------------------------------- DistanceCache
-
-DistanceCache::DistanceCache(std::span<const FlatVector> inputs)
-    : n_(inputs.size()),
-      matrix_(pairwise_sq_distances(inputs)),
-      active_(inputs.size(), true) {}
-
-std::size_t DistanceCache::active_count() const {
-  return std::size_t(std::count(active_.begin(), active_.end(), true));
 }
 
 // ---------------------------------------------------------------- Krum
 
 Krum::Krum(std::size_t n, std::size_t f) : Gar(n, f) {
-  require(n >= gar_min_n("krum", f),
+  require(n >= 2 * f + 3,
           "krum: requires n >= 2f+3 (got n=" + std::to_string(n) +
               ", f=" + std::to_string(f) + ")");
 }
 
-std::vector<double> Krum::scores(std::span<const FlatVector> inputs) const {
-  const std::size_t q = inputs.size();
-  assert(q >= 3);
-  const std::vector<double> dist = pairwise_sq_distances(inputs);
+void Krum::scores_from_cache(const DistanceCache& cache,
+                             std::vector<double>& out) const {
+  const std::size_t q = cache.size();
+  assert(q >= 3 && cache.active_count() == q);
   // Sum of distances to the q-f-2 closest neighbours (at least one).
-  const std::size_t neighbours =
-      q > f_ + 2 ? q - f_ - 2 : std::size_t(1);
-  std::vector<double> result(q, 0.0);
+  const std::size_t neighbours = q > f_ + 2 ? q - f_ - 2 : std::size_t(1);
+  out.assign(q, 0.0);
   std::vector<double> row(q - 1);
   for (std::size_t i = 0; i < q; ++i) {
     std::size_t k = 0;
     for (std::size_t j = 0; j < q; ++j) {
-      if (j != i) row[k++] = dist[i * q + j];
+      if (j != i) row[k++] = cache.squared_distance(i, j);
     }
     std::partial_sort(row.begin(), row.begin() + long(neighbours), row.end());
     double acc = 0.0;
     for (std::size_t m = 0; m < neighbours; ++m) acc += row[m];
-    result[i] = acc;
+    out[i] = acc;
   }
-  return result;
 }
 
-std::vector<std::size_t> Krum::selection_order(
-    std::span<const FlatVector> inputs) const {
-  const std::vector<double> s = scores(inputs);
-  std::vector<std::size_t> order(inputs.size());
-  std::iota(order.begin(), order.end(), 0);
+void Krum::selection_order_cached(const DistanceCache& cache,
+                                  std::span<const FlatVector> inputs,
+                                  std::vector<double>& scores,
+                                  std::vector<std::size_t>& order) const {
+  scores_from_cache(cache, scores);
+  order.resize(inputs.size());
+  std::iota(order.begin(), order.end(), std::size_t(0));
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (s[a] != s[b]) return s[a] < s[b];
+    if (scores[a] != scores[b]) return scores[a] < scores[b];
     return std::lexicographical_compare(inputs[a].begin(), inputs[a].end(),
                                         inputs[b].begin(), inputs[b].end());
   });
-  return order;
 }
 
 std::size_t Krum::select(std::span<const FlatVector> inputs) const {
-  return selection_order(inputs).front();
+  const DistanceCache cache(inputs);
+  return select_cached(cache, inputs);
 }
 
 std::size_t Krum::select_cached(const DistanceCache& cache,
@@ -242,7 +318,9 @@ std::size_t Krum::select_cached(const DistanceCache& cache,
     if (!cache.is_active(i)) continue;
     row.clear();
     for (std::size_t j = 0; j < cache.size(); ++j) {
-      if (j != i && cache.is_active(j)) row.push_back(cache.squared_distance(i, j));
+      if (j != i && cache.is_active(j)) {
+        row.push_back(cache.squared_distance(i, j));
+      }
     }
     std::partial_sort(row.begin(), row.begin() + long(neighbours), row.end());
     double score = 0.0;
@@ -262,38 +340,49 @@ std::size_t Krum::select_cached(const DistanceCache& cache,
   return best;
 }
 
-FlatVector Krum::aggregate(std::span<const FlatVector> inputs) const {
-  check_inputs(inputs);
-  return inputs[select(inputs)];
+void Krum::do_aggregate(std::span<const FlatVector> inputs,
+                        AggregationContext& ctx, FlatVector& out) const {
+  const DistanceCache& cache = ctx.distance_cache(inputs);
+  const FlatVector& winner = inputs[select_cached(cache, inputs)];
+  std::copy(winner.begin(), winner.end(), out.begin());
 }
 
 // ---------------------------------------------------------------- MultiKrum
 
 MultiKrum::MultiKrum(std::size_t n, std::size_t f)
-    : Krum(n, f), m_(n - f - 2) {}
+    : MultiKrum(n, f, n > f + 2 ? n - f - 2 : std::size_t(1)) {}
 
-FlatVector MultiKrum::aggregate(std::span<const FlatVector> inputs) const {
-  check_inputs(inputs);
-  const std::vector<std::size_t> order = selection_order(inputs);
-  const std::size_t d = inputs.front().size();
-  FlatVector out(d, 0.0F);
+MultiKrum::MultiKrum(std::size_t n, std::size_t f, std::size_t m)
+    : Krum(n, f), m_(m) {
+  const std::size_t max_m = n - f - 2;  // n >= 2f+3 holds via Krum's check
+  require(m_ >= 1 && m_ <= max_m,
+          "multi_krum: m must be in [1, n-f-2] = [1, " +
+              std::to_string(max_m) + "] (got " + std::to_string(m_) + ")");
+}
+
+void MultiKrum::do_aggregate(std::span<const FlatVector> inputs,
+                             AggregationContext& ctx, FlatVector& out) const {
+  const DistanceCache& cache = ctx.distance_cache(inputs);
+  std::vector<double>& scores = ctx.score_scratch(inputs.size());
+  std::vector<std::size_t>& order = ctx.index_scratch(inputs.size());
+  selection_order_cached(cache, inputs, scores, order);
+  std::fill(out.begin(), out.end(), 0.0F);
   for (std::size_t k = 0; k < m_; ++k)
     tensor::axpy(1.0F, inputs[order[k]], out);
   tensor::scale(out, 1.0F / float(m_));
-  return out;
 }
 
 // ---------------------------------------------------------------- MDA
 
 Mda::Mda(std::size_t n, std::size_t f) : Gar(n, f) {
-  require(n >= gar_min_n("mda", f), "mda: requires n >= 2f+1");
+  require(n >= 2 * f + 1, "mda: requires n >= 2f+1");
 }
 
-FlatVector Mda::aggregate(std::span<const FlatVector> inputs) const {
-  check_inputs(inputs);
+void Mda::do_aggregate(std::span<const FlatVector> inputs,
+                       AggregationContext& ctx, FlatVector& out) const {
   const std::size_t n = inputs.size();
   const std::size_t keep = n - f_;
-  const std::vector<double> dist = pairwise_sq_distances(inputs);
+  const DistanceCache& cache = ctx.distance_cache(inputs);
 
   // Enumerate all C(n, keep) subsets with the classic combination walk and
   // track the one with minimum diameter (max pairwise distance).
@@ -305,7 +394,8 @@ FlatVector Mda::aggregate(std::span<const FlatVector> inputs) const {
     double diameter = 0.0;
     for (std::size_t a = 0; a < keep && diameter < best_diameter; ++a) {
       for (std::size_t b = a + 1; b < keep; ++b) {
-        diameter = std::max(diameter, dist[comb[a] * n + comb[b]]);
+        diameter =
+            std::max(diameter, cache.squared_distance(comb[a], comb[b]));
         if (diameter >= best_diameter) break;
       }
     }
@@ -322,34 +412,32 @@ FlatVector Mda::aggregate(std::span<const FlatVector> inputs) const {
       comb[j] = comb[j - 1] + 1;
   }
 
-  const std::size_t d = inputs.front().size();
-  FlatVector out(d, 0.0F);
+  std::fill(out.begin(), out.end(), 0.0F);
   for (std::size_t idx : best) tensor::axpy(1.0F, inputs[idx], out);
   tensor::scale(out, 1.0F / float(keep));
-  return out;
 }
 
 // ---------------------------------------------------------------- Bulyan
 
 Bulyan::Bulyan(std::size_t n, std::size_t f) : Gar(n, f) {
-  require(n >= gar_min_n("bulyan", f),
+  require(n >= 4 * f + 3,
           "bulyan: requires n >= 4f+3 (got n=" + std::to_string(n) +
               ", f=" + std::to_string(f) + ")");
 }
 
-FlatVector Bulyan::aggregate(std::span<const FlatVector> inputs) const {
-  check_inputs(inputs);
+void Bulyan::do_aggregate(std::span<const FlatVector> inputs,
+                          AggregationContext& ctx, FlatVector& out) const {
   const std::size_t n = inputs.size();
   const std::size_t d = inputs.front().size();
-  const std::size_t theta = n - 2 * f_;  // selection-set size
+  const std::size_t theta = n - 2 * f_;     // selection-set size
   const std::size_t beta = theta - 2 * f_;  // values averaged per coordinate
 
   // Phase 1: iterate Krum over a logically shrinking pool, harvesting
-  // theta vectors. The O(n^2 d) pairwise distances are computed once and
-  // cached across rounds (§4.4); each selection round is then O(n^2).
-  DistanceCache cache(inputs);
-  std::vector<FlatVector> selected;
-  selected.reserve(theta);
+  // theta *indices*. The O(n^2 d) pairwise distances are computed once
+  // (sharded across cores) and cached across rounds (§4.4); each selection
+  // round is then O(n^2) and no input vector is ever copied.
+  DistanceCache& cache = ctx.distance_cache(inputs);
+  std::vector<std::size_t>& selected = ctx.index_scratch(theta);
   const Krum krum_rule(n, f_);
   for (std::size_t k = 0; k < theta; ++k) {
     std::size_t pick;
@@ -369,17 +457,17 @@ FlatVector Bulyan::aggregate(std::span<const FlatVector> inputs) const {
         }
       }
     }
-    selected.push_back(inputs[pick]);
+    selected[k] = pick;
     cache.remove(pick);
   }
 
   // Phase 2: per coordinate, average the beta values closest to the median
-  // of the selected set.
-  FlatVector out(d);
+  // of the selected set — coordinate shards across cores per §4.3.
   parallel_for(d, [&](std::size_t begin, std::size_t end) {
     std::vector<float> column(theta);
     for (std::size_t j = begin; j < end; ++j) {
-      for (std::size_t i = 0; i < theta; ++i) column[i] = selected[i][j];
+      for (std::size_t i = 0; i < theta; ++i)
+        column[i] = inputs[selected[i]][j];
       const std::size_t mid = theta / 2;
       std::nth_element(column.begin(), column.begin() + long(mid),
                        column.end());
@@ -396,7 +484,6 @@ FlatVector Bulyan::aggregate(std::span<const FlatVector> inputs) const {
       out[j] = float(acc / double(beta));
     }
   });
-  return out;
 }
 
 }  // namespace garfield::gars

@@ -2,11 +2,31 @@
 //
 // A GAR is a function (R^d)^q -> R^d aggregating q gradient (or model)
 // vectors, of which up to f may be Byzantine. Garfield mirrors the paper's
-// two-call interface: make_gar(name, n, f) is init(), Gar::aggregate() is
+// two-call interface: make_gar(spec, n, f) is init(), aggregation is
 // aggregate(). Each rule validates its resilience precondition (the
 // inequality relating q and f) at construction.
+//
+// The primary aggregation entry point is
+//
+//   gar->aggregate_into(inputs, ctx, out);
+//
+// where `ctx` is a caller-owned AggregationContext holding every scratch
+// buffer a rule needs (distance matrix, score/index arrays, work vectors).
+// Reusing one context across iterations makes steady-state aggregation
+// allocation-free on the O(d) and O(n^2) paths — the §4.4 caching story
+// generalized to all rule scratch state. The classic
+//
+//   FlatVector out = gar->aggregate(inputs);
+//
+// remains as a compatibility wrapper that builds a throwaway context per
+// call; migrate hot paths to aggregate_into.
+//
+// Rule construction goes through the GarRegistry (gars/registry.h):
+// make_gar accepts either a bare rule name ("krum") or a spec string with
+// typed options ("centered_clip:tau=0.5,iterations=20").
 #pragma once
 
+#include <cassert>
 #include <memory>
 #include <span>
 #include <string>
@@ -18,6 +38,111 @@ namespace garfield::gars {
 
 using tensor::FlatVector;
 
+/// Cache of pairwise squared distances over a fixed input set, with O(1)
+/// logical removal and an O(1) maintained active count. §4.4: "aggregating
+/// gradients may require multiple iterations, calculating some
+/// distance-based scores ... we cache the results of each of these
+/// iterations and hence remove redundant computations" — Bulyan's
+/// iterated-Krum phase computes the O(n^2 d) distance matrix once and
+/// reuses it across all selection rounds. The matrix fill is sharded over
+/// pairs with tensor::parallel_for (§4.3). reset() recomputes in place,
+/// reusing the allocation — AggregationContext keeps one instance alive
+/// across aggregation calls.
+class DistanceCache {
+ public:
+  DistanceCache() = default;
+  explicit DistanceCache(std::span<const FlatVector> inputs) {
+    reset(inputs);
+  }
+
+  /// Recompute the matrix for a new input set, reusing storage. All inputs
+  /// become active again.
+  void reset(std::span<const FlatVector> inputs);
+
+  [[nodiscard]] double squared_distance(std::size_t i, std::size_t j) const {
+    assert(i < n_ && j < n_);
+    return matrix_[i * n_ + j];
+  }
+  /// Logically remove an input from the active set (idempotent).
+  void remove(std::size_t i) {
+    assert(i < n_);
+    if (active_[i]) {
+      active_[i] = false;
+      --active_count_;
+    }
+  }
+  [[nodiscard]] bool is_active(std::size_t i) const {
+    assert(i < n_);
+    return active_[i];
+  }
+  [[nodiscard]] std::size_t active_count() const { return active_count_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t active_count_ = 0;
+  std::vector<double> matrix_;
+  std::vector<bool> active_;
+};
+
+/// Reusable scratch state for aggregation. One context per aggregating
+/// thread (a Server owns one for its loop); NOT thread-safe — the
+/// parallelism lives inside the kernels, not across contexts. Buffers grow
+/// to the high-water mark of (n, d) seen and are then reused, so
+/// steady-state calls perform no heap allocation on the O(d)/O(n^2) paths.
+/// Lifetime rules: a context must outlive every aggregate_into call using
+/// it, and buffers handed out are valid only until the next request for the
+/// same buffer — rules own the context for the duration of one call.
+class AggregationContext {
+ public:
+  AggregationContext() = default;
+  AggregationContext(const AggregationContext&) = delete;
+  AggregationContext& operator=(const AggregationContext&) = delete;
+
+  /// Pairwise distances for `inputs`, recomputed in place on each call.
+  [[nodiscard]] DistanceCache& distance_cache(
+      std::span<const FlatVector> inputs) {
+    cache_.reset(inputs);
+    return cache_;
+  }
+
+  /// Slot-indexed d-element work vector (contents unspecified). Slots let
+  /// a rule hold several live vectors (e.g. Weiszfeld center + next).
+  [[nodiscard]] FlatVector& vector_scratch(std::size_t slot, std::size_t d) {
+    if (vectors_.size() <= slot) vectors_.resize(slot + 1);
+    vectors_[slot].resize(d);
+    return vectors_[slot];
+  }
+
+  /// n-element double scratch (scores, norms, per-input statistics).
+  [[nodiscard]] std::vector<double>& score_scratch(std::size_t n) {
+    scores_.resize(n);
+    return scores_;
+  }
+
+  /// n-element index scratch (selection orders).
+  [[nodiscard]] std::vector<std::size_t>& index_scratch(std::size_t n) {
+    indices_.resize(n);
+    return indices_;
+  }
+
+  /// Pool of n staged input vectors of dimension d (used by input-rewriting
+  /// decorators such as pre_clip; one decorator level deep).
+  [[nodiscard]] std::vector<FlatVector>& input_scratch(std::size_t n,
+                                                       std::size_t d) {
+    staged_.resize(n);
+    for (FlatVector& v : staged_) v.resize(d);
+    return staged_;
+  }
+
+ private:
+  DistanceCache cache_;
+  std::vector<FlatVector> vectors_;
+  std::vector<double> scores_;
+  std::vector<std::size_t> indices_;
+  std::vector<FlatVector> staged_;
+};
+
 /// Interface of a gradient aggregation rule.
 class Gar {
  public:
@@ -26,9 +151,17 @@ class Gar {
   Gar(const Gar&) = delete;
   Gar& operator=(const Gar&) = delete;
 
-  /// Aggregate exactly n() vectors of equal dimension into one.
-  [[nodiscard]] virtual FlatVector aggregate(
-      std::span<const FlatVector> inputs) const = 0;
+  /// Primary entry point: aggregate exactly n() vectors of equal dimension
+  /// into `out` (resized to d), drawing all scratch from `ctx`. `out` must
+  /// not alias any input or a ctx buffer.
+  void aggregate_into(std::span<const FlatVector> inputs,
+                      AggregationContext& ctx, FlatVector& out) const;
+
+  /// Compatibility wrapper around aggregate_into: builds a throwaway
+  /// context (and therefore allocates) per call. Fine for tests and cold
+  /// paths; hot loops should hold an AggregationContext and use
+  /// aggregate_into.
+  [[nodiscard]] FlatVector aggregate(std::span<const FlatVector> inputs) const;
 
   [[nodiscard]] virtual std::string name() const = 0;
 
@@ -37,6 +170,10 @@ class Gar {
 
  protected:
   Gar(std::size_t n, std::size_t f) : n_(n), f_(f) {}
+
+  /// Rule kernel: inputs are validated and `out` is sized to d already.
+  virtual void do_aggregate(std::span<const FlatVector> inputs,
+                            AggregationContext& ctx, FlatVector& out) const = 0;
 
   /// Throws std::invalid_argument unless sizes match (n inputs, equal d>0).
   void check_inputs(std::span<const FlatVector> inputs) const;
@@ -47,86 +184,81 @@ class Gar {
 
 using GarPtr = std::unique_ptr<Gar>;
 
-/// Names accepted by make_gar: "average", "median", "trimmed_mean",
-/// "krum", "multi_krum", "mda", "bulyan", plus the extended rules the
-/// paper's related-work section points at: "geometric_median" (RFA),
-/// "centered_clip", "cge" (norm-based comparative gradient elimination).
+/// Names registered in the GarRegistry, in registration order: "average",
+/// "median", "trimmed_mean", "krum", "multi_krum", "mda", "bulyan", plus
+/// the extended rules the paper's related-work section points at:
+/// "geometric_median" (RFA), "centered_clip", "cge" (norm-based comparative
+/// gradient elimination) — and anything registered at runtime.
 [[nodiscard]] std::vector<std::string> gar_names();
 
-/// Minimum number of inputs rule `name` needs to tolerate f Byzantine ones.
+/// Minimum number of inputs rule `spec` needs to tolerate f Byzantine ones
+/// (spec may be a bare name or a full spec string; only the name matters).
 /// average: 1 (tolerates none); median/trimmed_mean/mda: 2f+1;
 /// krum/multi_krum: 2f+3; bulyan: 4f+3.
-[[nodiscard]] std::size_t gar_min_n(const std::string& name, std::size_t f);
+[[nodiscard]] std::size_t gar_min_n(const std::string& spec, std::size_t f);
 
 /// The paper's init(): build a rule for n inputs with at most f Byzantine.
-/// Throws std::invalid_argument for unknown names or n < gar_min_n(name, f).
-[[nodiscard]] GarPtr make_gar(const std::string& name, std::size_t n,
+/// `spec` is either a bare registry name ("krum") or a spec string with
+/// options ("centered_clip:tau=0.5,iterations=20") — see gars/registry.h
+/// for the grammar. Throws std::invalid_argument for unknown names,
+/// malformed or unknown options, or n < gar_min_n(name, f).
+[[nodiscard]] GarPtr make_gar(const std::string& spec, std::size_t n,
                               std::size_t f);
 
 // ------------------------------------------------------------------------
 // Concrete rules. Exposed so callers can construct them directly; most code
-// should go through make_gar.
+// should go through make_gar / the registry.
 
 /// Arithmetic mean — the vanilla (non-resilient) baseline.
 class Average final : public Gar {
  public:
   Average(std::size_t n, std::size_t f);
-  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
   [[nodiscard]] std::string name() const override { return "average"; }
+
+ protected:
+  void do_aggregate(std::span<const FlatVector> inputs,
+                    AggregationContext& ctx, FlatVector& out) const override;
 };
 
 /// Coordinate-wise median [Xie et al.]. Requires n >= 2f+1. O(nd).
 class Median final : public Gar {
  public:
   Median(std::size_t n, std::size_t f);
-  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
   [[nodiscard]] std::string name() const override { return "median"; }
+
+ protected:
+  void do_aggregate(std::span<const FlatVector> inputs,
+                    AggregationContext& ctx, FlatVector& out) const override;
 };
 
-/// Coordinate-wise trimmed mean: drop the f lowest and f highest values of
-/// every coordinate, average the rest. Requires n >= 2f+1. O(n log n · d).
+/// Coordinate-wise trimmed mean: drop the `trim` lowest and `trim` highest
+/// values of every coordinate (default trim = f), average the rest.
+/// Requires n >= 2f+1 and n > 2*trim. O(n log n · d).
 class TrimmedMean final : public Gar {
  public:
   TrimmedMean(std::size_t n, std::size_t f);
-  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
+  TrimmedMean(std::size_t n, std::size_t f, std::size_t trim);
   [[nodiscard]] std::string name() const override { return "trimmed_mean"; }
-};
+  [[nodiscard]] std::size_t trim() const { return trim_; }
 
-/// Cache of pairwise squared distances over a fixed input set, with O(1)
-/// logical removal. §4.4: "aggregating gradients may require multiple
-/// iterations, calculating some distance-based scores ... we cache the
-/// results of each of these iterations and hence remove redundant
-/// computations" — Bulyan's iterated-Krum phase computes the O(n^2 d)
-/// distance matrix once and reuses it across all selection rounds.
-class DistanceCache {
- public:
-  explicit DistanceCache(std::span<const FlatVector> inputs);
-
-  [[nodiscard]] double squared_distance(std::size_t i, std::size_t j) const {
-    return matrix_[i * n_ + j];
-  }
-  /// Logically remove an input from the active set.
-  void remove(std::size_t i) { active_[i] = false; }
-  [[nodiscard]] bool is_active(std::size_t i) const { return active_[i]; }
-  [[nodiscard]] std::size_t active_count() const;
-  [[nodiscard]] std::size_t size() const { return n_; }
+ protected:
+  void do_aggregate(std::span<const FlatVector> inputs,
+                    AggregationContext& ctx, FlatVector& out) const override;
 
  private:
-  std::size_t n_;
-  std::vector<double> matrix_;
-  std::vector<bool> active_;
+  std::size_t trim_;
 };
 
 /// Krum [Blanchard et al.]: score each vector by the sum of squared
 /// distances to its n-f-2 nearest neighbours; return the argmin vector.
-/// Requires n >= 2f+3. O(n^2 d).
+/// Requires n >= 2f+3. O(n^2 d), distance matrix sharded across cores.
 class Krum : public Gar {
  public:
   Krum(std::size_t n, std::size_t f);
-  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
   [[nodiscard]] std::string name() const override { return "krum"; }
 
   /// Index of the Krum-selected vector (exposed for Bulyan and tests).
+  /// Builds a throwaway distance cache; hot paths use select_cached.
   [[nodiscard]] std::size_t select(std::span<const FlatVector> inputs) const;
 
   /// Krum selection over the active subset of a distance cache — the
@@ -136,27 +268,38 @@ class Krum : public Gar {
       const;
 
  protected:
-  /// Krum scores for an arbitrary pool of q >= 3 vectors with the
-  /// neighbourhood size q-f-2 (clamped to >= 1).
-  [[nodiscard]] std::vector<double> scores(
-      std::span<const FlatVector> inputs) const;
+  void do_aggregate(std::span<const FlatVector> inputs,
+                    AggregationContext& ctx, FlatVector& out) const override;
 
-  /// Input indices ordered by ascending score. Exact score ties are real
-  /// (mutual nearest neighbours score identically), so ties break on the
-  /// vectors' lexicographic order — this keeps aggregation invariant to
-  /// reply-arrival order, which is adversarial under asynchrony.
-  [[nodiscard]] std::vector<std::size_t> selection_order(
-      std::span<const FlatVector> inputs) const;
+  /// Krum scores for the full (all-active) cache into `out`, with the
+  /// neighbourhood size q-f-2 (clamped to >= 1).
+  void scores_from_cache(const DistanceCache& cache,
+                         std::vector<double>& out) const;
+
+  /// Input indices ordered by ascending score into `order`. Exact score
+  /// ties are real (mutual nearest neighbours score identically), so ties
+  /// break on the vectors' lexicographic order — this keeps aggregation
+  /// invariant to reply-arrival order, which is adversarial under
+  /// asynchrony.
+  void selection_order_cached(const DistanceCache& cache,
+                              std::span<const FlatVector> inputs,
+                              std::vector<double>& scores,
+                              std::vector<std::size_t>& order) const;
 };
 
-/// Multi-Krum: average the m = n-f-2 smallest-scoring vectors.
+/// Multi-Krum: average the m smallest-scoring vectors (default m = n-f-2,
+/// overridable via the registry option "m" in [1, n-f-2]).
 class MultiKrum final : public Krum {
  public:
   MultiKrum(std::size_t n, std::size_t f);
-  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
+  MultiKrum(std::size_t n, std::size_t f, std::size_t m);
   [[nodiscard]] std::string name() const override { return "multi_krum"; }
 
   [[nodiscard]] std::size_t m() const { return m_; }
+
+ protected:
+  void do_aggregate(std::span<const FlatVector> inputs,
+                    AggregationContext& ctx, FlatVector& out) const override;
 
  private:
   std::size_t m_;
@@ -168,8 +311,11 @@ class MultiKrum final : public Krum {
 class Mda final : public Gar {
  public:
   Mda(std::size_t n, std::size_t f);
-  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
   [[nodiscard]] std::string name() const override { return "mda"; }
+
+ protected:
+  void do_aggregate(std::span<const FlatVector> inputs,
+                    AggregationContext& ctx, FlatVector& out) const override;
 };
 
 /// Bulyan [El Mhamdi et al.]: iterate Krum n-2f times to build a selection
@@ -178,8 +324,11 @@ class Mda final : public Gar {
 class Bulyan final : public Gar {
  public:
   Bulyan(std::size_t n, std::size_t f);
-  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
   [[nodiscard]] std::string name() const override { return "bulyan"; }
+
+ protected:
+  void do_aggregate(std::span<const FlatVector> inputs,
+                    AggregationContext& ctx, FlatVector& out) const override;
 };
 
 // ------------------------------------------------------------------------
@@ -201,10 +350,13 @@ class GeometricMedian final : public Gar {
   GeometricMedian(std::size_t n, std::size_t f, Options options);
   GeometricMedian(std::size_t n, std::size_t f)
       : GeometricMedian(n, f, Options{}) {}
-  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
   [[nodiscard]] std::string name() const override {
     return "geometric_median";
   }
+
+ protected:
+  void do_aggregate(std::span<const FlatVector> inputs,
+                    AggregationContext& ctx, FlatVector& out) const override;
 
  private:
   Options options_;
@@ -225,21 +377,33 @@ class CenteredClip final : public Gar {
   CenteredClip(std::size_t n, std::size_t f, Options options);
   CenteredClip(std::size_t n, std::size_t f)
       : CenteredClip(n, f, Options{}) {}
-  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
   [[nodiscard]] std::string name() const override { return "centered_clip"; }
+
+ protected:
+  void do_aggregate(std::span<const FlatVector> inputs,
+                    AggregationContext& ctx, FlatVector& out) const override;
 
  private:
   Options options_;
 };
 
 /// Comparative gradient elimination (norm filtering): sort inputs by
-/// Euclidean norm and average the n-f smallest. Cheap — O(n d) — but only
-/// robust against magnitude-based attacks. Requires n >= 2f+1.
+/// Euclidean norm and average the `keep` smallest (default keep = n-f).
+/// Cheap — O(n d) — but only robust against magnitude-based attacks.
+/// Requires n >= 2f+1 and 1 <= keep <= n.
 class Cge final : public Gar {
  public:
   Cge(std::size_t n, std::size_t f);
-  FlatVector aggregate(std::span<const FlatVector> inputs) const override;
+  Cge(std::size_t n, std::size_t f, std::size_t keep);
   [[nodiscard]] std::string name() const override { return "cge"; }
+  [[nodiscard]] std::size_t keep() const { return keep_; }
+
+ protected:
+  void do_aggregate(std::span<const FlatVector> inputs,
+                    AggregationContext& ctx, FlatVector& out) const override;
+
+ private:
+  std::size_t keep_;
 };
 
 }  // namespace garfield::gars

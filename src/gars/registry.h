@@ -1,0 +1,148 @@
+// GarRegistry — self-describing GAR construction (the v2 init() surface).
+//
+// Every rule registers a GarDescriptor {name, min_n(f), factory(n, f,
+// options)}; gar_names() / gar_min_n() / make_gar() (gars/gar.h) are thin
+// queries over the registry, so adding a rule means adding one descriptor —
+// no string-dispatch triple to keep in sync by hand.
+//
+// Spec-string grammar (what DeploymentConfig::gradient_gar / model_gar and
+// the CLIs accept):
+//
+//   spec       := name [ ":" option ("," option)* ]
+//   option     := key "=" value
+//   name, key  := [A-Za-z0-9_]+
+//   value      := anything without ',' (parsed by the typed getters)
+//
+// Examples:  "krum"
+//            "centered_clip:tau=0.5,iterations=20"
+//            "trimmed_mean:trim=2"
+//            "median:pre_clip=10"        (universal option, see below)
+//
+// Every rule additionally accepts the universal option `pre_clip=R`
+// (R > 0): inputs are L2-norm-clipped to radius R before aggregation —
+// standard gradient clipping as a composable defense layer. Unknown or
+// malformed options are rejected at make_gar time, never ignored.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gars/gar.h"
+
+namespace garfield::gars {
+
+/// Typed key/value option bag parsed from a spec string. Getters convert on
+/// access and throw std::invalid_argument on malformed values; each getter
+/// also marks its key consumed so make_gar can reject options no factory
+/// ever read (typos never pass silently).
+class GarOptions {
+ public:
+  GarOptions() = default;
+
+  /// Add a key (throws on duplicate — a spec listing a key twice is a bug).
+  void set(const std::string& key, std::string value);
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return entries_.count(key) != 0;
+  }
+
+  /// Non-negative integer option; `fallback` when absent.
+  [[nodiscard]] std::size_t get_size(const std::string& key,
+                                     std::size_t fallback) const;
+  /// Floating-point option; `fallback` when absent.
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+
+  /// Keys never read by any getter since parsing (drift guard).
+  [[nodiscard]] std::vector<std::string> unconsumed() const;
+
+ private:
+  struct Entry {
+    std::string value;
+    mutable bool consumed = false;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// A parsed spec string: rule name + option bag.
+struct GarSpec {
+  std::string name;
+  GarOptions options;
+};
+
+/// Parse "name" or "name:key=value,key=value"; throws std::invalid_argument
+/// on grammar violations (empty name, missing '=', duplicate keys).
+[[nodiscard]] GarSpec parse_gar_spec(const std::string& spec);
+
+/// What a rule contributes to the registry.
+struct GarDescriptor {
+  std::string name;
+  /// Minimum input count to tolerate f Byzantine ones (the resilience
+  /// precondition; the factory re-validates at construction).
+  std::function<std::size_t(std::size_t f)> min_n;
+  /// Optional: an additional floor implied by options (e.g. multi_krum's
+  /// m needs n >= m+f+2, trimmed_mean's trim needs n > 2*trim). The
+  /// effective floor is max(min_n(f), option_floor(f, options)); leaving
+  /// it unset means options never raise the floor. Keeping this in the
+  /// descriptor lets quorum gates (trainer loops, config validation) see
+  /// the true floor instead of discovering it as a factory throw at a
+  /// degraded quorum mid-training.
+  std::function<std::size_t(std::size_t f, const GarOptions&)> option_floor;
+  /// Build the rule for n inputs / f Byzantine with the given options.
+  std::function<GarPtr(std::size_t n, std::size_t f, const GarOptions&)>
+      factory;
+};
+
+/// Process-wide rule registry. Built-in rules are registered on first
+/// access; extensions call instance().add() (e.g. from a static
+/// initializer) before first use.
+class GarRegistry {
+ public:
+  static GarRegistry& instance();
+
+  GarRegistry(const GarRegistry&) = delete;
+  GarRegistry& operator=(const GarRegistry&) = delete;
+
+  /// Register a rule; throws std::invalid_argument on an empty/duplicate
+  /// name or missing callbacks.
+  void add(GarDescriptor descriptor);
+
+  /// Descriptor for `name`, or nullptr when unknown.
+  [[nodiscard]] const GarDescriptor* find(const std::string& name) const;
+  /// Descriptor for `name`; throws std::invalid_argument when unknown.
+  [[nodiscard]] const GarDescriptor& at(const std::string& name) const;
+  /// All registered names, in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  GarRegistry();
+
+  std::vector<GarDescriptor> descriptors_;  // registration order
+};
+
+/// make_gar over an already-parsed spec (lets hot loops parse once and
+/// construct per quorum size). Applies universal options (pre_clip) and
+/// rejects unconsumed ones.
+[[nodiscard]] GarPtr make_gar(const GarSpec& spec, std::size_t n,
+                              std::size_t f);
+
+/// Effective resilience floor of a parsed spec: max of the rule's min_n(f)
+/// and any floor its options imply. Quorum gates must use this (not the
+/// bare-name floor) so a legally degraded quorum is skipped rather than
+/// exploding in the factory.
+[[nodiscard]] std::size_t gar_min_n(const GarSpec& spec, std::size_t f);
+
+namespace detail {
+// Built-in registration hooks, implemented next to the rules themselves
+// (gar.cpp / extended.cpp) and invoked once by GarRegistry's constructor —
+// deterministic under static-library linking, where file-local registrar
+// objects could silently be dropped.
+void register_core_gars(GarRegistry& registry);
+void register_extended_gars(GarRegistry& registry);
+}  // namespace detail
+
+}  // namespace garfield::gars

@@ -1,29 +1,54 @@
 #include "tensor/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
 namespace garfield::tensor {
 
 namespace {
-constexpr std::size_t kInlineThreshold = 1 << 16;
+
+std::atomic<std::size_t> g_thread_override{0};
+
+std::size_t default_threads() {
+  static const std::size_t cached = [] {
+    if (const char* env = std::getenv("GARFIELD_THREADS")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0 && v <= 4096) {
+        return std::size_t(v);
+      }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? std::size_t(1) : std::size_t(hw);
+  }();
+  return cached;
 }
+
+}  // namespace
 
 std::size_t parallel_threads() {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  const std::size_t override = g_thread_override.load(std::memory_order_relaxed);
+  return override != 0 ? override : default_threads();
 }
 
-void parallel_for(std::size_t n,
+void set_parallel_threads(std::size_t n) {
+  g_thread_override.store(n, std::memory_order_relaxed);
+}
+
+void parallel_for(std::size_t n, std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  if (grain == 0) grain = 1;
   const std::size_t workers = parallel_threads();
-  if (n < kInlineThreshold || workers == 1) {
+  const std::size_t shards =
+      std::min(workers, std::max<std::size_t>(1, n / grain));
+  if (shards <= 1) {
     fn(0, n);
     return;
   }
-  const std::size_t shards = std::min(workers, n);
   const std::size_t chunk = (n + shards - 1) / shards;
   std::vector<std::thread> threads;
   threads.reserve(shards);
@@ -34,6 +59,11 @@ void parallel_for(std::size_t n,
     threads.emplace_back([&fn, begin, end] { fn(begin, end); });
   }
   for (std::thread& t : threads) t.join();
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallel_for(n, kParallelForGrain, fn);
 }
 
 }  // namespace garfield::tensor

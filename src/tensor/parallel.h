@@ -2,7 +2,17 @@
 //
 // The paper parallelizes GAR coordinate work across CPU cores (§4.3: "each
 // of the m >= 1 available cores processes a continuous share of n/m
-// coordinates"). parallel_for reproduces exactly that partitioning.
+// coordinates"). parallel_for reproduces exactly that partitioning, both
+// for coordinate shards (default grain) and for coarse work items such as
+// the rows of a Krum distance matrix (grain = 1).
+//
+// Thread-count resolution order:
+//   1. set_parallel_threads(n) process-wide override (n = 0 clears it);
+//   2. the GARFIELD_THREADS environment variable (positive integer);
+//   3. std::thread::hardware_concurrency(), at least 1.
+// Shard boundaries depend only on (n, grain, thread count) and every shard
+// writes disjoint output ranges, so results are bitwise identical for any
+// thread count — GARFIELD_THREADS=1 is the reference serial run.
 #pragma once
 
 #include <cstddef>
@@ -10,12 +20,30 @@
 
 namespace garfield::tensor {
 
-/// Number of worker threads parallel_for will use (hardware_concurrency,
-/// at least 1).
+/// Default minimum work per shard, in cheap (per-coordinate) items. Below
+/// roughly this much work, spawning a thread costs more than it saves.
+/// Callers whose items are heavier scale it down by the per-item cost
+/// (e.g. grain = kParallelForGrain / d for O(d) items).
+inline constexpr std::size_t kParallelForGrain = 1 << 16;
+
+/// Number of worker threads parallel_for will use (see resolution order
+/// above; always >= 1).
 [[nodiscard]] std::size_t parallel_threads();
 
-/// Run fn(begin, end) over contiguous shards of [0, n). Runs inline when the
-/// range is small (below ~64k elements) to avoid thread overhead.
+/// Process-wide thread-count override; 0 restores the default
+/// (GARFIELD_THREADS / hardware_concurrency). Used by benches to sweep
+/// serial-vs-parallel on one process.
+void set_parallel_threads(std::size_t n);
+
+/// Run fn(begin, end) over contiguous shards of [0, n). `grain` is the
+/// minimum number of items per shard: cheap per-item work keeps the default
+/// (~64k items, below which threads cost more than they save); heavy items
+/// (e.g. one O(d) distance computation each) pass grain = 1. Runs inline
+/// when only one shard results.
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// parallel_for with the default coordinate-work grain (~64k items).
 void parallel_for(std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& fn);
 

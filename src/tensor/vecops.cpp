@@ -1,5 +1,6 @@
 #include "tensor/vecops.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -50,15 +51,21 @@ void add(std::span<const float> a, std::span<const float> b,
   for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
 }
 
-FlatVector mean(std::span<const FlatVector> inputs) {
+void mean_into(std::span<const FlatVector> inputs, std::span<float> out) {
   assert(!inputs.empty());
-  const std::size_t d = inputs.front().size();
-  FlatVector out(d, 0.0F);
+  assert(out.size() == inputs.front().size());
+  std::fill(out.begin(), out.end(), 0.0F);
   for (const FlatVector& v : inputs) {
-    assert(v.size() == d);
+    assert(v.size() == out.size());
     axpy(1.0F, v, out);
   }
   scale(out, 1.0F / float(inputs.size()));
+}
+
+FlatVector mean(std::span<const FlatVector> inputs) {
+  assert(!inputs.empty());
+  FlatVector out(inputs.front().size());
+  mean_into(inputs, out);
   return out;
 }
 

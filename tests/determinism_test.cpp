@@ -17,6 +17,7 @@
 
 #include "gars/gar.h"
 #include "support/test_support.h"
+#include "tensor/parallel.h"
 #include "tensor/rng.h"
 
 namespace gg = garfield::gars;
@@ -134,6 +135,41 @@ TEST(Determinism, KrumSelectsTheSameVectorRegardlessOfIndexing) {
   for (std::uint64_t perm_seed = 21; perm_seed <= 26; ++perm_seed) {
     const std::vector<FlatVector> p = shuffled(inputs, perm_seed);
     EXPECT_TRUE(bit_equal(winner, p[krum.select(p)])) << perm_seed;
+  }
+}
+
+TEST(Determinism, SerialAndParallelKernelsAreBitwiseIdentical) {
+  // §4.3 coordinate sharding and the sharded distance matrix must be pure
+  // partitioning: every shard writes disjoint outputs with the same
+  // per-element arithmetic, so any thread count yields the same bits. The
+  // dimension exceeds the coordinate-shard grain (64k) so the parallel
+  // path genuinely engages; set_parallel_threads forces real threads even
+  // on single-core hosts. The CTest harness additionally reruns this whole
+  // binary under GARFIELD_THREADS=1 (the *_serial variants).
+  struct ThreadGuard {
+    ~ThreadGuard() { garfield::tensor::set_parallel_threads(0); }
+  } guard;
+
+  const std::size_t d = (1 << 17) + 3;  // odd tail crosses shard boundaries
+  for (const std::string& name : gg::gar_names()) {
+    const std::size_t f = name == "average" ? 0 : 1;
+    const std::size_t n = gg::gar_min_n(name, f) + 2;
+    gt::Rng rng(kSeed + n);
+    const ts::CloudSpec spec{n, d, 0.5F, 1.0F};
+    const std::vector<FlatVector> inputs = ts::honest_cloud(spec, rng);
+    const gg::GarPtr gar = gg::make_gar(name, n, f);
+
+    garfield::tensor::set_parallel_threads(1);
+    const FlatVector serial = gar->aggregate(inputs);
+    for (std::size_t threads : {2u, 5u}) {
+      garfield::tensor::set_parallel_threads(threads);
+      gg::AggregationContext ctx;
+      FlatVector parallel;
+      gar->aggregate_into(inputs, ctx, parallel);
+      EXPECT_TRUE(bit_equal(serial, parallel))
+          << name << " diverged between 1 and " << threads << " threads";
+    }
+    garfield::tensor::set_parallel_threads(0);
   }
 }
 

@@ -174,6 +174,70 @@ TEST(DistanceCache, RemoveIsIdempotent) {
   EXPECT_FALSE(cache.is_active(1));
 }
 
+// ------------------------------------------- API v2 (registry/context PR)
+
+TEST(DistanceCache, ActiveCountIsMaintainedNotRecounted) {
+  // active_count() is a maintained O(1) counter; it must track any
+  // interleaving of removals (including repeats) exactly.
+  auto in = random_inputs(12, 6, 24);
+  gg::DistanceCache cache(in);
+  gt::Rng rng(25);
+  std::size_t expected = 12;
+  for (int step = 0; step < 64; ++step) {
+    const std::size_t victim = rng.index(12);
+    if (cache.is_active(victim)) --expected;
+    cache.remove(victim);
+    ASSERT_EQ(cache.active_count(), expected);
+  }
+}
+
+TEST(DistanceCache, ResetReusesStorageAcrossInputSets) {
+  // AggregationContext keeps one cache alive across aggregations; reset()
+  // must fully reinitialize — new size, all-active, fresh distances —
+  // regardless of the previous set's size or removal state.
+  auto first = random_inputs(9, 8, 26);
+  gg::DistanceCache cache(first);
+  cache.remove(0);
+  cache.remove(5);
+
+  auto second = random_inputs(5, 12, 27);
+  cache.reset(second);
+  EXPECT_EQ(cache.size(), 5u);
+  EXPECT_EQ(cache.active_count(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(cache.is_active(i));
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(cache.squared_distance(i, j),
+                       gt::squared_distance(second[i], second[j]));
+    }
+  }
+
+  // Growing again after shrinking also works (no stale-capacity reads).
+  auto third = random_inputs(11, 4, 28);
+  cache.reset(third);
+  EXPECT_EQ(cache.size(), 11u);
+  EXPECT_EQ(cache.active_count(), 11u);
+  EXPECT_DOUBLE_EQ(cache.squared_distance(10, 3),
+                   gt::squared_distance(third[10], third[3]));
+}
+
+TEST(DistanceCache, ContextReusedAcrossCallsYieldsSameAggregates) {
+  // One AggregationContext reused across many aggregate_into calls (the
+  // steady-state server pattern) must agree bitwise with fresh-context
+  // calls, across shrinking and growing quorums.
+  gg::AggregationContext ctx;
+  const std::size_t f = 1;
+  for (std::uint64_t seed : {30u, 31u, 32u}) {
+    for (std::size_t n : {11u, 7u, 9u}) {
+      auto in = random_inputs(n, 16, seed * 100 + n);
+      gg::GarPtr bulyan = gg::make_gar("bulyan", n, f);
+      gt::FlatVector reused;
+      bulyan->aggregate_into(in, ctx, reused);
+      EXPECT_EQ(reused, bulyan->aggregate(in)) << "n=" << n;
+    }
+  }
+}
+
 TEST(DistanceCache, SelectCachedAgreesWithSelectOnRandomClouds) {
   // Property check over random clouds and random removal patterns: the
   // cached O(q^2) path must always agree with the uncached select() on the

@@ -56,6 +56,38 @@ TEST(ExtendedGars, ListedInGarNames) {
   }
 }
 
+TEST(ExtendedGars, SpecOptionsReachTheRules) {
+  // The extended rules' Options structs are configurable through spec
+  // strings (the gap the registry closes): a materially different setting
+  // must produce a materially different aggregate.
+  gt::Rng rng(77);
+  auto in = cloud(5, 16, rng, 1.0F, 0.2F);
+  for (float& x : in[4]) x = 50.0F;  // one far outlier
+
+  // One Weiszfeld step barely moves off the (outlier-dragged) mean; the
+  // default 32 steps converge near the honest cluster.
+  const FlatVector one_step =
+      gg::make_gar("geometric_median:max_iterations=1", 5, 1)->aggregate(in);
+  const FlatVector converged =
+      gg::make_gar("geometric_median", 5, 1)->aggregate(in);
+  EXPECT_LT(dist_to(converged, 1.0F), dist_to(one_step, 1.0F));
+
+  // A tight fixed clipping radius discounts the outlier far harder than a
+  // huge one (which degenerates toward the mean).
+  const FlatVector tight =
+      gg::make_gar("centered_clip:tau=0.5,iterations=20", 5, 1)
+          ->aggregate(in);
+  const FlatVector loose =
+      gg::make_gar("centered_clip:tau=1000", 5, 1)->aggregate(in);
+  EXPECT_LT(dist_to(tight, 1.0F), dist_to(loose, 1.0F));
+
+  // cge:keep=n degenerates to the mean; the default keep=n-f sheds the
+  // largest-norm input.
+  const FlatVector keep_all = gg::make_gar("cge:keep=5", 5, 1)->aggregate(in);
+  const FlatVector keep_default = gg::make_gar("cge", 5, 1)->aggregate(in);
+  EXPECT_LT(dist_to(keep_default, 1.0F), dist_to(keep_all, 1.0F));
+}
+
 // -------------------------------------------------------- geometric median
 
 TEST(GeometricMedian, SinglePointFixedPoint) {

@@ -74,6 +74,28 @@ TEST(Gar, RejectsWrongInputCountAndRaggedDimensions) {
   EXPECT_THROW((void)avg->aggregate(empty), std::invalid_argument);
 }
 
+TEST(Gar, AggregateIntoMatchesAggregateForEveryRule) {
+  // The compatibility wrapper and the primary entry point must agree
+  // bitwise, for every rule, with one shared context reused across rules
+  // and rounds (the steady-state server pattern) and an `out` that arrives
+  // dirty and wrongly sized.
+  gt::Rng rng(4242);
+  gg::AggregationContext ctx;
+  for (int round = 0; round < 2; ++round) {
+    for (const std::string& name : gg::gar_names()) {
+      const std::size_t f = name == "average" ? 0 : 1;
+      const std::size_t n = gg::gar_min_n(name, f) + 1;
+      const std::size_t d = 24 + std::size_t(round) * 9;
+      const auto inputs = honest_cloud(n, d, rng);
+      gg::GarPtr gar = gg::make_gar(name, n, f);
+      FlatVector out(3, -123.0F);  // wrong size, garbage contents
+      gar->aggregate_into(inputs, ctx, out);
+      EXPECT_EQ(out.size(), d) << name;
+      EXPECT_EQ(out, gar->aggregate(inputs)) << name << " round " << round;
+    }
+  }
+}
+
 // ------------------------------------------------------------- average
 
 TEST(AverageGar, ComputesMean) {

@@ -1,0 +1,192 @@
+// Wire-protocol adversarial-bytes suite (ROADMAP "Wire-protocol fuzzing").
+//
+// net::decode / net::encoded_size face attacker-controlled bytes by design.
+// This seeded randomized corruption suite — bit flips, truncation and
+// extension, header length lies, version skew, message concatenation, raw
+// garbage — asserts the decoder's total contract: every input either throws
+// WireError or yields a well-formed WireMessage; no other exception type,
+// no crash, no UB (the debug-asan CI preset runs this under
+// AddressSanitizer + UBSan).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/wire.h"
+#include "tensor/rng.h"
+
+namespace gn = garfield::net;
+namespace gt = garfield::tensor;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0xF022ED5ULL;
+
+std::vector<float> random_payload(gt::Rng& rng, std::size_t max_d = 64) {
+  std::vector<float> payload(rng.index(max_d + 1));
+  for (float& x : payload) x = rng.normal();
+  return payload;
+}
+
+std::vector<std::uint8_t> random_message(gt::Rng& rng) {
+  const std::vector<float> payload = random_payload(rng);
+  return gn::encode(std::uint64_t(rng.index(1 << 20)), payload);
+}
+
+/// The total contract under test: decode(bytes) either throws WireError or
+/// returns a message whose payload size is consistent with the blob.
+void expect_total_decode(const std::vector<std::uint8_t>& bytes,
+                         const char* what) {
+  try {
+    const gn::WireMessage msg = gn::decode(bytes);
+    ASSERT_EQ(gn::wire_size(msg.payload.size()), bytes.size()) << what;
+  } catch (const gn::WireError&) {
+    // Rejection is the expected outcome for corrupt inputs.
+  } catch (const std::exception& e) {
+    FAIL() << what << ": decode leaked a non-WireError exception: "
+           << e.what();
+  }
+  try {
+    const std::size_t claimed = gn::encoded_size(bytes);
+    EXPECT_GE(claimed, std::size_t(28)) << what;
+    EXPECT_LE(claimed, bytes.size()) << what;
+  } catch (const gn::WireError&) {
+  } catch (const std::exception& e) {
+    FAIL() << what << ": encoded_size leaked a non-WireError exception: "
+           << e.what();
+  }
+}
+
+void overwrite_u64(std::vector<std::uint8_t>& bytes, std::size_t at,
+                   std::uint64_t v) {
+  for (int i = 0; i < 8 && at + std::size_t(i) < bytes.size(); ++i) {
+    bytes[at + std::size_t(i)] = std::uint8_t(v >> (8 * i));
+  }
+}
+
+}  // namespace
+
+TEST(WireFuzz, BitFlipsNeverEscapeTheContract) {
+  gt::Rng rng(kSeed);
+  for (int round = 0; round < 400; ++round) {
+    std::vector<std::uint8_t> bytes = random_message(rng);
+    const std::size_t flips = 1 + rng.index(8);
+    for (std::size_t k = 0; k < flips; ++k) {
+      const std::size_t at = rng.index(bytes.size());
+      bytes[at] ^= std::uint8_t(1U << rng.index(8));
+    }
+    expect_total_decode(bytes, "bit flip");
+  }
+}
+
+TEST(WireFuzz, TruncationAndExtensionNeverEscapeTheContract) {
+  gt::Rng rng(kSeed + 1);
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::uint8_t> bytes = random_message(rng);
+    if (rng.bernoulli(0.5)) {
+      bytes.resize(rng.index(bytes.size() + 1));  // truncate, possibly to 0
+    } else {
+      const std::size_t extra = 1 + rng.index(64);
+      for (std::size_t k = 0; k < extra; ++k) {
+        bytes.push_back(std::uint8_t(rng.index(256)));
+      }
+    }
+    expect_total_decode(bytes, "truncate/extend");
+  }
+}
+
+TEST(WireFuzz, HeaderLengthLiesNeverEscapeTheContract) {
+  gt::Rng rng(kSeed + 2);
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::uint8_t> bytes = random_message(rng);
+    // Lie about the element count: small lies, huge lies, and the
+    // overflow-bait values near 2^64 that would wrap kHeaderSize + 4*d.
+    std::uint64_t lie;
+    switch (rng.index(4)) {
+      case 0: lie = rng.index(1 << 12); break;
+      case 1: lie = ~std::uint64_t(0) - rng.index(16); break;
+      case 2: lie = (~std::uint64_t(0) >> 2) + rng.index(16); break;
+      default: lie = std::uint64_t(1) << (32 + rng.index(32)); break;
+    }
+    overwrite_u64(bytes, 16, lie);
+    expect_total_decode(bytes, "length lie");
+    // decode must reject any d that disagrees with the actual byte count.
+    const std::uint64_t actual = (bytes.size() - 28) / 4;
+    if (lie != actual) {
+      EXPECT_THROW((void)gn::decode(bytes), gn::WireError);
+    }
+  }
+}
+
+TEST(WireFuzz, VersionAndMagicSkewAreRejected) {
+  gt::Rng rng(kSeed + 3);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> bytes = random_message(rng);
+    if (rng.bernoulli(0.5)) {
+      // Version skew: every version but the current 1 must be rejected.
+      std::uint32_t version = std::uint32_t(rng.index(1 << 16));
+      if (version == 1) version = 2;
+      for (int i = 0; i < 4; ++i) {
+        bytes[4 + std::size_t(i)] = std::uint8_t(version >> (8 * i));
+      }
+    } else {
+      const std::size_t at = rng.index(4);
+      bytes[at] ^= std::uint8_t(1 + rng.index(255));
+    }
+    EXPECT_THROW((void)gn::decode(bytes), gn::WireError);
+    EXPECT_THROW((void)gn::encoded_size(bytes), gn::WireError);
+  }
+}
+
+TEST(WireFuzz, ConcatenationSplitsCleanlyOrThrows) {
+  gt::Rng rng(kSeed + 4);
+  for (int round = 0; round < 200; ++round) {
+    const std::vector<std::uint8_t> first = random_message(rng);
+    const std::vector<std::uint8_t> second = random_message(rng);
+    std::vector<std::uint8_t> blob = first;
+    blob.insert(blob.end(), second.begin(), second.end());
+
+    // decode over the whole container must refuse (size mismatch) — it
+    // can never silently read just the first message.
+    EXPECT_THROW((void)gn::decode(blob), gn::WireError);
+
+    // encoded_size is the sanctioned splitter: it must report exactly the
+    // first message's length, and both halves must decode.
+    const std::size_t split = gn::encoded_size(blob);
+    ASSERT_EQ(split, first.size());
+    const std::span<const std::uint8_t> all(blob);
+    EXPECT_NO_THROW((void)gn::decode(all.subspan(0, split)));
+    EXPECT_NO_THROW((void)gn::decode(all.subspan(split)));
+
+    // A corrupted first header must not let the splitter run past the end.
+    std::vector<std::uint8_t> corrupt = blob;
+    corrupt[16 + rng.index(8)] ^= std::uint8_t(1 + rng.index(255));
+    try {
+      const std::size_t claimed = gn::encoded_size(corrupt);
+      EXPECT_LE(claimed, corrupt.size());
+    } catch (const gn::WireError&) {
+    }
+    expect_total_decode(corrupt, "concatenation header corruption");
+  }
+}
+
+TEST(WireFuzz, RawGarbageNeverEscapesTheContract) {
+  gt::Rng rng(kSeed + 5);
+  for (int round = 0; round < 400; ++round) {
+    std::vector<std::uint8_t> bytes(rng.index(256));
+    for (std::uint8_t& b : bytes) b = std::uint8_t(rng.index(256));
+    expect_total_decode(bytes, "raw garbage");
+  }
+}
+
+TEST(WireFuzz, UncorruptedRoundTripStillHolds) {
+  // Sanity anchor for the suite: with no corruption, decode(encode(x)) == x.
+  gt::Rng rng(kSeed + 6);
+  for (int round = 0; round < 100; ++round) {
+    const std::vector<float> payload = random_payload(rng);
+    const std::uint64_t iteration = rng.index(1 << 30);
+    const gn::WireMessage msg = gn::decode(gn::encode(iteration, payload));
+    EXPECT_EQ(msg.iteration, iteration);
+    EXPECT_EQ(msg.payload, payload);
+  }
+}
