@@ -6,21 +6,33 @@
 // Expected outcome (Fig 5): vanilla and crash-tolerant fail to learn,
 // MSMW converges normally.
 //
-// Usage: ./examples/byzantine_showdown [attack]   (default: reversed)
+// Usage: ./examples/byzantine_showdown [attack-plan] [fw]
+//   (defaults: reversed, 1)
+//
+// The attack argument is a full Adversary-API plan: a bare name
+// ("reversed"), a typed spec ("little_is_enough:z=2.5"), or a mixed-cohort
+// assignment ("little_is_enough:z=1.5;2*sign_flip" with fw=3). Unknown
+// attacks and malformed options are rejected at validate() time with a
+// pointed message.
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "attacks/registry.h"
 #include "core/trainer.h"
 
 namespace {
 
-garfield::core::DeploymentConfig base_config(const std::string& attack) {
+garfield::core::DeploymentConfig base_config(const std::string& attack,
+                                             std::size_t fw) {
   garfield::core::DeploymentConfig cfg;
   cfg.model = "tiny_mlp";
-  cfg.nw = 11;  // the paper trains with 11 workers here
-  cfg.fw = 1;
+  // The paper trains with 11 workers; grow the cluster when a larger fw
+  // would violate multi_krum's qw = nw - fw >= 2fw + 3 precondition.
+  cfg.nw = std::max<std::size_t>(11, 3 * fw + 3);
+  cfg.fw = fw;
   cfg.worker_attack = attack;
   cfg.batch_size = 16;
   cfg.train_size = 2048;
@@ -37,33 +49,39 @@ garfield::core::DeploymentConfig base_config(const std::string& attack) {
 int main(int argc, char** argv) {
   using namespace garfield::core;
   const std::string attack = argc > 1 ? argv[1] : "reversed";
+  const std::size_t fw = argc > 2 ? std::stoull(argv[2]) : 1;
+  // A shaped plan is sized for the fw-worker cohort; the lone msmw
+  // Byzantine server only mounts a uniform plan.
+  const bool uniform_plan =
+      garfield::attacks::parse_attack_plan(attack).uniform();
 
   std::map<std::string, TrainResult> results;
 
   {
-    DeploymentConfig cfg = base_config(attack);
+    DeploymentConfig cfg = base_config(attack, fw);
     cfg.deployment = Deployment::kVanilla;
     results["vanilla"] = train(cfg);
   }
   {
-    DeploymentConfig cfg = base_config(attack);
+    DeploymentConfig cfg = base_config(attack, fw);
     cfg.deployment = Deployment::kCrashTolerant;
     cfg.nps = 3;
     results["crash_tolerant"] = train(cfg);
   }
   {
-    DeploymentConfig cfg = base_config(attack);
+    DeploymentConfig cfg = base_config(attack, fw);
     cfg.deployment = Deployment::kMsmw;
     cfg.nps = 4;
     cfg.fps = 1;
-    cfg.server_attack = attack;  // Byzantine servers too
+    if (uniform_plan) cfg.server_attack = attack;  // Byzantine server too
     cfg.gradient_gar = "multi_krum";
     cfg.model_gar = "median";
     results["msmw"] = train(cfg);
   }
 
-  std::printf("attack: %s (mounted by %zu worker(s) and, for msmw, 1 server)\n\n",
-              attack.c_str(), base_config(attack).fw);
+  std::printf(
+      "attack plan: %s (mounted by %zu worker(s)%s)\n\n", attack.c_str(), fw,
+      uniform_plan ? " and, for msmw, 1 server" : "");
   std::printf("%-10s", "iteration");
   for (const auto& [name, _] : results) std::printf("%-16s", name.c_str());
   std::printf("\n");

@@ -5,108 +5,319 @@
 #include <limits>
 #include <stdexcept>
 
+#include "attacks/registry.h"
+#include "gars/gar.h"
+#include "gars/registry.h"
+
 namespace garfield::attacks {
 
-std::vector<std::string> attack_names() {
-  return {"random",           "reversed",        "dropped",
-          "sign_flip",        "zero",            "little_is_enough",
-          "fall_of_empires",  "nan_poison"};
+namespace {
+
+void require(bool cond, const std::string& message) {
+  if (!cond) throw std::invalid_argument(message);
 }
 
-AttackPtr make_attack(const std::string& name) {
-  if (name == "random") return std::make_unique<RandomAttack>();
-  if (name == "reversed") return std::make_unique<ReversedAttack>();
-  if (name == "dropped") return std::make_unique<DroppedAttack>();
-  if (name == "sign_flip") return std::make_unique<SignFlipAttack>();
-  if (name == "zero") return std::make_unique<ZeroAttack>();
-  if (name == "little_is_enough")
-    return std::make_unique<LittleIsEnoughAttack>();
-  if (name == "fall_of_empires")
-    return std::make_unique<FallOfEmpiresAttack>();
-  if (name == "nan_poison") return std::make_unique<NanPoisonAttack>();
-  throw std::invalid_argument("make_attack: unknown attack '" + name + "'");
+/// Coordinate-wise mean and population standard deviation of a cohort view
+/// (what LIE-family attacks hide inside).
+void view_statistics(std::span<const FlatVector> view, FlatVector& mu,
+                     FlatVector& sigma) {
+  const std::size_t d = view.front().size();
+  mu = tensor::mean(view);
+  sigma.assign(d, 0.0F);
+  for (std::size_t j = 0; j < d; ++j) {
+    double var = 0.0;
+    for (const FlatVector& g : view) {
+      const double dv = double(g[j]) - double(mu[j]);
+      var += dv * dv;
+    }
+    var /= double(view.size());
+    sigma[j] = float(std::sqrt(var));
+  }
 }
 
-std::optional<FlatVector> RandomAttack::craft(
-    const FlatVector& honest, std::span<const FlatVector> /*others*/,
-    Rng& rng) const {
+}  // namespace
+
+std::optional<FlatVector> RandomAttack::craft(const FlatVector& honest,
+                                              AttackContext& ctx) {
   FlatVector out(honest.size());
-  for (float& v : out) v = rng.normal(0.0F, scale_);
+  for (float& v : out) v = ctx.rng().normal(0.0F, scale_);
   return out;
 }
 
-std::optional<FlatVector> ReversedAttack::craft(
-    const FlatVector& honest, std::span<const FlatVector> /*others*/,
-    Rng& /*rng*/) const {
+std::optional<FlatVector> ReversedAttack::craft(const FlatVector& honest,
+                                                AttackContext& /*ctx*/) {
   FlatVector out = honest;
   tensor::scale(out, -factor_);
   return out;
 }
 
-std::optional<FlatVector> DroppedAttack::craft(
-    const FlatVector& /*honest*/, std::span<const FlatVector> /*others*/,
-    Rng& /*rng*/) const {
+std::optional<FlatVector> DroppedAttack::craft(const FlatVector& /*honest*/,
+                                               AttackContext& /*ctx*/) {
   return std::nullopt;
 }
 
-std::optional<FlatVector> SignFlipAttack::craft(
-    const FlatVector& honest, std::span<const FlatVector> /*others*/,
-    Rng& /*rng*/) const {
+std::optional<FlatVector> SignFlipAttack::craft(const FlatVector& honest,
+                                                AttackContext& /*ctx*/) {
   FlatVector out = honest;
   tensor::scale(out, -1.0F);
   return out;
 }
 
-std::optional<FlatVector> ZeroAttack::craft(
-    const FlatVector& honest, std::span<const FlatVector> /*others*/,
-    Rng& /*rng*/) const {
+std::optional<FlatVector> ZeroAttack::craft(const FlatVector& honest,
+                                            AttackContext& /*ctx*/) {
   return FlatVector(honest.size(), 0.0F);
 }
 
 std::optional<FlatVector> LittleIsEnoughAttack::craft(
-    const FlatVector& honest, std::span<const FlatVector> others,
-    Rng& /*rng*/) const {
-  if (others.empty()) return honest;  // nothing to hide inside
-  const std::size_t d = honest.size();
-  FlatVector mu = tensor::mean(others);
-  FlatVector out(d);
-  for (std::size_t j = 0; j < d; ++j) {
-    double var = 0.0;
-    for (const FlatVector& g : others) {
-      const double dv = double(g[j]) - double(mu[j]);
-      var += dv * dv;
-    }
-    var /= double(others.size());
-    out[j] = mu[j] - z_ * float(std::sqrt(var));
+    const FlatVector& honest, AttackContext& ctx) {
+  if (ctx.honest.empty()) return honest;  // nothing to hide inside
+  FlatVector mu;
+  FlatVector sigma;
+  view_statistics(ctx.honest, mu, sigma);
+  FlatVector out(honest.size());
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    out[j] = mu[j] - z_ * sigma[j];
   }
   return out;
 }
 
-std::optional<FlatVector> NanPoisonAttack::craft(
-    const FlatVector& honest, std::span<const FlatVector> /*others*/,
-    Rng& rng) const {
+std::optional<FlatVector> NanPoisonAttack::craft(const FlatVector& honest,
+                                                 AttackContext& ctx) {
   FlatVector out = honest;
   const std::size_t poisoned = std::max<std::size_t>(
       1, std::size_t(fraction_ * double(out.size())));
   for (std::size_t k = 0; k < poisoned; ++k) {
-    const std::size_t i = rng.index(out.size());
-    out[i] = rng.bernoulli(0.5) ? std::numeric_limits<float>::quiet_NaN()
-                                : std::numeric_limits<float>::infinity();
+    const std::size_t i = ctx.rng().index(out.size());
+    out[i] = ctx.rng().bernoulli(0.5)
+                 ? std::numeric_limits<float>::quiet_NaN()
+                 : std::numeric_limits<float>::infinity();
   }
   return out;
 }
 
-std::optional<FlatVector> FallOfEmpiresAttack::craft(
-    const FlatVector& honest, std::span<const FlatVector> others,
-    Rng& /*rng*/) const {
-  if (others.empty()) {
+std::optional<FlatVector> FallOfEmpiresAttack::craft(const FlatVector& honest,
+                                                     AttackContext& ctx) {
+  if (ctx.honest.empty()) {
     FlatVector out = honest;
     tensor::scale(out, -epsilon_);
     return out;
   }
-  FlatVector out = tensor::mean(others);
+  FlatVector out = tensor::mean(ctx.honest);
   tensor::scale(out, -epsilon_);
   return out;
 }
+
+// ------------------------------------------------------------- alternating
+
+AlternatingAttack::AlternatingAttack(AttackPtr first, AttackPtr second,
+                                     std::size_t period)
+    : first_(std::move(first)), second_(std::move(second)), period_(period) {
+  require(first_ != nullptr && second_ != nullptr,
+          "alternating: missing sub-attack");
+  require(period_ >= 1, "alternating: period must be >= 1");
+}
+
+std::optional<FlatVector> AlternatingAttack::craft(const FlatVector& honest,
+                                                   AttackContext& ctx) {
+  return select(ctx.iteration).craft(honest, ctx);
+}
+
+// -------------------------------------------------------------- adaptive_z
+
+AdaptiveZAttack::AdaptiveZAttack(Options options)
+    : options_(std::move(options)) {
+  require(options_.z_max > 0.0, "adaptive_z: z_max must be > 0");
+  require(options_.steps >= 1, "adaptive_z: steps must be >= 1");
+  require(options_.fallback_z >= 0.0, "adaptive_z: fallback_z must be >= 0");
+  // Parse once and fully validate the probe spec now (unknown rule or
+  // option must fail at construction, i.e. at validate() time, not
+  // mid-training): a throwaway construction at the probe's own resilience
+  // floor exercises the factory.
+  probe_spec_ = gars::parse_gar_spec(options_.probe);
+  (void)gars::make_gar(probe_spec_, gars::gar_min_n(probe_spec_, 1), 1);
+}
+
+AdaptiveZAttack::~AdaptiveZAttack() = default;
+
+std::optional<FlatVector> AdaptiveZAttack::craft(const FlatVector& honest,
+                                                 AttackContext& ctx) {
+  const std::span<const FlatVector> view = ctx.honest;
+  if (view.empty()) {
+    // Non-omniscient deployment: no cohort to hide inside (mirrors plain
+    // little-is-enough's graceful degradation).
+    last_z_ = 0.0;
+    return honest;
+  }
+  FlatVector mu;
+  FlatVector sigma;
+  view_statistics(view, mu, sigma);
+  const double sigma_norm = tensor::norm(sigma);
+  const auto candidate = [&](double z) {
+    FlatVector out(mu.size());
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      out[j] = mu[j] - float(z) * sigma[j];
+    }
+    return out;
+  };
+  if (sigma_norm == 0.0) {
+    // Degenerate cohort (identical honest vectors): intensity is
+    // unobservable, send the consensus vector.
+    last_z_ = 0.0;
+    return mu;
+  }
+
+  const std::size_t f_eff = std::max<std::size_t>(ctx.f, 1);
+  const std::size_t probe_n = view.size() + f_eff;
+  if (probe_n < gars::gar_min_n(probe_spec_, f_eff)) {
+    // Too few honest vectors to run the probe; fall back to a fixed z.
+    last_z_ = options_.fallback_z;
+    return candidate(options_.fallback_z);
+  }
+  if (probe_gar_ == nullptr || probe_gar_n_ != probe_n ||
+      probe_gar_f_ != f_eff) {
+    probe_gar_ = gars::make_gar(probe_spec_, probe_n, f_eff);
+    probe_gar_n_ = probe_n;
+    probe_gar_f_ = f_eff;
+  }
+  const gars::Gar& gar = *probe_gar_;
+
+  // "Slips past": with f_eff copies of the candidate among the inputs, the
+  // probe's aggregate moves along the *attack direction* (-sigma) by at
+  // least half the displacement full incorporation would produce
+  // ((f/n) * z * ||sigma||). The projection matters: when the probe filters
+  // the candidates the aggregate is some robust center of the honest cloud
+  // whose deviation from the mean is *random* — it projects onto the fixed
+  // attack direction only ~1/sqrt(d) of its magnitude — while incorporation
+  // projects in full, so the criterion tracks incorporation, not probe
+  // noise.
+  gars::AggregationContext probe_ctx;
+  std::vector<FlatVector> inputs(view.begin(), view.end());
+  inputs.resize(view.size() + f_eff);
+  FlatVector aggregate;
+  const auto slips_past = [&](double z) {
+    FlatVector crafted = candidate(z);
+    for (std::size_t k = 0; k < f_eff; ++k) {
+      inputs[view.size() + k] = crafted;
+    }
+    gar.aggregate_into(inputs, probe_ctx, aggregate);
+    double along_attack = 0.0;  // <aggregate - mu, -sigma> / ||sigma||
+    for (std::size_t j = 0; j < aggregate.size(); ++j) {
+      along_attack -=
+          (double(aggregate[j]) - double(mu[j])) * double(sigma[j]);
+    }
+    along_attack /= sigma_norm;
+    const double full_shift =
+        z * sigma_norm * double(f_eff) / double(probe_n);
+    return along_attack >= 0.5 * full_shift;
+  };
+
+  double z = 0.0;  // z = 0 sends the honest mean — always accepted
+  if (slips_past(options_.z_max)) {
+    z = options_.z_max;
+  } else {
+    double lo = 0.0;
+    double hi = options_.z_max;
+    for (std::size_t step = 0; step < options_.steps; ++step) {
+      const double mid = 0.5 * (lo + hi);
+      if (slips_past(mid)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    z = lo;
+  }
+  last_z_ = z;
+  return candidate(z);
+}
+
+// ----------------------------------------------------- registry descriptors
+
+namespace detail {
+
+void register_core_attacks(AttackRegistry& registry) {
+  registry.add({.name = "random",
+                .omniscient = false,
+                .factory = [](const AttackOptions& options) -> AttackPtr {
+                  const double scale = options.get_double("scale", 10.0);
+                  require(scale > 0.0, "random: scale must be > 0");
+                  return std::make_unique<RandomAttack>(float(scale));
+                }});
+  registry.add({.name = "reversed",
+                .omniscient = false,
+                .factory = [](const AttackOptions& options) -> AttackPtr {
+                  const double factor = options.get_double("factor", 100.0);
+                  require(factor > 0.0, "reversed: factor must be > 0");
+                  return std::make_unique<ReversedAttack>(float(factor));
+                }});
+  registry.add({.name = "dropped",
+                .omniscient = false,
+                .factory = [](const AttackOptions&) -> AttackPtr {
+                  return std::make_unique<DroppedAttack>();
+                }});
+  registry.add({.name = "sign_flip",
+                .omniscient = false,
+                .factory = [](const AttackOptions&) -> AttackPtr {
+                  return std::make_unique<SignFlipAttack>();
+                }});
+  registry.add({.name = "zero",
+                .omniscient = false,
+                .factory = [](const AttackOptions&) -> AttackPtr {
+                  return std::make_unique<ZeroAttack>();
+                }});
+  registry.add({.name = "little_is_enough",
+                .omniscient = true,
+                .factory = [](const AttackOptions& options) -> AttackPtr {
+                  const double z = options.get_double("z", 1.5);
+                  require(z >= 0.0, "little_is_enough: z must be >= 0");
+                  return std::make_unique<LittleIsEnoughAttack>(float(z));
+                }});
+  registry.add({.name = "fall_of_empires",
+                .omniscient = true,
+                .factory = [](const AttackOptions& options) -> AttackPtr {
+                  const double epsilon = options.get_double("epsilon", 1.1);
+                  require(epsilon > 0.0,
+                          "fall_of_empires: epsilon must be > 0");
+                  return std::make_unique<FallOfEmpiresAttack>(
+                      float(epsilon));
+                }});
+  registry.add(
+      {.name = "nan_poison",
+       .omniscient = false,
+       .factory = [](const AttackOptions& options) -> AttackPtr {
+         const double fraction = options.get_double("fraction", 0.01);
+         require(fraction > 0.0 && fraction <= 1.0,
+                 "nan_poison: fraction must be in (0, 1]");
+         return std::make_unique<NanPoisonAttack>(fraction);
+       }});
+  registry.add(
+      {.name = "alternating",
+       // Wants the view whenever a sub-attack does; harmless otherwise.
+       .omniscient = true,
+       .factory = [](const AttackOptions& options) -> AttackPtr {
+         const std::size_t period = options.get_size("period", 1);
+         require(period >= 1, "alternating: period must be >= 1");
+         // Sub-attacks are specs themselves ("sign_flip" or a nested
+         // single-option spec like "little_is_enough:z=3" — the option
+         // grammar's ','/';' exclusions keep nesting unambiguous).
+         const std::string first = options.get_string("first", "sign_flip");
+         const std::string second = options.get_string("second", "zero");
+         return std::make_unique<AlternatingAttack>(
+             make_attack(first), make_attack(second), period);
+       }});
+  registry.add(
+      {.name = "adaptive_z",
+       .omniscient = true,
+       .factory = [](const AttackOptions& options) -> AttackPtr {
+         AdaptiveZAttack::Options opts;
+         opts.probe = options.get_string("probe", opts.probe);
+         opts.z_max = options.get_double("z_max", opts.z_max);
+         opts.steps = options.get_size("steps", opts.steps);
+         opts.fallback_z = options.get_double("fallback_z", opts.fallback_z);
+         return std::make_unique<AdaptiveZAttack>(std::move(opts));
+       }});
+}
+
+}  // namespace detail
 
 }  // namespace garfield::attacks

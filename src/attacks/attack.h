@@ -2,11 +2,24 @@
 // "implement the popular attacks published in the Byzantine ML literature").
 //
 // An Attack turns the payload a correct node *would* send into the payload
-// the adversary actually sends. Omniscient attacks (little-is-enough, fall
-// of empires) additionally see the honest gradients of the other nodes —
-// the strongest adversary model used in the papers they come from.
+// the adversary actually sends. Crafting receives an AttackContext carrying
+// everything the adversary model grants: the training iteration, the
+// attacker's node id, the declared cohort shape (n, f), a per-attacker Rng,
+// and — for omniscient attacks (little-is-enough, fall-of-empires,
+// adaptive_z) — the honest cohort's vectors, the strongest adversary model
+// used in the papers they come from.
+//
+// craft() is non-const: attacks may carry state across iterations
+// (alternating switches sub-attacks on a period; adaptive_z tunes its
+// intensity against a probe GAR each round). One Attack instance belongs to
+// one Byzantine node; callers serialize craft() calls per instance.
+//
+// Construction goes through the AttackRegistry (attacks/registry.h):
+// make_attack accepts a bare name ("sign_flip") or a spec string with typed
+// options ("little_is_enough:z=2.5").
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -15,11 +28,43 @@
 
 #include "tensor/rng.h"
 #include "tensor/vecops.h"
+#include "util/spec.h"
+
+namespace garfield::gars {
+class Gar;  // adaptive_z's cached probe rule (gars/gar.h)
+}  // namespace garfield::gars
 
 namespace garfield::attacks {
 
 using tensor::FlatVector;
 using tensor::Rng;
+
+/// Everything an adversary is allowed to see when crafting a payload.
+/// Rebuilt per craft() call by the owning Byzantine node (cheap: a few
+/// words plus two non-owning views).
+class AttackContext {
+ public:
+  explicit AttackContext(Rng& rng) : rng_(&rng) {}
+
+  /// Training iteration the payload is for (drives time-varying attacks).
+  std::uint64_t iteration = 0;
+  /// Node id of the attacker crafting this payload.
+  std::size_t attacker_id = 0;
+  /// Declared cohort size the payload joins (nw for workers, nps for
+  /// servers; 0 when unknown, e.g. in unit fixtures).
+  std::size_t n = 0;
+  /// Declared Byzantine budget of that cohort.
+  std::size_t f = 0;
+  /// Honest cohort view for omniscient attacks; empty for non-omniscient
+  /// ones and in deployments where the adversary has no such channel.
+  std::span<const FlatVector> honest{};
+
+  /// Per-attacker random stream (never shared across nodes).
+  [[nodiscard]] Rng& rng() const { return *rng_; }
+
+ private:
+  Rng* rng_;  // non-null by construction
+};
 
 /// Interface of a Byzantine payload rewriter.
 class Attack {
@@ -31,33 +76,44 @@ class Attack {
   Attack() = default;
 
   /// Produce the Byzantine vector. `honest` is what this node would have
-  /// sent; `others` are honest vectors from correct nodes (empty for
-  /// non-omniscient attacks). Returns std::nullopt to send nothing at all
-  /// (the "dropped vector" attack — a silent node).
+  /// sent; `ctx` carries the adversary's view (see AttackContext). Returns
+  /// std::nullopt to send nothing at all (the "dropped vector" attack — a
+  /// silent node).
   [[nodiscard]] virtual std::optional<FlatVector> craft(
-      const FlatVector& honest, std::span<const FlatVector> others,
-      Rng& rng) const = 0;
+      const FlatVector& honest, AttackContext& ctx) = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
 using AttackPtr = std::unique_ptr<Attack>;
 
-/// Names accepted by make_attack: "random", "reversed", "dropped",
-/// "sign_flip", "zero", "little_is_enough", "fall_of_empires",
-/// "nan_poison".
+// Thin queries over the AttackRegistry (attacks/registry.h), mirroring
+// gars/gar.h's string API.
+
+/// Names registered in the AttackRegistry, in registration order:
+/// "random", "reversed", "dropped", "sign_flip", "zero",
+/// "little_is_enough", "fall_of_empires", "nan_poison", "alternating",
+/// "adaptive_z" — and anything registered at runtime.
 [[nodiscard]] std::vector<std::string> attack_names();
 
-/// Factory. Throws std::invalid_argument for unknown names.
-[[nodiscard]] AttackPtr make_attack(const std::string& name);
+/// Factory. `spec` is either a bare registry name ("sign_flip") or a spec
+/// string with typed options ("little_is_enough:z=2.5") — util/spec.h
+/// grammar. Throws std::invalid_argument for unknown names and malformed
+/// or unknown options.
+[[nodiscard]] AttackPtr make_attack(const std::string& spec);
+
+/// True when the named attack wants the honest cohort view in its
+/// AttackContext (spec may carry options; only the name matters). Throws
+/// for unknown names.
+[[nodiscard]] bool attack_is_omniscient(const std::string& spec);
 
 /// Replace the vector by i.i.d. N(0, scale) noise (Fig 5a).
+/// Spec option: scale > 0 (default 10).
 class RandomAttack final : public Attack {
  public:
   explicit RandomAttack(float scale = 10.0F) : scale_(scale) {}
   std::optional<FlatVector> craft(const FlatVector& honest,
-                                  std::span<const FlatVector> others,
-                                  Rng& rng) const override;
+                                  AttackContext& ctx) override;
   [[nodiscard]] std::string name() const override { return "random"; }
 
  private:
@@ -65,12 +121,12 @@ class RandomAttack final : public Attack {
 };
 
 /// Reverse and amplify: multiply by -factor (paper uses -100, Fig 5b).
+/// Spec option: factor > 0 (default 100).
 class ReversedAttack final : public Attack {
  public:
   explicit ReversedAttack(float factor = 100.0F) : factor_(factor) {}
   std::optional<FlatVector> craft(const FlatVector& honest,
-                                  std::span<const FlatVector> others,
-                                  Rng& rng) const override;
+                                  AttackContext& ctx) override;
   [[nodiscard]] std::string name() const override { return "reversed"; }
 
  private:
@@ -81,8 +137,7 @@ class ReversedAttack final : public Attack {
 class DroppedAttack final : public Attack {
  public:
   std::optional<FlatVector> craft(const FlatVector& honest,
-                                  std::span<const FlatVector> others,
-                                  Rng& rng) const override;
+                                  AttackContext& ctx) override;
   [[nodiscard]] std::string name() const override { return "dropped"; }
 };
 
@@ -90,8 +145,7 @@ class DroppedAttack final : public Attack {
 class SignFlipAttack final : public Attack {
  public:
   std::optional<FlatVector> craft(const FlatVector& honest,
-                                  std::span<const FlatVector> others,
-                                  Rng& rng) const override;
+                                  AttackContext& ctx) override;
   [[nodiscard]] std::string name() const override { return "sign_flip"; }
 };
 
@@ -99,19 +153,18 @@ class SignFlipAttack final : public Attack {
 class ZeroAttack final : public Attack {
  public:
   std::optional<FlatVector> craft(const FlatVector& honest,
-                                  std::span<const FlatVector> others,
-                                  Rng& rng) const override;
+                                  AttackContext& ctx) override;
   [[nodiscard]] std::string name() const override { return "zero"; }
 };
 
-/// "A little is enough" [Baruch et al.]: mean(others) - z * stddev(others),
+/// "A little is enough" [Baruch et al.]: mean(view) - z * stddev(view),
 /// coordinate-wise, with z small enough to hide inside the honest variance.
+/// Spec option: z >= 0 (default 1.5). Omniscient.
 class LittleIsEnoughAttack final : public Attack {
  public:
   explicit LittleIsEnoughAttack(float z = 1.5F) : z_(z) {}
   std::optional<FlatVector> craft(const FlatVector& honest,
-                                  std::span<const FlatVector> others,
-                                  Rng& rng) const override;
+                                  AttackContext& ctx) override;
   [[nodiscard]] std::string name() const override {
     return "little_is_enough";
   }
@@ -124,32 +177,104 @@ class LittleIsEnoughAttack final : public Attack {
 /// averaging and corrupts the whole model; robust systems must reject such
 /// payloads at ingress (garfield's servers do) — coordinate-wise GARs like
 /// Median would otherwise still let NaN coordinates through.
+/// Spec option: fraction in (0, 1] (default 0.01).
 class NanPoisonAttack final : public Attack {
  public:
   explicit NanPoisonAttack(double fraction = 0.01) : fraction_(fraction) {}
   std::optional<FlatVector> craft(const FlatVector& honest,
-                                  std::span<const FlatVector> others,
-                                  Rng& rng) const override;
+                                  AttackContext& ctx) override;
   [[nodiscard]] std::string name() const override { return "nan_poison"; }
 
  private:
   double fraction_;
 };
 
-/// "Fall of empires" [Xie et al.]: send -epsilon * mean(others), the inner
-/// product manipulation attack.
+/// "Fall of empires" [Xie et al.]: send -epsilon * mean(view), the inner
+/// product manipulation attack. Spec option: epsilon > 0 (default 1.1).
+/// Omniscient.
 class FallOfEmpiresAttack final : public Attack {
  public:
   explicit FallOfEmpiresAttack(float epsilon = 1.1F) : epsilon_(epsilon) {}
   std::optional<FlatVector> craft(const FlatVector& honest,
-                                  std::span<const FlatVector> others,
-                                  Rng& rng) const override;
+                                  AttackContext& ctx) override;
   [[nodiscard]] std::string name() const override {
     return "fall_of_empires";
   }
 
  private:
   float epsilon_;
+};
+
+/// Time-varying attack: alternates between two sub-attacks every `period`
+/// iterations, defeating defenses that filter on time-averaged statistics
+/// (a node that flips signs half the time and stalls the other half never
+/// builds a stable outlier profile). Spec options: period >= 1 (default 1),
+/// first / second (sub-attack specs, defaults sign_flip / zero — a bare
+/// name or a nested *single-option* spec like "little_is_enough:z=3"; the
+/// option grammar's ','/';' exclusions leave room for exactly one nested
+/// option).
+class AlternatingAttack final : public Attack {
+ public:
+  AlternatingAttack(AttackPtr first, AttackPtr second, std::size_t period);
+  std::optional<FlatVector> craft(const FlatVector& honest,
+                                  AttackContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "alternating"; }
+
+  /// Sub-attack a given iteration delegates to (exposed for tests).
+  [[nodiscard]] const Attack& active_at(std::uint64_t iteration) const {
+    return select(iteration);
+  }
+
+ private:
+  /// Single source of the schedule; craft() and active_at() both use it.
+  [[nodiscard]] Attack& select(std::uint64_t iteration) const {
+    return (iteration / period_) % 2 == 0 ? *first_ : *second_;
+  }
+
+  AttackPtr first_;
+  AttackPtr second_;
+  std::size_t period_;
+};
+
+/// Adaptive little-is-enough: each round, binary-search the largest z whose
+/// crafted vector still slips past a *probe* GAR the attacker runs locally
+/// against the honest cohort view — the adversary tunes its intensity to
+/// the defense instead of committing to a compiled-in z. Falls back to
+/// plain little-is-enough (z = fallback_z) when the context carries no
+/// honest view or too few vectors to run the probe. Spec options:
+/// probe (GAR spec string name, default "krum"), z_max > 0 (default 8),
+/// steps >= 1 bisection rounds (default 10), fallback_z (default 1.5).
+/// Omniscient, stateful: last_z() exposes the intensity used last round.
+class AdaptiveZAttack final : public Attack {
+ public:
+  struct Options {
+    std::string probe = "krum";
+    double z_max = 8.0;
+    std::size_t steps = 10;
+    double fallback_z = 1.5;
+  };
+
+  explicit AdaptiveZAttack(Options options);
+  AdaptiveZAttack() : AdaptiveZAttack(Options{}) {}
+  ~AdaptiveZAttack() override;  // out of line: Gar is incomplete here
+  std::optional<FlatVector> craft(const FlatVector& honest,
+                                  AttackContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "adaptive_z"; }
+
+  /// Intensity chosen by the most recent craft() (0 before the first call;
+  /// fallback_z when the probe could not run).
+  [[nodiscard]] double last_z() const { return last_z_; }
+
+ private:
+  Options options_;
+  util::ParsedSpec probe_spec_;  // parsed + validated once at construction
+  /// Probe rule cache: rebuilt only when the (n, f) it was built for
+  /// changes — constant in steady state, so per-iteration craft() calls
+  /// skip spec parsing and rule construction entirely.
+  std::unique_ptr<gars::Gar> probe_gar_;
+  std::size_t probe_gar_n_ = 0;
+  std::size_t probe_gar_f_ = 0;
+  double last_z_ = 0.0;
 };
 
 }  // namespace garfield::attacks

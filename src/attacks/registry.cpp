@@ -1,0 +1,197 @@
+#include "attacks/registry.h"
+
+#include <stdexcept>
+
+namespace garfield::attacks {
+
+// -------------------------------------------------------- parse_attack_spec
+
+AttackSpec parse_attack_spec(const std::string& spec) {
+  return util::parse_spec(spec, "attack spec");
+}
+
+// ---------------------------------------------------------- AttackRegistry
+
+AttackRegistry::AttackRegistry() { detail::register_core_attacks(*this); }
+
+AttackRegistry& AttackRegistry::instance() {
+  static AttackRegistry registry;
+  return registry;
+}
+
+void AttackRegistry::add(AttackDescriptor descriptor) {
+  if (!util::valid_identifier(descriptor.name)) {
+    throw std::invalid_argument("attack registry: bad attack name '" +
+                                descriptor.name + "'");
+  }
+  if (!descriptor.factory) {
+    throw std::invalid_argument("attack registry: attack '" +
+                                descriptor.name + "' is missing a factory");
+  }
+  if (find(descriptor.name) != nullptr) {
+    throw std::invalid_argument("attack registry: attack '" +
+                                descriptor.name + "' is already registered");
+  }
+  descriptors_.push_back(std::move(descriptor));
+}
+
+const AttackDescriptor* AttackRegistry::find(const std::string& name) const {
+  for (const AttackDescriptor& d : descriptors_) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+const AttackDescriptor& AttackRegistry::at(const std::string& name) const {
+  const AttackDescriptor* d = find(name);
+  if (d == nullptr) {
+    throw std::invalid_argument("attack registry: unknown attack '" + name +
+                                "'");
+  }
+  return *d;
+}
+
+std::vector<std::string> AttackRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(descriptors_.size());
+  for (const AttackDescriptor& d : descriptors_) out.push_back(d.name);
+  return out;
+}
+
+// ---------------------------------------------- registry-backed make_attack
+
+AttackPtr make_attack(const AttackSpec& spec) {
+  const AttackDescriptor& desc = AttackRegistry::instance().at(spec.name);
+  AttackPtr attack = desc.factory(spec.options);
+
+  const std::vector<std::string> leftover = spec.options.unconsumed();
+  if (!leftover.empty()) {
+    std::string what =
+        "make_attack: unknown option(s) for attack '" + spec.name + "':";
+    for (const std::string& key : leftover) what += " '" + key + "'";
+    throw std::invalid_argument(what);
+  }
+  return attack;
+}
+
+// ------------------------------------------------------------ attack plans
+
+std::size_t AttackPlan::declared_attackers() const {
+  std::size_t total = 0;
+  for (const Entry& e : entries) total += e.count;
+  return total;
+}
+
+std::vector<AttackSpec> AttackPlan::expand(std::size_t f) const {
+  std::vector<AttackSpec> out;
+  if (empty()) {
+    if (f != 0) {
+      throw std::invalid_argument(
+          "attack plan: empty plan cannot cover " + std::to_string(f) +
+          " attacker(s)");
+    }
+    return out;
+  }
+  if (uniform()) {
+    out.assign(f, entries.front().spec);
+    return out;
+  }
+  const std::size_t declared = declared_attackers();
+  if (declared != f) {
+    throw std::invalid_argument(
+        "attack plan: plan assigns " + std::to_string(declared) +
+        " attacker(s) but the cohort declares f=" + std::to_string(f));
+  }
+  out.reserve(f);
+  for (const Entry& e : entries) {
+    for (std::size_t k = 0; k < e.count; ++k) out.push_back(e.spec);
+  }
+  return out;
+}
+
+AttackPlan parse_attack_plan(const std::string& plan) {
+  AttackPlan out;
+  if (plan.empty()) return out;
+
+  std::size_t begin = 0;
+  while (begin <= plan.size()) {
+    const auto semi = plan.find(';', begin);
+    const std::string item =
+        plan.substr(begin, semi == std::string::npos ? std::string::npos
+                                                     : semi - begin);
+    if (item.empty()) {
+      throw std::invalid_argument("attack plan: empty entry in '" + plan +
+                                  "'");
+    }
+    AttackPlan::Entry entry;
+    std::string spec_text = item;
+    const auto star = item.find('*');
+    if (star != std::string::npos) {
+      const std::string count_text = item.substr(0, star);
+      try {
+        std::size_t pos = 0;
+        if (count_text.empty() || count_text.front() == '-') {
+          throw std::invalid_argument(count_text);
+        }
+        entry.count = std::stoull(count_text, &pos);
+        if (pos != count_text.size()) throw std::invalid_argument(count_text);
+      } catch (const std::exception&) {
+        throw std::invalid_argument(
+            "attack plan: expected a positive count before '*' in '" + item +
+            "'");
+      }
+      if (entry.count == 0) {
+        throw std::invalid_argument("attack plan: zero count in '" + item +
+                                    "'");
+      }
+      entry.explicit_count = true;
+      spec_text = item.substr(star + 1);
+    }
+    entry.spec = parse_attack_spec(spec_text);
+    out.entries.push_back(std::move(entry));
+    if (semi == std::string::npos) break;
+    begin = semi + 1;
+  }
+  return out;
+}
+
+AttackPlan validate_attack_plan(const std::string& plan, std::size_t f,
+                                const std::string& role) {
+  AttackPlan parsed;
+  try {
+    parsed = parse_attack_plan(plan);
+    // Throwaway constructions surface unknown attacks and unknown or
+    // malformed options now, instead of exploding mid-training when the
+    // trainer builds the Byzantine cohort.
+    for (const AttackPlan::Entry& entry : parsed.entries) {
+      (void)make_attack(entry.spec);
+    }
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("config: " + role + ": " + e.what());
+  }
+  if (!parsed.empty() && !parsed.uniform() &&
+      parsed.declared_attackers() != f) {
+    throw std::invalid_argument(
+        "config: " + role + " plan '" + plan + "' assigns " +
+        std::to_string(parsed.declared_attackers()) +
+        " attacker(s) but the cohort declares f=" + std::to_string(f));
+  }
+  return parsed;
+}
+
+// -------------------------------------- string API (thin registry queries)
+
+std::vector<std::string> attack_names() {
+  return AttackRegistry::instance().names();
+}
+
+AttackPtr make_attack(const std::string& spec) {
+  return make_attack(parse_attack_spec(spec));
+}
+
+bool attack_is_omniscient(const std::string& spec) {
+  return AttackRegistry::instance().at(parse_attack_spec(spec).name)
+      .omniscient;
+}
+
+}  // namespace garfield::attacks

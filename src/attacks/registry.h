@@ -1,0 +1,154 @@
+// AttackRegistry — self-describing adversary construction (the attack-side
+// twin of gars/registry.h).
+//
+// Every attack registers an AttackDescriptor {name, omniscient, factory};
+// attack_names() / make_attack() / attack_is_omniscient() (attacks/attack.h)
+// are thin queries over the registry, so adding an attack means adding one
+// descriptor — no string-dispatch switch to keep in sync by hand.
+//
+// Spec-string grammar (util/spec.h, shared with the GAR registry):
+//
+//   spec := name [ ":" key "=" value ("," key "=" value)* ]
+//
+// Examples:  "sign_flip"
+//            "little_is_enough:z=2.5"
+//            "random:scale=100"
+//            "alternating:period=5,first=sign_flip,second=zero"
+//
+// Unknown names and unknown/malformed options are rejected at make_attack
+// time — DeploymentConfig::validate() probes every configured spec, so a
+// typo fails at config time, never mid-training.
+//
+// Attack *plans* extend specs to per-node assignments within one Byzantine
+// cohort:
+//
+//   plan  := entry (";" entry)*
+//   entry := [ count "*" ] spec
+//
+// Examples:  "reversed"                          (every attacker)
+//            "little_is_enough:z=1.5;2*sign_flip" (1 LIE + 2 sign-flippers)
+//
+// A single-spec plan without a count is *uniform*: it applies to however
+// many attackers the cohort declares (the legacy worker_attack semantics).
+// Any plan with counts or multiple entries is *shaped*: its counts must sum
+// exactly to the cohort's f, checked by AttackPlan::expand and at
+// validate() time.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.h"
+#include "util/spec.h"
+
+namespace garfield::attacks {
+
+/// Typed option bag (util/spec.h) — see gars::GarOptions for semantics.
+using AttackOptions = util::SpecOptions;
+
+/// A parsed attack spec string: attack name + option bag.
+using AttackSpec = util::ParsedSpec;
+
+/// Parse "name" or "name:key=value,..."; throws std::invalid_argument on
+/// grammar violations.
+[[nodiscard]] AttackSpec parse_attack_spec(const std::string& spec);
+
+/// What an attack contributes to the registry.
+struct AttackDescriptor {
+  std::string name;
+  /// True when craft() wants the honest cohort view in its AttackContext
+  /// (the strongest adversary model); false for attacks that only rewrite
+  /// the attacker's own payload.
+  bool omniscient = false;
+  /// Build the attack with the given options. Factories must read every
+  /// option they accept through the typed getters; unconsumed options are
+  /// rejected by make_attack after the factory returns.
+  std::function<AttackPtr(const AttackOptions& options)> factory;
+};
+
+/// Process-wide attack registry. Built-in attacks are registered on first
+/// access; extensions call instance().add() (e.g. from a static
+/// initializer) before first use.
+class AttackRegistry {
+ public:
+  static AttackRegistry& instance();
+
+  AttackRegistry(const AttackRegistry&) = delete;
+  AttackRegistry& operator=(const AttackRegistry&) = delete;
+
+  /// Register an attack; throws std::invalid_argument on an empty or
+  /// duplicate name or a missing factory.
+  void add(AttackDescriptor descriptor);
+
+  /// Descriptor for `name`, or nullptr when unknown.
+  [[nodiscard]] const AttackDescriptor* find(const std::string& name) const;
+  /// Descriptor for `name`; throws std::invalid_argument when unknown.
+  [[nodiscard]] const AttackDescriptor& at(const std::string& name) const;
+  /// All registered names, in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  AttackRegistry();
+
+  std::vector<AttackDescriptor> descriptors_;  // registration order
+};
+
+/// make_attack over an already-parsed spec (lets plans parse once and
+/// construct per node). Rejects unconsumed options.
+[[nodiscard]] AttackPtr make_attack(const AttackSpec& spec);
+
+// ------------------------------------------------------------ attack plans
+
+/// A per-cohort attack assignment parsed from a plan string (grammar
+/// above). Node *ranks* are positions within the Byzantine cohort: rank 0
+/// is the first declared-Byzantine node, rank f-1 the last.
+struct AttackPlan {
+  struct Entry {
+    AttackSpec spec;
+    std::size_t count = 1;        ///< attackers mounting this spec
+    bool explicit_count = false;  ///< entry was written "count*spec"
+  };
+
+  std::vector<Entry> entries;
+
+  /// True for the no-adversary plan (parsed from "").
+  [[nodiscard]] bool empty() const { return entries.empty(); }
+  /// True for a single spec without a count — applies to any cohort size.
+  [[nodiscard]] bool uniform() const {
+    return entries.size() == 1 && !entries.front().explicit_count;
+  }
+  /// Sum of entry counts (the cohort size a shaped plan is written for).
+  [[nodiscard]] std::size_t declared_attackers() const;
+
+  /// One spec per cohort rank, in plan order. A uniform plan replicates its
+  /// spec f times; a shaped plan's counts must sum exactly to f (throws
+  /// std::invalid_argument otherwise, naming both numbers). expand(0) on a
+  /// non-empty plan returns an empty vector only for uniform plans.
+  [[nodiscard]] std::vector<AttackSpec> expand(std::size_t f) const;
+};
+
+/// Parse a plan string; "" yields the empty plan. Throws
+/// std::invalid_argument on grammar violations (empty entries, zero
+/// counts, malformed specs). Does NOT touch the registry — pair with
+/// make_attack / validate_attack_plan for existence checks.
+[[nodiscard]] AttackPlan parse_attack_plan(const std::string& plan);
+
+/// Full config-time validation of a plan string for a cohort declaring f
+/// Byzantine nodes: grammar, attack existence, option types, and shape
+/// (shaped plans must cover exactly f attackers). `role` names the cohort
+/// in error messages ("worker_attack", "server_attack"). Returns the
+/// parsed plan so callers can reuse it.
+AttackPlan validate_attack_plan(const std::string& plan, std::size_t f,
+                                const std::string& role);
+
+namespace detail {
+// Built-in registration hook, implemented next to the attacks themselves
+// (attack.cpp) and invoked once by AttackRegistry's constructor —
+// deterministic under static-library linking, where file-local registrar
+// objects could silently be dropped.
+void register_core_attacks(AttackRegistry& registry);
+}  // namespace detail
+
+}  // namespace garfield::attacks

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "attacks/registry.h"
 #include "gars/gar.h"
 
 namespace garfield::core {
@@ -85,6 +86,17 @@ void DeploymentConfig::validate() const {
       break;
     }
   }
+  // Adversary plans: grammar, attack existence, option types and plan shape
+  // against the declared Byzantine cohorts — a typo'd attack spec must fail
+  // here with a pointed message, not as an unknown-name throw when the
+  // trainer builds the Byzantine cohort mid-run. Decentralized deployments
+  // have no separate server cohort: both plans cover the fw peers (the
+  // trainer falls back to the worker plan when server_attack is empty).
+  const std::size_t server_cohort_f =
+      deployment == Deployment::kDecentralized ? fw : fps;
+  (void)attacks::validate_attack_plan(worker_attack, fw, "worker_attack");
+  (void)attacks::validate_attack_plan(server_attack, server_cohort_f,
+                                      "server_attack");
 }
 
 }  // namespace garfield::core

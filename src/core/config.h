@@ -57,8 +57,13 @@ struct DeploymentConfig {
   bool asynchronous = false;
 
   // --- adversary ----------------------------------------------------------
-  /// Attack the last fw workers / last fps servers actually mount
-  /// ("" = declared-only, everyone behaves — the paper's throughput mode).
+  /// Attack *plans* (attacks/registry.h grammar) the last fw workers / last
+  /// fps servers actually mount ("" = declared-only, everyone behaves — the
+  /// paper's throughput mode). A plan is one spec applied to the whole
+  /// cohort ("reversed", "little_is_enough:z=2.5") or a ';'-separated
+  /// per-rank assignment ("little_is_enough:z=1.5;2*sign_flip" = one LIE
+  /// attacker plus two sign-flippers). validate() rejects unknown attacks,
+  /// unknown/malformed options and plans whose counts don't match fw/fps.
   std::string worker_attack;
   std::string server_attack;
   /// Crash the primary server at this iteration (0 = never); used by the

@@ -116,29 +116,39 @@ ByzantineServer::ByzantineServer(net::NodeId id, net::Cluster& cluster,
                                  nn::SgdOptimizer::Options opt,
                                  std::vector<net::NodeId> workers,
                                  std::vector<net::NodeId> peer_servers,
-                                 attacks::AttackPtr attack, tensor::Rng rng)
+                                 attacks::AttackPtr attack, tensor::Rng rng,
+                                 std::size_t declared_n,
+                                 std::size_t declared_f)
     : Server(id, cluster, std::move(model), opt, std::move(workers),
              std::move(peer_servers)),
       attack_(std::move(attack)),
-      rng_(rng) {}
+      rng_(rng),
+      declared_n_(declared_n),
+      declared_f_(declared_f) {}
 
-std::optional<net::Payload> ByzantineServer::corrupt(net::Payload honest) {
+std::optional<net::Payload> ByzantineServer::corrupt(
+    net::Payload honest, std::uint64_t iteration) {
   std::lock_guard lock(attack_mutex_);
-  return attack_->craft(honest, {}, rng_);
+  attacks::AttackContext ctx(rng_);
+  ctx.iteration = iteration;
+  ctx.attacker_id = id();
+  ctx.n = declared_n_;
+  ctx.f = declared_f_;
+  return attack_->craft(honest, ctx);
 }
 
 std::optional<net::Payload> ByzantineServer::serve_model(
     const net::Request& req) {
   std::optional<net::Payload> honest = Server::serve_model(req);
   if (!honest) return std::nullopt;
-  return corrupt(std::move(*honest));
+  return corrupt(std::move(*honest), req.iteration);
 }
 
 std::optional<net::Payload> ByzantineServer::serve_aggr_grad(
     const net::Request& req) {
   std::optional<net::Payload> honest = Server::serve_aggr_grad(req);
   if (!honest) return std::nullopt;
-  return corrupt(std::move(*honest));
+  return corrupt(std::move(*honest), req.iteration);
 }
 
 }  // namespace garfield::core

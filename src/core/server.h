@@ -130,14 +130,20 @@ class Server {
 };
 
 /// A server under adversarial control: serves corrupted models and
-/// contracted gradients to the replicas/peers pulling from it.
+/// contracted gradients to the replicas/peers pulling from it. Craft calls
+/// receive an AttackContext carrying the *requester's* training step (the
+/// iteration tag on the pull), this node's id and the declared server
+/// cohort shape; the honest view stays empty — a Byzantine server has no
+/// channel to its peers' parameter vectors, so omniscient attacks degrade
+/// gracefully to their view-free behaviour.
 class ByzantineServer final : public Server {
  public:
   ByzantineServer(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
                   nn::SgdOptimizer::Options opt,
                   std::vector<net::NodeId> workers,
                   std::vector<net::NodeId> peer_servers,
-                  attacks::AttackPtr attack, tensor::Rng rng);
+                  attacks::AttackPtr attack, tensor::Rng rng,
+                  std::size_t declared_n = 0, std::size_t declared_f = 0);
 
  protected:
   std::optional<net::Payload> serve_model(const net::Request& req) override;
@@ -145,11 +151,14 @@ class ByzantineServer final : public Server {
       const net::Request& req) override;
 
  private:
-  [[nodiscard]] std::optional<net::Payload> corrupt(net::Payload honest);
+  [[nodiscard]] std::optional<net::Payload> corrupt(net::Payload honest,
+                                                    std::uint64_t iteration);
 
   attacks::AttackPtr attack_;
   std::mutex attack_mutex_;
   tensor::Rng rng_;
+  std::size_t declared_n_;
+  std::size_t declared_f_;
 };
 
 }  // namespace garfield::core

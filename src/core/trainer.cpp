@@ -6,6 +6,7 @@
 #include <memory>
 #include <thread>
 
+#include "attacks/registry.h"
 #include "core/checkpoint.h"
 #include "core/server.h"
 #include "core/worker.h"
@@ -50,6 +51,20 @@ GarPlan plan_gar(const std::string& spec_string, std::size_t f) {
   plan.spec = gars::parse_gar_spec(spec_string);
   plan.min_n = gars::gar_min_n(plan.spec, f);
   return plan;
+}
+
+/// Per-rank attack specs for a Byzantine cohort: expand the configured plan
+/// over the f declared attackers (validated at config time; re-expanding
+/// here keeps the builders independent of validate() being called first).
+/// Returns an empty vector when no attack is mounted.
+std::vector<attacks::AttackSpec> attack_cohort(const std::string& plan,
+                                               std::size_t f) {
+  if (plan.empty() || f == 0) return {};
+  return attacks::parse_attack_plan(plan).expand(f);
+}
+
+bool spec_is_omniscient(const attacks::AttackSpec& spec) {
+  return attacks::AttackRegistry::instance().at(spec.name).omniscient;
 }
 
 /// Everything a deployment run needs to keep alive while threads execute.
@@ -111,20 +126,22 @@ void build_parameter_server(Runtime& rt) {
   for (std::size_t s = 0; s < cfg.nps; ++s) server_ids.push_back(s);
   for (std::size_t w = 0; w < cfg.nw; ++w) worker_ids.push_back(cfg.nps + w);
 
-  const bool servers_attack =
-      !cfg.server_attack.empty() && cfg.fps > 0;
+  const std::vector<attacks::AttackSpec> server_specs =
+      attack_cohort(cfg.server_attack, cfg.fps);
   for (std::size_t s = 0; s < cfg.nps; ++s) {
     Rng replica_rng = root.fork(1);  // identical initial replicas
     nn::ModelPtr model = nn::make_model(cfg.model, replica_rng);
     std::vector<net::NodeId> peers;
     for (net::NodeId other : server_ids)
       if (other != s) peers.push_back(other);
-    const bool byz = servers_attack && s >= cfg.nps - cfg.fps;
+    const bool byz = !server_specs.empty() && s >= cfg.nps - cfg.fps;
     if (byz) {
+      const attacks::AttackSpec& spec =
+          server_specs[s - (cfg.nps - cfg.fps)];
       rt.servers.push_back(std::make_unique<ByzantineServer>(
           s, *rt.cluster, std::move(model), cfg.optimizer, worker_ids,
-          std::move(peers), attacks::make_attack(cfg.server_attack),
-          root.fork(100 + s)));
+          std::move(peers), attacks::make_attack(spec), root.fork(100 + s),
+          cfg.nps, cfg.fps));
     } else {
       rt.servers.push_back(std::make_unique<Server>(
           s, *rt.cluster, std::move(model), cfg.optimizer, worker_ids,
@@ -132,17 +149,19 @@ void build_parameter_server(Runtime& rt) {
     }
   }
 
-  const bool workers_attack = !cfg.worker_attack.empty() && cfg.fw > 0;
+  const std::vector<attacks::AttackSpec> worker_specs =
+      attack_cohort(cfg.worker_attack, cfg.fw);
   for (std::size_t w = 0; w < cfg.nw; ++w) {
     Rng replica_rng = root.fork(1);
     nn::ModelPtr model = nn::make_model(cfg.model, replica_rng);
     const net::NodeId id = cfg.nps + w;
-    const bool byz = workers_attack && w >= cfg.nw - cfg.fw;
+    const bool byz = !worker_specs.empty() && w >= cfg.nw - cfg.fw;
     if (byz) {
+      const attacks::AttackSpec& spec = worker_specs[w - (cfg.nw - cfg.fw)];
       rt.workers.push_back(std::make_unique<ByzantineWorker>(
           id, *rt.cluster, std::move(model), std::move(shards[w]),
-          cfg.batch_size, root.fork(200 + w),
-          attacks::make_attack(cfg.worker_attack), cfg.worker_momentum));
+          cfg.batch_size, root.fork(200 + w), attacks::make_attack(spec),
+          cfg.worker_momentum, spec_is_omniscient(spec), cfg.nw, cfg.fw));
     } else {
       rt.workers.push_back(std::make_unique<Worker>(
           id, *rt.cluster, std::move(model), std::move(shards[w]),
@@ -182,7 +201,14 @@ void build_decentralized(Runtime& rt) {
   std::vector<net::NodeId> all_ids;
   for (std::size_t i = 0; i < cfg.nw; ++i) all_ids.push_back(i);
 
-  const bool attack = !cfg.worker_attack.empty() && cfg.fw > 0;
+  // Peers are Server+Worker pairs: the worker plan drives gradient
+  // corruption, the server plan (falling back to the worker plan) drives
+  // model/contraction corruption on the same Byzantine peers.
+  const std::vector<attacks::AttackSpec> worker_specs =
+      attack_cohort(cfg.worker_attack, cfg.fw);
+  const std::vector<attacks::AttackSpec> server_specs = attack_cohort(
+      cfg.server_attack.empty() ? cfg.worker_attack : cfg.server_attack,
+      cfg.fw);
   for (std::size_t i = 0; i < cfg.nw; ++i) {
     Rng replica_rng = root.fork(1);
     nn::ModelPtr server_model = nn::make_model(cfg.model, replica_rng);
@@ -191,22 +217,30 @@ void build_decentralized(Runtime& rt) {
     std::vector<net::NodeId> peers;
     for (net::NodeId other : all_ids)
       if (other != i) peers.push_back(other);
-    const bool byz = attack && i >= cfg.nw - cfg.fw;
-    if (byz) {
+    // The two halves of a Byzantine peer corrupt independently: a
+    // server-only plan (worker_attack empty) mounts lying model/contraction
+    // replies on top of honest gradient service, and vice versa.
+    const std::size_t rank = i >= cfg.nw - cfg.fw ? i - (cfg.nw - cfg.fw)
+                                                  : cfg.fw;  // honest
+    const bool byz_server = !server_specs.empty() && rank < cfg.fw;
+    const bool byz_worker = !worker_specs.empty() && rank < cfg.fw;
+    if (byz_server) {
       rt.servers.push_back(std::make_unique<ByzantineServer>(
           i, *rt.cluster, std::move(server_model), cfg.optimizer, all_ids,
-          std::move(peers), attacks::make_attack(cfg.server_attack.empty()
-                                                     ? cfg.worker_attack
-                                                     : cfg.server_attack),
-          root.fork(100 + i)));
-      rt.workers.push_back(std::make_unique<ByzantineWorker>(
-          i, *rt.cluster, std::move(worker_model), std::move(shards[i]),
-          cfg.batch_size, root.fork(200 + i),
-          attacks::make_attack(cfg.worker_attack), cfg.worker_momentum));
+          std::move(peers), attacks::make_attack(server_specs[rank]),
+          root.fork(100 + i), cfg.nw, cfg.fw));
     } else {
       rt.servers.push_back(std::make_unique<Server>(
           i, *rt.cluster, std::move(server_model), cfg.optimizer, all_ids,
           std::move(peers)));
+    }
+    if (byz_worker) {
+      rt.workers.push_back(std::make_unique<ByzantineWorker>(
+          i, *rt.cluster, std::move(worker_model), std::move(shards[i]),
+          cfg.batch_size, root.fork(200 + i),
+          attacks::make_attack(worker_specs[rank]), cfg.worker_momentum,
+          spec_is_omniscient(worker_specs[rank]), cfg.nw, cfg.fw));
+    } else {
       rt.workers.push_back(std::make_unique<Worker>(
           i, *rt.cluster, std::move(worker_model), std::move(shards[i]),
           cfg.batch_size, root.fork(200 + i), cfg.worker_momentum));

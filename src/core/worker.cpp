@@ -40,6 +40,20 @@ nn::GradientResult Worker::honest_gradient(const net::Request& req) {
   return result;
 }
 
+std::vector<net::Payload> Worker::local_gradient_cloud(
+    const net::Request& req, std::size_t k) {
+  std::lock_guard lock(mutex_);
+  assert(req.argument && req.argument->size() == model_->dimension());
+  model_->set_parameters(*req.argument);
+  std::vector<net::Payload> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const data::Batch batch = sampler_.next();
+    out.push_back(model_->gradient(batch.inputs, batch.labels).gradient);
+  }
+  return out;
+}
+
 std::optional<net::Payload> Worker::serve_gradient(const net::Request& req) {
   return honest_gradient(req).gradient;
 }
@@ -54,22 +68,47 @@ std::uint64_t Worker::gradients_served() const {
   return served_;
 }
 
+namespace {
+
+/// Cohort-estimate size an omniscient worker attack samples per request.
+/// Enough batches for a usable mean/stddev estimate; small enough that the
+/// adversary's extra compute stays a constant factor.
+constexpr std::size_t kOmniscienceProbes = 4;
+
+}  // namespace
+
 ByzantineWorker::ByzantineWorker(net::NodeId id, net::Cluster& cluster,
                                  nn::ModelPtr model, data::Dataset shard,
                                  std::size_t batch_size, tensor::Rng rng,
-                                 attacks::AttackPtr attack, float momentum)
+                                 attacks::AttackPtr attack, float momentum,
+                                 bool omniscient, std::size_t declared_n,
+                                 std::size_t declared_f)
     : Worker(id, cluster, std::move(model), std::move(shard), batch_size,
              rng, momentum),
-      attack_(std::move(attack)) {}
+      attack_(std::move(attack)),
+      omniscient_(omniscient),
+      declared_n_(declared_n),
+      declared_f_(declared_f) {}
 
 std::optional<net::Payload> ByzantineWorker::serve_gradient(
     const net::Request& req) {
   const nn::GradientResult honest = honest_gradient(req);
-  // Non-omniscient in the live cluster: the adversary sees only its own
-  // honest estimate. Omniscient variants are exercised directly against
-  // GARs in the robustness-matrix tests.
+  // Omniscient attacks get a local cohort estimate (see class comment);
+  // non-omniscient ones see only the attacker's own honest estimate. The
+  // full honest-cohort view is exercised directly against GARs in the
+  // robustness-matrix tests.
+  std::vector<net::Payload> view;
+  if (omniscient_) {
+    view = local_gradient_cloud(req, kOmniscienceProbes);
+  }
   std::lock_guard lock(attack_mutex_);
-  return attack_->craft(honest.gradient, {}, rng_);
+  attacks::AttackContext ctx(rng_);
+  ctx.iteration = req.iteration;
+  ctx.attacker_id = id();
+  ctx.n = declared_n_;
+  ctx.f = declared_f_;
+  ctx.honest = view;
+  return attack_->craft(honest.gradient, ctx);
 }
 
 }  // namespace garfield::core

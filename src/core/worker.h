@@ -45,6 +45,13 @@ class Worker {
   /// Compute the honest gradient for a request (thread-safe).
   [[nodiscard]] nn::GradientResult honest_gradient(const net::Request& req);
 
+  /// k extra raw gradient estimates at the requested parameters, drawn from
+  /// this node's own shard (no momentum, no loss accounting) — the local
+  /// cohort estimate an omniscient-style attacker builds when it cannot see
+  /// other nodes' payloads. Thread-safe; advances the batch sampler.
+  [[nodiscard]] std::vector<net::Payload> local_gradient_cloud(
+      const net::Request& req, std::size_t k);
+
   /// Handler body; ByzantineWorker overrides to corrupt the reply.
   [[nodiscard]] virtual std::optional<net::Payload> serve_gradient(
       const net::Request& req);
@@ -64,13 +71,21 @@ class Worker {
 };
 
 /// A worker under adversarial control: computes the honest gradient, then
-/// rewrites it with the configured attack before replying.
+/// rewrites it with the configured attack before replying. Each craft call
+/// receives an AttackContext carrying the request's training iteration, the
+/// attacker's node id and the declared cohort shape; when the attack is
+/// omniscient, the context additionally carries a *local cohort estimate* —
+/// a handful of extra raw gradients sampled from this node's own shard at
+/// the requested parameters, the standard stand-in for full omniscience
+/// when the live cluster gives the adversary no channel to other nodes'
+/// payloads (Baruch et al. estimate mean/stddev exactly this way).
 class ByzantineWorker final : public Worker {
  public:
   ByzantineWorker(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
                   data::Dataset shard, std::size_t batch_size,
                   tensor::Rng rng, attacks::AttackPtr attack,
-                  float momentum = 0.0F);
+                  float momentum = 0.0F, bool omniscient = false,
+                  std::size_t declared_n = 0, std::size_t declared_f = 0);
 
  protected:
   std::optional<net::Payload> serve_gradient(const net::Request& req) override;
@@ -78,6 +93,9 @@ class ByzantineWorker final : public Worker {
  private:
   attacks::AttackPtr attack_;
   std::mutex attack_mutex_;
+  bool omniscient_;
+  std::size_t declared_n_;
+  std::size_t declared_f_;
 };
 
 }  // namespace garfield::core

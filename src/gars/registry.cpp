@@ -1,20 +1,13 @@
 #include "gars/registry.h"
 
 #include <algorithm>
-#include <cctype>
-#include <cmath>
 #include <stdexcept>
 
 namespace garfield::gars {
 
 namespace {
 
-bool valid_identifier(const std::string& s) {
-  if (s.empty()) return false;
-  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
-    return std::isalnum(c) != 0 || c == '_';
-  });
-}
+using util::valid_identifier;
 
 /// Universal input-rewriting decorator: L2-clip every input to `radius`
 /// before handing the set to the wrapped rule. Gradient clipping composes
@@ -56,97 +49,10 @@ class PreClipped final : public Gar {
 
 }  // namespace
 
-// ------------------------------------------------------------- GarOptions
-
-void GarOptions::set(const std::string& key, std::string value) {
-  if (!valid_identifier(key)) {
-    throw std::invalid_argument("gar spec: bad option key '" + key + "'");
-  }
-  const auto [it, inserted] = entries_.emplace(key, Entry{std::move(value)});
-  (void)it;
-  if (!inserted) {
-    throw std::invalid_argument("gar spec: duplicate option '" + key + "'");
-  }
-}
-
-std::size_t GarOptions::get_size(const std::string& key,
-                                 std::size_t fallback) const {
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) return fallback;
-  it->second.consumed = true;
-  const std::string& raw = it->second.value;
-  try {
-    std::size_t pos = 0;
-    if (!raw.empty() && raw.front() == '-') throw std::invalid_argument(raw);
-    const unsigned long long v = std::stoull(raw, &pos);
-    if (pos != raw.size()) throw std::invalid_argument(raw);
-    return std::size_t(v);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("gar spec: option '" + key +
-                                "' expects a non-negative integer, got '" +
-                                raw + "'");
-  }
-}
-
-double GarOptions::get_double(const std::string& key, double fallback) const {
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) return fallback;
-  it->second.consumed = true;
-  const std::string& raw = it->second.value;
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(raw, &pos);
-    if (pos != raw.size() || !std::isfinite(v)) {
-      throw std::invalid_argument(raw);
-    }
-    return v;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("gar spec: option '" + key +
-                                "' expects a finite number, got '" + raw +
-                                "'");
-  }
-}
-
-std::vector<std::string> GarOptions::unconsumed() const {
-  std::vector<std::string> out;
-  for (const auto& [key, entry] : entries_) {
-    if (!entry.consumed) out.push_back(key);
-  }
-  return out;
-}
-
 // --------------------------------------------------------- parse_gar_spec
 
 GarSpec parse_gar_spec(const std::string& spec) {
-  GarSpec out;
-  const auto colon = spec.find(':');
-  out.name = spec.substr(0, colon);
-  if (!valid_identifier(out.name)) {
-    throw std::invalid_argument("gar spec: bad rule name in '" + spec + "'");
-  }
-  if (colon == std::string::npos) return out;
-
-  std::string rest = spec.substr(colon + 1);
-  if (rest.empty()) {
-    throw std::invalid_argument("gar spec: empty option list in '" + spec +
-                                "'");
-  }
-  std::size_t begin = 0;
-  while (begin <= rest.size()) {
-    const auto comma = rest.find(',', begin);
-    const std::string item =
-        rest.substr(begin, comma == std::string::npos ? std::string::npos
-                                                      : comma - begin);
-    const auto eq = item.find('=');
-    if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
-      throw std::invalid_argument("gar spec: expected key=value, got '" +
-                                  item + "' in '" + spec + "'");
-    }
-    out.options.set(item.substr(0, eq), item.substr(eq + 1));
-    if (comma == std::string::npos) break;
-    begin = comma + 1;
-  }
-  return out;
+  return util::parse_spec(spec, "gar spec");
 }
 
 // ------------------------------------------------------------ GarRegistry

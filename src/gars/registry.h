@@ -26,53 +26,22 @@
 
 #include <cstddef>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "gars/gar.h"
+#include "util/spec.h"
 
 namespace garfield::gars {
 
-/// Typed key/value option bag parsed from a spec string. Getters convert on
-/// access and throw std::invalid_argument on malformed values; each getter
-/// also marks its key consumed so make_gar can reject options no factory
-/// ever read (typos never pass silently).
-class GarOptions {
- public:
-  GarOptions() = default;
-
-  /// Add a key (throws on duplicate — a spec listing a key twice is a bug).
-  void set(const std::string& key, std::string value);
-
-  [[nodiscard]] bool empty() const { return entries_.empty(); }
-  [[nodiscard]] bool contains(const std::string& key) const {
-    return entries_.count(key) != 0;
-  }
-
-  /// Non-negative integer option; `fallback` when absent.
-  [[nodiscard]] std::size_t get_size(const std::string& key,
-                                     std::size_t fallback) const;
-  /// Floating-point option; `fallback` when absent.
-  [[nodiscard]] double get_double(const std::string& key,
-                                  double fallback) const;
-
-  /// Keys never read by any getter since parsing (drift guard).
-  [[nodiscard]] std::vector<std::string> unconsumed() const;
-
- private:
-  struct Entry {
-    std::string value;
-    mutable bool consumed = false;
-  };
-  std::map<std::string, Entry> entries_;
-};
+/// Typed key/value option bag parsed from a spec string (util/spec.h).
+/// Getters convert on access and throw std::invalid_argument on malformed
+/// values; each getter also marks its key consumed so make_gar can reject
+/// options no factory ever read (typos never pass silently).
+using GarOptions = util::SpecOptions;
 
 /// A parsed spec string: rule name + option bag.
-struct GarSpec {
-  std::string name;
-  GarOptions options;
-};
+using GarSpec = util::ParsedSpec;
 
 /// Parse "name" or "name:key=value,key=value"; throws std::invalid_argument
 /// on grammar violations (empty name, missing '=', duplicate keys).

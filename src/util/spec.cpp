@@ -1,0 +1,118 @@
+#include "util/spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+namespace garfield::util {
+
+bool valid_identifier(const std::string& s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isalnum(c) != 0 || c == '_';
+  });
+}
+
+void SpecOptions::set(const std::string& key, std::string value) {
+  if (!valid_identifier(key)) {
+    throw std::invalid_argument("spec: bad option key '" + key + "'");
+  }
+  const auto [it, inserted] = entries_.emplace(key, Entry{std::move(value)});
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument("spec: duplicate option '" + key + "'");
+  }
+}
+
+std::size_t SpecOptions::get_size(const std::string& key,
+                                  std::size_t fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  it->second.consumed = true;
+  const std::string& raw = it->second.value;
+  try {
+    std::size_t pos = 0;
+    if (!raw.empty() && raw.front() == '-') throw std::invalid_argument(raw);
+    const unsigned long long v = std::stoull(raw, &pos);
+    if (pos != raw.size()) throw std::invalid_argument(raw);
+    return std::size_t(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("spec: option '" + key +
+                                "' expects a non-negative integer, got '" +
+                                raw + "'");
+  }
+}
+
+double SpecOptions::get_double(const std::string& key, double fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  it->second.consumed = true;
+  const std::string& raw = it->second.value;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(raw, &pos);
+    if (pos != raw.size() || !std::isfinite(v)) {
+      throw std::invalid_argument(raw);
+    }
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("spec: option '" + key +
+                                "' expects a finite number, got '" + raw +
+                                "'");
+  }
+}
+
+std::string SpecOptions::get_string(const std::string& key,
+                                    std::string fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  it->second.consumed = true;
+  if (it->second.value.empty()) {
+    throw std::invalid_argument("spec: option '" + key +
+                                "' expects a non-empty value");
+  }
+  return it->second.value;
+}
+
+std::vector<std::string> SpecOptions::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.consumed) out.push_back(key);
+  }
+  return out;
+}
+
+ParsedSpec parse_spec(const std::string& spec, const std::string& context) {
+  ParsedSpec out;
+  const auto colon = spec.find(':');
+  out.name = spec.substr(0, colon);
+  if (!valid_identifier(out.name)) {
+    throw std::invalid_argument(context + ": bad name in '" + spec + "'");
+  }
+  if (colon == std::string::npos) return out;
+
+  std::string rest = spec.substr(colon + 1);
+  if (rest.empty()) {
+    throw std::invalid_argument(context + ": empty option list in '" + spec +
+                                "'");
+  }
+  std::size_t begin = 0;
+  while (begin <= rest.size()) {
+    const auto comma = rest.find(',', begin);
+    const std::string item =
+        rest.substr(begin, comma == std::string::npos ? std::string::npos
+                                                      : comma - begin);
+    const auto eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
+      throw std::invalid_argument(context + ": expected key=value, got '" +
+                                  item + "' in '" + spec + "'");
+    }
+    out.options.set(item.substr(0, eq), item.substr(eq + 1));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace garfield::util

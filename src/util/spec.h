@@ -1,0 +1,80 @@
+// Typed spec-string machinery shared by the GAR and attack registries.
+//
+// A *spec string* selects a registered component by name and tunes it with
+// typed options:
+//
+//   spec       := name [ ":" option ("," option)* ]
+//   option     := key "=" value
+//   name, key  := [A-Za-z0-9_]+
+//   value      := anything without ',' or ';' (parsed by the typed getters)
+//
+// Examples:  "krum"
+//            "centered_clip:tau=0.5,iterations=20"
+//            "little_is_enough:z=2.5"
+//
+// Both registries (gars/registry.h, attacks/registry.h) layer their own
+// semantics on top: which names exist, which options each factory reads,
+// and the consumed-key audit that turns a typo'd option into a hard error
+// instead of a silently ignored knob.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace garfield::util {
+
+/// True for a non-empty [A-Za-z0-9_]+ token (names and option keys).
+[[nodiscard]] bool valid_identifier(const std::string& s);
+
+/// Typed key/value option bag parsed from a spec string. Getters convert on
+/// access and throw std::invalid_argument on malformed values; each getter
+/// also marks its key consumed so factories can reject options nobody ever
+/// read (typos never pass silently).
+class SpecOptions {
+ public:
+  SpecOptions() = default;
+
+  /// Add a key (throws on duplicate — a spec listing a key twice is a bug).
+  void set(const std::string& key, std::string value);
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return entries_.count(key) != 0;
+  }
+
+  /// Non-negative integer option; `fallback` when absent.
+  [[nodiscard]] std::size_t get_size(const std::string& key,
+                                     std::size_t fallback) const;
+  /// Floating-point option; `fallback` when absent.
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  /// Raw string option; `fallback` when absent.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       std::string fallback) const;
+
+  /// Keys never read by any getter since parsing (drift guard).
+  [[nodiscard]] std::vector<std::string> unconsumed() const;
+
+ private:
+  struct Entry {
+    std::string value;
+    mutable bool consumed = false;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// A parsed spec string: component name + option bag.
+struct ParsedSpec {
+  std::string name;
+  SpecOptions options;
+};
+
+/// Parse "name" or "name:key=value,key=value"; throws std::invalid_argument
+/// on grammar violations (empty name, missing '=', duplicate keys). The
+/// `context` string prefixes error messages ("gar spec", "attack spec").
+[[nodiscard]] ParsedSpec parse_spec(const std::string& spec,
+                                    const std::string& context);
+
+}  // namespace garfield::util

@@ -244,7 +244,12 @@ TEST_P(ExtendedGarVsAttack, StaysAlignedWithHonestMean) {
   std::vector<FlatVector> delivered = honest;
   std::size_t byz = 0;
   for (std::size_t k = 0; k < f; ++k) {
-    auto crafted = attack->craft(honest[k], honest, rng);
+    ga::AttackContext ctx(rng);
+    ctx.attacker_id = n - f + k;
+    ctx.n = n;
+    ctx.f = f;
+    ctx.honest = honest;
+    auto crafted = attack->craft(honest[k], ctx);
     if (crafted) {
       delivered.push_back(std::move(*crafted));
       ++byz;

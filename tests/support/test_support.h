@@ -52,8 +52,12 @@ struct CloudSpec {
 // ------------------------------------------------------- attack scenarios
 
 /// One GAR x attack x (n, f) cell. n counts expected inputs (honest plus
-/// Byzantine); the fixture crafts the f Byzantine payloads with the named
-/// attack, giving omniscient attacks the honest vectors as required.
+/// Byzantine); the fixture crafts the f Byzantine payloads from the attack
+/// *plan* (attacks/registry.h grammar: a GAR-style spec like
+/// "little_is_enough:z=2.5" applied to the whole cohort, or a ';'-separated
+/// per-rank assignment like "little_is_enough:z=1.5;2*sign_flip"), giving
+/// omniscient attacks the honest vectors as required. `gar` is a GAR spec
+/// string; `iteration` feeds time-varying attacks' AttackContext.
 struct Scenario {
   std::string gar;
   std::string attack;
@@ -63,6 +67,7 @@ struct Scenario {
   float center = 1.0F;
   float spread = 0.1F;
   std::uint64_t seed = 42;
+  std::uint64_t iteration = 0;
 };
 
 struct ScenarioResult {
