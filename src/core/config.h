@@ -95,6 +95,10 @@ struct DeploymentConfig {
   // --- simulated network --------------------------------------------------
   std::chrono::microseconds base_latency{0};
   std::chrono::microseconds jitter{0};
+  /// RPC handler threads (0 = hardware concurrency). Pool threads only run
+  /// handler compute — simulated latency lives on the cluster's timer
+  /// wheel — so this is the real-contention knob bench_fig8 sweeps.
+  std::size_t pool_threads = 0;
 
   /// Total node count of the deployment.
   [[nodiscard]] std::size_t total_nodes() const;

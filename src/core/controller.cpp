@@ -76,6 +76,7 @@ void apply(DeploymentConfig& cfg, const std::string& key,
     cfg.base_latency = std::chrono::microseconds(to_size(key, value));
   else if (key == "jitter_us")
     cfg.jitter = std::chrono::microseconds(to_size(key, value));
+  else if (key == "pool_threads") cfg.pool_threads = to_size(key, value);
   else
     throw std::invalid_argument("config: unknown key '" + key + "'");
 }
@@ -171,7 +172,8 @@ std::string format_config(const DeploymentConfig& cfg) {
       << "alignment_every = " << cfg.alignment_every << '\n'
       << "seed = " << cfg.seed << '\n'
       << "base_latency_us = " << cfg.base_latency.count() << '\n'
-      << "jitter_us = " << cfg.jitter.count() << '\n';
+      << "jitter_us = " << cfg.jitter.count() << '\n'
+      << "pool_threads = " << cfg.pool_threads << '\n';
   return out.str();
 }
 

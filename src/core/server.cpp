@@ -6,6 +6,17 @@
 
 namespace garfield::core {
 
+namespace {
+
+/// Publications retained per ring. Step-tagged peers drift by at most a
+/// few iterations (each pull waits for the slowest peer it needs), so a
+/// short ring suffices; long-evicted tags are served the oldest retained
+/// entry, which degrades to the legacy "whatever state the replica holds"
+/// semantics for unboundedly-lagging asynchronous peers.
+constexpr std::size_t kRingDepth = 16;
+
+}  // namespace
+
 Server::Server(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
                nn::SgdOptimizer::Options opt,
                std::vector<net::NodeId> workers,
@@ -16,7 +27,7 @@ Server::Server(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
       optimizer_(opt),
       workers_(std::move(workers)),
       peer_servers_(std::move(peer_servers)),
-      params_(model_->parameters()) {
+      params_(std::make_shared<const net::Payload>(model_->parameters())) {
   cluster_.register_handler(id_, kGetModel, [this](const net::Request& req) {
     return serve_model(req);
   });
@@ -26,7 +37,7 @@ Server::Server(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
                             });
 }
 
-net::Payload Server::snapshot() const {
+net::PayloadPtr Server::snapshot() const {
   std::lock_guard lock(mutex_);
   return params_;
 }
@@ -36,63 +47,99 @@ std::vector<net::Payload> Server::validate(std::vector<net::Reply> replies) {
   out.reserve(replies.size());
   const std::size_t d = model_->dimension();
   for (net::Reply& r : replies) {
-    if (r.payload.size() != d || !tensor::all_finite(r.payload)) {
+    if (!r.payload || r.payload->size() != d ||
+        !tensor::all_finite(*r.payload)) {
       rejected_.fetch_add(1);
       continue;
     }
-    out.push_back(std::move(r.payload));
+    // The aggregation kernels consume contiguous owned vectors; this is
+    // the single ingress copy of the whole pull path (the wire, the
+    // collector and the callee's serving side are all refcounted views).
+    out.push_back(*r.payload);
   }
   return out;
 }
 
 std::vector<net::Payload> Server::get_gradients(std::uint64_t t,
                                                 std::size_t q) {
-  auto arg = std::make_shared<const net::Payload>(snapshot());
   return validate(
-      cluster_.collect(id_, workers_, kGetGradient, t, std::move(arg), q));
+      cluster_.collect(id_, workers_, kGetGradient, t, snapshot(), q));
 }
 
-std::vector<net::Payload> Server::get_models(std::size_t q) {
-  return validate(cluster_.collect(id_, peer_servers_, kGetModel,
-                                   steps_taken(), nullptr, q));
+std::vector<net::Payload> Server::get_models(std::uint64_t t,
+                                             std::size_t q) {
+  return validate(
+      cluster_.collect(id_, peer_servers_, kGetModel, t, nullptr, q));
 }
 
-std::vector<net::Payload> Server::get_aggr_grads(std::uint64_t t,
+std::vector<net::Payload> Server::get_aggr_grads(std::uint64_t tag,
                                                  std::size_t q) {
   return validate(
-      cluster_.collect(id_, peer_servers_, kGetAggrGrad, t, nullptr, q));
+      cluster_.collect(id_, peer_servers_, kGetAggrGrad, tag, nullptr, q));
+}
+
+void Server::enable_step_tagged_serving(bool models, bool aggr_grads) {
+  std::lock_guard lock(mutex_);
+  tagged_models_ = models;
+  tagged_aggr_grads_ = aggr_grads;
+}
+
+void Server::publish_model(std::uint64_t t) {
+  std::lock_guard lock(mutex_);
+  if (!tagged_models_) return;  // untagged serving never reads the ring
+  model_ring_.push_back(TaggedEntry{t, params_});
+  if (model_ring_.size() > kRingDepth) model_ring_.pop_front();
+}
+
+void Server::publish_aggr_grad(std::uint64_t tag, net::Payload grad) {
+  std::lock_guard lock(mutex_);
+  if (!tagged_aggr_grads_) return;
+  aggr_ring_.push_back(
+      TaggedEntry{tag, std::make_shared<const net::Payload>(std::move(grad))});
+  if (aggr_ring_.size() > kRingDepth) aggr_ring_.pop_front();
+}
+
+void Server::skip_aggr_grad(std::uint64_t tag) {
+  std::lock_guard lock(mutex_);
+  if (!tagged_aggr_grads_) return;
+  aggr_ring_.push_back(TaggedEntry{tag, nullptr});
+  if (aggr_ring_.size() > kRingDepth) aggr_ring_.pop_front();
 }
 
 void Server::set_latest_aggr_grad(net::Payload grad) {
   std::lock_guard lock(mutex_);
-  latest_aggr_grad_ = std::move(grad);
+  latest_aggr_grad_ =
+      std::make_shared<const net::Payload>(std::move(grad));
 }
 
 void Server::update_model(const net::Payload& aggregated_gradient) {
   std::lock_guard lock(mutex_);
-  optimizer_.step(params_, aggregated_gradient, step_);
+  // Copy-on-write: outstanding snapshot holders keep the old vector.
+  net::Payload next = *params_;
+  optimizer_.step(next, aggregated_gradient, step_);
+  params_ = std::make_shared<const net::Payload>(std::move(next));
   ++step_;
 }
 
 void Server::write_model(const net::Payload& parameters) {
   std::lock_guard lock(mutex_);
-  assert(parameters.size() == params_.size());
-  params_ = parameters;
+  assert(parameters.size() == params_->size());
+  params_ = std::make_shared<const net::Payload>(parameters);
 }
 
 double Server::compute_accuracy(const data::Batch& test) {
   std::lock_guard lock(mutex_);
-  model_->set_parameters(params_);
+  model_->set_parameters(*params_);
   return model_->accuracy(test.inputs, test.labels);
 }
 
 double Server::compute_loss(const data::Batch& test) {
   std::lock_guard lock(mutex_);
-  model_->set_parameters(params_);
+  model_->set_parameters(*params_);
   return model_->loss(test.inputs, test.labels);
 }
 
-net::Payload Server::parameters() const { return snapshot(); }
+net::Payload Server::parameters() const { return *snapshot(); }
 
 std::uint64_t Server::steps_taken() const {
   std::lock_guard lock(mutex_);
@@ -101,14 +148,49 @@ std::uint64_t Server::steps_taken() const {
 
 std::uint64_t Server::rejected_payloads() const { return rejected_.load(); }
 
-std::optional<net::Payload> Server::serve_model(const net::Request&) {
-  return snapshot();
+net::HandlerResult Server::serve_tagged(const std::deque<TaggedEntry>& ring,
+                                        std::uint64_t tag,
+                                        bool serve_oldest_on_eviction) const {
+  if (ring.empty() || ring.back().tag < tag) {
+    // Not published yet — this replica has not reached iteration `tag`.
+    return net::HandlerResult::not_ready();
+  }
+  for (const TaggedEntry& e : ring) {
+    if (e.tag == tag) {
+      return e.payload ? net::HandlerResult::reply(e.payload)
+                       : net::HandlerResult::none();  // skipped round
+    }
+  }
+  // Evicted: the requester lags more than kRingDepth publications behind.
+  // Model pulls get the oldest retained state (a stale model is the legacy
+  // current-state semantics, and model aggregation tolerates staleness);
+  // gossip pulls are declined instead — folding a different contraction
+  // round's gradient in as if it were the requested one would silently
+  // corrupt the contract() average, while a decline just shrinks the
+  // quorum.
+  if (!serve_oldest_on_eviction) return net::HandlerResult::none();
+  const TaggedEntry& oldest = ring.front();
+  return oldest.payload ? net::HandlerResult::reply(oldest.payload)
+                        : net::HandlerResult::none();
 }
 
-std::optional<net::Payload> Server::serve_aggr_grad(const net::Request&) {
+net::HandlerResult Server::serve_model(const net::Request& req) {
   std::lock_guard lock(mutex_);
-  if (latest_aggr_grad_.empty()) return std::nullopt;
-  return latest_aggr_grad_;
+  if (tagged_models_) {
+    return serve_tagged(model_ring_, req.iteration,
+                        /*serve_oldest_on_eviction=*/true);
+  }
+  return net::HandlerResult::reply(params_);
+}
+
+net::HandlerResult Server::serve_aggr_grad(const net::Request& req) {
+  std::lock_guard lock(mutex_);
+  if (tagged_aggr_grads_) {
+    return serve_tagged(aggr_ring_, req.iteration,
+                        /*serve_oldest_on_eviction=*/false);
+  }
+  if (!latest_aggr_grad_) return net::HandlerResult::none();
+  return net::HandlerResult::reply(latest_aggr_grad_);
 }
 
 ByzantineServer::ByzantineServer(net::NodeId id, net::Cluster& cluster,
@@ -126,29 +208,30 @@ ByzantineServer::ByzantineServer(net::NodeId id, net::Cluster& cluster,
       declared_n_(declared_n),
       declared_f_(declared_f) {}
 
-std::optional<net::Payload> ByzantineServer::corrupt(
-    net::Payload honest, std::uint64_t iteration) {
+net::HandlerResult ByzantineServer::corrupt(const net::Payload& honest,
+                                            std::uint64_t iteration) {
   std::lock_guard lock(attack_mutex_);
   attacks::AttackContext ctx(rng_);
   ctx.iteration = iteration;
   ctx.attacker_id = id();
   ctx.n = declared_n_;
   ctx.f = declared_f_;
-  return attack_->craft(honest, ctx);
+  std::optional<net::Payload> crafted = attack_->craft(honest, ctx);
+  if (!crafted) return net::HandlerResult::none();
+  return net::HandlerResult::reply(std::move(*crafted));
 }
 
-std::optional<net::Payload> ByzantineServer::serve_model(
-    const net::Request& req) {
-  std::optional<net::Payload> honest = Server::serve_model(req);
-  if (!honest) return std::nullopt;
-  return corrupt(std::move(*honest), req.iteration);
+net::HandlerResult ByzantineServer::serve_model(const net::Request& req) {
+  net::HandlerResult honest = Server::serve_model(req);
+  if (honest.retry || !honest.payload) return honest;
+  return corrupt(*honest.payload, req.iteration);
 }
 
-std::optional<net::Payload> ByzantineServer::serve_aggr_grad(
+net::HandlerResult ByzantineServer::serve_aggr_grad(
     const net::Request& req) {
-  std::optional<net::Payload> honest = Server::serve_aggr_grad(req);
-  if (!honest) return std::nullopt;
-  return corrupt(std::move(*honest), req.iteration);
+  net::HandlerResult honest = Server::serve_aggr_grad(req);
+  if (honest.retry || !honest.payload) return honest;
+  return corrupt(*honest.payload, req.iteration);
 }
 
 }  // namespace garfield::core

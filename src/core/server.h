@@ -4,14 +4,31 @@
 // Its Networking interface is the paper's two abstractions:
 //   get_gradients(t, qw) — pull gradient estimates from workers, keep the
 //                          fastest qw;
-//   get_models(qps)      — pull parameter vectors from the other server
+//   get_models(t, qps)   — pull parameter vectors from the other server
 //                          replicas, keep the fastest qps.
 // plus update_model() (optimizer step on an aggregated gradient),
 // write_model() (overwrite state after model aggregation — the MSMW /
 // decentralized convergence step) and compute_accuracy().
+//
+// State is held as an immutable copy-on-write snapshot
+// (std::shared_ptr<const Payload>): update_model / write_model build a new
+// vector and swap the pointer, so serve_model and get_gradients hand out
+// refcounted pointers instead of locking and copying — one snapshot serves
+// every concurrent requester for free.
+//
+// Replicated deployments (MSMW, decentralized) run in *step-tagged* mode:
+// the driving loop publishes its snapshot for iteration t
+// (publish_model(t)) and peers pull exactly that iteration; a request for
+// an iteration this replica has not reached yet answers
+// HandlerResult::not_ready() and the cluster redelivers it later. This
+// makes the model-exchange round deterministic — peers aggregate
+// same-iteration states instead of whatever the replica happened to hold —
+// without ever blocking a pool thread. The same mechanism serves the
+// decentralized contract() gossip (publish_aggr_grad / skip_aggr_grad).
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -42,18 +59,42 @@ class Server {
   [[nodiscard]] net::NodeId id() const { return id_; }
   [[nodiscard]] std::size_t dimension() const { return model_->dimension(); }
 
-  /// Pull gradients for iteration t from the workers; fastest q win.
+  /// Pull gradients for iteration t from the workers; fastest q win. The
+  /// request argument is this server's current snapshot pointer (no copy).
   [[nodiscard]] std::vector<net::Payload> get_gradients(std::uint64_t t,
                                                         std::size_t q);
 
-  /// Pull models from the peer server replicas; fastest q win.
-  [[nodiscard]] std::vector<net::Payload> get_models(std::size_t q);
+  /// Pull models from the peer server replicas; fastest q win. `t` tags
+  /// the pulled iteration for step-tagged peers; untagged peers serve
+  /// their live state regardless.
+  [[nodiscard]] std::vector<net::Payload> get_models(std::uint64_t t,
+                                                     std::size_t q);
 
-  /// Pull contracted gradients from peers (decentralized contract() round).
-  [[nodiscard]] std::vector<net::Payload> get_aggr_grads(std::uint64_t t,
+  /// Pull contracted gradients from peers (decentralized contract()
+  /// round). `tag` is the encoded (iteration, round) gossip tag.
+  [[nodiscard]] std::vector<net::Payload> get_aggr_grads(std::uint64_t tag,
                                                          std::size_t q);
 
-  /// Publish this node's latest aggregated gradient for peers to pull.
+  /// Switch peer-facing serving to step-tagged mode (see file comment).
+  /// Call before the driving loops start; publish_model / publish_aggr_grad
+  /// then gate what peers can pull. Untagged mode (the default) serves the
+  /// live state, preserving the standalone-object behaviour.
+  void enable_step_tagged_serving(bool models, bool aggr_grads);
+
+  /// Publish the current snapshot as "this replica's model for iteration
+  /// t"; peers pulling get_models(t, q) are answered from a small ring of
+  /// recent publications.
+  void publish_model(std::uint64_t t);
+
+  /// Publish this node's contracted gradient for gossip tag `tag`.
+  void publish_aggr_grad(std::uint64_t tag, net::Payload grad);
+
+  /// Publish "no contribution" for gossip tag `tag` (the round was
+  /// skipped); peers receive a decline instead of retrying forever.
+  void skip_aggr_grad(std::uint64_t tag);
+
+  /// Publish this node's latest aggregated gradient for peers to pull
+  /// (untagged legacy path; step-tagged runs use publish_aggr_grad).
   void set_latest_aggr_grad(net::Payload grad);
 
   /// SGD step with an aggregated gradient (Equation (2)).
@@ -67,7 +108,7 @@ class Server {
   /// Mean loss of the current state on a test batch.
   [[nodiscard]] double compute_loss(const data::Batch& test);
 
-  /// Snapshot of the current parameter vector.
+  /// Copy of the current parameter vector.
   [[nodiscard]] net::Payload parameters() const;
 
   /// Snapshot of the optimizer's momentum buffer (persisted in checkpoints;
@@ -101,17 +142,34 @@ class Server {
 
  protected:
   /// What get_model serves; ByzantineServer corrupts it.
-  [[nodiscard]] virtual std::optional<net::Payload> serve_model(
+  [[nodiscard]] virtual net::HandlerResult serve_model(
       const net::Request& req);
-  [[nodiscard]] virtual std::optional<net::Payload> serve_aggr_grad(
+  [[nodiscard]] virtual net::HandlerResult serve_aggr_grad(
       const net::Request& req);
 
-  [[nodiscard]] net::Payload snapshot() const;
+  /// Current snapshot pointer (refcount bump, no copy).
+  [[nodiscard]] net::PayloadPtr snapshot() const;
 
  private:
+  /// One tagged publication (model or contracted gradient). A null payload
+  /// on an aggr-grad entry marks a skipped round.
+  struct TaggedEntry {
+    std::uint64_t tag = 0;
+    net::PayloadPtr payload;
+  };
+
   /// Keep only well-formed payloads; counts the dropped ones.
   [[nodiscard]] std::vector<net::Payload> validate(
       std::vector<net::Reply> replies);
+
+  /// Tagged lookup shared by serve_model / serve_aggr_grad: not_ready
+  /// until `tag` is published, then the ring entry. Long-evicted tags are
+  /// clamped to the oldest retained entry when `serve_oldest_on_eviction`
+  /// (model pulls — staleness is tolerable) and declined otherwise
+  /// (gossip pulls — a wrong round would corrupt the contraction).
+  [[nodiscard]] net::HandlerResult serve_tagged(
+      const std::deque<TaggedEntry>& ring, std::uint64_t tag,
+      bool serve_oldest_on_eviction) const;
 
   net::NodeId id_;
   net::Cluster& cluster_;
@@ -123,8 +181,12 @@ class Server {
   gars::AggregationContext aggregation_context_;
 
   mutable std::mutex mutex_;
-  net::Payload params_;
-  net::Payload latest_aggr_grad_;
+  net::PayloadPtr params_;  // immutable snapshot, swapped on write
+  net::PayloadPtr latest_aggr_grad_;  // untagged legacy gossip slot
+  bool tagged_models_ = false;
+  bool tagged_aggr_grads_ = false;
+  std::deque<TaggedEntry> model_ring_;
+  std::deque<TaggedEntry> aggr_ring_;
   std::uint64_t step_ = 0;
   std::atomic<std::uint64_t> rejected_{0};
 };
@@ -146,13 +208,14 @@ class ByzantineServer final : public Server {
                   std::size_t declared_n = 0, std::size_t declared_f = 0);
 
  protected:
-  std::optional<net::Payload> serve_model(const net::Request& req) override;
-  std::optional<net::Payload> serve_aggr_grad(
-      const net::Request& req) override;
+  net::HandlerResult serve_model(const net::Request& req) override;
+  net::HandlerResult serve_aggr_grad(const net::Request& req) override;
 
  private:
-  [[nodiscard]] std::optional<net::Payload> corrupt(net::Payload honest,
-                                                    std::uint64_t iteration);
+  /// Corrupt a copy of the honest payload (attacks rewrite in place; the
+  /// honest snapshot stays shared with everyone else).
+  [[nodiscard]] net::HandlerResult corrupt(const net::Payload& honest,
+                                           std::uint64_t iteration);
 
   attacks::AttackPtr attack_;
   std::mutex attack_mutex_;

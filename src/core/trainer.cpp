@@ -117,6 +117,7 @@ void build_parameter_server(Runtime& rt) {
 
   net::Cluster::Options net_opts;
   net_opts.nodes = cfg.nps + cfg.nw;
+  net_opts.pool_threads = cfg.pool_threads;
   net_opts.base_latency = cfg.base_latency;
   net_opts.jitter = cfg.jitter;
   net_opts.seed = cfg.seed ^ 0xc1u;
@@ -168,6 +169,18 @@ void build_parameter_server(Runtime& rt) {
           cfg.batch_size, root.fork(200 + w), cfg.worker_momentum));
     }
   }
+  // Synchronous replicated-server deployments exchange models step-tagged:
+  // every replica publishes its snapshot for iteration t and peers pull
+  // exactly t, so the model-GAR aggregates same-iteration states
+  // (deterministic) instead of whatever a racing replica held.
+  // Asynchronous MSMW keeps untagged live-state serving — its whole point
+  // is aggregating whatever is available *now* rather than waiting on
+  // stragglers.
+  if (cfg.deployment == Deployment::kMsmw && !cfg.asynchronous) {
+    for (auto& server : rt.servers)
+      server->enable_step_tagged_serving(/*models=*/true,
+                                         /*aggr_grads=*/false);
+  }
   rt.curves.resize(cfg.nps);
 }
 
@@ -193,6 +206,7 @@ void build_decentralized(Runtime& rt) {
 
   net::Cluster::Options net_opts;
   net_opts.nodes = cfg.nw;
+  net_opts.pool_threads = cfg.pool_threads;
   net_opts.base_latency = cfg.base_latency;
   net_opts.jitter = cfg.jitter;
   net_opts.seed = cfg.seed ^ 0xc2u;
@@ -246,6 +260,10 @@ void build_decentralized(Runtime& rt) {
           cfg.batch_size, root.fork(200 + i), cfg.worker_momentum));
     }
   }
+  // Peers exchange both models and contracted gradients step-tagged (the
+  // gossip tag additionally encodes the contraction round).
+  for (auto& server : rt.servers)
+    server->enable_step_tagged_serving(/*models=*/true, /*aggr_grads=*/true);
   rt.curves.resize(cfg.nw);
 }
 
@@ -395,7 +413,12 @@ void msmw_loop(Runtime& rt, std::size_t s) {
     if (grads.size() >= grad.min_n) {
       server.update_model(aggregate(grad.spec, cfg.fw, grads, ctx));
     }
-    std::vector<Payload> models = server.get_models(q_peers);
+    // Publish the post-gradient-step state as this replica's model for
+    // iteration `it`, then pull the peers' same-iteration states; a peer
+    // that has not reached `it` yet answers not-ready and the transport
+    // redelivers — no loop thread ever blocks on a slow replica.
+    server.publish_model(it);
+    std::vector<Payload> models = server.get_models(it, q_peers);
     models.push_back(server.parameters());
     if (models.size() >= model.min_n) {
       server.write_model(aggregate(model.spec, cfg.fps, models, ctx));
@@ -415,24 +438,44 @@ void decentralized_loop(Runtime& rt, std::size_t s) {
   const GarPlan grad = plan_gar(cfg.gradient_gar, cfg.fw);
   const GarPlan model = plan_gar(cfg.model_gar, cfg.fw);
   gars::AggregationContext& ctx = server.aggregation_context();
+  // Gossip tags encode (iteration, contraction round) in one integer so
+  // both the publisher and the puller of a contract() round agree on what
+  // "round r of iteration t" means.
+  const std::size_t rounds = cfg.contraction_steps;
+  const auto gossip_tag = [rounds](std::size_t it, std::size_t r) {
+    return std::uint64_t(it) * std::uint64_t(rounds) + std::uint64_t(r);
+  };
   for (std::size_t it = 0; it < cfg.iterations; ++it) {
     const std::vector<Payload> grads = server.get_gradients(it, q);
-    if (grads.size() < grad.min_n) continue;
+    if (grads.size() < grad.min_n) {
+      // Skipping the iteration must not wedge the peers: publish explicit
+      // "no contribution" markers for every gossip round and the unchanged
+      // model, so their tagged pulls resolve instead of retrying into
+      // their deadline.
+      for (std::size_t step = 0; step < rounds; ++step)
+        server.skip_aggr_grad(gossip_tag(it, step));
+      server.publish_model(it);
+      continue;
+    }
     Payload aggr = aggregate(grad.spec, cfg.fw, grads, ctx);
-    if (cfg.contraction_steps > 0) {
-      // contract(): multi-round gossip forcing correct nodes together.
-      // Listing 3 enables it for non-iid data; it is keyed on the step
-      // count here so the ablation can isolate its effect.
-      for (std::size_t step = 0; step < cfg.contraction_steps; ++step) {
-        server.set_latest_aggr_grad(aggr);
-        std::vector<Payload> peer_grads = server.get_aggr_grads(it, q - 1);
-        peer_grads.push_back(aggr);
-        if (peer_grads.size() < grad.min_n) break;
-        aggr = aggregate(grad.spec, cfg.fw, peer_grads, ctx);
+    // contract(): multi-round gossip forcing correct nodes together.
+    // Listing 3 enables it for non-iid data; it is keyed on the step
+    // count here so the ablation can isolate its effect.
+    for (std::size_t step = 0; step < rounds; ++step) {
+      server.publish_aggr_grad(gossip_tag(it, step), aggr);
+      std::vector<Payload> peer_grads =
+          server.get_aggr_grads(gossip_tag(it, step), q - 1);
+      peer_grads.push_back(aggr);
+      if (peer_grads.size() < grad.min_n) {
+        for (std::size_t rest = step + 1; rest < rounds; ++rest)
+          server.skip_aggr_grad(gossip_tag(it, rest));
+        break;
       }
+      aggr = aggregate(grad.spec, cfg.fw, peer_grads, ctx);
     }
     server.update_model(aggr);
-    std::vector<Payload> models = server.get_models(q - 1);
+    server.publish_model(it);
+    std::vector<Payload> models = server.get_models(it, q - 1);
     models.push_back(server.parameters());
     if (models.size() >= model.min_n) {
       server.write_model(aggregate(model.spec, cfg.fw, models, ctx));
@@ -485,6 +528,10 @@ TrainResult train(const DeploymentConfig& config) {
   result.net_stats = rt.cluster->stats();
   for (const auto& server : rt.servers) {
     result.rejected_payloads += server->rejected_payloads();
+  }
+  for (const auto& worker : rt.workers) {
+    result.gradients_served += worker->gradients_served();
+    result.gradients_computed += worker->gradients_computed();
   }
   result.alignment = std::move(rt.alignment);
 

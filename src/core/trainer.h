@@ -48,6 +48,12 @@ struct TrainResult {
   /// Malformed payloads (wrong dimension / NaN / Inf) dropped at server
   /// ingress, summed over all correct servers.
   std::uint64_t rejected_payloads = 0;
+  /// Gradient replies served across all workers, and the forward/backward
+  /// passes actually run to produce them — the gap is what the workers'
+  /// per-iteration gradient cache saved (served == nps * computed in a
+  /// fully-hitting parameter-server run).
+  std::uint64_t gradients_served = 0;
+  std::uint64_t gradients_computed = 0;
   std::vector<AlignmentSample> alignment;
   std::size_t iterations_run = 0;
 };

@@ -1,8 +1,35 @@
 #include "core/worker.h"
 
 #include <cassert>
+#include <cstring>
 
 namespace garfield::core {
+
+namespace {
+
+/// Cached computations retained. Server replicas drift by at most a few
+/// iterations (model exchange bounds them), so a short ring covers every
+/// live pull; an evicted (very old) iteration is simply recomputed — the
+/// keyed batch sampler makes the recomputation bitwise identical for
+/// momentum-free workers. With momentum the recomputation folds against
+/// the *current* pre-commit velocity base, not the one that was live when
+/// the iteration was first served — an approximation only reachable in
+/// asynchronous runs whose replicas already drift by > kGradientCacheDepth
+/// iterations, where quorum membership is timing-dependent anyway.
+constexpr std::size_t kGradientCacheDepth = 8;
+
+/// Cohort-estimate size an omniscient worker attack samples per request.
+/// Enough batches for a usable mean/stddev estimate; small enough that the
+/// adversary's extra compute stays a constant factor.
+constexpr std::size_t kOmniscienceProbes = 4;
+
+bool same_payload(const net::Payload& a, const net::Payload& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(),
+                                   a.size() * sizeof(float)) == 0);
+}
+
+}  // namespace
 
 Worker::Worker(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
                data::Dataset shard, std::size_t batch_size, tensor::Rng rng,
@@ -12,6 +39,7 @@ Worker::Worker(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
       model_(std::move(model)),
       shard_(std::move(shard)),
       sampler_(shard_, batch_size, rng_.fork(0xb0)),
+      probe_sampler_(shard_, batch_size, rng_.fork(0xb1)),
       momentum_(momentum) {
   cluster.register_handler(id_, kGetGradient,
                            [this](const net::Request& req) {
@@ -19,43 +47,89 @@ Worker::Worker(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
                            });
 }
 
-nn::GradientResult Worker::honest_gradient(const net::Request& req) {
-  std::lock_guard lock(mutex_);
-  assert(req.argument && req.argument->size() == model_->dimension());
+Worker::ServedGradient Worker::compute_locked(const net::Request& req) {
   model_->set_parameters(*req.argument);
-  const data::Batch batch = sampler_.next();
+  const data::Batch batch = sampler_.batch_for(req.iteration);
   nn::GradientResult result = model_->gradient(batch.inputs, batch.labels);
-  loss_sum_ += result.loss;
-  ++served_;
+  ++computed_;
   if (momentum_ > 0.0F) {
-    // Distributed momentum: v = m*v + g; the server receives v.
+    // Distributed momentum: v = m*v + g; the server receives v. The
+    // velocity advances once per *iteration*: the first compute for
+    // iteration t commits v_t = m*v_{t-1} + g_t; a later compute for the
+    // same (or an older) iteration — diverged replicas under asynchrony —
+    // folds its gradient into the pre-commit base without moving the
+    // committed state.
     if (velocity_.size() != result.gradient.size()) {
       velocity_.assign(result.gradient.size(), 0.0F);
+      velocity_pre_.assign(result.gradient.size(), 0.0F);
     }
-    for (std::size_t i = 0; i < velocity_.size(); ++i) {
-      velocity_[i] = momentum_ * velocity_[i] + result.gradient[i];
+    if (velocity_iteration_ == std::uint64_t(-1) ||
+        req.iteration > velocity_iteration_) {
+      velocity_pre_ = velocity_;
+      for (std::size_t i = 0; i < velocity_.size(); ++i) {
+        velocity_[i] = momentum_ * velocity_[i] + result.gradient[i];
+      }
+      velocity_iteration_ = req.iteration;
+      result.gradient = velocity_;
+    } else {
+      for (std::size_t i = 0; i < result.gradient.size(); ++i) {
+        result.gradient[i] =
+            momentum_ * velocity_pre_[i] + result.gradient[i];
+      }
     }
-    result.gradient = velocity_;
   }
-  return result;
+  ServedGradient served{
+      std::make_shared<const net::Payload>(std::move(result.gradient)),
+      result.loss};
+  cache_.push_back(
+      CacheEntry{req.iteration, req.argument, served.gradient, served.loss});
+  if (cache_.size() > kGradientCacheDepth) cache_.pop_front();
+  return served;
+}
+
+Worker::ServedGradient Worker::honest_gradient(const net::Request& req) {
+  std::lock_guard lock(mutex_);
+  assert(req.argument && req.argument->size() == model_->dimension());
+  for (const CacheEntry& e : cache_) {
+    if (e.iteration != req.iteration) continue;
+    if (e.params == req.argument || same_payload(*e.params, *req.argument)) {
+      loss_sum_ += e.loss;
+      ++served_;
+      return ServedGradient{e.gradient, e.loss};
+    }
+  }
+  ServedGradient served = compute_locked(req);
+  loss_sum_ += served.loss;
+  ++served_;
+  return served;
 }
 
 std::vector<net::Payload> Worker::local_gradient_cloud(
     const net::Request& req, std::size_t k) {
   std::lock_guard lock(mutex_);
   assert(req.argument && req.argument->size() == model_->dimension());
+  for (const CloudEntry& e : cloud_cache_) {
+    if (e.iteration == req.iteration && e.cloud.size() == k &&
+        (e.params == req.argument ||
+         same_payload(*e.params, *req.argument))) {
+      return e.cloud;  // every replica's pull shares one probe pass
+    }
+  }
   model_->set_parameters(*req.argument);
   std::vector<net::Payload> out;
   out.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
-    const data::Batch batch = sampler_.next();
+    const data::Batch batch =
+        probe_sampler_.batch_for(req.iteration * kOmniscienceProbes + i);
     out.push_back(model_->gradient(batch.inputs, batch.labels).gradient);
   }
+  cloud_cache_.push_back(CloudEntry{req.iteration, req.argument, out});
+  if (cloud_cache_.size() > kGradientCacheDepth) cloud_cache_.pop_front();
   return out;
 }
 
-std::optional<net::Payload> Worker::serve_gradient(const net::Request& req) {
-  return honest_gradient(req).gradient;
+net::HandlerResult Worker::serve_gradient(const net::Request& req) {
+  return net::HandlerResult::reply(honest_gradient(req).gradient);
 }
 
 double Worker::mean_loss() const {
@@ -68,14 +142,10 @@ std::uint64_t Worker::gradients_served() const {
   return served_;
 }
 
-namespace {
-
-/// Cohort-estimate size an omniscient worker attack samples per request.
-/// Enough batches for a usable mean/stddev estimate; small enough that the
-/// adversary's extra compute stays a constant factor.
-constexpr std::size_t kOmniscienceProbes = 4;
-
-}  // namespace
+std::uint64_t Worker::gradients_computed() const {
+  std::lock_guard lock(mutex_);
+  return computed_;
+}
 
 ByzantineWorker::ByzantineWorker(net::NodeId id, net::Cluster& cluster,
                                  nn::ModelPtr model, data::Dataset shard,
@@ -90,9 +160,8 @@ ByzantineWorker::ByzantineWorker(net::NodeId id, net::Cluster& cluster,
       declared_n_(declared_n),
       declared_f_(declared_f) {}
 
-std::optional<net::Payload> ByzantineWorker::serve_gradient(
-    const net::Request& req) {
-  const nn::GradientResult honest = honest_gradient(req);
+net::HandlerResult ByzantineWorker::serve_gradient(const net::Request& req) {
+  const ServedGradient honest = honest_gradient(req);
   // Omniscient attacks get a local cohort estimate (see class comment);
   // non-omniscient ones see only the attacker's own honest estimate. The
   // full honest-cohort view is exercised directly against GARs in the
@@ -108,7 +177,10 @@ std::optional<net::Payload> ByzantineWorker::serve_gradient(
   ctx.n = declared_n_;
   ctx.f = declared_f_;
   ctx.honest = view;
-  return attack_->craft(honest.gradient, ctx);
+  std::optional<net::Payload> crafted =
+      attack_->craft(*honest.gradient, ctx);
+  if (!crafted) return net::HandlerResult::none();
+  return net::HandlerResult::reply(std::move(*crafted));
 }
 
 }  // namespace garfield::core

@@ -4,12 +4,26 @@
 // and answers get_gradient pulls from servers. The request carries the
 // requesting server's current parameter vector (the pull-based equivalent
 // of the server broadcasting its parameters), the reply is the gradient of
-// the loss on the worker's next mini-batch at those parameters.
+// the loss on the worker's mini-batch for that iteration at those
+// parameters.
+//
+// Gradient serving is cached per iteration: the forward/backward for
+// iteration t runs ONCE and the resulting (refcounted, immutable) gradient
+// is served to every server replica pulling for t — Garfield's actual
+// semantics, where one worker computes one estimate per step regardless of
+// how many parameter servers replicate it. The cache key is
+// (iteration, requested parameters): replicas whose parameter vectors are
+// bitwise identical (the synchronous steady state) share one computation;
+// genuinely diverged replicas each get an honest gradient at their own
+// parameters. The mini-batch is keyed on the iteration
+// (BatchSampler::batch_for), not on request arrival, so concurrent pulls
+// cannot perturb the data order — the determinism contract the
+// transport_stress_test pins.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <mutex>
-#include <optional>
 
 #include "attacks/attack.h"
 #include "data/dataset.h"
@@ -28,6 +42,8 @@ class Worker {
   /// gradient v = m*v + g instead of the raw estimate. This reduces the
   /// variance the GAR sees, which §8 points at as the technique restoring
   /// GAR resilience guarantees when the variance condition is violated.
+  /// The velocity advances once per iteration (first compute wins), not
+  /// once per requesting server.
   Worker(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
          data::Dataset shard, std::size_t batch_size, tensor::Rng rng,
          float momentum = 0.0F);
@@ -39,35 +55,81 @@ class Worker {
   [[nodiscard]] net::NodeId id() const { return id_; }
   /// Mean training loss of the gradients served so far (diagnostics).
   [[nodiscard]] double mean_loss() const;
+  /// Replies served (cache hits included).
   [[nodiscard]] std::uint64_t gradients_served() const;
+  /// Forward/backward passes actually run for honest serving; the gap to
+  /// gradients_served() is what the per-iteration cache saved.
+  [[nodiscard]] std::uint64_t gradients_computed() const;
 
  protected:
-  /// Compute the honest gradient for a request (thread-safe).
-  [[nodiscard]] nn::GradientResult honest_gradient(const net::Request& req);
+  /// A served (possibly cached) honest gradient.
+  struct ServedGradient {
+    net::PayloadPtr gradient;
+    double loss = 0.0;
+  };
 
-  /// k extra raw gradient estimates at the requested parameters, drawn from
-  /// this node's own shard (no momentum, no loss accounting) — the local
-  /// cohort estimate an omniscient-style attacker builds when it cannot see
-  /// other nodes' payloads. Thread-safe; advances the batch sampler.
+  /// The honest gradient for this request — cached per (iteration,
+  /// parameters), computed on first demand (thread-safe).
+  [[nodiscard]] ServedGradient honest_gradient(const net::Request& req);
+
+  /// k extra raw gradient estimates at the requested parameters, drawn
+  /// deterministically from this node's own shard (no momentum, no loss
+  /// accounting) — the local cohort estimate an omniscient-style attacker
+  /// builds when it cannot see other nodes' payloads. Probe batches are
+  /// keyed on (iteration, probe index), so the estimate is reproducible
+  /// and independent of request arrival order — which also makes it
+  /// cacheable per (iteration, parameters), the same once-per-iteration
+  /// discipline as honest serving. Thread-safe.
   [[nodiscard]] std::vector<net::Payload> local_gradient_cloud(
       const net::Request& req, std::size_t k);
 
   /// Handler body; ByzantineWorker overrides to corrupt the reply.
-  [[nodiscard]] virtual std::optional<net::Payload> serve_gradient(
+  [[nodiscard]] virtual net::HandlerResult serve_gradient(
       const net::Request& req);
 
   tensor::Rng rng_;
 
  private:
+  /// One cached computation. `params` pins the exact parameter vector the
+  /// gradient was taken at; lookups match on pointer identity first (the
+  /// same server pulling again / the collector fanning out one snapshot),
+  /// then on bitwise content (distinct replicas in the synchronous steady
+  /// state).
+  struct CacheEntry {
+    std::uint64_t iteration = 0;
+    net::PayloadPtr params;
+    net::PayloadPtr gradient;
+    double loss = 0.0;
+  };
+
+  [[nodiscard]] ServedGradient compute_locked(const net::Request& req);
+
   net::NodeId id_;
   nn::ModelPtr model_;
   data::Dataset shard_;
   data::BatchSampler sampler_;
+  data::BatchSampler probe_sampler_;  // omniscience probes (disjoint stream)
   float momentum_;
   tensor::FlatVector velocity_;  // worker-side momentum state
+  // Velocity bookkeeping for once-per-iteration momentum: velocity_ holds
+  // the state *after* folding velocity_iteration_; velocity_pre_ the state
+  // before it, so a second distinct-parameter compute at the same
+  // iteration folds into the same base instead of double-counting.
+  tensor::FlatVector velocity_pre_;
+  std::uint64_t velocity_iteration_ = std::uint64_t(-1);
+  /// One cached omniscience probe cloud (see local_gradient_cloud).
+  struct CloudEntry {
+    std::uint64_t iteration = 0;
+    net::PayloadPtr params;
+    std::vector<net::Payload> cloud;
+  };
+
+  std::deque<CacheEntry> cache_;
+  std::deque<CloudEntry> cloud_cache_;
   mutable std::mutex mutex_;
   double loss_sum_ = 0.0;
   std::uint64_t served_ = 0;
+  std::uint64_t computed_ = 0;
 };
 
 /// A worker under adversarial control: computes the honest gradient, then
@@ -88,7 +150,7 @@ class ByzantineWorker final : public Worker {
                   std::size_t declared_n = 0, std::size_t declared_f = 0);
 
  protected:
-  std::optional<net::Payload> serve_gradient(const net::Request& req) override;
+  net::HandlerResult serve_gradient(const net::Request& req) override;
 
  private:
   attacks::AttackPtr attack_;

@@ -152,7 +152,10 @@ std::vector<Dataset> shard_by_class(const Dataset& dataset,
 
 BatchSampler::BatchSampler(const Dataset& dataset, std::size_t batch_size,
                            Rng rng)
-    : dataset_(&dataset), batch_size_(batch_size), rng_(rng) {
+    : dataset_(&dataset),
+      batch_size_(batch_size),
+      rng_(rng),
+      keyed_root_(rng.fork(0x6b65)) {
   assert(batch_size_ > 0);
   order_.resize(dataset.size());
   std::iota(order_.begin(), order_.end(), 0);
@@ -172,6 +175,26 @@ Batch BatchSampler::next() {
   const std::size_t take = std::min(batch_size_, order_.size() - cursor_);
   std::span<const std::size_t> idx(order_.data() + cursor_, take);
   cursor_ += take;
+  return dataset_->gather(idx);
+}
+
+Batch BatchSampler::batch_for(std::uint64_t iteration) {
+  const std::size_t n = order_.size();
+  if (n == 0) return dataset_->gather({});
+  const std::size_t per_epoch = (n + batch_size_ - 1) / batch_size_;
+  const std::uint64_t e = iteration / per_epoch;
+  const std::size_t slot = std::size_t(iteration % per_epoch);
+  if (e != keyed_epoch_) {
+    keyed_order_.resize(n);
+    std::iota(keyed_order_.begin(), keyed_order_.end(), 0);
+    Rng epoch_rng = keyed_root_.fork(e);
+    std::shuffle(keyed_order_.begin(), keyed_order_.end(),
+                 epoch_rng.engine());
+    keyed_epoch_ = e;
+  }
+  const std::size_t begin = slot * batch_size_;
+  const std::size_t take = std::min(batch_size_, n - begin);
+  std::span<const std::size_t> idx(keyed_order_.data() + begin, take);
   return dataset_->gather(idx);
 }
 

@@ -102,6 +102,16 @@ class BatchSampler {
   /// short batch of an epoch is emitted as-is.
   [[nodiscard]] Batch next();
 
+  /// The mini-batch for training iteration `iteration`, as a pure function
+  /// of (construction seed, iteration): epoch e = iteration / batches
+  /// -per-epoch is shuffled with an rng forked on e, and the iteration
+  /// indexes a slot of that epoch. Unlike next(), the result does not
+  /// depend on how many draws happened before — the property the worker's
+  /// per-iteration gradient cache needs so concurrent server pulls cannot
+  /// perturb the batch sequence. Independent of (and not interleaved with)
+  /// the next() stream.
+  [[nodiscard]] Batch batch_for(std::uint64_t iteration);
+
   [[nodiscard]] std::size_t batch_size() const { return batch_size_; }
   [[nodiscard]] std::size_t epoch() const { return epoch_; }
 
@@ -111,9 +121,14 @@ class BatchSampler {
   const Dataset* dataset_;
   std::size_t batch_size_;
   Rng rng_;
+  Rng keyed_root_;  // pristine fork source for batch_for's epoch shuffles
   std::vector<std::size_t> order_;
   std::size_t cursor_ = 0;
   std::size_t epoch_ = 0;
+  // batch_for's own epoch permutation cache (separate from the next()
+  // stream so the two entry points cannot perturb each other).
+  std::vector<std::size_t> keyed_order_;
+  std::uint64_t keyed_epoch_ = std::uint64_t(-1);
 };
 
 }  // namespace garfield::data

@@ -5,20 +5,59 @@
 #include <stdexcept>
 #include <thread>
 
+#include "tensor/rng.h"
+
 namespace garfield::net {
 
+namespace {
+
+/// First redelivery delay for a not-ready handler; doubles per attempt.
+/// The floor is deliberately tight: in the replicated deployments peers
+/// run in near-lockstep, so the answer is typically published within tens
+/// of microseconds of the first delivery — a loose floor would serialize
+/// the model-exchange round behind timer waits.
+constexpr Duration kRetryBackoffFloor{20};
+/// Redelivery backoff ceiling — keeps a long-lagging callee from being
+/// polled hot, without adding seconds of artificial latency.
+constexpr Duration kRetryBackoffCeiling{2000};
+
+std::uint64_t splitmix(std::uint64_t z) {
+  return tensor::splitmix64_mix(z + 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
+
 Cluster::Cluster(const Options& options)
-    : nodes_(options.nodes), options_(options), rng_(options.seed) {
+    : nodes_(options.nodes), options_(options) {
   if (nodes_ == 0) throw std::invalid_argument("Cluster: needs >= 1 node");
   states_.reserve(nodes_);
   for (std::size_t i = 0; i < nodes_; ++i)
     states_.push_back(std::make_unique<NodeState>());
-  const std::size_t threads =
-      options.pool_threads > 0 ? options.pool_threads : 2 * nodes_;
+  // Pool threads only run handler compute (delays live on the timer
+  // wheel), so hardware concurrency is the right default — more threads
+  // would just contend for the same cores.
+  std::size_t threads = options.pool_threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
   pool_ = std::make_unique<ThreadPool>(threads);
+  timer_ = std::make_unique<TimerWheel>(*pool_);
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  // Teardown order matters. First stop the wheel and run its backlog
+  // inline: from here on schedule_after() refuses new entries, so a
+  // flushed or in-flight not-ready retry resolves its callback (counted as
+  // dropped) instead of re-arming a dying timer. The pool is still alive
+  // for any zero-delay dispatch a flushed task issues. Then the pool
+  // drains and joins — draining tasks that try to re-arm still see the
+  // stopped-but-alive wheel. The unique_ptrs are destroyed afterwards with
+  // nothing in flight.
+  timer_->stop_and_flush();
+  pool_.reset();
+  timer_.reset();
+}
 
 void Cluster::register_handler(NodeId node, const std::string& method,
                                Handler handler) {
@@ -42,22 +81,38 @@ void Cluster::set_straggler_lag(NodeId node, Duration lag) {
   states_[node]->straggler_lag_us.store(lag.count());
 }
 
-void Cluster::dispatch(Request request,
-                       std::function<void(std::optional<Payload>)> on_done,
-                       Duration delay) {
-  requests_sent_.fetch_add(1);
-  if (request.argument) floats_transferred_.fetch_add(request.argument->size());
-  pool_->submit([this, request = std::move(request),
-                 on_done = std::move(on_done), delay]() mutable {
+Duration Cluster::jitter_for(NodeId from, NodeId to,
+                             const std::string& method,
+                             std::uint64_t iteration) const {
+  if (options_.jitter.count() <= 0) return Duration{0};
+  // FNV-1a over the method bytes: std::hash<std::string> is
+  // implementation-defined, which would make "deterministic" jitter vary
+  // across standard libraries.
+  std::uint64_t method_hash = 0xcbf29ce484222325ULL;
+  for (const char c : method) {
+    method_hash = (method_hash ^ std::uint64_t(std::uint8_t(c))) *
+                  0x100000001b3ULL;
+  }
+  std::uint64_t h = splitmix(options_.seed);
+  h = splitmix(h ^ (std::uint64_t(from) << 32) ^ std::uint64_t(to));
+  h = splitmix(h ^ method_hash);
+  h = splitmix(h ^ iteration);
+  // 53 mantissa bits -> uniform in [0, 1).
+  const double u = double(h >> 11) * 0x1.0p-53;
+  return Duration{std::int64_t(u * double(options_.jitter.count()))};
+}
+
+void Cluster::dispatch(Request request, CallbackPtr on_done, Duration delay,
+                       Clock::time_point retry_deadline,
+                       Duration retry_backoff) {
+  auto task = [this, request = std::move(request), on_done, retry_deadline,
+               retry_backoff]() mutable {
     NodeState& callee = *states_[request.to];
-    const Duration lag{callee.straggler_lag_us.load()};
-    const Duration total = delay + lag;
-    if (total.count() > 0) std::this_thread::sleep_for(total);
     // A crashed callee is fail-silent: the caller never hears back. We
-    // deliver nullopt so single-call users don't hang; Collector users see
+    // deliver nullptr so single-call users don't hang; Collector users see
     // it as a missing reply, preserving quorum semantics.
     if (callee.crashed.load()) {
-      on_done(std::nullopt);
+      (*on_done)(nullptr);
       return;
     }
     Handler handler;
@@ -67,39 +122,63 @@ void Cluster::dispatch(Request request,
       if (it != callee.handlers.end()) handler = it->second;
     }
     if (!handler) {
-      on_done(std::nullopt);
+      (*on_done)(nullptr);
       return;
     }
-    std::optional<Payload> reply = handler(request);
-    if (reply) {
-      replies_received_.fetch_add(1);
-      floats_transferred_.fetch_add(reply->size());
+    HandlerResult result = handler(request);
+    if (result.retry) {
+      // Not ready yet: redeliver after a backoff instead of blocking a
+      // pool thread. Give up at the caller's deadline so an abandoned
+      // request cannot poll a dead-ended callee forever.
+      if (Clock::now() + retry_backoff >= retry_deadline) {
+        (*on_done)(nullptr);
+        return;
+      }
+      dispatch(std::move(request), std::move(on_done), retry_backoff,
+               retry_deadline,
+               std::min(retry_backoff * 2, kRetryBackoffCeiling));
+      return;
     }
-    on_done(std::move(reply));
-  });
+    if (result.payload) {
+      replies_received_.fetch_add(1);
+      floats_transferred_.fetch_add(result.payload->size());
+    }
+    (*on_done)(std::move(result.payload));
+  };
+  const bool scheduled =
+      delay.count() <= 0 ? pool_->submit(std::move(task))
+                         : timer_->schedule_after(delay, std::move(task));
+  if (!scheduled) {
+    // Shutdown already began: count the drop and resolve the callback so
+    // a concurrent collect() sees a response instead of hanging into its
+    // deadline.
+    dropped_tasks_.fetch_add(1);
+    (*on_done)(nullptr);
+  }
 }
 
 void Cluster::call(NodeId from, NodeId to, const std::string& method,
-                   std::uint64_t iteration,
-                   std::shared_ptr<const Payload> argument,
-                   std::function<void(std::optional<Payload>)> on_done) {
+                   std::uint64_t iteration, PayloadPtr argument,
+                   std::function<void(PayloadPtr)> on_done,
+                   Duration timeout) {
   assert(from < nodes_ && to < nodes_);
-  Duration delay = options_.base_latency;
-  if (options_.jitter.count() > 0) {
-    std::lock_guard lock(rng_mutex_);
-    delay += Duration{std::int64_t(
-        rng_.uniform(0.0F, float(options_.jitter.count())))};
-  }
+  Duration delay = options_.base_latency +
+                   jitter_for(from, to, method, iteration) +
+                   Duration{states_[to]->straggler_lag_us.load()};
+  requests_sent_.fetch_add(1);
+  if (argument) floats_transferred_.fetch_add(argument->size());
   Request request{from, to, method, iteration, std::move(argument)};
-  dispatch(std::move(request), std::move(on_done), delay);
+  dispatch(std::move(request),
+           std::make_shared<Callback>(std::move(on_done)), delay,
+           Clock::now() + timeout, kRetryBackoffFloor);
 }
 
 std::vector<Reply> Cluster::collect(NodeId from,
                                     std::span<const NodeId> peers,
                                     const std::string& method,
                                     std::uint64_t iteration,
-                                    std::shared_ptr<const Payload> argument,
-                                    std::size_t q, Duration timeout) {
+                                    PayloadPtr argument, std::size_t q,
+                                    Duration timeout) {
   if (q > peers.size()) {
     throw std::invalid_argument("Cluster::collect: q=" + std::to_string(q) +
                                 " > peers=" + std::to_string(peers.size()));
@@ -109,19 +188,36 @@ std::vector<Reply> Cluster::collect(NodeId from,
     std::condition_variable cv;
     std::vector<Reply> replies;
     std::size_t responses = 0;  // including declined/crashed callbacks
+    bool closed = false;        // caller harvested; late replies are wasted
   };
   auto state = std::make_shared<State>();
   const std::size_t total = peers.size();
   for (NodeId peer : peers) {
-    call(from, peer, method, iteration, argument,
-         [state, peer, q](std::optional<Payload> payload) {
-           std::lock_guard lock(state->mutex);
-           ++state->responses;
-           if (payload && state->replies.size() < q) {
-             state->replies.push_back(Reply{peer, std::move(*payload)});
-           }
-           state->cv.notify_all();
-         });
+    call(
+        from, peer, method, iteration, argument,
+        [this, state, peer, q, total](PayloadPtr payload) {
+          std::lock_guard lock(state->mutex);
+          ++state->responses;
+          if (payload) {
+            if (!state->closed && state->replies.size() < q) {
+              // Refcount bump only — the payload stays wherever the callee
+              // keeps it.
+              state->replies.push_back(Reply{peer, std::move(payload)});
+            } else {
+              // Crafted, transferred, and already useless: the quorum was
+              // met by faster peers (or the caller gave up at its
+              // deadline).
+              wasted_replies_.fetch_add(1);
+            }
+          }
+          // Wake the collector only when its wait predicate can pass —
+          // notifying on every response would context-switch it q times
+          // per pull for nothing.
+          if (state->replies.size() >= q || state->responses == total) {
+            state->cv.notify_all();
+          }
+        },
+        timeout);
   }
   std::unique_lock lock(state->mutex);
   const auto deadline = Clock::now() + timeout;
@@ -131,6 +227,7 @@ std::vector<Reply> Cluster::collect(NodeId from,
   // Fastest-q decides *membership*; normalize the order by origin id so
   // downstream floating-point reductions (e.g. averaging) are
   // bit-reproducible whenever the membership is.
+  state->closed = true;
   std::vector<Reply> replies = std::move(state->replies);
   lock.unlock();
   std::sort(replies.begin(), replies.end(),
@@ -140,7 +237,8 @@ std::vector<Reply> Cluster::collect(NodeId from,
 
 NetStats Cluster::stats() const {
   return NetStats{requests_sent_.load(), replies_received_.load(),
-                  floats_transferred_.load()};
+                  floats_transferred_.load(), wasted_replies_.load(),
+                  dropped_tasks_.load()};
 }
 
 }  // namespace garfield::net

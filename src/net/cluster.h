@@ -3,20 +3,30 @@
 // The paper's networking (§4.1–4.2) is point-to-point *pull-based* RPC:
 // when a node needs data it initiates parallel remote calls to its peers,
 // each peer runs a server answering such requests, and the caller keeps the
-// fastest q replies (get_gradients(t, q) / get_models(q)). This module
+// fastest q replies (get_gradients(t, q) / get_models(t, q)). This module
 // reproduces that abstraction in-process:
 //
 //  - every node registers handlers (method name -> function);
-//  - calls execute on a shared thread pool, optionally after a simulated
-//    link delay (per-link latency + seeded jitter + per-node straggler lag);
+//  - handler compute executes on a shared thread pool sized to hardware
+//    concurrency; simulated link delay (per-link latency + deterministic
+//    per-edge jitter + per-node straggler lag) is an event on the
+//    TimerWheel, never a sleep on a pool thread;
+//  - payloads are immutable and refcounted (std::shared_ptr<const Payload>)
+//    end to end: a handler can serve the same snapshot to every requester
+//    without copying, and the Collector never copies replies beyond the
+//    awaited quorum;
+//  - a handler may answer "not ready yet" (HandlerResult::not_ready());
+//    the cluster redelivers the request after a short backoff instead of
+//    blocking a pool thread — the primitive behind step-tagged model and
+//    gossip serving;
 //  - crashed nodes never answer; Byzantine behaviour lives in the handler
 //    (a Byzantine node simply serves corrupted payloads — separate
 //    replicated state, there is no shared graph to protect);
 //  - Collector implements fastest-q-of-n with a deadline, the liveness
 //    primitive that lets Garfield run in asynchronous settings.
 //
-// Transfer accounting (requests, replies, floats moved) feeds the
-// communication-cost experiments.
+// Transfer accounting (requests, replies, floats moved, wasted replies,
+// dropped tasks) feeds the communication-cost experiments.
 #pragma once
 
 #include <atomic>
@@ -26,20 +36,21 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "net/thread_pool.h"
-#include "tensor/rng.h"
+#include "net/timer_wheel.h"
 #include "tensor/vecops.h"
 
 namespace garfield::net {
 
 using NodeId = std::size_t;
 using Payload = tensor::FlatVector;
+/// Immutable refcounted payload — the zero-copy currency of the transport.
+using PayloadPtr = std::shared_ptr<const Payload>;
 using Clock = std::chrono::steady_clock;
 using Duration = std::chrono::microseconds;
 
@@ -51,17 +62,44 @@ struct Request {
   NodeId to = 0;
   std::string method;
   std::uint64_t iteration = 0;
-  std::shared_ptr<const Payload> argument;  // may be null
+  PayloadPtr argument;  // may be null
 };
 
-/// Handler executed at the callee. Returning std::nullopt means "no reply"
-/// (the dropped-vector attack); throwing is a bug, not a Byzantine fault.
-using Handler = std::function<std::optional<Payload>(const Request&)>;
+/// Handler outcome. Exactly one of three shapes:
+///  - reply(p): deliver payload p to the caller;
+///  - none():   no reply, ever (the dropped-vector attack / unpublished
+///              state) — the caller's quorum accounting sees the node as
+///              silent;
+///  - not_ready(): the answer does not exist *yet* (e.g. a model snapshot
+///              for an iteration this node has not reached); the cluster
+///              redelivers the request after a backoff.
+/// Throwing from a handler is a bug, not a Byzantine fault.
+struct HandlerResult {
+  PayloadPtr payload;  // non-null => reply
+  bool retry = false;  // true => redeliver later
 
-/// One successful reply, tagged with its origin.
+  [[nodiscard]] static HandlerResult reply(PayloadPtr p) {
+    return HandlerResult{std::move(p), false};
+  }
+  [[nodiscard]] static HandlerResult reply(Payload p) {
+    return HandlerResult{std::make_shared<const Payload>(std::move(p)),
+                         false};
+  }
+  [[nodiscard]] static HandlerResult none() { return HandlerResult{}; }
+  [[nodiscard]] static HandlerResult not_ready() {
+    return HandlerResult{nullptr, true};
+  }
+};
+
+/// Handler executed at the callee.
+using Handler = std::function<HandlerResult(const Request&)>;
+
+/// One successful reply, tagged with its origin. The payload is shared
+/// with the callee's state (or its cached computation) — treat as
+/// immutable.
 struct Reply {
   NodeId from = 0;
-  Payload payload;
+  PayloadPtr payload;
 };
 
 /// Cumulative traffic counters.
@@ -69,15 +107,26 @@ struct NetStats {
   std::uint64_t requests_sent = 0;
   std::uint64_t replies_received = 0;
   std::uint64_t floats_transferred = 0;  // request arguments + replies
+  /// Replies crafted and delivered after the caller's quorum was already
+  /// met — the overshoot cost of fastest-q pulls (the callee still paid
+  /// the compute and the link still carried the floats).
+  std::uint64_t wasted_replies = 0;
+  /// Dispatches rejected because the pool/timer had begun shutdown. The
+  /// callback is resolved with "no reply" so quorum accounting cannot
+  /// hang-then-timeout during teardown; nonzero values outside teardown
+  /// indicate a bug.
+  std::uint64_t dropped_tasks = 0;
 };
 
 class Cluster {
  public:
   struct Options {
     std::size_t nodes = 1;
-    std::size_t pool_threads = 0;   ///< 0 => 2 * nodes
+    std::size_t pool_threads = 0;  ///< 0 => hardware concurrency
     Duration base_latency{0};      ///< fixed per-call delay
-    Duration jitter{0};            ///< uniform extra delay in [0, jitter]
+    Duration jitter{0};            ///< extra delay in [0, jitter), hashed
+                                   ///< from (seed, from, to, method,
+                                   ///< iteration)
     std::uint64_t seed = 42;
   };
 
@@ -105,19 +154,32 @@ class Cluster {
   /// expires first; q > peers.size() is an error.
   [[nodiscard]] std::vector<Reply> collect(
       NodeId from, std::span<const NodeId> peers, const std::string& method,
-      std::uint64_t iteration, std::shared_ptr<const Payload> argument,
-      std::size_t q, Duration timeout = std::chrono::seconds(30));
+      std::uint64_t iteration, PayloadPtr argument, std::size_t q,
+      Duration timeout = std::chrono::seconds(30));
 
   /// Single async pull; the callback fires once with the reply or, when the
-  /// callee is crashed / declines to answer, with std::nullopt after the
-  /// simulated delay.
+  /// callee is crashed / declines to answer / stays not-ready past the
+  /// timeout, with nullptr after the simulated delay.
   void call(NodeId from, NodeId to, const std::string& method,
-            std::uint64_t iteration, std::shared_ptr<const Payload> argument,
-            std::function<void(std::optional<Payload>)> on_done);
+            std::uint64_t iteration, PayloadPtr argument,
+            std::function<void(PayloadPtr)> on_done,
+            Duration timeout = std::chrono::seconds(30));
 
   [[nodiscard]] NetStats stats() const;
 
+  /// Deterministic jitter draw: a splitmix-style hash of
+  /// (seed, from, to, method, iteration) mapped to [0, jitter). Lock-free
+  /// and independent of thread interleaving, unlike the shared-Rng draw it
+  /// replaced — two runs of the same scenario see identical simulated
+  /// latencies. Public so tests can assert the determinism directly.
+  [[nodiscard]] Duration jitter_for(NodeId from, NodeId to,
+                                    const std::string& method,
+                                    std::uint64_t iteration) const;
+
  private:
+  using Callback = std::function<void(PayloadPtr)>;
+  using CallbackPtr = std::shared_ptr<Callback>;
+
   struct NodeState {
     std::mutex mutex;
     std::unordered_map<std::string, Handler> handlers;
@@ -125,19 +187,22 @@ class Cluster {
     std::atomic<std::int64_t> straggler_lag_us{0};
   };
 
-  void dispatch(Request request,
-                std::function<void(std::optional<Payload>)> on_done,
-                Duration delay);
+  void dispatch(Request request, CallbackPtr on_done, Duration delay,
+                Clock::time_point retry_deadline, Duration retry_backoff);
 
   std::size_t nodes_;
   Options options_;
   std::vector<std::unique_ptr<NodeState>> states_;
-  std::unique_ptr<ThreadPool> pool_;
-  mutable std::mutex rng_mutex_;
-  tensor::Rng rng_;
   std::atomic<std::uint64_t> requests_sent_{0};
   std::atomic<std::uint64_t> replies_received_{0};
   std::atomic<std::uint64_t> floats_transferred_{0};
+  std::atomic<std::uint64_t> wasted_replies_{0};
+  std::atomic<std::uint64_t> dropped_tasks_{0};
+  // Torn down explicitly by ~Cluster in the order stop-wheel ->
+  // drain-pool -> destroy both, so in-flight dispatches can never re-arm
+  // a dead timer or submit to a dead pool.
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<TimerWheel> timer_;
 };
 
 }  // namespace garfield::net

@@ -18,13 +18,14 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+bool ThreadPool::submit(std::function<void()>&& task) {
   {
     std::lock_guard lock(mutex_);
-    if (stop_) return;
+    if (stop_) return false;
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::worker_loop() {

@@ -1,6 +1,8 @@
 // Fixed-size thread pool used by the simulated cluster to execute RPC
 // handler invocations concurrently, the way a gRPC server's completion
-// queues would.
+// queues would. Pool threads only ever run handler compute: simulated link
+// delay lives in the TimerWheel (timer_wheel.h), so the pool can be sized
+// to hardware concurrency instead of over-provisioned to hide sleeps.
 #pragma once
 
 #include <condition_variable>
@@ -21,9 +23,12 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task; never blocks. Tasks submitted after shutdown begins
-  /// are silently dropped.
-  void submit(std::function<void()> task);
+  /// Enqueue a task; never blocks. Returns false once shutdown has begun,
+  /// leaving `task` untouched so the caller can still run or resolve it —
+  /// Cluster::dispatch counts these as dropped_tasks and resolves the RPC
+  /// callback so quorum accounting cannot hang; the TimerWheel runs the
+  /// refused task inline.
+  [[nodiscard]] bool submit(std::function<void()>&& task);
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 

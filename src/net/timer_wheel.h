@@ -1,0 +1,90 @@
+// Event-driven delay scheduling for the simulated cluster.
+//
+// The old transport modeled link latency by sleeping on a pool thread,
+// which forced the pool to be over-provisioned (2 threads per node) and
+// made "simulated latency" and "real contention" indistinguishable in the
+// throughput benches. The TimerWheel separates the two concerns: one timer
+// thread holds a due-time priority queue and, when an entry matures,
+// hands its task to the ThreadPool — so pool threads only ever run handler
+// compute and the pool can default to hardware concurrency.
+//
+// Entries with identical due times fire in schedule order (a per-entry
+// sequence number breaks ties), keeping delivery deterministic for
+// zero-jitter configurations.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/thread_pool.h"
+
+namespace garfield::net {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// The wheel submits matured tasks to `pool`, which must outlive the
+  /// wheel's *running* phase (until stop_and_flush() returns).
+  explicit TimerWheel(ThreadPool& pool);
+
+  /// Calls stop_and_flush() if it has not run yet.
+  ~TimerWheel();
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Stop the timer thread, then run every pending entry INLINE on the
+  /// calling thread, in due order — no scheduled dispatch is silently lost
+  /// at teardown, and the pool is not touched (so the owner may tear the
+  /// pool down before or after this call). After it returns,
+  /// schedule_after() refuses new entries, which lets flushed tasks that
+  /// try to re-arm (not-ready retries) observe the shutdown and resolve
+  /// instead of looping. Idempotent.
+  void stop_and_flush();
+
+  /// Fire `task` on the pool once `delay` has elapsed. Returns false (task
+  /// left untouched) once shutdown has begun.
+  [[nodiscard]] bool schedule_after(Clock::duration delay,
+                                    std::function<void()>&& task);
+
+  /// Entries currently waiting to mature (diagnostics).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  struct Entry {
+    Clock::time_point due;
+    std::uint64_t seq = 0;  // schedule order; breaks equal-due ties
+    std::function<void()> task;
+  };
+  /// Heap comparator: std::push_heap/pop_heap build a max-heap, so
+  /// "greater due (or seq)" sorts toward the bottom — the top is the
+  /// earliest entry.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pop the earliest entry. Caller holds the lock; heap must be
+  /// non-empty.
+  [[nodiscard]] Entry pop_locked();
+
+  void run();
+
+  ThreadPool& pool_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Entry> heap_;  // std::push_heap/pop_heap with Later
+  std::uint64_t next_seq_ = 0;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace garfield::net

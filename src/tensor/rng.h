@@ -11,6 +11,15 @@
 
 namespace garfield::tensor {
 
+/// SplitMix64 finalizer: bijective avalanche mixing of a 64-bit word.
+/// Shared by Rng::fork's stream derivation and the cluster's per-edge
+/// jitter hash so the mixing constants live in exactly one place.
+[[nodiscard]] constexpr std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Seeded pseudo-random generator wrapping std::mt19937_64.
 ///
 /// Not thread-safe; give each thread / node its own instance via fork().
@@ -23,10 +32,8 @@ class Rng {
   /// mixing of (parent seed, tag) keeps child streams decorrelated even
   /// for adjacent tags, and distinct parent seeds yield distinct children.
   [[nodiscard]] Rng fork(std::uint64_t tag) const {
-    std::uint64_t z = seed_mix_ + (tag + 1) * 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return Rng(z ^ (z >> 31));
+    return Rng(splitmix64_mix(seed_mix_ +
+                              (tag + 1) * 0x9e3779b97f4a7c15ULL));
   }
 
   float normal(float mean = 0.0F, float stddev = 1.0F) {

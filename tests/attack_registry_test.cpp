@@ -298,7 +298,11 @@ TEST(AttackSpecRoundTrip, DecentralizedServerOnlyPlanIsActuallyMounted) {
   // Zero-latency pulls answer in submission order, which always ranks the
   // (last-built) Byzantine peer behind the fastest-q cut; jitter mixes the
   // arrival order so its poisoned model replies actually reach ingress.
-  cfg.jitter = std::chrono::microseconds(200);
+  // The jitter must dominate the transport's not-ready retry backoff
+  // (<= 2ms per redelivery): step-tagged model pulls resolve at
+  // publication time + backoff, and with small jitter that quantization
+  // would park the last-scheduled peer behind the cut every iteration.
+  cfg.jitter = std::chrono::milliseconds(8);
   ASSERT_NO_THROW(cfg.validate());
   const gc::TrainResult result = gc::train(cfg);
   EXPECT_GT(result.rejected_payloads, 0u)

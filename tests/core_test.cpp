@@ -210,7 +210,7 @@ TEST(ServerWorker, GetModelsPullsPeerState) {
                 {0});
   gn::Payload marker(s1.dimension(), 9.0F);
   s1.write_model(marker);
-  auto models = s0.get_models(1);
+  auto models = s0.get_models(0, 1);
   ASSERT_EQ(models.size(), 1u);
   EXPECT_EQ(models[0], marker);
 }
@@ -228,7 +228,7 @@ TEST(ServerWorker, ByzantineServerServesCorruptedModel) {
                           gt::Rng(15));
   gn::Payload marker(byz.dimension(), 1.0F);
   byz.write_model(marker);
-  auto models = honest.get_models(1);
+  auto models = honest.get_models(0, 1);
   ASSERT_EQ(models.size(), 1u);
   EXPECT_FLOAT_EQ(models[0][0], -100.0F);  // reversed & amplified
 }

@@ -1,14 +1,18 @@
-// Tests for garfield::net — thread pool, pull-RPC, fastest-q collection,
-// crash and straggler injection, traffic accounting.
+// Tests for garfield::net — thread pool, timer wheel, pull-RPC, fastest-q
+// collection, crash and straggler injection, not-ready redelivery, traffic
+// accounting (including wasted replies and teardown drops).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
 #include <thread>
+#include <vector>
 
 #include "net/cluster.h"
 #include "net/thread_pool.h"
+#include "net/timer_wheel.h"
 
 namespace gn = garfield::net;
 using namespace std::chrono_literals;
@@ -17,7 +21,7 @@ TEST(ThreadPool, ExecutesAllTasks) {
   gn::ThreadPool pool(4);
   std::atomic<int> count{0};
   for (int i = 0; i < 100; ++i) {
-    pool.submit([&count] { count.fetch_add(1); });
+    EXPECT_TRUE(pool.submit([&count] { count.fetch_add(1); }));
   }
   const auto deadline = std::chrono::steady_clock::now() + 5s;
   while (count.load() < 100 && std::chrono::steady_clock::now() < deadline) {
@@ -29,6 +33,72 @@ TEST(ThreadPool, ExecutesAllTasks) {
 TEST(ThreadPool, ZeroThreadsClampedToOne) {
   gn::ThreadPool pool(0);
   EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(TimerWheel, FiresAfterDelayInDueOrder) {
+  gn::ThreadPool pool(1);
+  std::mutex mutex;
+  std::vector<int> order;
+  std::atomic<int> fired{0};
+  {
+    gn::TimerWheel wheel(pool);
+    auto record = [&](int tag) {
+      std::lock_guard lock(mutex);
+      order.push_back(tag);
+      fired.fetch_add(1);
+    };
+    // Scheduled out of due order; must fire in due order.
+    EXPECT_TRUE(wheel.schedule_after(20ms, [&] { record(2); }));
+    EXPECT_TRUE(wheel.schedule_after(5ms, [&] { record(1); }));
+    EXPECT_TRUE(wheel.schedule_after(40ms, [&] { record(3); }));
+    const auto deadline = std::chrono::steady_clock::now() + 5s;
+    while (fired.load() < 3 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerWheel, EqualDueTimesFireInScheduleOrder) {
+  gn::ThreadPool pool(1);
+  std::vector<int> order;
+  std::atomic<int> fired{0};
+  {
+    gn::TimerWheel wheel(pool);
+    for (int i = 0; i < 8; ++i) {
+      // All due "immediately after" the same delay; sequence numbers must
+      // break the ties deterministically.
+      EXPECT_TRUE(wheel.schedule_after(10ms, [&order, &fired, i] {
+        order.push_back(i);  // pool has 1 thread: no data race
+        fired.fetch_add(1);
+      }));
+    }
+    const auto deadline = std::chrono::steady_clock::now() + 5s;
+    while (fired.load() < 8 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(TimerWheel, FlushesPendingEntriesOnDestruction) {
+  gn::ThreadPool pool(1);
+  std::atomic<int> fired{0};
+  {
+    gn::TimerWheel wheel(pool);
+    // Far-future entries must still run (flushed) when the wheel dies.
+    EXPECT_TRUE(wheel.schedule_after(1h, [&] { fired.fetch_add(1); }));
+    EXPECT_TRUE(wheel.schedule_after(2h, [&] { fired.fetch_add(1); }));
+    EXPECT_EQ(wheel.pending(), 2u);
+  }
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (fired.load() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(fired.load(), 2);
 }
 
 namespace {
@@ -44,7 +114,8 @@ void serve_constant(gn::Cluster& cluster, gn::NodeId node, float value,
                     std::size_t d = 4) {
   cluster.register_handler(node, "echo",
                            [value, d](const gn::Request&) {
-                             return gn::Payload(d, value);
+                             return gn::HandlerResult::reply(
+                                 gn::Payload(d, value));
                            });
 }
 
@@ -59,24 +130,20 @@ TEST(Cluster, RejectsZeroNodes) {
 TEST(Cluster, SingleCallRoundTrip) {
   gn::Cluster cluster(small_cluster(2));
   serve_constant(cluster, 1, 7.0F);
-  std::promise<std::optional<gn::Payload>> done;
+  std::promise<gn::PayloadPtr> done;
   cluster.call(0, 1, "echo", 0, nullptr,
-               [&done](std::optional<gn::Payload> p) {
-                 done.set_value(std::move(p));
-               });
+               [&done](gn::PayloadPtr p) { done.set_value(std::move(p)); });
   auto result = done.get_future().get();
-  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result);
   EXPECT_FLOAT_EQ((*result)[0], 7.0F);
 }
 
 TEST(Cluster, UnknownMethodYieldsNoReply) {
   gn::Cluster cluster(small_cluster(2));
-  std::promise<std::optional<gn::Payload>> done;
+  std::promise<gn::PayloadPtr> done;
   cluster.call(0, 1, "nope", 0, nullptr,
-               [&done](std::optional<gn::Payload> p) {
-                 done.set_value(std::move(p));
-               });
-  EXPECT_FALSE(done.get_future().get().has_value());
+               [&done](gn::PayloadPtr p) { done.set_value(std::move(p)); });
+  EXPECT_FALSE(done.get_future().get());
 }
 
 TEST(Cluster, RequestCarriesArgumentAndIteration) {
@@ -86,17 +153,33 @@ TEST(Cluster, RequestCarriesArgumentAndIteration) {
     EXPECT_EQ(req.to, 1u);
     EXPECT_EQ(req.iteration, 42u);
     EXPECT_TRUE(req.argument);
-    return gn::Payload{float(req.argument->at(0) * 2)};
+    return gn::HandlerResult::reply(
+        gn::Payload{float(req.argument->at(0) * 2)});
   });
   auto arg = std::make_shared<const gn::Payload>(gn::Payload{21.0F});
-  std::promise<std::optional<gn::Payload>> done;
+  std::promise<gn::PayloadPtr> done;
   cluster.call(0, 1, "probe", 42, arg,
-               [&done](std::optional<gn::Payload> p) {
-                 done.set_value(std::move(p));
-               });
+               [&done](gn::PayloadPtr p) { done.set_value(std::move(p)); });
   auto result = done.get_future().get();
-  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result);
   EXPECT_FLOAT_EQ((*result)[0], 42.0F);
+}
+
+TEST(Cluster, ZeroCopyReplySharesTheServedSnapshot) {
+  gn::Cluster cluster(small_cluster(2));
+  // The handler serves the same refcounted snapshot on every pull; callers
+  // must receive that exact object, not a copy.
+  auto snapshot = std::make_shared<const gn::Payload>(gn::Payload(16, 3.0F));
+  cluster.register_handler(1, "snap", [snapshot](const gn::Request&) {
+    return gn::HandlerResult::reply(snapshot);
+  });
+  std::vector<gn::NodeId> peers{1};
+  auto first = cluster.collect(0, peers, "snap", 0, nullptr, 1);
+  auto second = cluster.collect(0, peers, "snap", 1, nullptr, 1);
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(first[0].payload.get(), snapshot.get());
+  EXPECT_EQ(second[0].payload.get(), snapshot.get());
 }
 
 TEST(Cluster, CollectReturnsQFastest) {
@@ -140,7 +223,7 @@ TEST(Cluster, CollectTimesOutGracefullyWhenQuorumImpossible) {
   cluster.crash(2);
   std::vector<gn::NodeId> peers{1, 2};
   // q = 2 but only one live replier: returns 1 reply once both callbacks
-  // resolved (crashed responds nullopt), well before the deadline.
+  // resolved (crashed responds nullptr), well before the deadline.
   auto replies = cluster.collect(0, peers, "echo", 0, nullptr, 2, 2s);
   EXPECT_EQ(replies.size(), 1u);
   EXPECT_EQ(replies[0].from, 1u);
@@ -159,14 +242,68 @@ TEST(Cluster, StragglersLoseTheRace) {
 TEST(Cluster, HandlerMayDeclineToReply) {
   gn::Cluster cluster(small_cluster(2));
   cluster.register_handler(1, "maybe", [](const gn::Request&) {
-    return std::optional<gn::Payload>{};  // Byzantine "dropped"
+    return gn::HandlerResult::none();  // Byzantine "dropped"
   });
-  std::promise<std::optional<gn::Payload>> done;
+  std::promise<gn::PayloadPtr> done;
   cluster.call(0, 1, "maybe", 0, nullptr,
-               [&done](std::optional<gn::Payload> p) {
-                 done.set_value(std::move(p));
-               });
-  EXPECT_FALSE(done.get_future().get().has_value());
+               [&done](gn::PayloadPtr p) { done.set_value(std::move(p)); });
+  EXPECT_FALSE(done.get_future().get());
+}
+
+TEST(Cluster, NotReadyHandlerIsRedelivered) {
+  gn::Cluster cluster(small_cluster(2));
+  std::atomic<int> attempts{0};
+  cluster.register_handler(1, "later", [&attempts](const gn::Request&) {
+    // Not ready for the first three deliveries; answers on the fourth.
+    if (attempts.fetch_add(1) < 3) return gn::HandlerResult::not_ready();
+    return gn::HandlerResult::reply(gn::Payload{9.0F});
+  });
+  std::vector<gn::NodeId> peers{1};
+  auto replies = cluster.collect(0, peers, "later", 0, nullptr, 1, 5s);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_FLOAT_EQ((*replies[0].payload)[0], 9.0F);
+  EXPECT_GE(attempts.load(), 4);
+  // Only the final delivery produced a reply; redeliveries are not new
+  // requests.
+  const gn::NetStats stats = cluster.stats();
+  EXPECT_EQ(stats.requests_sent, 1u);
+  EXPECT_EQ(stats.replies_received, 1u);
+}
+
+TEST(Cluster, PerpetuallyNotReadyResolvesAtTheCallTimeout) {
+  gn::Cluster cluster(small_cluster(2));
+  cluster.register_handler(1, "never", [](const gn::Request&) {
+    return gn::HandlerResult::not_ready();
+  });
+  std::vector<gn::NodeId> peers{1};
+  const auto start = std::chrono::steady_clock::now();
+  auto replies = cluster.collect(0, peers, "never", 0, nullptr, 1, 200ms);
+  EXPECT_TRUE(replies.empty());
+  // The retry loop must terminate around the timeout, not spin forever.
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 5s);
+}
+
+TEST(Cluster, TeardownWithInFlightRetriesResolvesCallbacks) {
+  // Destroying the cluster while a not-ready retry chain is live must
+  // resolve the callback (as a dropped dispatch), not re-arm a dead timer
+  // or leak the callback — the hang-then-timeout teardown failure mode.
+  std::promise<gn::PayloadPtr> done;
+  auto future = done.get_future();
+  std::uint64_t dropped = 0;
+  {
+    gn::Cluster cluster(small_cluster(2));
+    cluster.register_handler(1, "never", [](const gn::Request&) {
+      return gn::HandlerResult::not_ready();
+    });
+    cluster.call(0, 1, "never", 0, nullptr,
+                 [&done](gn::PayloadPtr p) { done.set_value(std::move(p)); },
+                 std::chrono::seconds(30));
+    std::this_thread::sleep_for(5ms);  // let a few redeliveries happen
+    dropped = cluster.stats().dropped_tasks;
+    (void)dropped;
+  }  // ~Cluster flushes the retry; the callback must have fired by now
+  ASSERT_EQ(future.wait_for(0s), std::future_status::ready);
+  EXPECT_FALSE(future.get());
 }
 
 TEST(Cluster, StatsCountTraffic) {
@@ -181,6 +318,65 @@ TEST(Cluster, StatsCountTraffic) {
   EXPECT_EQ(stats.replies_received, 2u);
   // 2 requests x 5 floats + 2 replies x 10 floats.
   EXPECT_EQ(stats.floats_transferred, 30u);
+  EXPECT_EQ(stats.wasted_replies, 0u);
+  EXPECT_EQ(stats.dropped_tasks, 0u);
+}
+
+TEST(Cluster, RepliesBeyondTheQuorumCountAsWasted) {
+  gn::Cluster cluster(small_cluster(5));
+  // One fast peer, three stragglers; q=1 means the stragglers' replies are
+  // crafted after the quorum is met and must be counted, not stored.
+  for (gn::NodeId i = 1; i < 5; ++i) serve_constant(cluster, i, float(i));
+  for (gn::NodeId i = 2; i < 5; ++i) cluster.set_straggler_lag(i, 50ms);
+  std::vector<gn::NodeId> peers{1, 2, 3, 4};
+  auto replies = cluster.collect(0, peers, "echo", 0, nullptr, 1);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].from, 1u);
+  // The stragglers still answer; wait for their callbacks to land.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (cluster.stats().replies_received < 4 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  const gn::NetStats stats = cluster.stats();
+  EXPECT_EQ(stats.replies_received, 4u);
+  EXPECT_EQ(stats.wasted_replies, 3u);
+}
+
+TEST(Cluster, JitterIsDeterministicPerEdgeAndIteration) {
+  // The jitter draw is a pure hash of (seed, from, to, method, iteration)
+  // — the old shared-Rng draw made simulated latency depend on thread
+  // interleaving. Assert the function directly: same inputs => same delay,
+  // across repeated draws and across independently-built clusters.
+  gn::Cluster::Options opts;
+  opts.nodes = 4;
+  opts.jitter = 10ms;
+  opts.seed = 99;
+  gn::Cluster a(opts), b(opts);
+
+  std::vector<gn::Duration> draws;
+  for (gn::NodeId from = 0; from < 4; ++from) {
+    for (gn::NodeId to = 0; to < 4; ++to) {
+      for (std::uint64_t it = 0; it < 5; ++it) {
+        const gn::Duration d = a.jitter_for(from, to, "echo", it);
+        EXPECT_GE(d.count(), 0);
+        EXPECT_LT(d.count(), 10000);
+        EXPECT_EQ(d, a.jitter_for(from, to, "echo", it));  // repeat draw
+        EXPECT_EQ(d, b.jitter_for(from, to, "echo", it));  // fresh cluster
+        draws.push_back(d);
+      }
+    }
+  }
+  // Distribution sanity: the edges/iterations must not all collapse onto
+  // one value.
+  std::sort(draws.begin(), draws.end());
+  EXPECT_GT(draws.back() - draws.front(), gn::Duration{1000});
+  // The method name is part of the edge key, and a different seed moves
+  // the draw.
+  EXPECT_NE(a.jitter_for(0, 1, "echo", 0), a.jitter_for(0, 1, "get", 0));
+  opts.seed = 100;
+  gn::Cluster c(opts);
+  EXPECT_NE(a.jitter_for(0, 1, "echo", 0), c.jitter_for(0, 1, "echo", 0));
 }
 
 TEST(Cluster, ConcurrentCollectsDoNotInterfere) {

@@ -253,7 +253,7 @@ TEST(ClusterStress, RandomizedLoadWithCrashes) {
     cluster.register_handler(i, "echo", [i](const gn::Request& req) {
       gn::Payload p(8, float(i));
       p[0] = float(req.iteration);
-      return p;
+      return gn::HandlerResult::reply(std::move(p));
     });
   }
   cluster.crash(3);
@@ -274,7 +274,7 @@ TEST(ClusterStress, RandomizedLoadWithCrashes) {
         for (const auto& r : replies) {
           EXPECT_NE(r.from, 3u);
           EXPECT_NE(r.from, 7u);
-          EXPECT_EQ(r.payload[0], float(k));
+          EXPECT_EQ((*r.payload)[0], float(k));
         }
         total.fetch_add(int(replies.size()));
       }

@@ -1,0 +1,190 @@
+// Transport stress: the zero-copy snapshots, the per-iteration gradient
+// cache, the hash-derived jitter and the step-tagged model exchange must
+// preserve the `unit-serial` determinism contract under real contention.
+//
+// Each cell runs a full deployment at high fan-in on the multi-threaded
+// in-process cluster and asserts that the training curve (accuracy AND
+// loss, compared bitwise as doubles) is identical
+//   - run-to-run (same configuration, fresh cluster, different thread
+//     interleavings), and
+//   - across GARFIELD_THREADS-style kernel thread counts
+//     (tensor::set_parallel_threads 1 vs 4 — the CTest harness additionally
+//     reruns this whole binary under GARFIELD_THREADS=1).
+//
+// This is exactly what the old transport could NOT guarantee: the batch
+// sampler advanced per request (so reply arrival order perturbed the data
+// sequence) and model exchange served whatever state a racing replica
+// happened to hold.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "core/trainer.h"
+#include "tensor/parallel.h"
+
+namespace gc = garfield::core;
+
+namespace {
+
+/// Restore the global kernel-thread override when a test exits.
+struct ThreadGuard {
+  ~ThreadGuard() { garfield::tensor::set_parallel_threads(0); }
+};
+
+gc::DeploymentConfig stress_base() {
+  gc::DeploymentConfig cfg;
+  cfg.model = "tiny_mlp";
+  cfg.dataset = "cluster";
+  cfg.train_size = 512;
+  cfg.test_size = 128;
+  cfg.batch_size = 8;
+  cfg.iterations = 5;
+  cfg.eval_every = 1;  // probe every iteration: the whole curve is pinned
+  cfg.seed = 20260728;
+  return cfg;
+}
+
+/// Bitwise curve comparison: EvalPoints carry doubles produced by
+/// deterministic float kernels, so == (not NEAR) is the contract.
+void expect_identical(const gc::TrainResult& a, const gc::TrainResult& b,
+                      const char* what) {
+  ASSERT_EQ(a.curve.size(), b.curve.size()) << what;
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].iteration, b.curve[i].iteration) << what;
+    EXPECT_EQ(a.curve[i].accuracy, b.curve[i].accuracy)
+        << what << " accuracy diverged at probe " << i;
+    EXPECT_EQ(a.curve[i].loss, b.curve[i].loss)
+        << what << " loss diverged at probe " << i;
+  }
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy) << what;
+  EXPECT_EQ(a.final_loss, b.final_loss) << what;
+  EXPECT_EQ(a.net_stats.floats_transferred, b.net_stats.floats_transferred)
+      << what << " traffic diverged";
+}
+
+}  // namespace
+
+TEST(TransportStress, MsmwHighFanInIsBitwiseDeterministic) {
+  // 5 replicated servers x 16 workers, synchronous: every pull waits for
+  // the full cohort, so the quorum membership — and therefore the whole
+  // run — must be schedule-independent.
+  ThreadGuard guard;
+  gc::DeploymentConfig cfg = stress_base();
+  cfg.deployment = gc::Deployment::kMsmw;
+  cfg.nps = 5;
+  cfg.nw = 16;
+  cfg.gradient_gar = "multi_krum";
+  cfg.model_gar = "median";
+
+  garfield::tensor::set_parallel_threads(1);
+  const gc::TrainResult serial = gc::train(cfg);
+  const gc::TrainResult serial_again = gc::train(cfg);
+  expect_identical(serial, serial_again, "msmw run-to-run (serial kernels)");
+
+  garfield::tensor::set_parallel_threads(4);
+  const gc::TrainResult threaded = gc::train(cfg);
+  expect_identical(serial, threaded, "msmw serial vs 4-thread kernels");
+
+  ASSERT_FALSE(serial.curve.empty());
+  // Synchronous pulls await the whole cohort: nothing is crafted past the
+  // quorum and teardown must not drop dispatches.
+  EXPECT_EQ(serial.net_stats.wasted_replies, 0u);
+  EXPECT_EQ(serial.net_stats.dropped_tasks, 0u);
+  // Traffic is exactly computable: per iteration every server moves
+  // nw request arguments + nw gradient replies + (nps-1) model replies.
+  const std::uint64_t d = 874;  // tiny_mlp parameter count
+  const std::uint64_t per_iter =
+      cfg.nps * (2 * cfg.nw * d + (cfg.nps - 1) * d);
+  EXPECT_EQ(serial.net_stats.floats_transferred,
+            cfg.iterations * per_iter);
+  // The gradient cache must actually bite: all nps replicas are bitwise
+  // identical here, so every worker runs ONE forward/backward per
+  // iteration and serves it nps times.
+  EXPECT_EQ(serial.gradients_served, cfg.iterations * cfg.nps * cfg.nw);
+  EXPECT_EQ(serial.gradients_computed, cfg.iterations * cfg.nw);
+}
+
+TEST(TransportStress, MsmwWithWorkerMomentumStaysDeterministic) {
+  // Distributed momentum folds the velocity once per iteration; under
+  // cache hits from 3 replicas the fold must still happen exactly once.
+  ThreadGuard guard;
+  gc::DeploymentConfig cfg = stress_base();
+  cfg.deployment = gc::Deployment::kMsmw;
+  cfg.nps = 3;
+  cfg.nw = 8;
+  cfg.gradient_gar = "median";
+  cfg.model_gar = "median";
+  cfg.worker_momentum = 0.9F;
+
+  garfield::tensor::set_parallel_threads(1);
+  const gc::TrainResult a = gc::train(cfg);
+  const gc::TrainResult b = gc::train(cfg);
+  expect_identical(a, b, "msmw+momentum run-to-run");
+}
+
+TEST(TransportStress, DecentralizedWithContractionIsBitwiseDeterministic) {
+  // Peer-to-peer cell with a contract() gossip round: gradient pulls,
+  // tagged aggregated-gradient gossip and tagged model exchange all ride
+  // the same transport.
+  ThreadGuard guard;
+  gc::DeploymentConfig cfg = stress_base();
+  cfg.deployment = gc::Deployment::kDecentralized;
+  cfg.nw = 6;
+  cfg.fw = 0;
+  cfg.gradient_gar = "median";
+  cfg.model_gar = "median";
+  cfg.contraction_steps = 1;
+  cfg.iterations = 4;
+
+  garfield::tensor::set_parallel_threads(1);
+  const gc::TrainResult serial = gc::train(cfg);
+  const gc::TrainResult serial_again = gc::train(cfg);
+  expect_identical(serial, serial_again, "decentralized run-to-run");
+
+  garfield::tensor::set_parallel_threads(4);
+  const gc::TrainResult threaded = gc::train(cfg);
+  expect_identical(serial, threaded, "decentralized serial vs 4-thread");
+
+  EXPECT_EQ(serial.net_stats.wasted_replies, 0u);
+  EXPECT_EQ(serial.net_stats.dropped_tasks, 0u);
+}
+
+TEST(TransportStress, PoolSizeDoesNotChangeTheCurve) {
+  // pool_threads is a pure performance knob: 1 handler thread and 8
+  // handler threads must produce the same bits.
+  ThreadGuard guard;
+  garfield::tensor::set_parallel_threads(1);
+  gc::DeploymentConfig cfg = stress_base();
+  cfg.deployment = gc::Deployment::kMsmw;
+  cfg.nps = 3;
+  cfg.nw = 8;
+  cfg.gradient_gar = "multi_krum";
+  cfg.model_gar = "median";
+
+  cfg.pool_threads = 1;
+  const gc::TrainResult one = gc::train(cfg);
+  cfg.pool_threads = 8;
+  const gc::TrainResult eight = gc::train(cfg);
+  expect_identical(one, eight, "pool_threads 1 vs 8");
+}
+
+TEST(TransportStress, SimulatedLatencyPreservesTheSynchronousCurve) {
+  // With synchronous quorums the hash-jittered link delays reorder reply
+  // *arrival*, never membership — the curve must not move.
+  ThreadGuard guard;
+  garfield::tensor::set_parallel_threads(1);
+  gc::DeploymentConfig cfg = stress_base();
+  cfg.deployment = gc::Deployment::kSsmw;
+  cfg.nw = 8;
+  cfg.fw = 1;
+  cfg.gradient_gar = "multi_krum";
+  cfg.iterations = 3;
+
+  const gc::TrainResult instant = gc::train(cfg);
+  cfg.base_latency = std::chrono::microseconds(200);
+  cfg.jitter = std::chrono::microseconds(300);
+  const gc::TrainResult delayed = gc::train(cfg);
+  expect_identical(instant, delayed, "latency 0 vs jittered links");
+}
