@@ -129,15 +129,34 @@ AdaptiveZAttack::AdaptiveZAttack(Options options)
   require(options_.z_max > 0.0, "adaptive_z: z_max must be > 0");
   require(options_.steps >= 1, "adaptive_z: steps must be >= 1");
   require(options_.fallback_z >= 0.0, "adaptive_z: fallback_z must be >= 0");
-  // Parse once and fully validate the probe spec now (unknown rule or
-  // option must fail at construction, i.e. at validate() time, not
+  require(!options_.probe.empty(), "adaptive_z: probe must be non-empty");
+  // An explicitly pinned probe is parsed and fully validated now (unknown
+  // rule or option must fail at construction, i.e. at validate() time, not
   // mid-training): a throwaway construction at the probe's own resilience
-  // floor exercises the factory.
-  probe_spec_ = gars::parse_gar_spec(options_.probe);
-  (void)gars::make_gar(probe_spec_, gars::gar_min_n(probe_spec_, 1), 1);
+  // floor exercises the factory. "deployment" resolves per craft() from
+  // the AttackContext — the deployment's own GAR spec was already
+  // validated by DeploymentConfig::validate().
+  if (options_.probe != "deployment") {
+    probe_source_ = options_.probe;
+    probe_spec_ = gars::parse_gar_spec(probe_source_);
+    (void)gars::make_gar(probe_spec_, gars::gar_min_n(probe_spec_, 1), 1);
+  }
 }
 
 AdaptiveZAttack::~AdaptiveZAttack() = default;
+
+void AdaptiveZAttack::resolve_probe(const AttackContext& ctx) {
+  std::string wanted = options_.probe;
+  if (wanted == "deployment") {
+    // Probe the GAR the deployment actually aggregates this cohort with;
+    // "krum" stands in for fixtures that carry no config.
+    wanted = ctx.gar.empty() ? "krum" : ctx.gar;
+  }
+  if (wanted == probe_source_) return;
+  probe_spec_ = gars::parse_gar_spec(wanted);
+  probe_source_ = wanted;
+  probe_gar_.reset();  // rule was built for the previous spec
+}
 
 std::optional<FlatVector> AdaptiveZAttack::craft(const FlatVector& honest,
                                                  AttackContext& ctx) {
@@ -146,8 +165,10 @@ std::optional<FlatVector> AdaptiveZAttack::craft(const FlatVector& honest,
     // Non-omniscient deployment: no cohort to hide inside (mirrors plain
     // little-is-enough's graceful degradation).
     last_z_ = 0.0;
+    last_probe_.clear();
     return honest;
   }
+  resolve_probe(ctx);
   FlatVector mu;
   FlatVector sigma;
   view_statistics(view, mu, sigma);
@@ -163,6 +184,7 @@ std::optional<FlatVector> AdaptiveZAttack::craft(const FlatVector& honest,
     // Degenerate cohort (identical honest vectors): intensity is
     // unobservable, send the consensus vector.
     last_z_ = 0.0;
+    last_probe_.clear();
     return mu;
   }
 
@@ -171,6 +193,7 @@ std::optional<FlatVector> AdaptiveZAttack::craft(const FlatVector& honest,
   if (probe_n < gars::gar_min_n(probe_spec_, f_eff)) {
     // Too few honest vectors to run the probe; fall back to a fixed z.
     last_z_ = options_.fallback_z;
+    last_probe_.clear();
     return candidate(options_.fallback_z);
   }
   if (probe_gar_ == nullptr || probe_gar_n_ != probe_n ||
@@ -180,6 +203,7 @@ std::optional<FlatVector> AdaptiveZAttack::craft(const FlatVector& honest,
     probe_gar_f_ = f_eff;
   }
   const gars::Gar& gar = *probe_gar_;
+  last_probe_ = probe_source_;
 
   // "Slips past": with f_eff copies of the candidate among the inputs, the
   // probe's aggregate moves along the *attack direction* (-sigma) by at

@@ -58,6 +58,12 @@ class AttackContext {
   /// Honest cohort view for omniscient attacks; empty for non-omniscient
   /// ones and in deployments where the adversary has no such channel.
   std::span<const FlatVector> honest{};
+  /// GAR spec the deployment actually aggregates this cohort with (read
+  /// from config by the owning Byzantine node: gradient_gar for worker
+  /// payloads, model_gar for server payloads; "" when unknown, e.g. in
+  /// unit fixtures). Adaptive attacks tune themselves against *this*
+  /// defense instead of a separately configured guess.
+  std::string gar;
 
   /// Per-attacker random stream (never shared across nodes).
   [[nodiscard]] Rng& rng() const { return *rng_; }
@@ -242,13 +248,17 @@ class AlternatingAttack final : public Attack {
 /// the defense instead of committing to a compiled-in z. Falls back to
 /// plain little-is-enough (z = fallback_z) when the context carries no
 /// honest view or too few vectors to run the probe. Spec options:
-/// probe (GAR spec string name, default "krum"), z_max > 0 (default 8),
-/// steps >= 1 bisection rounds (default 10), fallback_z (default 1.5).
-/// Omniscient, stateful: last_z() exposes the intensity used last round.
+/// probe (default "deployment": probe whatever GAR the deployment's config
+/// declares for this cohort — AttackContext::gar — falling back to "krum"
+/// when the context does not carry one; any explicit GAR spec pins the
+/// probe instead), z_max > 0 (default 8), steps >= 1 bisection rounds
+/// (default 10), fallback_z (default 1.5). Omniscient, stateful: last_z()
+/// exposes the intensity used last round, last_probe() the GAR actually
+/// probed.
 class AdaptiveZAttack final : public Attack {
  public:
   struct Options {
-    std::string probe = "krum";
+    std::string probe = "deployment";
     double z_max = 8.0;
     std::size_t steps = 10;
     double fallback_z = 1.5;
@@ -265,16 +275,28 @@ class AdaptiveZAttack final : public Attack {
   /// fallback_z when the probe could not run).
   [[nodiscard]] double last_z() const { return last_z_; }
 
+  /// GAR spec string probed by the most recent craft() ("" before the
+  /// first call or when the probe could not run) — how tests pin that the
+  /// "deployment" probe really tracked the configured GAR.
+  [[nodiscard]] const std::string& last_probe() const { return last_probe_; }
+
  private:
+  /// Parse (and cache) the probe spec for this craft call: the configured
+  /// probe, or — in "deployment" mode — the GAR the context says the
+  /// cohort is aggregated with.
+  void resolve_probe(const AttackContext& ctx);
+
   Options options_;
-  util::ParsedSpec probe_spec_;  // parsed + validated once at construction
-  /// Probe rule cache: rebuilt only when the (n, f) it was built for
+  std::string probe_source_;     // spec string probe_spec_ was parsed from
+  util::ParsedSpec probe_spec_;  // cached parse of probe_source_
+  /// Probe rule cache: rebuilt only when the (spec, n, f) it was built for
   /// changes — constant in steady state, so per-iteration craft() calls
   /// skip spec parsing and rule construction entirely.
   std::unique_ptr<gars::Gar> probe_gar_;
   std::size_t probe_gar_n_ = 0;
   std::size_t probe_gar_f_ = 0;
   double last_z_ = 0.0;
+  std::string last_probe_;
 };
 
 }  // namespace garfield::attacks

@@ -4,6 +4,7 @@
 
 #include "attacks/registry.h"
 #include "gars/gar.h"
+#include "net/conditions.h"
 
 namespace garfield::core {
 
@@ -97,6 +98,11 @@ void DeploymentConfig::validate() const {
   (void)attacks::validate_attack_plan(worker_attack, fw, "worker_attack");
   (void)attacks::validate_attack_plan(server_attack, server_cohort_f,
                                       "server_attack");
+  // Network conditions: grammar, clause/option existence, duration sanity
+  // (negative or unit-less garbage is rejected by the parser) and node
+  // references against the deployment's actual node count — a scenario
+  // naming nodes that don't exist must fail here, not run quietly ideal.
+  net::NetworkConditions::parse(network).validate(total_nodes());
 }
 
 }  // namespace garfield::core

@@ -6,7 +6,6 @@
 // the contraction depth of decentralized learning.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -93,8 +92,13 @@ struct DeploymentConfig {
   std::uint64_t seed = 1;
 
   // --- simulated network --------------------------------------------------
-  std::chrono::microseconds base_latency{0};
-  std::chrono::microseconds jitter{0};
+  /// NetworkConditions spec (net/conditions.h grammar) driving both the
+  /// live cluster and the analytic simulator:
+  ///   "wan:latency=5ms,jitter=2ms;straggler:nodes=2,lag=50ms,from_iter=100"
+  /// "" = ideal network. validate() rejects unknown clauses/options,
+  /// negative or malformed durations, and node references outside the
+  /// deployment.
+  std::string network;
   /// RPC handler threads (0 = hardware concurrency). Pool threads only run
   /// handler compute — simulated latency lives on the cluster's timer
   /// wheel — so this is the real-contention knob bench_fig8 sweeps.

@@ -72,10 +72,7 @@ void apply(DeploymentConfig& cfg, const std::string& key,
   else if (key == "checkpoint_every")
     cfg.checkpoint_every = to_size(key, value);
   else if (key == "resume_from") cfg.resume_from = value;
-  else if (key == "base_latency_us")
-    cfg.base_latency = std::chrono::microseconds(to_size(key, value));
-  else if (key == "jitter_us")
-    cfg.jitter = std::chrono::microseconds(to_size(key, value));
+  else if (key == "network") cfg.network = value;
   else if (key == "pool_threads") cfg.pool_threads = to_size(key, value);
   else
     throw std::invalid_argument("config: unknown key '" + key + "'");
@@ -170,10 +167,16 @@ std::string format_config(const DeploymentConfig& cfg) {
       << "iterations = " << cfg.iterations << '\n'
       << "eval_every = " << cfg.eval_every << '\n'
       << "alignment_every = " << cfg.alignment_every << '\n'
-      << "seed = " << cfg.seed << '\n'
-      << "base_latency_us = " << cfg.base_latency.count() << '\n'
-      << "jitter_us = " << cfg.jitter.count() << '\n'
-      << "pool_threads = " << cfg.pool_threads << '\n';
+      << "seed = " << cfg.seed << '\n';
+  if (!cfg.network.empty()) {
+    out << "network = " << cfg.network << '\n';
+  } else {
+    // Advertise the knob in emitted templates; an empty value would not
+    // re-parse, so document it as a comment instead.
+    out << "# network = wan:latency=100us,jitter=50us"
+           "   (net/conditions.h spec; \"\" = ideal)\n";
+  }
+  out << "pool_threads = " << cfg.pool_threads << '\n';
   return out.str();
 }
 

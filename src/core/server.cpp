@@ -73,9 +73,11 @@ std::vector<net::Payload> Server::get_models(std::uint64_t t,
 }
 
 std::vector<net::Payload> Server::get_aggr_grads(std::uint64_t tag,
-                                                 std::size_t q) {
-  return validate(
-      cluster_.collect(id_, peer_servers_, kGetAggrGrad, tag, nullptr, q));
+                                                 std::size_t q,
+                                                 std::uint64_t iteration) {
+  return validate(cluster_.collect(id_, peer_servers_, kGetAggrGrad, tag,
+                                   nullptr, q,
+                                   std::chrono::seconds(30), iteration));
 }
 
 void Server::enable_step_tagged_serving(bool models, bool aggr_grads) {
@@ -200,22 +202,28 @@ ByzantineServer::ByzantineServer(net::NodeId id, net::Cluster& cluster,
                                  std::vector<net::NodeId> peer_servers,
                                  attacks::AttackPtr attack, tensor::Rng rng,
                                  std::size_t declared_n,
-                                 std::size_t declared_f)
+                                 std::size_t declared_f,
+                                 std::string model_cohort_gar,
+                                 std::string aggr_cohort_gar)
     : Server(id, cluster, std::move(model), opt, std::move(workers),
              std::move(peer_servers)),
       attack_(std::move(attack)),
       rng_(rng),
       declared_n_(declared_n),
-      declared_f_(declared_f) {}
+      declared_f_(declared_f),
+      model_cohort_gar_(std::move(model_cohort_gar)),
+      aggr_cohort_gar_(std::move(aggr_cohort_gar)) {}
 
 net::HandlerResult ByzantineServer::corrupt(const net::Payload& honest,
-                                            std::uint64_t iteration) {
+                                            std::uint64_t iteration,
+                                            const std::string& cohort_gar) {
   std::lock_guard lock(attack_mutex_);
   attacks::AttackContext ctx(rng_);
   ctx.iteration = iteration;
   ctx.attacker_id = id();
   ctx.n = declared_n_;
   ctx.f = declared_f_;
+  ctx.gar = cohort_gar;
   std::optional<net::Payload> crafted = attack_->craft(honest, ctx);
   if (!crafted) return net::HandlerResult::none();
   return net::HandlerResult::reply(std::move(*crafted));
@@ -224,14 +232,14 @@ net::HandlerResult ByzantineServer::corrupt(const net::Payload& honest,
 net::HandlerResult ByzantineServer::serve_model(const net::Request& req) {
   net::HandlerResult honest = Server::serve_model(req);
   if (honest.retry || !honest.payload) return honest;
-  return corrupt(*honest.payload, req.iteration);
+  return corrupt(*honest.payload, req.iteration, model_cohort_gar_);
 }
 
 net::HandlerResult ByzantineServer::serve_aggr_grad(
     const net::Request& req) {
   net::HandlerResult honest = Server::serve_aggr_grad(req);
   if (honest.retry || !honest.payload) return honest;
-  return corrupt(*honest.payload, req.iteration);
+  return corrupt(*honest.payload, req.iteration, aggr_cohort_gar_);
 }
 
 }  // namespace garfield::core

@@ -71,9 +71,12 @@ class Server {
                                                      std::size_t q);
 
   /// Pull contracted gradients from peers (decentralized contract()
-  /// round). `tag` is the encoded (iteration, round) gossip tag.
-  [[nodiscard]] std::vector<net::Payload> get_aggr_grads(std::uint64_t tag,
-                                                         std::size_t q);
+  /// round). `tag` is the encoded (iteration, round) gossip tag;
+  /// `iteration` is the training iteration it encodes, which drives the
+  /// NetworkConditions straggler/partition schedules (the tag itself
+  /// would race ahead of them by the contraction depth).
+  [[nodiscard]] std::vector<net::Payload> get_aggr_grads(
+      std::uint64_t tag, std::size_t q, std::uint64_t iteration);
 
   /// Switch peer-facing serving to step-tagged mode (see file comment).
   /// Call before the driving loops start; publish_model / publish_aggr_grad
@@ -200,12 +203,20 @@ class Server {
 /// gracefully to their view-free behaviour.
 class ByzantineServer final : public Server {
  public:
+  /// The cohort-GAR specs are what the deployment aggregates this node's
+  /// two reply channels with ("" when unknown) — adaptive attacks probe
+  /// them through AttackContext::gar: `model_cohort_gar` (config's
+  /// model_gar) covers serve_model, `aggr_cohort_gar` (config's
+  /// gradient_gar) covers the contraction-gossip serve_aggr_grad, which
+  /// peers re-aggregate with the *gradient* rule.
   ByzantineServer(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
                   nn::SgdOptimizer::Options opt,
                   std::vector<net::NodeId> workers,
                   std::vector<net::NodeId> peer_servers,
                   attacks::AttackPtr attack, tensor::Rng rng,
-                  std::size_t declared_n = 0, std::size_t declared_f = 0);
+                  std::size_t declared_n = 0, std::size_t declared_f = 0,
+                  std::string model_cohort_gar = {},
+                  std::string aggr_cohort_gar = {});
 
  protected:
   net::HandlerResult serve_model(const net::Request& req) override;
@@ -213,15 +224,19 @@ class ByzantineServer final : public Server {
 
  private:
   /// Corrupt a copy of the honest payload (attacks rewrite in place; the
-  /// honest snapshot stays shared with everyone else).
+  /// honest snapshot stays shared with everyone else). `cohort_gar` names
+  /// the rule the pulling peers aggregate this channel with.
   [[nodiscard]] net::HandlerResult corrupt(const net::Payload& honest,
-                                           std::uint64_t iteration);
+                                           std::uint64_t iteration,
+                                           const std::string& cohort_gar);
 
   attacks::AttackPtr attack_;
   std::mutex attack_mutex_;
   tensor::Rng rng_;
   std::size_t declared_n_;
   std::size_t declared_f_;
+  std::string model_cohort_gar_;
+  std::string aggr_cohort_gar_;
 };
 
 }  // namespace garfield::core

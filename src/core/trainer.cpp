@@ -118,8 +118,7 @@ void build_parameter_server(Runtime& rt) {
   net::Cluster::Options net_opts;
   net_opts.nodes = cfg.nps + cfg.nw;
   net_opts.pool_threads = cfg.pool_threads;
-  net_opts.base_latency = cfg.base_latency;
-  net_opts.jitter = cfg.jitter;
+  net_opts.conditions = net::NetworkConditions::parse(cfg.network);
   net_opts.seed = cfg.seed ^ 0xc1u;
   rt.cluster = std::make_unique<net::Cluster>(net_opts);
 
@@ -142,7 +141,7 @@ void build_parameter_server(Runtime& rt) {
       rt.servers.push_back(std::make_unique<ByzantineServer>(
           s, *rt.cluster, std::move(model), cfg.optimizer, worker_ids,
           std::move(peers), attacks::make_attack(spec), root.fork(100 + s),
-          cfg.nps, cfg.fps));
+          cfg.nps, cfg.fps, cfg.model_gar, cfg.gradient_gar));
     } else {
       rt.servers.push_back(std::make_unique<Server>(
           s, *rt.cluster, std::move(model), cfg.optimizer, worker_ids,
@@ -162,7 +161,8 @@ void build_parameter_server(Runtime& rt) {
       rt.workers.push_back(std::make_unique<ByzantineWorker>(
           id, *rt.cluster, std::move(model), std::move(shards[w]),
           cfg.batch_size, root.fork(200 + w), attacks::make_attack(spec),
-          cfg.worker_momentum, spec_is_omniscient(spec), cfg.nw, cfg.fw));
+          cfg.worker_momentum, spec_is_omniscient(spec), cfg.nw, cfg.fw,
+          cfg.gradient_gar));
     } else {
       rt.workers.push_back(std::make_unique<Worker>(
           id, *rt.cluster, std::move(model), std::move(shards[w]),
@@ -207,8 +207,7 @@ void build_decentralized(Runtime& rt) {
   net::Cluster::Options net_opts;
   net_opts.nodes = cfg.nw;
   net_opts.pool_threads = cfg.pool_threads;
-  net_opts.base_latency = cfg.base_latency;
-  net_opts.jitter = cfg.jitter;
+  net_opts.conditions = net::NetworkConditions::parse(cfg.network);
   net_opts.seed = cfg.seed ^ 0xc2u;
   rt.cluster = std::make_unique<net::Cluster>(net_opts);
 
@@ -242,7 +241,8 @@ void build_decentralized(Runtime& rt) {
       rt.servers.push_back(std::make_unique<ByzantineServer>(
           i, *rt.cluster, std::move(server_model), cfg.optimizer, all_ids,
           std::move(peers), attacks::make_attack(server_specs[rank]),
-          root.fork(100 + i), cfg.nw, cfg.fw));
+          root.fork(100 + i), cfg.nw, cfg.fw, cfg.model_gar,
+          cfg.gradient_gar));
     } else {
       rt.servers.push_back(std::make_unique<Server>(
           i, *rt.cluster, std::move(server_model), cfg.optimizer, all_ids,
@@ -253,7 +253,8 @@ void build_decentralized(Runtime& rt) {
           i, *rt.cluster, std::move(worker_model), std::move(shards[i]),
           cfg.batch_size, root.fork(200 + i),
           attacks::make_attack(worker_specs[rank]), cfg.worker_momentum,
-          spec_is_omniscient(worker_specs[rank]), cfg.nw, cfg.fw));
+          spec_is_omniscient(worker_specs[rank]), cfg.nw, cfg.fw,
+          cfg.gradient_gar));
     } else {
       rt.workers.push_back(std::make_unique<Worker>(
           i, *rt.cluster, std::move(worker_model), std::move(shards[i]),
@@ -464,7 +465,7 @@ void decentralized_loop(Runtime& rt, std::size_t s) {
     for (std::size_t step = 0; step < rounds; ++step) {
       server.publish_aggr_grad(gossip_tag(it, step), aggr);
       std::vector<Payload> peer_grads =
-          server.get_aggr_grads(gossip_tag(it, step), q - 1);
+          server.get_aggr_grads(gossip_tag(it, step), q - 1, it);
       peer_grads.push_back(aggr);
       if (peer_grads.size() < grad.min_n) {
         for (std::size_t rest = step + 1; rest < rounds; ++rest)

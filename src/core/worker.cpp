@@ -152,13 +152,15 @@ ByzantineWorker::ByzantineWorker(net::NodeId id, net::Cluster& cluster,
                                  std::size_t batch_size, tensor::Rng rng,
                                  attacks::AttackPtr attack, float momentum,
                                  bool omniscient, std::size_t declared_n,
-                                 std::size_t declared_f)
+                                 std::size_t declared_f,
+                                 std::string cohort_gar)
     : Worker(id, cluster, std::move(model), std::move(shard), batch_size,
              rng, momentum),
       attack_(std::move(attack)),
       omniscient_(omniscient),
       declared_n_(declared_n),
-      declared_f_(declared_f) {}
+      declared_f_(declared_f),
+      cohort_gar_(std::move(cohort_gar)) {}
 
 net::HandlerResult ByzantineWorker::serve_gradient(const net::Request& req) {
   const ServedGradient honest = honest_gradient(req);
@@ -177,6 +179,7 @@ net::HandlerResult ByzantineWorker::serve_gradient(const net::Request& req) {
   ctx.n = declared_n_;
   ctx.f = declared_f_;
   ctx.honest = view;
+  ctx.gar = cohort_gar_;
   std::optional<net::Payload> crafted =
       attack_->craft(*honest.gradient, ctx);
   if (!crafted) return net::HandlerResult::none();

@@ -143,11 +143,15 @@ class Worker {
 /// payloads (Baruch et al. estimate mean/stddev exactly this way).
 class ByzantineWorker final : public Worker {
  public:
+  /// `cohort_gar` is the GAR spec the deployment aggregates this node's
+  /// gradients with (config's gradient_gar; "" when unknown) — adaptive
+  /// attacks probe it through AttackContext::gar.
   ByzantineWorker(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
                   data::Dataset shard, std::size_t batch_size,
                   tensor::Rng rng, attacks::AttackPtr attack,
                   float momentum = 0.0F, bool omniscient = false,
-                  std::size_t declared_n = 0, std::size_t declared_f = 0);
+                  std::size_t declared_n = 0, std::size_t declared_f = 0,
+                  std::string cohort_gar = {});
 
  protected:
   net::HandlerResult serve_gradient(const net::Request& req) override;
@@ -158,6 +162,7 @@ class ByzantineWorker final : public Worker {
   bool omniscient_;
   std::size_t declared_n_;
   std::size_t declared_f_;
+  std::string cohort_gar_;
 };
 
 }  // namespace garfield::core

@@ -5,8 +5,6 @@
 #include <stdexcept>
 #include <thread>
 
-#include "tensor/rng.h"
-
 namespace garfield::net {
 
 namespace {
@@ -21,15 +19,14 @@ constexpr Duration kRetryBackoffFloor{20};
 /// polled hot, without adding seconds of artificial latency.
 constexpr Duration kRetryBackoffCeiling{2000};
 
-std::uint64_t splitmix(std::uint64_t z) {
-  return tensor::splitmix64_mix(z + 0x9e3779b97f4a7c15ULL);
-}
-
 }  // namespace
 
 Cluster::Cluster(const Options& options)
     : nodes_(options.nodes), options_(options) {
   if (nodes_ == 0) throw std::invalid_argument("Cluster: needs >= 1 node");
+  // A scenario referencing nodes outside the deployment is a bug in the
+  // scenario, not a quietly-ideal network.
+  options_.conditions.validate(nodes_);
   states_.reserve(nodes_);
   for (std::size_t i = 0; i < nodes_; ++i)
     states_.push_back(std::make_unique<NodeState>());
@@ -76,30 +73,19 @@ bool Cluster::is_crashed(NodeId node) const {
   return states_[node]->crashed.load();
 }
 
-void Cluster::set_straggler_lag(NodeId node, Duration lag) {
-  assert(node < nodes_);
-  states_[node]->straggler_lag_us.store(lag.count());
-}
-
 Duration Cluster::jitter_for(NodeId from, NodeId to,
                              const std::string& method,
                              std::uint64_t iteration) const {
-  if (options_.jitter.count() <= 0) return Duration{0};
-  // FNV-1a over the method bytes: std::hash<std::string> is
-  // implementation-defined, which would make "deterministic" jitter vary
-  // across standard libraries.
-  std::uint64_t method_hash = 0xcbf29ce484222325ULL;
-  for (const char c : method) {
-    method_hash = (method_hash ^ std::uint64_t(std::uint8_t(c))) *
-                  0x100000001b3ULL;
-  }
-  std::uint64_t h = splitmix(options_.seed);
-  h = splitmix(h ^ (std::uint64_t(from) << 32) ^ std::uint64_t(to));
-  h = splitmix(h ^ method_hash);
-  h = splitmix(h ^ iteration);
-  // 53 mantissa bits -> uniform in [0, 1).
-  const double u = double(h >> 11) * 0x1.0p-53;
-  return Duration{std::int64_t(u * double(options_.jitter.count()))};
+  return options_.conditions.jitter_for(from, to, method, iteration,
+                                        options_.seed);
+}
+
+Duration Cluster::delay_for(
+    NodeId from, NodeId to, const std::string& method,
+    std::uint64_t iteration,
+    std::optional<std::uint64_t> window_iteration) const {
+  return options_.conditions.delay(from, to, method, iteration,
+                                   options_.seed, window_iteration);
 }
 
 void Cluster::dispatch(Request request, CallbackPtr on_done, Duration delay,
@@ -160,11 +146,11 @@ void Cluster::dispatch(Request request, CallbackPtr on_done, Duration delay,
 void Cluster::call(NodeId from, NodeId to, const std::string& method,
                    std::uint64_t iteration, PayloadPtr argument,
                    std::function<void(PayloadPtr)> on_done,
-                   Duration timeout) {
+                   Duration timeout,
+                   std::optional<std::uint64_t> window_iteration) {
   assert(from < nodes_ && to < nodes_);
-  Duration delay = options_.base_latency +
-                   jitter_for(from, to, method, iteration) +
-                   Duration{states_[to]->straggler_lag_us.load()};
+  const Duration delay =
+      delay_for(from, to, method, iteration, window_iteration);
   requests_sent_.fetch_add(1);
   if (argument) floats_transferred_.fetch_add(argument->size());
   Request request{from, to, method, iteration, std::move(argument)};
@@ -173,12 +159,10 @@ void Cluster::call(NodeId from, NodeId to, const std::string& method,
            Clock::now() + timeout, kRetryBackoffFloor);
 }
 
-std::vector<Reply> Cluster::collect(NodeId from,
-                                    std::span<const NodeId> peers,
-                                    const std::string& method,
-                                    std::uint64_t iteration,
-                                    PayloadPtr argument, std::size_t q,
-                                    Duration timeout) {
+std::vector<Reply> Cluster::collect(
+    NodeId from, std::span<const NodeId> peers, const std::string& method,
+    std::uint64_t iteration, PayloadPtr argument, std::size_t q,
+    Duration timeout, std::optional<std::uint64_t> window_iteration) {
   if (q > peers.size()) {
     throw std::invalid_argument("Cluster::collect: q=" + std::to_string(q) +
                                 " > peers=" + std::to_string(peers.size()));
@@ -217,7 +201,7 @@ std::vector<Reply> Cluster::collect(NodeId from,
             state->cv.notify_all();
           }
         },
-        timeout);
+        timeout, window_iteration);
   }
   std::unique_lock lock(state->mutex);
   const auto deadline = Clock::now() + timeout;

@@ -8,8 +8,11 @@
 //
 //  - every node registers handlers (method name -> function);
 //  - handler compute executes on a shared thread pool sized to hardware
-//    concurrency; simulated link delay (per-link latency + deterministic
-//    per-edge jitter + per-node straggler lag) is an event on the
+//    concurrency; simulated link delay is resolved per edge from the
+//    deployment's NetworkConditions (net/conditions.h: base latency +
+//    deterministic per-edge hash jitter + heterogeneous slow links +
+//    iteration-scheduled straggler lag + partition windows, delivered as
+//    delayed — never dropped — messages) and is an event on the
 //    TimerWheel, never a sleep on a pool thread;
 //  - payloads are immutable and refcounted (std::shared_ptr<const Payload>)
 //    end to end: a handler can serve the same snapshot to every requester
@@ -36,11 +39,13 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "net/conditions.h"
 #include "net/thread_pool.h"
 #include "net/timer_wheel.h"
 #include "tensor/vecops.h"
@@ -123,10 +128,11 @@ class Cluster {
   struct Options {
     std::size_t nodes = 1;
     std::size_t pool_threads = 0;  ///< 0 => hardware concurrency
-    Duration base_latency{0};      ///< fixed per-call delay
-    Duration jitter{0};            ///< extra delay in [0, jitter), hashed
-                                   ///< from (seed, from, to, method,
-                                   ///< iteration)
+    /// Everything the simulated network does to this deployment: per-edge
+    /// latency/jitter, heterogeneous slow links, straggler phases and
+    /// partition windows (net/conditions.h spec grammar). Defaults to the
+    /// ideal network.
+    NetworkConditions conditions;
     std::uint64_t seed = 42;
   };
 
@@ -146,16 +152,17 @@ class Cluster {
   void crash(NodeId node);
   [[nodiscard]] bool is_crashed(NodeId node) const;
 
-  /// Add fixed extra service delay to one node (straggler injection).
-  void set_straggler_lag(NodeId node, Duration lag);
-
   /// Pull from every peer in `peers` in parallel and return the fastest
   /// `q` replies (arrival order). Returns fewer than q only if the deadline
-  /// expires first; q > peers.size() is an error.
+  /// expires first; q > peers.size() is an error. `window_iteration` is
+  /// the training iteration the NetworkConditions schedules see when the
+  /// method tag (`iteration`) encodes more than it — e.g. the contraction
+  /// gossip tag; it defaults to the tag itself.
   [[nodiscard]] std::vector<Reply> collect(
       NodeId from, std::span<const NodeId> peers, const std::string& method,
       std::uint64_t iteration, PayloadPtr argument, std::size_t q,
-      Duration timeout = std::chrono::seconds(30));
+      Duration timeout = std::chrono::seconds(30),
+      std::optional<std::uint64_t> window_iteration = std::nullopt);
 
   /// Single async pull; the callback fires once with the reply or, when the
   /// callee is crashed / declines to answer / stays not-ready past the
@@ -163,18 +170,27 @@ class Cluster {
   void call(NodeId from, NodeId to, const std::string& method,
             std::uint64_t iteration, PayloadPtr argument,
             std::function<void(PayloadPtr)> on_done,
-            Duration timeout = std::chrono::seconds(30));
+            Duration timeout = std::chrono::seconds(30),
+            std::optional<std::uint64_t> window_iteration = std::nullopt);
 
   [[nodiscard]] NetStats stats() const;
 
   /// Deterministic jitter draw: a splitmix-style hash of
   /// (seed, from, to, method, iteration) mapped to [0, jitter). Lock-free
-  /// and independent of thread interleaving, unlike the shared-Rng draw it
-  /// replaced — two runs of the same scenario see identical simulated
-  /// latencies. Public so tests can assert the determinism directly.
+  /// and independent of thread interleaving — two runs of the same
+  /// scenario see identical simulated latencies. Public so tests can
+  /// assert the determinism directly.
   [[nodiscard]] Duration jitter_for(NodeId from, NodeId to,
                                     const std::string& method,
                                     std::uint64_t iteration) const;
+
+  /// Full simulated delivery delay of one call (latency + jitter + slow
+  /// links + straggler lag + partition lag), resolved from the
+  /// NetworkConditions. Pure in its arguments.
+  [[nodiscard]] Duration delay_for(
+      NodeId from, NodeId to, const std::string& method,
+      std::uint64_t iteration,
+      std::optional<std::uint64_t> window_iteration = std::nullopt) const;
 
  private:
   using Callback = std::function<void(PayloadPtr)>;
@@ -184,7 +200,6 @@ class Cluster {
     std::mutex mutex;
     std::unordered_map<std::string, Handler> handlers;
     std::atomic<bool> crashed{false};
-    std::atomic<std::int64_t> straggler_lag_us{0};
   };
 
   void dispatch(Request request, CallbackPtr on_done, Duration delay,

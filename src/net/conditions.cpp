@@ -1,0 +1,259 @@
+#include "net/conditions.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/rng.h"
+#include "util/spec.h"
+
+namespace garfield::net {
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t z) {
+  return tensor::splitmix64_mix(z + 0x9e3779b97f4a7c15ULL);
+}
+
+/// Overlap of the inclusive range [lo, hi] with the half-open [a, b).
+std::size_t overlap(std::size_t lo, std::size_t hi, std::size_t a,
+                    std::size_t b) {
+  if (b == 0) return 0;
+  const std::size_t left = std::max(lo, a);
+  const std::size_t right = std::min(hi, b - 1);
+  return right >= left ? right - left + 1 : 0;
+}
+
+/// Window predicate shared by straggler phases and partition windows:
+/// active from from_iter for len iterations (len = 0 => open-ended).
+bool window_active(std::uint64_t from_iter, std::uint64_t len,
+                   std::uint64_t iteration) {
+  if (iteration < from_iter) return false;
+  return len == 0 || iteration - from_iter < len;
+}
+
+NodeRange range_option(const util::SpecOptions& options,
+                       const std::string& key, const std::string& clause) {
+  const std::string raw = options.get_string(key, "");
+  if (raw.empty()) {
+    throw std::invalid_argument("network spec: clause '" + clause +
+                                "' requires option '" + key + "'");
+  }
+  return parse_node_range(raw, "network spec: " + clause + ":" + key);
+}
+
+}  // namespace
+
+std::size_t NodeRange::count_in(std::size_t span_lo,
+                                std::size_t span_hi) const {
+  return overlap(lo, hi, span_lo, span_hi);
+}
+
+NodeRange parse_node_range(const std::string& text,
+                           const std::string& context) {
+  const auto parse_id = [&](const std::string& part) -> std::size_t {
+    try {
+      if (part.empty() || part.front() == '-' || part.front() == '+') {
+        throw std::invalid_argument(part);
+      }
+      std::size_t pos = 0;
+      const unsigned long long v = std::stoull(part, &pos);
+      if (pos != part.size()) throw std::invalid_argument(part);
+      return std::size_t(v);
+    } catch (const std::exception&) {
+      throw std::invalid_argument(context + ": expected a node id or "
+                                  "lo-hi range, got '" + text + "'");
+    }
+  };
+  NodeRange range;
+  const auto dash = text.find('-');
+  if (dash == std::string::npos) {
+    range.lo = range.hi = parse_id(text);
+  } else {
+    range.lo = parse_id(text.substr(0, dash));
+    range.hi = parse_id(text.substr(dash + 1));
+  }
+  if (range.lo > range.hi) {
+    throw std::invalid_argument(context + ": inverted range '" + text + "'");
+  }
+  return range;
+}
+
+NetworkConditions NetworkConditions::parse(const std::string& spec) {
+  NetworkConditions out;
+  out.spec_ = spec;
+  if (spec.empty()) return out;
+
+  bool saw_wan = false;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const auto semi = spec.find(';', begin);
+    const std::string clause_text =
+        spec.substr(begin, semi == std::string::npos ? std::string::npos
+                                                     : semi - begin);
+    if (clause_text.empty()) {
+      throw std::invalid_argument("network spec: empty clause in '" + spec +
+                                  "'");
+    }
+    util::ParsedSpec clause = util::parse_spec(clause_text, "network spec");
+    const util::SpecOptions& opt = clause.options;
+    if (clause.name == "wan") {
+      if (saw_wan) {
+        throw std::invalid_argument("network spec: duplicate 'wan' clause");
+      }
+      saw_wan = true;
+      out.latency_ = opt.get_duration("latency", Duration{0});
+      out.jitter_ = opt.get_duration("jitter", Duration{0});
+    } else if (clause.name == "hetero") {
+      if (out.hetero_) {
+        throw std::invalid_argument(
+            "network spec: duplicate 'hetero' clause");
+      }
+      Hetero hetero;
+      hetero.slow_links = range_option(opt, "slow_links", "hetero");
+      hetero.factor = opt.get_double("factor", hetero.factor);
+      if (hetero.factor < 1.0) {
+        throw std::invalid_argument(
+            "network spec: hetero factor must be >= 1");
+      }
+      out.hetero_ = hetero;
+    } else if (clause.name == "straggler") {
+      if (out.straggler_) {
+        throw std::invalid_argument(
+            "network spec: duplicate 'straggler' clause");
+      }
+      Straggler straggler;
+      straggler.nodes = range_option(opt, "nodes", "straggler");
+      straggler.lag = opt.get_duration("lag", Duration{50'000});
+      straggler.from_iter = opt.get_size("from_iter", 0);
+      straggler.len = opt.get_size("len", 0);
+      out.straggler_ = straggler;
+    } else if (clause.name == "partition") {
+      if (out.partition_) {
+        throw std::invalid_argument(
+            "network spec: duplicate 'partition' clause");
+      }
+      Partition partition;
+      partition.a = range_option(opt, "a", "partition");
+      partition.b = range_option(opt, "b", "partition");
+      partition.from_iter = opt.get_size("from_iter", 0);
+      partition.len = opt.get_size("len", 0);
+      partition.lag = opt.get_duration("lag", partition.lag);
+      if (partition.a.hi >= partition.b.lo && partition.b.hi >= partition.a.lo) {
+        throw std::invalid_argument(
+            "network spec: partition groups overlap");
+      }
+      out.partition_ = partition;
+    } else {
+      throw std::invalid_argument("network spec: unknown clause '" +
+                                  clause.name + "' in '" + spec + "'");
+    }
+    const std::vector<std::string> stray = opt.unconsumed();
+    if (!stray.empty()) {
+      throw std::invalid_argument("network spec: clause '" + clause.name +
+                                  "' has unknown option '" + stray.front() +
+                                  "'");
+    }
+    if (semi == std::string::npos) break;
+    begin = semi + 1;
+  }
+  return out;
+}
+
+void NetworkConditions::validate(std::size_t nodes) const {
+  const auto check = [&](const NodeRange& range, const char* what) {
+    if (range.hi >= nodes) {
+      throw std::invalid_argument(
+          "network spec: " + std::string(what) + " references node " +
+          std::to_string(range.hi) + " but the deployment has only " +
+          std::to_string(nodes) + " nodes");
+    }
+  };
+  if (hetero_) check(hetero_->slow_links, "hetero slow_links");
+  if (straggler_) check(straggler_->nodes, "straggler nodes");
+  if (partition_) {
+    check(partition_->a, "partition group a");
+    check(partition_->b, "partition group b");
+  }
+}
+
+bool NetworkConditions::straggler_window_active(
+    std::uint64_t iteration) const {
+  return straggler_ &&
+         window_active(straggler_->from_iter, straggler_->len, iteration);
+}
+
+bool NetworkConditions::partition_window_active(
+    std::uint64_t iteration) const {
+  return partition_ &&
+         window_active(partition_->from_iter, partition_->len, iteration);
+}
+
+bool NetworkConditions::partitioned(std::size_t x, std::size_t y,
+                                    std::uint64_t iteration) const {
+  if (!partition_window_active(iteration)) return false;
+  const Partition& p = *partition_;
+  return (p.a.contains(x) && p.b.contains(y)) ||
+         (p.b.contains(x) && p.a.contains(y));
+}
+
+std::size_t NetworkConditions::count_slow(std::size_t lo,
+                                          std::size_t hi) const {
+  return hetero_ ? hetero_->slow_links.count_in(lo, hi) : 0;
+}
+
+std::size_t NetworkConditions::count_straggling(
+    std::size_t lo, std::size_t hi, std::uint64_t iteration) const {
+  if (!straggler_window_active(iteration)) return 0;
+  return straggler_->nodes.count_in(lo, hi);
+}
+
+std::size_t NetworkConditions::count_cross(std::size_t from, std::size_t lo,
+                                           std::size_t hi,
+                                           std::uint64_t iteration) const {
+  if (!partition_window_active(iteration)) return 0;
+  const Partition& p = *partition_;
+  // A node in neither group sees both sides; only membership cuts.
+  if (p.a.contains(from)) return p.b.count_in(lo, hi);
+  if (p.b.contains(from)) return p.a.count_in(lo, hi);
+  return 0;
+}
+
+NetworkConditions::Duration NetworkConditions::jitter_for(
+    std::size_t from, std::size_t to, const std::string& method,
+    std::uint64_t iteration, std::uint64_t seed) const {
+  if (jitter_.count() <= 0) return Duration{0};
+  // FNV-1a over the method bytes: std::hash<std::string> is
+  // implementation-defined, which would make "deterministic" jitter vary
+  // across standard libraries.
+  std::uint64_t method_hash = 0xcbf29ce484222325ULL;
+  for (const char c : method) {
+    method_hash =
+        (method_hash ^ std::uint64_t(std::uint8_t(c))) * 0x100000001b3ULL;
+  }
+  std::uint64_t h = splitmix(seed);
+  h = splitmix(h ^ (std::uint64_t(from) << 32) ^ std::uint64_t(to));
+  h = splitmix(h ^ method_hash);
+  h = splitmix(h ^ iteration);
+  // 53 mantissa bits -> uniform in [0, 1).
+  const double u = double(h >> 11) * 0x1.0p-53;
+  return Duration{std::int64_t(u * double(jitter_.count()))};
+}
+
+NetworkConditions::Duration NetworkConditions::delay(
+    std::size_t from, std::size_t to, const std::string& method,
+    std::uint64_t iteration, std::uint64_t seed,
+    std::optional<std::uint64_t> window_iteration) const {
+  const std::uint64_t window = window_iteration.value_or(iteration);
+  std::int64_t us =
+      latency_.count() + jitter_for(from, to, method, iteration, seed).count();
+  if (hetero_ && (is_slow(from) || is_slow(to))) {
+    us = std::int64_t(double(us) * hetero_->factor);
+  }
+  // The *serving* node straggles: every reply it crafts leaves late —
+  // the live twin of a per-callee service delay.
+  if (is_straggling(to, window)) us += straggler_->lag.count();
+  if (partitioned(from, to, window)) us += partition_->lag.count();
+  return Duration{us};
+}
+
+}  // namespace garfield::net

@@ -1,0 +1,206 @@
+// NetworkConditions — the single spec-driven description of everything the
+// network does to a deployment, shared by BOTH execution planes (see
+// ROADMAP "Deployment-sim scenarios"):
+//
+//  - the live in-process Cluster resolves every edge's delivery delay from
+//    it (per-edge latency + deterministic hash jitter + heterogeneous slow
+//    links + iteration-scheduled straggler lag + partition windows), and
+//  - the analytic simulator (sim/deployment_sim.h) derives its
+//    communication/wait terms from the *same parsed object*,
+//
+// so one spec string can be written once and cross-validated against both
+// planes (tests/netcond_crossval_test.cpp).
+//
+// Spec grammar (util/spec.h clauses joined with ';'):
+//
+//   conditions := clause (";" clause)*            |  "" (ideal network)
+//   clause     := name [ ":" key "=" value ("," key "=" value)* ]
+//
+// Clauses (each may appear at most once):
+//
+//   wan:latency=5ms,jitter=2ms
+//       Base per-message latency plus a deterministic per-edge jitter in
+//       [0, jitter) hashed from (seed, from, to, method, iteration).
+//   hetero:slow_links=0-3,factor=10
+//       Heterogeneous links: any edge touching a node in `slow_links` is
+//       `factor` x slower (latency and jitter scale; the analytic plane
+//       additionally derates the edge's bandwidth — cost_model's degraded
+//       link class).
+//   straggler:nodes=2,lag=50ms,from_iter=100,len=0
+//       Iteration-scheduled straggler phase: replies *served by* nodes in
+//       `nodes` are delayed by `lag` while the window
+//       [from_iter, from_iter+len) is active (len=0 => open-ended).
+//   partition:a=0-2,b=3-8,from_iter=50,len=20,lag=10ms
+//       Partial synchrony: while the window is active, messages crossing
+//       the a|b cut are DELAYED by `lag` — never dropped — modelling the
+//       pre-GST regime where delivery is guaranteed but unbounded-ish.
+//       Nodes in neither group are reachable from both sides.
+//
+// Durations accept us/ms/s suffixes (bare integers are microseconds) and
+// reject negative or malformed values at parse time. Node sets are single
+// ids ("2") or inclusive ranges ("0-3"). Unknown clauses and unknown or
+// unconsumed options are hard errors — a typo'd scenario must fail at
+// DeploymentConfig::validate(), never run silently ideal.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace garfield::net {
+
+/// Inclusive id range [lo, hi] parsed from "2" or "0-3".
+struct NodeRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+
+  [[nodiscard]] bool contains(std::size_t node) const {
+    return node >= lo && node <= hi;
+  }
+  [[nodiscard]] std::size_t size() const { return hi - lo + 1; }
+  /// Members of this range that fall inside the half-open id span
+  /// [span_lo, span_hi) — the sim plane's per-cohort counting primitive.
+  [[nodiscard]] std::size_t count_in(std::size_t span_lo,
+                                     std::size_t span_hi) const;
+};
+
+/// Parse "2" or "0-3" (inclusive, lo <= hi); throws std::invalid_argument
+/// on malformed input. `context` prefixes error messages.
+[[nodiscard]] NodeRange parse_node_range(const std::string& text,
+                                         const std::string& context);
+
+class NetworkConditions {
+ public:
+  using Duration = std::chrono::microseconds;
+
+  struct Hetero {
+    NodeRange slow_links;
+    double factor = 10.0;  ///< >= 1
+  };
+  struct Straggler {
+    NodeRange nodes;
+    Duration lag{0};
+    std::uint64_t from_iter = 0;
+    std::uint64_t len = 0;  ///< 0 => open-ended
+  };
+  struct Partition {
+    NodeRange a;
+    NodeRange b;
+    std::uint64_t from_iter = 0;
+    std::uint64_t len = 0;  ///< 0 => open-ended (no GST)
+    Duration lag{10'000};   ///< cross-cut delivery delay while active
+  };
+
+  NetworkConditions() = default;
+
+  /// Parse a conditions spec ("" => ideal network). Throws
+  /// std::invalid_argument on grammar violations, unknown clauses/options,
+  /// negative or malformed durations, and inverted ranges.
+  [[nodiscard]] static NetworkConditions parse(const std::string& spec);
+
+  /// Structural validation against a concrete cluster size: every node
+  /// reference must fall inside [0, nodes) and the partition groups must be
+  /// disjoint. Throws std::invalid_argument naming the offending clause.
+  void validate(std::size_t nodes) const;
+
+  /// The spec string this object was parsed from ("" for defaults).
+  [[nodiscard]] const std::string& spec() const { return spec_; }
+
+  [[nodiscard]] bool ideal() const {
+    return latency_.count() == 0 && jitter_.count() == 0 && !hetero_ &&
+           !straggler_ && !partition_;
+  }
+
+  // ----------------------------------------------------- live-plane queries
+
+  /// Full delivery delay of one message on the live plane: scaled base
+  /// latency + deterministic per-edge hash jitter + straggler lag at the
+  /// serving callee + partition lag across the cut. Pure in its arguments —
+  /// two runs of the same scenario see identical simulated latencies.
+  /// `iteration` keys the jitter hash (for gossip it is the round tag, so
+  /// every round draws fresh jitter); `window_iteration` drives the
+  /// straggler/partition schedules and defaults to `iteration` — pass the
+  /// true training iteration when the method tag encodes more than it
+  /// (the decentralized contraction gossip).
+  [[nodiscard]] Duration delay(
+      std::size_t from, std::size_t to, const std::string& method,
+      std::uint64_t iteration, std::uint64_t seed,
+      std::optional<std::uint64_t> window_iteration = std::nullopt) const;
+
+  /// The jitter component alone (hash of (seed, from, to, method,
+  /// iteration) mapped to [0, jitter), before heterogeneous scaling).
+  [[nodiscard]] Duration jitter_for(std::size_t from, std::size_t to,
+                                    const std::string& method,
+                                    std::uint64_t iteration,
+                                    std::uint64_t seed) const;
+
+  // ---------------------------------------------- plane-agnostic predicates
+
+  [[nodiscard]] bool is_slow(std::size_t node) const {
+    return hetero_ && hetero_->slow_links.contains(node);
+  }
+  [[nodiscard]] bool straggler_window_active(std::uint64_t iteration) const;
+  [[nodiscard]] bool is_straggling(std::size_t node,
+                                   std::uint64_t iteration) const {
+    return straggler_ && straggler_window_active(iteration) &&
+           straggler_->nodes.contains(node);
+  }
+  [[nodiscard]] bool partition_window_active(std::uint64_t iteration) const;
+  /// True when `x` and `y` sit on opposite sides of an active cut.
+  [[nodiscard]] bool partitioned(std::size_t x, std::size_t y,
+                                 std::uint64_t iteration) const;
+
+  // ------------------------------------------------------ sim-plane queries
+  // The analytic plane reasons over id spans (servers [0, nps), workers
+  // [nps, nps+nw), decentralized peers [0, n)) rather than edges.
+
+  /// Slow nodes inside [lo, hi).
+  [[nodiscard]] std::size_t count_slow(std::size_t lo, std::size_t hi) const;
+  /// Nodes inside [lo, hi) straggling at `iteration`.
+  [[nodiscard]] std::size_t count_straggling(std::size_t lo, std::size_t hi,
+                                             std::uint64_t iteration) const;
+  /// Nodes inside [lo, hi) cut off from `from` at `iteration`.
+  [[nodiscard]] std::size_t count_cross(std::size_t from, std::size_t lo,
+                                        std::size_t hi,
+                                        std::uint64_t iteration) const;
+
+  [[nodiscard]] double latency_seconds() const {
+    return double(latency_.count()) * 1e-6;
+  }
+  [[nodiscard]] double jitter_seconds() const {
+    return double(jitter_.count()) * 1e-6;
+  }
+  [[nodiscard]] double straggler_lag_seconds() const {
+    return straggler_ ? double(straggler_->lag.count()) * 1e-6 : 0.0;
+  }
+  [[nodiscard]] double partition_lag_seconds() const {
+    return partition_ ? double(partition_->lag.count()) * 1e-6 : 0.0;
+  }
+  [[nodiscard]] double slow_factor() const {
+    return hetero_ ? hetero_->factor : 1.0;
+  }
+
+  [[nodiscard]] Duration latency() const { return latency_; }
+  [[nodiscard]] Duration jitter() const { return jitter_; }
+  [[nodiscard]] const std::optional<Hetero>& hetero() const {
+    return hetero_;
+  }
+  [[nodiscard]] const std::optional<Straggler>& straggler() const {
+    return straggler_;
+  }
+  [[nodiscard]] const std::optional<Partition>& partition() const {
+    return partition_;
+  }
+
+ private:
+  std::string spec_;
+  Duration latency_{0};
+  Duration jitter_{0};
+  std::optional<Hetero> hetero_;
+  std::optional<Straggler> straggler_;
+  std::optional<Partition> partition_;
+};
+
+}  // namespace garfield::net

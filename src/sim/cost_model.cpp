@@ -41,6 +41,14 @@ LinkProfile cpu_link() { return LinkProfile{312.5e6, 100e-6}; }
 
 LinkProfile gpu_link() { return LinkProfile{1.25e9, 50e-6}; }
 
+LinkProfile degraded(const LinkProfile& base, double factor) {
+  if (factor < 1.0) {
+    throw std::invalid_argument("degraded: factor must be >= 1");
+  }
+  return LinkProfile{base.bandwidth_floats / factor,
+                     base.latency * factor};
+}
+
 double binomial(std::size_t n, std::size_t k) {
   if (k > n) return 0.0;
   k = std::min(k, n - k);

@@ -52,6 +52,12 @@ struct LinkProfile {
 /// ~4x effective transfer rate over the plain gRPC path (§4.2).
 [[nodiscard]] LinkProfile gpu_link();
 
+/// The slow edge class of a heterogeneous deployment
+/// (net/conditions.h "hetero:slow_links=...,factor=F"): `factor` x the
+/// latency at 1/factor the bandwidth of the base class. Both planes agree
+/// on the factor; only the analytic plane needs the derated bandwidth.
+[[nodiscard]] LinkProfile degraded(const LinkProfile& base, double factor);
+
 /// C(n, k) saturating at a large cap (MDA's exponential term).
 [[nodiscard]] double binomial(std::size_t n, std::size_t k);
 

@@ -23,24 +23,61 @@ namespace {
 /// cores (§4.1: "we parallelize the replicated communication").
 constexpr double kSerParallelism = 8.0;
 
+/// What the parsed NetworkConditions do to one pull stage (see header).
+struct StageNet {
+  double link_factor = 1.0;  ///< slowest edge class the quorum must cross
+  double wait = 0.0;         ///< unavoidable straggler/partition/jitter lag
+};
+
+/// Resolve a pull by node `from` over candidate responders [lo, hi)
+/// awaiting the fastest q replies. A degraded responder only costs the
+/// stage when the quorum cannot be met without it — fastest-q dodges slow
+/// links, stragglers and cut-off peers as long as enough healthy
+/// responders remain.
+StageNet resolve_pull(const SimSetup& s, std::size_t from, std::size_t lo,
+                      std::size_t hi, std::size_t q) {
+  const net::NetworkConditions& c = s.conditions;
+  StageNet net;
+  std::size_t avail = hi - lo;
+  std::size_t slow = c.count_slow(lo, hi);
+  std::size_t straggling = c.count_straggling(lo, hi, s.iteration);
+  std::size_t cross = c.count_cross(from, lo, hi, s.iteration);
+  if (from >= lo && from < hi) {  // peer pulls never await the puller
+    avail -= 1;
+    if (c.is_slow(from)) slow -= 1;
+    if (c.is_straggling(from, s.iteration)) straggling -= 1;
+  }
+  // A slow puller degrades every edge it uses, regardless of who answers.
+  if (c.is_slow(from)) slow = avail;
+  q = std::min(q, avail);
+  if (q + slow > avail) net.link_factor = c.slow_factor();
+  if (q + straggling > avail) net.wait += c.straggler_lag_seconds();
+  if (q + cross > avail) net.wait += c.partition_lag_seconds();
+  // Expected tail of the q-th fastest of `avail` jittered replies: the
+  // q-th order statistic of U[0, J) draws.
+  if (avail > 0) {
+    net.wait += c.jitter_seconds() * double(q) / double(avail + 1);
+  }
+  return net;
+}
+
 /// One communication stage (see header for the stage model).
 /// nic_floats: the largest per-node send-or-receive volume of the stage.
 /// ser_floats: floats (de)serialized at the busiest node, already divided
 ///             by kSerParallelism where calls are concurrent.
 /// total_floats: volume crossing the switch fabric.
 double stage_time(const SimSetup& s, double nic_floats, double ser_floats,
-                  double total_floats) {
-  double t = s.link.latency + nic_floats / s.link.bandwidth_floats +
-             total_floats / (s.fabric_links * s.link.bandwidth_floats);
+                  double total_floats, const StageNet& net = StageNet{}) {
+  LinkProfile edge{s.link.bandwidth_floats,
+                   s.link.latency + s.conditions.latency_seconds()};
+  if (net.link_factor > 1.0) edge = degraded(edge, net.link_factor);
+  double t = edge.latency + nic_floats / edge.bandwidth_floats +
+             total_floats / (s.fabric_links * s.link.bandwidth_floats) +
+             net.wait;
   if (!s.native_runtime) {
     t += ser_floats / s.device.serialize_rate + s.device.rpc_overhead;
   }
   return t;
-}
-
-/// Extra wait for the q-th fastest of n replies under straggler jitter.
-double straggler_wait(const SimSetup& s, double compute, std::size_t q) {
-  return s.straggler_sigma * compute * std::log(1.0 + double(q));
 }
 
 /// Gradient quorum actually awaited.
@@ -53,6 +90,11 @@ IterationBreakdown simulate_parameter_server(const SimSetup& s) {
   const double nw = double(s.nw);
   IterationBreakdown b;
 
+  // Reporting server 0 pulls over the worker id span [nps, nps + nw) —
+  // the same node layout the live trainer builds.
+  const std::size_t q = gradient_quorum(s);
+  const StageNet worker_net = resolve_pull(s, 0, s.nps, s.nps + s.nw, q);
+
   // Servers pulling gradients this iteration (they attach their model).
   double pulling_servers = 1.0;
   if (s.deployment == SimDeployment::kCrashTolerant ||
@@ -63,28 +105,31 @@ IterationBreakdown simulate_parameter_server(const SimSetup& s) {
   // Stage A: model distribution. Vanilla/SSMW/crash: workers learn the
   // model from one (primary) server; MSMW: every replica sends its own.
   // The sender serializes the model once and reuses the buffer for every
-  // destination; receivers deserialize model_senders copies each.
+  // destination; receivers deserialize model_senders copies each. The
+  // quorum's workers must receive the model, so the stage rides the same
+  // degraded edges as the gradient pull (without double-counting the
+  // quorum waits — those bind once, at collection).
   const double model_senders =
       s.deployment == SimDeployment::kMsmw ? double(s.nps) : 1.0;
   b.communication += stage_time(
       s, std::max(nw * dd, model_senders * dd),  // server out vs worker in
       (1.0 + model_senders) * dd,
-      model_senders * nw * dd);
+      model_senders * nw * dd,
+      StageNet{worker_net.link_factor, 0.0});
 
-  // Stage B: gradient computation, plus waiting for the quorum's tail.
+  // Stage B: gradient computation at every worker in parallel.
   const double compute = s.device.iteration_overhead +
       dd * double(s.batch_size) / s.device.compute_rate;
   b.computation += compute;
-  const std::size_t q = gradient_quorum(s);
-  b.communication += straggler_wait(s, compute, q);
 
   // Stage C: gradient collection. Every pulling server receives q
   // gradients (deserialized on parallel RPC threads); every worker
-  // serializes once and uploads to every pulling server.
+  // serializes once and uploads to every pulling server. Straggler lag,
+  // partition lag and the jitter tail the quorum cannot dodge bind here.
   b.communication += stage_time(
       s, std::max(double(q) * dd, pulling_servers * dd),
       dd + double(q) * dd / kSerParallelism,
-      pulling_servers * double(q) * dd);
+      pulling_servers * double(q) * dd, worker_net);
 
   // Stage D: aggregation of gradients.
   const std::string grad_gar =
@@ -100,13 +145,16 @@ IterationBreakdown simulate_parameter_server(const SimSetup& s) {
     b.aggregation += agg;
   }
 
-  // Stage E (MSMW only): model exchange among replicas + model GAR.
+  // Stage E (MSMW only): model exchange among replicas + model GAR. The
+  // reporting replica pulls q_models - 1 peer states over the server span.
   if (s.deployment == SimDeployment::kMsmw) {
     const double peers = double(s.nps - 1);
+    const std::size_t q_models = s.asynchronous ? s.nps - s.fps : s.nps;
+    const StageNet server_net =
+        resolve_pull(s, 0, 0, s.nps, q_models > 0 ? q_models - 1 : 0);
     b.communication += stage_time(s, peers * dd,
                                   dd + peers * dd / kSerParallelism,
-                                  double(s.nps) * peers * dd);
-    const std::size_t q_models = s.asynchronous ? s.nps - s.fps : s.nps;
+                                  double(s.nps) * peers * dd, server_net);
     b.aggregation += gar_time(s.model_gar, q_models, s.fps, s.d, s.device);
   }
   return b;
@@ -119,30 +167,33 @@ IterationBreakdown simulate_decentralized(const SimSetup& s) {
   const std::size_t q = s.nw - s.fw;
   IterationBreakdown b;
 
+  // Every exchange round is a fastest-q pull by the reporting peer over
+  // the whole peer span [0, nw).
+  const StageNet peer_net = resolve_pull(s, 0, 0, s.nw, q);
+
   // Gradient computation happens at every peer in parallel.
   const double compute = s.device.iteration_overhead +
       dd * double(s.batch_size) / s.device.compute_rate;
   b.computation += compute;
-  b.communication += straggler_wait(s, compute, q);
 
   // All-to-all gradient exchange: every peer sends to and receives from all
   // others — O(n^2) messages per round, the scalability killer of Fig 9a.
   const double all_to_all_total = n * peers * dd;
   const double all_to_all_ser = dd + peers * dd / kSerParallelism;
   b.communication +=
-      stage_time(s, peers * dd, all_to_all_ser, all_to_all_total);
+      stage_time(s, peers * dd, all_to_all_ser, all_to_all_total, peer_net);
   b.aggregation += gar_time(s.gradient_gar, q, s.fw, s.d, s.device);
 
   // Non-iid contraction rounds: gossip the aggregated gradients again.
   for (std::size_t r = 0; r < s.contraction_steps; ++r) {
-    b.communication +=
-        stage_time(s, peers * dd, all_to_all_ser, all_to_all_total);
+    b.communication += stage_time(s, peers * dd, all_to_all_ser,
+                                  all_to_all_total, peer_net);
     b.aggregation += gar_time(s.gradient_gar, q, s.fw, s.d, s.device);
   }
 
   // All-to-all model exchange + model aggregation.
   b.communication +=
-      stage_time(s, peers * dd, all_to_all_ser, all_to_all_total);
+      stage_time(s, peers * dd, all_to_all_ser, all_to_all_total, peer_net);
   b.aggregation += gar_time(s.model_gar, q, s.fw, s.d, s.device);
   return b;
 }

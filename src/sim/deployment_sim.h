@@ -3,8 +3,9 @@
 // simulate_iteration() walks the stages of one training iteration of each
 // §5 application on the modelled cluster and returns the same breakdown
 // the paper measures (Fig 7/16): computation, communication (transfer +
-// serialization + RPC overhead + straggler waits) and robust aggregation.
-// Throughput figures (Fig 6, 8, 9, 10, 13, 14, 15) are derived from it.
+// serialization + RPC overhead + straggler/partition waits) and robust
+// aggregation. Throughput figures (Fig 6, 8, 9, 10, 13, 14, 15) are
+// derived from it.
 //
 // Stage model: every communication stage costs
 //     latency + max-per-node-NIC-floats / link-bandwidth
@@ -13,10 +14,26 @@
 // The fabric term models switch contention: parameter-server traffic is
 // O(n) per iteration, decentralized traffic is O(n^2) — which is exactly
 // why decentralized learning does not scale (Fig 9a).
+//
+// Network conditions: the same net::NetworkConditions spec that drives the
+// live cluster drives this plane (the cross-validation contract). Per pull
+// stage the model resolves, from the parsed spec, whether the awaited
+// quorum can dodge the degraded responders:
+//  - heterogeneous slow links force the stage onto the degraded edge class
+//    (cost_model's degraded()) whenever q exceeds the fast responders;
+//  - an active straggler phase adds its full lag whenever q cannot be met
+//    without a straggling responder — which is exactly why an asynchronous
+//    n-f quorum rides out stragglers a synchronous deployment waits on;
+//  - an active partition window adds its delivery lag whenever q cannot be
+//    met on the puller's side of the cut (messages are delayed, not
+//    dropped — the pre-GST partial-synchrony regime);
+//  - jitter contributes the expected tail of the q-th fastest reply.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
+#include "net/conditions.h"
 #include "sim/cost_model.h"
 #include "sim/model_spec.h"
 
@@ -53,11 +70,19 @@ struct SimSetup {
   bool pipelined = false;
   /// Decentralized contraction rounds per iteration (non-iid data).
   std::size_t contraction_steps = 0;
-  /// Relative straggler tail: waiting for the q-th of n replies costs
-  /// an extra straggler_sigma * compute * log(1+q).
-  double straggler_sigma = 0.04;
   /// Switch-fabric capacity in units of link bandwidth.
   double fabric_links = 8.0;
+  /// Network conditions shared verbatim with the live plane
+  /// (net/conditions.h spec grammar). Node ids follow the live trainer's
+  /// layout: parameter-server deployments place servers at [0, nps) and
+  /// workers at [nps, nps + nw); decentralized deployments place peers at
+  /// [0, nw). `link` is the fast edge class; a hetero clause derives the
+  /// slow class via degraded(link, factor).
+  net::NetworkConditions conditions{};
+  /// Iteration the breakdown is computed for — straggler phases and
+  /// partition windows are iteration-scheduled, so the breakdown is a
+  /// function of *when* you look.
+  std::uint64_t iteration = 0;
 };
 
 struct IterationBreakdown {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 namespace garfield::util {
@@ -73,6 +74,46 @@ std::string SpecOptions::get_string(const std::string& key,
                                 "' expects a non-empty value");
   }
   return it->second.value;
+}
+
+std::chrono::microseconds SpecOptions::get_duration(
+    const std::string& key, std::chrono::microseconds fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  it->second.consumed = true;
+  const std::string& raw = it->second.value;
+  bool ok = !raw.empty() && std::isdigit(static_cast<unsigned char>(raw[0]));
+  unsigned long long value = 0;
+  std::string unit;
+  if (ok) {
+    try {
+      std::size_t pos = 0;
+      value = std::stoull(raw, &pos);
+      unit = raw.substr(pos);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+  }
+  unsigned long long scale = 1;  // bare integers are microseconds
+  if (unit == "ms") {
+    scale = 1000;
+  } else if (unit == "s") {
+    scale = 1'000'000;
+  } else if (!unit.empty() && unit != "us") {
+    ok = false;
+  }
+  // Guard the us conversion against overflow into a negative delay.
+  if (ok && value > 0 &&
+      value > std::uint64_t(INT64_MAX) / scale) {
+    ok = false;
+  }
+  if (!ok) {
+    throw std::invalid_argument(
+        "spec: option '" + key +
+        "' expects a non-negative duration (e.g. 50us, 5ms, 2s), got '" +
+        raw + "'");
+  }
+  return std::chrono::microseconds(std::int64_t(value * scale));
 }
 
 std::vector<std::string> SpecOptions::unconsumed() const {

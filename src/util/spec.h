@@ -18,6 +18,7 @@
 // instead of a silently ignored knob.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <map>
 #include <string>
@@ -53,6 +54,12 @@ class SpecOptions {
   /// Raw string option; `fallback` when absent.
   [[nodiscard]] std::string get_string(const std::string& key,
                                        std::string fallback) const;
+  /// Duration option: a non-negative integer with an optional unit suffix
+  /// ("50us", "5ms", "2s"; bare integers are microseconds). Negative,
+  /// fractional or otherwise malformed values throw — a nonsense duration
+  /// must fail at parse/validate time, never run as a wrapped huge delay.
+  [[nodiscard]] std::chrono::microseconds get_duration(
+      const std::string& key, std::chrono::microseconds fallback) const;
 
   /// Keys never read by any getter since parsing (drift guard).
   [[nodiscard]] std::vector<std::string> unconsumed() const;

@@ -302,11 +302,50 @@ TEST(AttackSpecRoundTrip, DecentralizedServerOnlyPlanIsActuallyMounted) {
   // (<= 2ms per redelivery): step-tagged model pulls resolve at
   // publication time + backoff, and with small jitter that quantization
   // would park the last-scheduled peer behind the cut every iteration.
-  cfg.jitter = std::chrono::milliseconds(8);
+  cfg.network = "wan:jitter=8ms";
   ASSERT_NO_THROW(cfg.validate());
   const gc::TrainResult result = gc::train(cfg);
   EXPECT_GT(result.rejected_payloads, 0u)
       << "server-only attack plan was never mounted";
+}
+
+TEST(AttackRegistry, AdaptiveZProbesTheDeploymentsActualGar) {
+  // Default probe is "deployment": the adversary tunes itself against the
+  // GAR the deployment's config actually declares for its cohort
+  // (AttackContext::gar, wired from gradient_gar/model_gar by the trainer)
+  // instead of a separately configured guess.
+  gt::Rng rng(11);
+  const ga::AttackPtr attack = ga::make_attack("adaptive_z");
+  auto* adaptive = dynamic_cast<ga::AdaptiveZAttack*>(attack.get());
+  ASSERT_NE(adaptive, nullptr);
+  gt::Rng cloud_rng(5);
+  std::vector<FlatVector> view(8, FlatVector(16));
+  for (FlatVector& v : view) {
+    for (float& x : v) x = 1.0F + cloud_rng.normal(0.0F, 0.2F);
+  }
+  const FlatVector honest = view.front();
+  ga::AttackContext ctx(rng);
+  ctx.n = 9;
+  ctx.f = 1;
+  ctx.honest = view;
+  ctx.gar = "median";
+  ASSERT_TRUE(attack->craft(honest, ctx).has_value());
+  EXPECT_EQ(adaptive->last_probe(), "median");
+  // A different deployment GAR retargets the probe on the next craft...
+  ctx.gar = "multi_krum";
+  ASSERT_TRUE(attack->craft(honest, ctx).has_value());
+  EXPECT_EQ(adaptive->last_probe(), "multi_krum");
+  // ...a config-less context falls back to the classic krum probe...
+  ctx.gar.clear();
+  ASSERT_TRUE(attack->craft(honest, ctx).has_value());
+  EXPECT_EQ(adaptive->last_probe(), "krum");
+  // ...and an explicitly pinned probe ignores the deployment's GAR.
+  const ga::AttackPtr pinned = ga::make_attack("adaptive_z:probe=median");
+  auto* pinned_z = dynamic_cast<ga::AdaptiveZAttack*>(pinned.get());
+  ASSERT_NE(pinned_z, nullptr);
+  ctx.gar = "multi_krum";
+  ASSERT_TRUE(pinned->craft(honest, ctx).has_value());
+  EXPECT_EQ(pinned_z->last_probe(), "median");
 }
 
 // --------------------------------------------------------------- extension

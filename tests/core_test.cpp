@@ -243,11 +243,11 @@ TEST(ServerWorker, AggrGradGossip) {
   gc::Server s1(1, cluster, garfield::nn::make_model("tiny_mlp", r2), {}, {},
                 {0});
   // Before publication: no reply, collect returns empty.
-  auto none = s0.get_aggr_grads(0, 1);
+  auto none = s0.get_aggr_grads(0, 1, 0);
   EXPECT_TRUE(none.empty());
   gn::Payload grad(s1.dimension(), 2.5F);
   s1.set_latest_aggr_grad(grad);
-  auto got = s0.get_aggr_grads(0, 1);
+  auto got = s0.get_aggr_grads(0, 1, 0);
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0], grad);
 }
@@ -268,7 +268,7 @@ TEST(ServerWorker, IngressValidationRejectsMalformedPayloads) {
   gn::Payload poisoned(s2.dimension(), 1.0F);
   poisoned[3] = std::numeric_limits<float>::quiet_NaN();
   s2.set_latest_aggr_grad(poisoned);
-  auto got = s0.get_aggr_grads(0, 2);
+  auto got = s0.get_aggr_grads(0, 2, 0);
   EXPECT_TRUE(got.empty());
   EXPECT_EQ(s0.rejected_payloads(), 2u);
 }

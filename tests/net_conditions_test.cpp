@@ -1,0 +1,231 @@
+// NetworkConditions unit suite: spec grammar (clauses, durations, node
+// ranges), config-time validation, and per-edge delay resolution — the
+// live half of the one-spec-two-planes contract that
+// netcond_crossval_test.cpp checks end to end.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/config.h"
+#include "core/controller.h"
+#include "net/cluster.h"
+#include "net/conditions.h"
+#include "util/spec.h"
+
+namespace gn = garfield::net;
+namespace gc = garfield::core;
+namespace gu = garfield::util;
+using Duration = gn::NetworkConditions::Duration;
+
+// ------------------------------------------------------------- durations
+
+TEST(SpecDuration, ParsesUnitsAndDefaultsToMicroseconds) {
+  gu::SpecOptions opts;
+  opts.set("a", "50us");
+  opts.set("b", "5ms");
+  opts.set("c", "2s");
+  opts.set("d", "250");
+  EXPECT_EQ(opts.get_duration("a", Duration{0}), Duration{50});
+  EXPECT_EQ(opts.get_duration("b", Duration{0}), Duration{5000});
+  EXPECT_EQ(opts.get_duration("c", Duration{0}), Duration{2'000'000});
+  EXPECT_EQ(opts.get_duration("d", Duration{0}), Duration{250});
+  EXPECT_EQ(opts.get_duration("absent", Duration{7}), Duration{7});
+}
+
+TEST(SpecDuration, RejectsNegativeAndNonsense) {
+  for (const char* bad : {"-5ms", "5m", "ms", "1.5ms", "5 ms", "", "nan"}) {
+    gu::SpecOptions opts;
+    opts.set("lag", bad);
+    EXPECT_THROW((void)opts.get_duration("lag", Duration{0}),
+                 std::invalid_argument)
+        << "accepted '" << bad << "'";
+  }
+}
+
+// ------------------------------------------------------------ node ranges
+
+TEST(NodeRange, ParsesSinglesAndRanges) {
+  const gn::NodeRange single = gn::parse_node_range("2", "test");
+  EXPECT_EQ(single.lo, 2u);
+  EXPECT_EQ(single.hi, 2u);
+  EXPECT_TRUE(single.contains(2));
+  EXPECT_FALSE(single.contains(3));
+  const gn::NodeRange range = gn::parse_node_range("0-3", "test");
+  EXPECT_EQ(range.size(), 4u);
+  EXPECT_EQ(range.count_in(2, 10), 2u);  // {2, 3}
+  EXPECT_EQ(range.count_in(4, 10), 0u);
+}
+
+TEST(NodeRange, RejectsMalformedAndInverted) {
+  for (const char* bad : {"", "a", "3-1", "-1", "1-", "-", "1.5"}) {
+    EXPECT_THROW((void)gn::parse_node_range(bad, "test"),
+                 std::invalid_argument)
+        << "accepted '" << bad << "'";
+  }
+}
+
+// ---------------------------------------------------------------- grammar
+
+TEST(NetworkConditions, EmptySpecIsIdeal) {
+  const gn::NetworkConditions c = gn::NetworkConditions::parse("");
+  EXPECT_TRUE(c.ideal());
+  EXPECT_EQ(c.delay(0, 1, "m", 0, 42), Duration{0});
+}
+
+TEST(NetworkConditions, ParsesEveryClause) {
+  const gn::NetworkConditions c = gn::NetworkConditions::parse(
+      "wan:latency=5ms,jitter=2ms;"
+      "hetero:slow_links=0-3,factor=10;"
+      "straggler:nodes=2,lag=50ms,from_iter=100;"
+      "partition:a=0-2,b=3-8,from_iter=50,len=20");
+  EXPECT_FALSE(c.ideal());
+  EXPECT_EQ(c.latency(), Duration{5000});
+  EXPECT_EQ(c.jitter(), Duration{2000});
+  ASSERT_TRUE(c.hetero().has_value());
+  EXPECT_DOUBLE_EQ(c.hetero()->factor, 10.0);
+  ASSERT_TRUE(c.straggler().has_value());
+  EXPECT_EQ(c.straggler()->lag, Duration{50'000});
+  EXPECT_EQ(c.straggler()->from_iter, 100u);
+  EXPECT_EQ(c.straggler()->len, 0u);  // open-ended
+  ASSERT_TRUE(c.partition().has_value());
+  EXPECT_EQ(c.partition()->from_iter, 50u);
+  EXPECT_EQ(c.partition()->len, 20u);
+}
+
+TEST(NetworkConditions, RejectsUnknownClausesAndOptions) {
+  EXPECT_THROW((void)gn::NetworkConditions::parse("lan:latency=1ms"),
+               std::invalid_argument);
+  EXPECT_THROW((void)gn::NetworkConditions::parse("wan:latncy=1ms"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)gn::NetworkConditions::parse("straggler:nodes=1,lga=5ms"),
+      std::invalid_argument);
+  EXPECT_THROW((void)gn::NetworkConditions::parse("wan:latency=1ms;;"),
+               std::invalid_argument);
+}
+
+TEST(NetworkConditions, RejectsDuplicateClausesAndBadShapes) {
+  EXPECT_THROW(
+      (void)gn::NetworkConditions::parse("wan:latency=1ms;wan:jitter=1ms"),
+      std::invalid_argument);
+  // factor < 1, missing required ranges, overlapping partition groups.
+  EXPECT_THROW(
+      (void)gn::NetworkConditions::parse("hetero:slow_links=0,factor=0.5"),
+      std::invalid_argument);
+  EXPECT_THROW((void)gn::NetworkConditions::parse("hetero:factor=2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)gn::NetworkConditions::parse("straggler:lag=5ms"),
+               std::invalid_argument);
+  EXPECT_THROW((void)gn::NetworkConditions::parse("partition:a=0-3,b=3-6"),
+               std::invalid_argument);
+}
+
+TEST(NetworkConditions, ValidateChecksNodeReferences) {
+  const gn::NetworkConditions c =
+      gn::NetworkConditions::parse("straggler:nodes=9,lag=1ms");
+  EXPECT_NO_THROW(c.validate(10));
+  EXPECT_THROW(c.validate(9), std::invalid_argument);
+  gn::Cluster::Options opts;
+  opts.nodes = 4;
+  opts.conditions = c;
+  EXPECT_THROW(gn::Cluster cluster(opts), std::invalid_argument);
+}
+
+// --------------------------------------------------------- delay semantics
+
+TEST(NetworkConditions, HeteroScalesEdgesTouchingSlowNodes) {
+  const gn::NetworkConditions c = gn::NetworkConditions::parse(
+      "wan:latency=100us;hetero:slow_links=0-1,factor=10");
+  EXPECT_EQ(c.delay(0, 2, "m", 0, 1), Duration{1000});  // slow caller
+  EXPECT_EQ(c.delay(2, 1, "m", 0, 1), Duration{1000});  // slow callee
+  EXPECT_EQ(c.delay(2, 3, "m", 0, 1), Duration{100});   // fast edge
+}
+
+TEST(NetworkConditions, StragglerWindowDelaysTheServingNode) {
+  const gn::NetworkConditions c = gn::NetworkConditions::parse(
+      "straggler:nodes=2,lag=50ms,from_iter=100,len=10");
+  // Before the window, inside it, and after it closes.
+  EXPECT_EQ(c.delay(0, 2, "m", 99, 1), Duration{0});
+  EXPECT_EQ(c.delay(0, 2, "m", 100, 1), Duration{50'000});
+  EXPECT_EQ(c.delay(0, 2, "m", 109, 1), Duration{50'000});
+  EXPECT_EQ(c.delay(0, 2, "m", 110, 1), Duration{0});
+  // The straggler lags serving, not its own pulls.
+  EXPECT_EQ(c.delay(2, 0, "m", 100, 1), Duration{0});
+  EXPECT_TRUE(c.is_straggling(2, 105));
+  EXPECT_FALSE(c.is_straggling(1, 105));
+}
+
+TEST(NetworkConditions, PartitionDelaysOnlyCrossCutMessages) {
+  const gn::NetworkConditions c = gn::NetworkConditions::parse(
+      "partition:a=0-2,b=3-8,from_iter=50,len=20,lag=30ms");
+  // Inside the window: cross-cut pays, same-side does not, and a node in
+  // neither group reaches both sides.
+  EXPECT_EQ(c.delay(0, 5, "m", 50, 1), Duration{30'000});
+  EXPECT_EQ(c.delay(5, 0, "m", 69, 1), Duration{30'000});
+  EXPECT_EQ(c.delay(0, 1, "m", 60, 1), Duration{0});
+  EXPECT_EQ(c.delay(3, 8, "m", 60, 1), Duration{0});
+  EXPECT_EQ(c.delay(9, 0, "m", 60, 1), Duration{0});
+  EXPECT_EQ(c.delay(9, 5, "m", 60, 1), Duration{0});
+  // Outside the window the cut heals (GST): messages flow undelayed.
+  EXPECT_EQ(c.delay(0, 5, "m", 49, 1), Duration{0});
+  EXPECT_EQ(c.delay(0, 5, "m", 70, 1), Duration{0});
+  EXPECT_TRUE(c.partitioned(0, 5, 60));
+  EXPECT_FALSE(c.partitioned(0, 1, 60));
+}
+
+TEST(NetworkConditions, WindowIterationOverridesTheScheduleKey) {
+  // The decentralized contraction gossip tags calls with
+  // it * rounds + round, which races ahead of the training iteration;
+  // delay() keys its straggler/partition schedules on the explicit
+  // window_iteration when one is provided (the tag still keys jitter).
+  const gn::NetworkConditions c = gn::NetworkConditions::parse(
+      "straggler:nodes=1,lag=5ms,from_iter=10");
+  // Gossip tag 25 = training iteration 5 at 5 rounds/iteration: outside
+  // the window with the override, inside it without.
+  EXPECT_EQ(c.delay(0, 1, "gossip", 25, 1, 5), Duration{0});
+  EXPECT_EQ(c.delay(0, 1, "gossip", 25, 1), Duration{5000});
+}
+
+TEST(NetworkConditions, SimPlaneCountsMatchTheEdgePredicates) {
+  const gn::NetworkConditions c = gn::NetworkConditions::parse(
+      "hetero:slow_links=3-4,factor=10;"
+      "straggler:nodes=10,lag=2ms,from_iter=1;"
+      "partition:a=0-2,b=9-10,from_iter=2,len=1");
+  // Worker span [3, 11) of a nps=3, nw=8 deployment.
+  EXPECT_EQ(c.count_slow(3, 11), 2u);
+  EXPECT_EQ(c.count_straggling(3, 11, 0), 0u);
+  EXPECT_EQ(c.count_straggling(3, 11, 1), 1u);
+  EXPECT_EQ(c.count_cross(0, 3, 11, 2), 2u);  // server 0 loses workers 9-10
+  EXPECT_EQ(c.count_cross(0, 3, 11, 3), 0u);  // window closed
+  EXPECT_EQ(c.count_cross(5, 3, 11, 2), 0u);  // ungrouped node keeps all
+}
+
+// -------------------------------------------------- config-level plumbing
+
+TEST(NetworkConditions, ConfigValidateRejectsBadSpecs) {
+  gc::DeploymentConfig cfg;
+  cfg.nw = 5;
+  cfg.nps = 1;
+  cfg.network = "wan:latency=1ms";
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.network = "wan:latency=-1ms";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.network = "wan:latency=1fortnight";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.network = "stragler:nodes=1";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  // Node references beyond total_nodes() (= 6 here).
+  cfg.network = "straggler:nodes=6,lag=1ms";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.network = "straggler:nodes=5,lag=1ms";
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(NetworkConditions, ConfigRoundTripsThroughTheController) {
+  gc::DeploymentConfig cfg;
+  cfg.network = "wan:latency=5ms,jitter=2ms;straggler:nodes=2,lag=50ms";
+  const gc::DeploymentConfig parsed =
+      gc::parse_config(gc::format_config(cfg));
+  EXPECT_EQ(parsed.network, cfg.network);
+  EXPECT_NO_THROW(parsed.validate());
+}

@@ -230,9 +230,11 @@ TEST(Cluster, CollectTimesOutGracefullyWhenQuorumImpossible) {
 }
 
 TEST(Cluster, StragglersLoseTheRace) {
-  gn::Cluster cluster(small_cluster(4));
+  gn::Cluster::Options opts = small_cluster(4);
+  opts.conditions =
+      gn::NetworkConditions::parse("straggler:nodes=1,lag=300ms");
+  gn::Cluster cluster(opts);
   for (gn::NodeId i = 1; i < 4; ++i) serve_constant(cluster, i, float(i));
-  cluster.set_straggler_lag(1, 300ms);
   std::vector<gn::NodeId> peers{1, 2, 3};
   auto replies = cluster.collect(0, peers, "echo", 0, nullptr, 2);
   ASSERT_EQ(replies.size(), 2u);
@@ -323,11 +325,13 @@ TEST(Cluster, StatsCountTraffic) {
 }
 
 TEST(Cluster, RepliesBeyondTheQuorumCountAsWasted) {
-  gn::Cluster cluster(small_cluster(5));
   // One fast peer, three stragglers; q=1 means the stragglers' replies are
   // crafted after the quorum is met and must be counted, not stored.
+  gn::Cluster::Options opts = small_cluster(5);
+  opts.conditions =
+      gn::NetworkConditions::parse("straggler:nodes=2-4,lag=50ms");
+  gn::Cluster cluster(opts);
   for (gn::NodeId i = 1; i < 5; ++i) serve_constant(cluster, i, float(i));
-  for (gn::NodeId i = 2; i < 5; ++i) cluster.set_straggler_lag(i, 50ms);
   std::vector<gn::NodeId> peers{1, 2, 3, 4};
   auto replies = cluster.collect(0, peers, "echo", 0, nullptr, 1);
   ASSERT_EQ(replies.size(), 1u);
@@ -350,7 +354,7 @@ TEST(Cluster, JitterIsDeterministicPerEdgeAndIteration) {
   // across repeated draws and across independently-built clusters.
   gn::Cluster::Options opts;
   opts.nodes = 4;
-  opts.jitter = 10ms;
+  opts.conditions = gn::NetworkConditions::parse("wan:jitter=10ms");
   opts.seed = 99;
   gn::Cluster a(opts), b(opts);
 
@@ -401,7 +405,7 @@ TEST(Cluster, ConcurrentCollectsDoNotInterfere) {
 TEST(Cluster, LatencyAndJitterDelayDelivery) {
   gn::Cluster::Options opts;
   opts.nodes = 2;
-  opts.base_latency = 50ms;
+  opts.conditions = gn::NetworkConditions::parse("wan:latency=50ms");
   gn::Cluster cluster(opts);
   serve_constant(cluster, 1, 1.0F);
   const auto start = std::chrono::steady_clock::now();

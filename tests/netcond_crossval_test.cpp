@@ -1,0 +1,312 @@
+// Cross-validation of the NetworkConditions model across the two execution
+// planes (README "Network conditions"): every scenario here writes ONE
+// spec string and runs it through
+//   - the analytic simulator (sim::simulate_iteration on the calibrated
+//     cost model), and
+//   - the live in-process cluster (core::train on tiny models),
+// then asserts that the paper-shaped qualitative invariants agree:
+//
+//   1. straggler lag favors an asynchronous n-f quorum over a synchronous
+//      full-cohort wait (the paper's asynchrony argument, §2/§6),
+//   2. heterogeneous slow links shift the Fig 7 breakdown toward
+//      communication,
+//   3. a partition window is pure delay — it binds exactly while the
+//      window is active and never changes what a synchronous deployment
+//      learns (messages are delayed, not dropped),
+//   4. decentralized all-to-all communication dominates the parameter
+//      server as n grows (the O(n^2) fabric load of Fig 9a).
+//
+// Live-plane timing assertions are HARD FLOORS: a conditioned synchronous
+// run cannot finish before its injected timer-wheel delays, no matter how
+// loaded the machine is — unlike run-vs-run wall-clock differences, which
+// CPU contention can swamp. The one differential assertion (sync vs async
+// under a straggler) rides a 300ms injected gap, far above any plausible
+// differential noise between two adjacent tiny runs.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/config.h"
+#include "core/trainer.h"
+#include "sim/deployment_sim.h"
+#include "support/test_support.h"
+#include "tensor/parallel.h"
+
+namespace gc = garfield::core;
+namespace gs = garfield::sim;
+namespace gt = garfield::testsupport;
+
+namespace {
+
+/// Shared spec: nodes 0..6 with server 0 and workers 1..6 (the SSMW
+/// layout both planes agree on); worker 6 straggles from iteration 0.
+constexpr const char* kStragglerSpec = "straggler:nodes=6,lag=60ms";
+
+gs::SimSetup sim_ssmw() {
+  gs::SimSetup s;
+  s.deployment = gs::SimDeployment::kSsmw;
+  s.d = 1'000'000;
+  s.batch_size = 32;
+  s.nw = 6;
+  s.fw = 1;
+  s.nps = 1;
+  s.fps = 0;
+  s.gradient_gar = "multi_krum";
+  s.device = gs::cpu_profile();
+  return s;
+}
+
+gc::DeploymentConfig live_ssmw() {
+  gc::DeploymentConfig cfg;
+  cfg.deployment = gc::Deployment::kSsmw;
+  cfg.model = "tiny_mlp";
+  cfg.dataset = "cluster";
+  cfg.train_size = 256;
+  cfg.test_size = 64;
+  cfg.batch_size = 8;
+  cfg.nw = 6;
+  cfg.fw = 1;
+  cfg.gradient_gar = "multi_krum";
+  cfg.iterations = 5;
+  cfg.eval_every = 1;
+  cfg.seed = 20260728;
+  return cfg;
+}
+
+double live_seconds(const gc::DeploymentConfig& cfg) {
+  const auto start = std::chrono::steady_clock::now();
+  (void)gc::train(cfg);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void expect_same_curve(const gc::TrainResult& a, const gc::TrainResult& b,
+                       const char* what) {
+  ASSERT_EQ(a.curve.size(), b.curve.size()) << what;
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].accuracy, b.curve[i].accuracy) << what << " @" << i;
+    EXPECT_EQ(a.curve[i].loss, b.curve[i].loss) << what << " @" << i;
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------- scenario 1: stragglers
+
+TEST(NetcondCrossval, StragglerLagFavorsAsyncQuorumOnBothPlanes) {
+  // Analytic plane: the synchronous full-cohort pull waits the straggler
+  // lag out; the asynchronous n-f quorum dodges it.
+  gs::SimSetup sim = sim_ssmw();
+  sim.conditions = garfield::net::NetworkConditions::parse(kStragglerSpec);
+  sim.asynchronous = false;
+  const double sim_sync = gs::simulate_iteration(sim).total();
+  sim.asynchronous = true;
+  const double sim_async = gs::simulate_iteration(sim).total();
+  gs::SimSetup ideal = sim_ssmw();
+  ideal.asynchronous = false;
+  const double sim_ideal_sync = gs::simulate_iteration(ideal).total();
+  EXPECT_GT(sim_sync, sim_async);
+  EXPECT_GT(sim_sync - sim_ideal_sync, 0.045)  // ~the 60ms lag, not noise
+      << "sync plane did not absorb the straggler lag";
+  // The async quorum pays (nearly) nothing for the straggler.
+  ideal.asynchronous = true;
+  EXPECT_NEAR(sim_async, gs::simulate_iteration(ideal).total(), 0.002);
+
+  // Live plane: same spec string, same ordering. 5 iterations x 60ms lag
+  // bound the synchronous run from below; the asynchronous quorum never
+  // waits for worker 6. The lag is sized to dominate scheduler noise even
+  // on a loaded ASan runner, so the margins are absolute, not ratios.
+  garfield::tensor::set_parallel_threads(1);
+  gc::DeploymentConfig live = live_ssmw();
+  live.network = kStragglerSpec;
+  ASSERT_NO_THROW(live.validate());
+  live.asynchronous = false;
+  const double live_sync = live_seconds(live);
+  live.asynchronous = true;
+  const double live_async = live_seconds(live);
+  garfield::tensor::set_parallel_threads(0);
+  EXPECT_GT(live_sync, 0.25);  // >= 5 iterations x 60ms, minus slack
+  EXPECT_GT(live_sync, live_async + 0.15);
+}
+
+// ------------------------------------- scenario 2: heterogeneous links
+
+TEST(NetcondCrossval, SlowLinksShiftTheBreakdownTowardCommunication) {
+  const char* spec = "wan:latency=5ms;hetero:slow_links=1-2,factor=10";
+  // Analytic plane: degraded edges inflate the communication share of the
+  // Fig 7 breakdown; computation and aggregation stay put.
+  gs::SimSetup sim = sim_ssmw();
+  sim.asynchronous = false;
+  const gs::IterationBreakdown ideal = gs::simulate_iteration(sim);
+  sim.conditions = garfield::net::NetworkConditions::parse(spec);
+  const gs::IterationBreakdown hetero = gs::simulate_iteration(sim);
+  EXPECT_GT(hetero.communication, ideal.communication);
+  EXPECT_DOUBLE_EQ(hetero.computation, ideal.computation);
+  EXPECT_DOUBLE_EQ(hetero.aggregation, ideal.aggregation);
+  EXPECT_GT(hetero.communication / hetero.total(),
+            ideal.communication / ideal.total());
+
+  // Live plane: the same spec slows the synchronous run (workers 1-2 serve
+  // over 10x-degraded links the full-cohort quorum cannot dodge) without
+  // changing a single bit of what it learns. The timing claim is a hard
+  // floor — every iteration's quorum waits a 50ms slow-edge delivery the
+  // timer wheel will not release early — because an ideal-vs-conditioned
+  // wall-clock *difference* is swamped by CPU contention on a loaded
+  // runner.
+  garfield::tensor::set_parallel_threads(1);
+  gc::DeploymentConfig live = live_ssmw();
+  live.iterations = 3;
+  live.asynchronous = false;
+  const gc::TrainResult plain = gc::train(live);
+  live.network = spec;
+  ASSERT_NO_THROW(live.validate());
+  const auto t0 = std::chrono::steady_clock::now();
+  const gc::TrainResult slowed = gc::train(live);
+  const double slowed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  garfield::tensor::set_parallel_threads(0);
+  EXPECT_GT(slowed_s, 0.12);  // >= 3 iterations x 50ms, minus slack
+  expect_same_curve(plain, slowed, "hetero links are pure latency");
+}
+
+// ------------------------------------------ scenario 3: partition window
+
+TEST(NetcondCrossval, PartitionWindowBindsOnlyWhileActiveOnBothPlanes) {
+  // Window [1, 3): server 0 loses workers 5-6 for two iterations; the
+  // messages arrive late (delayed, never dropped).
+  const char* spec = "partition:a=0,b=5-6,from_iter=1,len=2,lag=100ms";
+  // Analytic plane: the breakdown is a function of *when* you look — the
+  // partition lag binds inside the window and heals at GST.
+  gs::SimSetup sim = sim_ssmw();
+  sim.asynchronous = false;
+  sim.conditions = garfield::net::NetworkConditions::parse(spec);
+  sim.iteration = 0;
+  const double before = gs::simulate_iteration(sim).total();
+  sim.iteration = 1;
+  const double inside = gs::simulate_iteration(sim).total();
+  sim.iteration = 3;
+  const double after = gs::simulate_iteration(sim).total();
+  EXPECT_NEAR(before, after, 1e-12);
+  EXPECT_GT(inside, before + 0.08);  // ~the 100ms lag
+
+  // Live plane: the two affected iterations each wait a 100ms cross-cut
+  // delivery — a hard floor no scheduler noise can undercut (run-vs-run
+  // differences can; see the hetero scenario) — and learning is bitwise
+  // unaffected (the delayed replies still make the synchronous quorum).
+  garfield::tensor::set_parallel_threads(1);
+  gc::DeploymentConfig live = live_ssmw();
+  live.asynchronous = false;
+  const gc::TrainResult ideal = gc::train(live);
+  live.network = spec;
+  ASSERT_NO_THROW(live.validate());
+  const auto t0 = std::chrono::steady_clock::now();
+  const gc::TrainResult partitioned = gc::train(live);
+  const double part_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  garfield::tensor::set_parallel_threads(0);
+  EXPECT_GT(part_s, 0.18);  // >= 2 window iterations x 100ms, minus slack
+  expect_same_curve(ideal, partitioned,
+                    "pre-GST delays never change sync learning");
+}
+
+// --------------------------------- scenario 4: O(n^2) decentralized load
+
+TEST(NetcondCrossval, DecentralizedFabricLoadDominatesOnBothPlanes) {
+  // Analytic plane: doubling n grows decentralized communication
+  // super-linearly but parameter-server communication ~linearly.
+  const auto sim_comm = [](gs::SimDeployment dep, std::size_t n) {
+    gs::SimSetup s;
+    s.deployment = dep;
+    s.d = 10'000'000;
+    s.nw = n;
+    s.fw = 0;
+    s.nps = 1;
+    s.gradient_gar = "median";
+    s.model_gar = "median";
+    s.asynchronous = false;
+    return gs::communication_time(s);
+  };
+  const double sim_dec_ratio =
+      sim_comm(gs::SimDeployment::kDecentralized, 8) /
+      sim_comm(gs::SimDeployment::kDecentralized, 4);
+  const double sim_ps_ratio = sim_comm(gs::SimDeployment::kSsmw, 8) /
+                              sim_comm(gs::SimDeployment::kSsmw, 4);
+  // Super-linear vs linear: the analytic mix of the linear NIC term and
+  // the quadratic fabric term puts decentralized clearly above the
+  // parameter server's ~2x without reaching the pure (8/4)^2.
+  EXPECT_GT(sim_dec_ratio, 2.5);
+  EXPECT_LT(sim_ps_ratio, 2.3);
+
+  // Live plane: floats_transferred is exact on the in-process transport —
+  // the decentralized all-to-all moves O(n^2) floats per iteration where
+  // the parameter server moves O(n).
+  garfield::tensor::set_parallel_threads(1);
+  const auto live_floats = [](gc::Deployment dep, std::size_t n) {
+    gc::DeploymentConfig cfg;
+    cfg.deployment = dep;
+    cfg.model = "tiny_mlp";
+    cfg.train_size = 256;
+    cfg.test_size = 64;
+    cfg.batch_size = 8;
+    cfg.nw = n;
+    cfg.fw = 0;
+    cfg.nps = 1;
+    cfg.gradient_gar = "median";
+    cfg.model_gar = "median";
+    cfg.iterations = 2;
+    cfg.eval_every = 0;
+    cfg.seed = 7;
+    return double(gc::train(cfg).net_stats.floats_transferred);
+  };
+  const double live_dec_ratio =
+      live_floats(gc::Deployment::kDecentralized, 8) /
+      live_floats(gc::Deployment::kDecentralized, 4);
+  const double live_ps_ratio = live_floats(gc::Deployment::kSsmw, 8) /
+                               live_floats(gc::Deployment::kSsmw, 4);
+  garfield::tensor::set_parallel_threads(0);
+  EXPECT_GT(live_dec_ratio, 3.0);
+  EXPECT_LT(live_ps_ratio, 3.0);
+  // The planes agree on the ordering itself.
+  EXPECT_GT(live_dec_ratio, live_ps_ratio);
+  EXPECT_GT(sim_dec_ratio, sim_ps_ratio);
+}
+
+// -------------------------------------- matrix: (GAR x attack x network)
+
+TEST(NetcondCrossval, ScenarioMatrixSweepsTheNetworkAxis) {
+  // Every robustness cell now carries a network column: the same GAR x
+  // attack cell runs ideal, under a straggler phase and under a partition
+  // window. Degraded cells silence at most the two nodes the sizing
+  // spares (slack 2 + the f = 1 Byzantine budget keeps every quorum
+  // above its GAR floor).
+  gt::ScenarioMatrix matrix;
+  matrix.gars = {"median", "multi_krum"};
+  matrix.attacks = {"sign_flip", "little_is_enough:z=1.5"};
+  matrix.byzantine_fs = {1};
+  matrix.quorum_slacks = {2};
+  matrix.networks = {
+      "",
+      "straggler:nodes=0,lag=10ms",           // silence one honest node
+      "partition:a=1,b=0,from_iter=0,len=5",  // cut another one off
+  };
+  std::size_t cells = 0;
+  std::size_t degraded_cells = 0;
+  matrix.for_each([&](const gt::Scenario& cell) {
+    ++cells;
+    const gt::ScenarioResult result = gt::run_scenario(cell);
+    EXPECT_LE(result.rms_deviation, gt::robustness_tolerance(cell))
+        << cell.gar << " x " << cell.attack << " x '" << cell.network << "'";
+    if (!cell.network.empty()) {
+      ++degraded_cells;
+      // The degraded node's payload really missed the quorum.
+      EXPECT_LT(result.received, cell.n)
+          << cell.gar << " x " << cell.attack << " x '" << cell.network
+          << "'";
+    }
+  });
+  EXPECT_EQ(cells, 2u * 2u * 3u);
+  EXPECT_EQ(degraded_cells, 2u * 2u * 2u);
+}

@@ -49,6 +49,23 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   Rng data_rng = root.fork(1);
   Rng attack_rng = root.fork(2);
 
+  // Network conditions silence input nodes wholesale: a straggling or
+  // cut-off node's payload arrives after the quorum closes, exactly as a
+  // silent node on the live transport. Honest nodes occupy ids
+  // [0, n - f), Byzantine nodes [n - f, n); the aggregator sits with
+  // partition group `a`, so group-`b` members miss the window.
+  const net::NetworkConditions conditions =
+      net::NetworkConditions::parse(scenario.network);
+  const auto reaches_quorum = [&](std::size_t node) {
+    if (conditions.is_straggling(node, scenario.iteration)) return false;
+    if (conditions.partition() &&
+        conditions.partition_window_active(scenario.iteration) &&
+        conditions.partition()->b.contains(node)) {
+      return false;
+    }
+    return true;
+  };
+
   const CloudSpec honest_spec{scenario.n - scenario.f, scenario.d,
                               scenario.center, scenario.spread};
   const std::vector<FlatVector> honest = honest_cloud(honest_spec, data_rng);
@@ -58,7 +75,11 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   // additionally see the honest cloud through their AttackContext.
   const std::vector<attacks::AttackSpec> specs =
       attacks::parse_attack_plan(scenario.attack).expand(scenario.f);
-  std::vector<FlatVector> received = honest;
+  std::vector<FlatVector> received;
+  received.reserve(scenario.n);
+  for (std::size_t h = 0; h < honest.size(); ++h) {
+    if (reaches_quorum(h)) received.push_back(honest[h]);
+  }
   for (std::size_t b = 0; b < scenario.f; ++b) {
     const attacks::AttackPtr attack = attacks::make_attack(specs[b]);
     FlatVector would_send(scenario.d);
@@ -71,10 +92,12 @@ ScenarioResult run_scenario(const Scenario& scenario) {
     ctx.n = scenario.n;
     ctx.f = scenario.f;
     ctx.honest = honest;
+    ctx.gar = scenario.gar;  // adaptive attacks probe the cell's own GAR
     std::optional<FlatVector> payload = attack->craft(would_send, ctx);
     // Server ingress: silent nodes send nothing, non-finite payloads are
     // rejected before they can reach a GAR.
-    if (payload && tensor::all_finite(*payload)) {
+    if (payload && tensor::all_finite(*payload) &&
+        reaches_quorum(ctx.attacker_id)) {
       received.push_back(std::move(*payload));
     }
   }
@@ -134,15 +157,18 @@ std::size_t ScenarioMatrix::for_each(
         const std::size_t min_n = gars::gar_min_n(gar, f);
         const std::size_t n = std::max<std::size_t>(min_n + f + slack, 3);
         for (const std::string& attack : attack_list) {
-          Scenario cell;
-          cell.gar = gar;
-          cell.attack = attack;
-          cell.n = n;
-          cell.f = f;
-          cell.d = d;
-          cell.seed = seed + cells;  // decorrelate cells, stay reproducible
-          fn(cell);
-          ++cells;
+          for (const std::string& network : networks) {
+            Scenario cell;
+            cell.gar = gar;
+            cell.attack = attack;
+            cell.n = n;
+            cell.f = f;
+            cell.d = d;
+            cell.seed = seed + cells;  // decorrelate cells, reproducible
+            cell.network = network;
+            fn(cell);
+            ++cells;
+          }
         }
       }
     }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "net/conditions.h"
 #include "tensor/rng.h"
 #include "tensor/vecops.h"
 
@@ -68,6 +69,14 @@ struct Scenario {
   float spread = 0.1F;
   std::uint64_t seed = 42;
   std::uint64_t iteration = 0;
+  /// NetworkConditions spec (net/conditions.h grammar) the cell's inputs
+  /// traverse; "" = ideal. Input nodes occupy ids [0, n) with the
+  /// aggregating server colocated with partition group `a`: a node
+  /// straggling at `iteration`, or cut off in group `b` during an active
+  /// partition window, misses the quorum — its payload (honest or
+  /// Byzantine) never reaches the GAR. Cells must stay sized so the
+  /// surviving quorum satisfies gar_min_n(gar, f).
+  std::string network;
 };
 
 struct ScenarioResult {
@@ -103,6 +112,11 @@ struct ScenarioMatrix {
   std::vector<std::string> attacks;      ///< empty = attack_names()
   std::vector<std::size_t> byzantine_fs = {1, 2};
   std::vector<std::size_t> quorum_slacks = {0, 2};
+  /// Network-conditions axis crossed over every (gar, attack, f, slack)
+  /// cell; the default single ideal network preserves the classic matrix.
+  /// Non-ideal entries must only degrade nodes the cell sizes can spare
+  /// (see Scenario::network).
+  std::vector<std::string> networks = {""};
   std::size_t d = 32;
   std::uint64_t seed = 42;
 

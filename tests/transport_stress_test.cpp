@@ -183,8 +183,40 @@ TEST(TransportStress, SimulatedLatencyPreservesTheSynchronousCurve) {
   cfg.iterations = 3;
 
   const gc::TrainResult instant = gc::train(cfg);
-  cfg.base_latency = std::chrono::microseconds(200);
-  cfg.jitter = std::chrono::microseconds(300);
+  cfg.network = "wan:latency=200us,jitter=300us";
   const gc::TrainResult delayed = gc::train(cfg);
   expect_identical(instant, delayed, "latency 0 vs jittered links");
+}
+
+TEST(TransportStress, AdverseConditionsStayBitwiseDeterministic) {
+  // The whole NetworkConditions surface at once — WAN latency + jitter,
+  // heterogeneous slow links, an iteration-scheduled straggler phase and a
+  // partition window (delayed, never dropped) — under a synchronous MSMW
+  // deployment. Synchronous quorums await the full cohort, so conditions
+  // reorder arrival but never membership: the curve must be identical
+  // run-to-run AND identical to the ideal-network curve.
+  ThreadGuard guard;
+  garfield::tensor::set_parallel_threads(1);
+  gc::DeploymentConfig cfg = stress_base();
+  cfg.deployment = gc::Deployment::kMsmw;
+  cfg.nps = 3;
+  cfg.nw = 8;
+  cfg.gradient_gar = "multi_krum";
+  cfg.model_gar = "median";
+  cfg.iterations = 4;
+
+  const gc::TrainResult ideal = gc::train(cfg);
+  // Node ids: servers [0, 3), workers [3, 11). Worker 10 straggles from
+  // iteration 1; iteration 2 opens a one-iteration partition cutting
+  // workers 9-10 off the servers; workers 3-4 sit on 10x slower links.
+  cfg.network =
+      "wan:latency=150us,jitter=250us;"
+      "hetero:slow_links=3-4,factor=10;"
+      "straggler:nodes=10,lag=2ms,from_iter=1;"
+      "partition:a=0-2,b=9-10,from_iter=2,len=1,lag=3ms";
+  ASSERT_NO_THROW(cfg.validate());
+  const gc::TrainResult adverse = gc::train(cfg);
+  const gc::TrainResult adverse_again = gc::train(cfg);
+  expect_identical(adverse, adverse_again, "adverse run-to-run");
+  expect_identical(ideal, adverse, "ideal vs adverse (sync membership)");
 }
