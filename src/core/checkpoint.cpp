@@ -4,6 +4,10 @@
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <system_error>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "net/wire.h"
 
@@ -28,7 +32,32 @@ void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
               std::streamsize(blob.size()));
     if (!out) throw std::runtime_error("checkpoint: write failed for " + tmp);
   }
-  std::filesystem::rename(tmp, path);  // atomic on POSIX
+  // The rename only makes the checkpoint durable if the tmp file's bytes
+  // reached the disk first — otherwise a crash right after the rename can
+  // leave `path` pointing at a hole, exactly the corrupt state a
+  // recovering node would then transfer. fsync before the swap.
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("checkpoint: cannot reopen '" + tmp +
+                             "' for fsync");
+  }
+  const int synced = ::fsync(fd);
+  ::close(fd);
+  if (synced != 0) {
+    std::error_code discard;
+    std::filesystem::remove(tmp, discard);
+    throw std::runtime_error("checkpoint: fsync failed for " + tmp);
+  }
+  std::error_code rename_error;
+  std::filesystem::rename(tmp, path, rename_error);  // atomic on POSIX
+  if (rename_error) {
+    // Leave the previous checkpoint (if any) untouched; the tmp file is
+    // ours to clean up.
+    std::error_code discard;
+    std::filesystem::remove(tmp, discard);
+    throw std::runtime_error("checkpoint: rename to '" + path +
+                             "' failed: " + rename_error.message());
+  }
 }
 
 Checkpoint load_checkpoint(const std::string& path) {
@@ -42,6 +71,18 @@ Checkpoint load_checkpoint(const std::string& path) {
   in.read(reinterpret_cast<char*>(blob.data()), size);
   if (!in) throw std::runtime_error("checkpoint: read failed for " + path);
   const std::span<const std::uint8_t> bytes(blob);
+  // Size-gate before the decoder sees the blob: encoded_size() reads the
+  // header, so an empty or short file would surface as a confusing wire
+  // error (or worse, garbage header fields) instead of naming the real
+  // problem — the checkpoint on disk is incomplete.
+  if (bytes.empty()) {
+    throw net::WireError("checkpoint: empty file '" + path + "'");
+  }
+  if (bytes.size() < net::wire_size(0)) {
+    throw net::WireError("checkpoint: truncated file '" + path + "' (" +
+                         std::to_string(bytes.size()) +
+                         " bytes, shorter than a header)");
+  }
   const std::size_t head = net::encoded_size(bytes);
   net::WireMessage msg = net::decode(bytes.first(head));
   Checkpoint checkpoint{msg.iteration, std::move(msg.payload), {}};

@@ -102,7 +102,28 @@ void DeploymentConfig::validate() const {
   // (negative or unit-less garbage is rejected by the parser) and node
   // references against the deployment's actual node count — a scenario
   // naming nodes that don't exist must fail here, not run quietly ideal.
-  net::NetworkConditions::parse(network).validate(total_nodes());
+  const net::NetworkConditions conditions =
+      net::NetworkConditions::parse(network);
+  conditions.validate(total_nodes());
+  // A churn schedule that recovers a server replica needs a checkpoint to
+  // state-transfer from — without one the replica would rejoin with its
+  // stale pre-crash parameters and quietly drag the cohort backwards.
+  // Decentralized peers are exempt: they re-sync through the step-tagged
+  // model exchange instead.
+  if (deployment != Deployment::kDecentralized) {
+    for (const net::NetworkConditions::ChurnEvent& e : conditions.churn()) {
+      const bool recovers = e.join || e.recover_after > 0;
+      if (!recovers || e.nodes.lo >= nps) continue;
+      if (checkpoint_path.empty() || checkpoint_every == 0) {
+        throw std::invalid_argument(
+            "config: churn schedule recovers server replica " +
+            std::to_string(e.nodes.lo) +
+            " but checkpointing is off — set checkpoint_path and "
+            "checkpoint_every so the recovering replica has state to "
+            "transfer");
+      }
+    }
+  }
 }
 
 }  // namespace garfield::core

@@ -174,7 +174,9 @@ std::string format_config(const DeploymentConfig& cfg) {
     // Advertise the knob in emitted templates; an empty value would not
     // re-parse, so document it as a comment instead.
     out << "# network = wan:latency=100us,jitter=50us"
-           "   (net/conditions.h spec; \"\" = ideal)\n";
+           "   (net/conditions.h spec; \"\" = ideal;\n"
+           "#           churn:crash=3,at_iter=100,recover_after=50 "
+           "schedules elastic membership)\n";
   }
   out << "pool_threads = " << cfg.pool_threads << '\n';
   return out.str();

@@ -37,6 +37,22 @@ Server::Server(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
                             });
 }
 
+void Server::rejoin() {
+  {
+    std::lock_guard lock(mutex_);
+    model_ring_.clear();
+    aggr_ring_.clear();
+    latest_aggr_grad_ = nullptr;
+  }
+  cluster_.register_handler(id_, kGetModel, [this](const net::Request& req) {
+    return serve_model(req);
+  });
+  cluster_.register_handler(id_, kGetAggrGrad,
+                            [this](const net::Request& req) {
+                              return serve_aggr_grad(req);
+                            });
+}
+
 net::PayloadPtr Server::snapshot() const {
   std::lock_guard lock(mutex_);
   return params_;

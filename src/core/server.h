@@ -137,6 +137,15 @@ class Server {
     return aggregation_context_;
   }
 
+  /// Come back from a crash: re-register this node's RPC handlers (a
+  /// crashed node's handlers were dropped by the cluster) and clear the
+  /// step-tagged publication rings — a restarted process has published
+  /// nothing, and serving pre-crash entries would answer peers with state
+  /// the checkpoint restore is about to overwrite. The caller (the
+  /// trainer's recovery hook) then transfers checkpointed state via
+  /// write_model / restore_optimizer_velocity.
+  void rejoin();
+
   /// Payloads dropped at ingress (wrong dimension or non-finite values).
   /// A Byzantine node can send anything; malformed vectors are rejected
   /// before they can reach a GAR — a NaN survives even coordinate-wise

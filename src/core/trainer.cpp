@@ -1,9 +1,13 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <thread>
 
 #include "attacks/registry.h"
@@ -70,12 +74,24 @@ bool spec_is_omniscient(const attacks::AttackSpec& spec) {
 /// Everything a deployment run needs to keep alive while threads execute.
 struct Runtime {
   DeploymentConfig config;
+  /// Parsed once at build time; the loops query its churn schedule every
+  /// iteration (the cluster holds its own copy for delivery decisions).
+  net::NetworkConditions conditions;
   std::vector<std::unique_ptr<Server>> servers;
   std::vector<std::unique_ptr<Worker>> workers;
   data::Batch test;
   std::vector<std::vector<EvalPoint>> curves;  // one per server
   std::vector<AlignmentSample> alignment;
   std::mutex alignment_mutex;
+  /// Reporting replica's per-iteration gradient reply counts (s == 0 loop
+  /// thread only — no lock needed).
+  std::vector<std::size_t> reporting_gradient_counts;
+  // Below-floor abort: the first loop that sees the churn schedule drop a
+  // cohort under its GAR floor records why and flips the flag; every loop
+  // exits at its next gate and train() rethrows after the join.
+  std::atomic<bool> abort{false};
+  std::mutex abort_mutex;
+  std::string abort_reason;
   // Declared last so it is destroyed FIRST: tearing down the cluster joins
   // its thread pool, draining in-flight RPC handler invocations (replies
   // beyond the awaited quorum may still be executing) before the servers
@@ -120,6 +136,7 @@ void build_parameter_server(Runtime& rt) {
   net_opts.pool_threads = cfg.pool_threads;
   net_opts.conditions = net::NetworkConditions::parse(cfg.network);
   net_opts.seed = cfg.seed ^ 0xc1u;
+  rt.conditions = net_opts.conditions;
   rt.cluster = std::make_unique<net::Cluster>(net_opts);
 
   std::vector<net::NodeId> worker_ids, server_ids;
@@ -209,6 +226,7 @@ void build_decentralized(Runtime& rt) {
   net_opts.pool_threads = cfg.pool_threads;
   net_opts.conditions = net::NetworkConditions::parse(cfg.network);
   net_opts.seed = cfg.seed ^ 0xc2u;
+  rt.conditions = net_opts.conditions;
   rt.cluster = std::make_unique<net::Cluster>(net_opts);
 
   std::vector<net::NodeId> all_ids;
@@ -266,6 +284,111 @@ void build_decentralized(Runtime& rt) {
   for (auto& server : rt.servers)
     server->enable_step_tagged_serving(/*models=*/true, /*aggr_grads=*/true);
   rt.curves.resize(cfg.nw);
+}
+
+/// Wire the churn schedule's recovery path: when advance_lifecycle brings
+/// a node back up, the hook re-registers its RPC handlers and transfers
+/// state. Parameter-server nodes split by id: servers [0, nps) rejoin and
+/// restore the last durable checkpoint; workers [nps, nps + nw) just
+/// rejoin (their shard is their state). Decentralized peers rejoin both
+/// halves and re-sync through the step-tagged model exchange instead — the
+/// next write_model folds the live peers' aggregated state in.
+void register_recovery(Runtime& rt, bool decentralized) {
+  if (!rt.conditions.has_churn()) return;
+  const DeploymentConfig& cfg = rt.config;
+  if (decentralized) {
+    for (std::size_t i = 0; i < rt.servers.size(); ++i) {
+      Server* server = rt.servers[i].get();
+      Worker* worker = rt.workers[i].get();
+      rt.cluster->set_recovery_handler(i, [server, worker](std::uint64_t) {
+        server->rejoin();
+        worker->rejoin();
+      });
+    }
+    return;
+  }
+  for (std::size_t s = 0; s < cfg.nps; ++s) {
+    Server* server = rt.servers[s].get();
+    rt.cluster->set_recovery_handler(s, [&rt, server](std::uint64_t) {
+      server->rejoin();
+      // Checkpoint state transfer: the restarted replica resumes from the
+      // reporting replica's last durable snapshot (config validation
+      // requires checkpointing whenever a schedule recovers a server). An
+      // unreadable checkpoint — none written yet, or torn — leaves the
+      // stale pre-crash state in place; the model exchange pulls the
+      // replica forward from there.
+      if (rt.config.checkpoint_path.empty()) return;
+      try {
+        const Checkpoint ckpt = load_checkpoint(rt.config.checkpoint_path);
+        server->write_model(ckpt.parameters);
+        if (!ckpt.velocity.empty()) {
+          server->restore_optimizer_velocity(ckpt.velocity);
+        }
+      } catch (const std::exception&) {
+      }
+    });
+  }
+  for (std::size_t w = 0; w < cfg.nw; ++w) {
+    Worker* worker = rt.workers[w].get();
+    rt.cluster->set_recovery_handler(cfg.nps + w, [worker](std::uint64_t) {
+      worker->rejoin();
+    });
+  }
+}
+
+/// Drive the churn schedule at the top of a loop iteration and park this
+/// node's loop while the schedule has it down. Returns the iteration the
+/// loop should run (>= it, jumping over a crash window the node slept
+/// through), or nullopt when the loop should exit instead: the run
+/// aborted, the node never recovers inside the configured horizon, or the
+/// recovery wait timed out (a schedule nobody left alive can drive).
+std::optional<std::size_t> churn_gate(Runtime& rt, net::NodeId node,
+                                      std::size_t it) {
+  if (rt.abort.load()) return std::nullopt;
+  if (!rt.conditions.has_churn()) return it;
+  rt.cluster->advance_lifecycle(it);
+  if (!rt.cluster->is_crashed(node)) return it;
+  const std::optional<std::uint64_t> up =
+      rt.conditions.next_up_iteration(node, it);
+  if (!up || *up >= rt.config.iterations) return std::nullopt;
+  // Park until live peers drive the schedule past the up-edge. Waiting in
+  // short slices keeps the park responsive to a concurrent abort, and the
+  // overall deadline guards undrivable schedules.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!rt.abort.load()) {
+    const std::optional<std::uint64_t> resumed =
+        rt.cluster->wait_until_running(node, std::chrono::milliseconds(50));
+    if (resumed) return std::size_t(*resumed);
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// The scheduled-availability floor check: at iteration `it` the churn
+/// schedule must keep at least `plan.min_n` of the span [lo, hi) up, or
+/// the GAR's (n, f) resilience bound is void. Checked against the
+/// *schedule* rather than observed replies, so every loop trips it at the
+/// same iteration and the whole run aborts deterministically.
+bool churn_floor_holds(Runtime& rt, const GarPlan& plan, std::size_t lo,
+                       std::size_t hi, std::size_t it, const char* what) {
+  if (!rt.conditions.has_churn()) return true;
+  const std::size_t down = rt.conditions.count_down(lo, hi, it);
+  const std::size_t up = hi - lo - down;
+  if (up >= plan.min_n) return true;
+  {
+    std::lock_guard lock(rt.abort_mutex);
+    if (rt.abort_reason.empty()) {
+      rt.abort_reason =
+          "churn schedule drops " + std::string(what) +
+          " availability to " + std::to_string(up) + " node(s) at iteration " +
+          std::to_string(it) + ", below the '" + plan.spec.name +
+          "' GAR resilience floor min_n=" + std::to_string(plan.min_n) +
+          " — aborting instead of aggregating below the (n, f) bound";
+    }
+  }
+  rt.abort.store(true);
+  return false;
 }
 
 /// Resume support: overwrite every replica's state with the checkpoint.
@@ -352,7 +475,13 @@ void vanilla_loop(Runtime& rt, std::size_t s) {
   const GarPlan avg = plan_gar("average", 0);
   gars::AggregationContext& ctx = server.aggregation_context();
   for (std::size_t it = 0; it < cfg.iterations; ++it) {
+    const std::optional<std::size_t> next = churn_gate(rt, s, it);
+    if (!next) return;
+    it = *next;
+    if (!churn_floor_holds(rt, avg, cfg.nps, cfg.nps + cfg.nw, it, "worker"))
+      return;
     const std::vector<Payload> grads = server.get_gradients(it, cfg.nw);
+    if (s == 0) rt.reporting_gradient_counts.push_back(grads.size());
     if (grads.empty()) continue;
     server.update_model(aggregate(avg.spec, 0, grads, ctx));
     if (s == 0) {
@@ -368,7 +497,12 @@ void crash_tolerant_loop(Runtime& rt, std::size_t s) {
   const GarPlan avg = plan_gar("average", 0);
   gars::AggregationContext& ctx = server.aggregation_context();
   for (std::size_t it = 0; it < cfg.iterations; ++it) {
-    if (rt.cluster->is_crashed(s)) return;  // this replica is dead
+    const std::optional<std::size_t> next = churn_gate(rt, s, it);
+    if (!next) return;
+    it = *next;
+    if (rt.cluster->is_crashed(s)) return;  // crash_primary_at fired
+    if (!churn_floor_holds(rt, avg, cfg.nps, cfg.nps + cfg.nw, it, "worker"))
+      return;
     const std::vector<Payload> grads = server.get_gradients(it, cfg.nw);
     if (grads.empty()) continue;
     server.update_model(aggregate(avg.spec, 0, grads, ctx));
@@ -386,7 +520,14 @@ void ssmw_loop(Runtime& rt, std::size_t s) {
   const GarPlan grad = plan_gar(cfg.gradient_gar, cfg.fw);
   gars::AggregationContext& ctx = server.aggregation_context();
   for (std::size_t it = 0; it < cfg.iterations; ++it) {
+    const std::optional<std::size_t> next = churn_gate(rt, s, it);
+    if (!next) return;
+    it = *next;
+    if (!churn_floor_holds(rt, grad, cfg.nps, cfg.nps + cfg.nw, it,
+                           "worker"))
+      return;
     const std::vector<Payload> grads = server.get_gradients(it, q);
+    if (s == 0) rt.reporting_gradient_counts.push_back(grads.size());
     if (grads.size() < grad.min_n) continue;
     server.update_model(aggregate(grad.spec, cfg.fw, grads, ctx));
     if (s == 0) {
@@ -410,7 +551,15 @@ void msmw_loop(Runtime& rt, std::size_t s) {
   const GarPlan model = plan_gar(cfg.model_gar, cfg.fps);
   gars::AggregationContext& ctx = server.aggregation_context();
   for (std::size_t it = 0; it < cfg.iterations; ++it) {
+    const std::optional<std::size_t> next = churn_gate(rt, s, it);
+    if (!next) return;
+    it = *next;
+    if (!churn_floor_holds(rt, grad, cfg.nps, cfg.nps + cfg.nw, it,
+                           "worker") ||
+        !churn_floor_holds(rt, model, 0, cfg.nps, it, "server"))
+      return;
     const std::vector<Payload> grads = server.get_gradients(it, qw);
+    if (s == 0) rt.reporting_gradient_counts.push_back(grads.size());
     if (grads.size() >= grad.min_n) {
       server.update_model(aggregate(grad.spec, cfg.fw, grads, ctx));
     }
@@ -447,7 +596,14 @@ void decentralized_loop(Runtime& rt, std::size_t s) {
     return std::uint64_t(it) * std::uint64_t(rounds) + std::uint64_t(r);
   };
   for (std::size_t it = 0; it < cfg.iterations; ++it) {
+    const std::optional<std::size_t> next = churn_gate(rt, s, it);
+    if (!next) return;
+    it = *next;
+    if (!churn_floor_holds(rt, grad, 0, cfg.nw, it, "peer") ||
+        !churn_floor_holds(rt, model, 0, cfg.nw, it, "peer"))
+      return;
     const std::vector<Payload> grads = server.get_gradients(it, q);
+    if (s == 0) rt.reporting_gradient_counts.push_back(grads.size());
     if (grads.size() < grad.min_n) {
       // Skipping the iteration must not wedge the peers: publish explicit
       // "no contribution" markers for every gossip round and the unchanged
@@ -504,6 +660,7 @@ TrainResult train(const DeploymentConfig& config) {
   } else {
     build_parameter_server(rt);
   }
+  register_recovery(rt, decentralized);
   maybe_resume(rt);
 
   // Spawn one driving thread per server replica / peer. Byzantine servers
@@ -524,8 +681,14 @@ TrainResult train(const DeploymentConfig& config) {
   }
   for (std::thread& t : threads) t.join();
 
+  if (rt.abort.load()) {
+    std::lock_guard lock(rt.abort_mutex);
+    throw std::runtime_error(rt.abort_reason);
+  }
+
   TrainResult result;
   result.iterations_run = config.iterations;
+  result.reporting_gradient_counts = std::move(rt.reporting_gradient_counts);
   result.net_stats = rt.cluster->stats();
   for (const auto& server : rt.servers) {
     result.rejected_payloads += server->rejected_payloads();

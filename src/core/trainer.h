@@ -56,9 +56,20 @@ struct TrainResult {
   std::uint64_t gradients_computed = 0;
   std::vector<AlignmentSample> alignment;
   std::size_t iterations_run = 0;
+  /// Gradient replies the reporting replica's pull returned per iteration —
+  /// the live quorum trajectory. Under a churn schedule this is what the
+  /// analytic plane predicts as span - count_down(span, it); compared
+  /// directly in the churn crossval tests. Empty when the reporting
+  /// replica's loop itself was churned past iterations (its counter then
+  /// skips the crash window).
+  std::vector<std::size_t> reporting_gradient_counts;
 };
 
 /// Run the configured deployment to completion and report its curve.
+/// Throws std::runtime_error when a churn schedule drops the scheduled
+/// availability of a cohort below its GAR's min_n(f) resilience floor —
+/// aggregating below the (n, f) bound would silently void the paper's
+/// guarantees, so the run aborts loudly instead.
 [[nodiscard]] TrainResult train(const DeploymentConfig& config);
 
 }  // namespace garfield::core

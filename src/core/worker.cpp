@@ -36,6 +36,7 @@ Worker::Worker(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
                float momentum)
     : rng_(rng),
       id_(id),
+      cluster_(cluster),
       model_(std::move(model)),
       shard_(std::move(shard)),
       sampler_(shard_, batch_size, rng_.fork(0xb0)),
@@ -45,6 +46,21 @@ Worker::Worker(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
                            [this](const net::Request& req) {
                              return serve_gradient(req);
                            });
+}
+
+void Worker::rejoin() {
+  {
+    std::lock_guard lock(mutex_);
+    cache_.clear();
+    cloud_cache_.clear();
+    velocity_.clear();
+    velocity_pre_.clear();
+    velocity_iteration_ = std::uint64_t(-1);
+  }
+  cluster_.register_handler(id_, kGetGradient,
+                            [this](const net::Request& req) {
+                              return serve_gradient(req);
+                            });
 }
 
 Worker::ServedGradient Worker::compute_locked(const net::Request& req) {

@@ -53,6 +53,14 @@ class Worker {
   Worker& operator=(const Worker&) = delete;
 
   [[nodiscard]] net::NodeId id() const { return id_; }
+
+  /// Come back from a crash: re-register the get_gradient handler (the
+  /// cluster dropped it at crash time) and forget the gradient caches and
+  /// momentum state — a restarted worker process has computed nothing, and
+  /// replaying a pre-crash velocity would double-count the iterations the
+  /// crash window skipped.
+  void rejoin();
+
   /// Mean training loss of the gradients served so far (diagnostics).
   [[nodiscard]] double mean_loss() const;
   /// Replies served (cache hits included).
@@ -105,6 +113,7 @@ class Worker {
   [[nodiscard]] ServedGradient compute_locked(const net::Request& req);
 
   net::NodeId id_;
+  net::Cluster& cluster_;  // for handler re-registration on rejoin()
   nn::ModelPtr model_;
   data::Dataset shard_;
   data::BatchSampler sampler_;

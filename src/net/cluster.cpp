@@ -40,6 +40,23 @@ Cluster::Cluster(const Options& options)
   }
   pool_ = std::make_unique<ThreadPool>(threads);
   timer_ = std::make_unique<TimerWheel>(*pool_);
+  // Churn schedule bootstrap: joins (and at_iter=0 crashes) are down
+  // before anyone drives an iteration. Their one-shot down-edges are
+  // marked applied so advance_lifecycle() cannot re-crash them later.
+  const auto& churn = options_.conditions.churn();
+  churn_state_.resize(churn.size());
+  recovery_handlers_.resize(nodes_);
+  recovered_at_.resize(nodes_, 0);
+  for (std::size_t i = 0; i < churn.size(); ++i) {
+    if (!churn[i].join && churn[i].at_iter == 0) {
+      churn_state_[i].crashed_applied = true;
+    }
+  }
+  for (std::size_t node = 0; node < nodes_; ++node) {
+    if (options_.conditions.churn_down(node, 0)) {
+      states_[node]->lifecycle.store(NodeLifecycle::kCrashed);
+    }
+  }
 }
 
 Cluster::~Cluster() {
@@ -63,14 +80,116 @@ void Cluster::register_handler(NodeId node, const std::string& method,
   states_[node]->handlers[method] = std::move(handler);
 }
 
+void Cluster::crash_locked(NodeId node) {
+  states_[node]->lifecycle.store(NodeLifecycle::kCrashed);
+  // A crashed process loses its registered handlers: recovery must
+  // re-register them (Server/Worker::rejoin), not just flip the state.
+  std::lock_guard node_lock(states_[node]->mutex);
+  states_[node]->handlers.clear();
+}
+
 void Cluster::crash(NodeId node) {
   assert(node < nodes_);
-  states_[node]->crashed.store(true);
+  std::lock_guard lock(lifecycle_mutex_);
+  crash_locked(node);
+}
+
+void Cluster::begin_recovery(NodeId node) {
+  assert(node < nodes_);
+  std::lock_guard lock(lifecycle_mutex_);
+  if (states_[node]->lifecycle.load() != NodeLifecycle::kCrashed) {
+    throw std::logic_error("Cluster::begin_recovery: node " +
+                           std::to_string(node) + " is not CRASHED");
+  }
+  states_[node]->lifecycle.store(NodeLifecycle::kRecovering);
+}
+
+void Cluster::complete_recovery(NodeId node) {
+  assert(node < nodes_);
+  {
+    std::lock_guard lock(lifecycle_mutex_);
+    if (states_[node]->lifecycle.load() != NodeLifecycle::kRecovering) {
+      throw std::logic_error("Cluster::complete_recovery: node " +
+                             std::to_string(node) + " is not RECOVERING");
+    }
+    states_[node]->lifecycle.store(NodeLifecycle::kRunning);
+  }
+  lifecycle_cv_.notify_all();
+}
+
+NodeLifecycle Cluster::lifecycle(NodeId node) const {
+  assert(node < nodes_);
+  return states_[node]->lifecycle.load();
 }
 
 bool Cluster::is_crashed(NodeId node) const {
   assert(node < nodes_);
-  return states_[node]->crashed.load();
+  return states_[node]->lifecycle.load() != NodeLifecycle::kRunning;
+}
+
+void Cluster::set_recovery_handler(
+    NodeId node, std::function<void(std::uint64_t)> handler) {
+  assert(node < nodes_);
+  std::lock_guard lock(lifecycle_mutex_);
+  recovery_handlers_[node] = std::move(handler);
+}
+
+void Cluster::advance_lifecycle(std::uint64_t iteration) {
+  const auto& churn = options_.conditions.churn();
+  if (churn.empty()) return;
+  std::unique_lock lock(lifecycle_mutex_);
+  lifecycle_horizon_ = std::max(lifecycle_horizon_, iteration);
+  // Down-edges first: a horizon jump spanning a whole crash window must
+  // kill before it resurrects, or the recovery hook would run against a
+  // node that was never torn down.
+  for (std::size_t i = 0; i < churn.size(); ++i) {
+    const NetworkConditions::ChurnEvent& e = churn[i];
+    if (e.join || churn_state_[i].crashed_applied ||
+        e.at_iter > lifecycle_horizon_) {
+      continue;
+    }
+    churn_state_[i].crashed_applied = true;
+    for (std::size_t node = e.nodes.lo; node <= e.nodes.hi; ++node) {
+      crash_locked(node);
+    }
+  }
+  for (std::size_t i = 0; i < churn.size(); ++i) {
+    const NetworkConditions::ChurnEvent& e = churn[i];
+    if (churn_state_[i].recovered_applied) continue;
+    if (!e.join && e.recover_after == 0) continue;  // permanent crash
+    const std::uint64_t up =
+        e.join ? e.at_iter : e.at_iter + e.recover_after;
+    if (up > lifecycle_horizon_) continue;
+    churn_state_[i].recovered_applied = true;
+    for (std::size_t node = e.nodes.lo; node <= e.nodes.hi; ++node) {
+      // Another event may still hold the node down at its up-edge, and a
+      // manual crash()/recovery may already have moved it on.
+      if (options_.conditions.churn_down(node, up)) continue;
+      if (states_[node]->lifecycle.load() != NodeLifecycle::kCrashed) {
+        continue;
+      }
+      states_[node]->lifecycle.store(NodeLifecycle::kRecovering);
+      // The hook runs under the lifecycle mutex: transitions stay
+      // serialized, and dispatch never takes this mutex so delivery is
+      // not blocked while the node state-transfers.
+      if (recovery_handlers_[node]) recovery_handlers_[node](up);
+      states_[node]->lifecycle.store(NodeLifecycle::kRunning);
+      recovered_at_[node] = up;
+    }
+  }
+  lock.unlock();
+  lifecycle_cv_.notify_all();
+}
+
+std::optional<std::uint64_t> Cluster::wait_until_running(NodeId node,
+                                                         Duration timeout) {
+  assert(node < nodes_);
+  std::unique_lock lock(lifecycle_mutex_);
+  const bool up = lifecycle_cv_.wait_for(lock, timeout, [&] {
+    return states_[node]->lifecycle.load() == NodeLifecycle::kRunning;
+  });
+  if (!up) return std::nullopt;
+  return recovered_at_[node];
 }
 
 Duration Cluster::jitter_for(NodeId from, NodeId to,
@@ -97,7 +216,7 @@ void Cluster::dispatch(Request request, CallbackPtr on_done, Duration delay,
     // A crashed callee is fail-silent: the caller never hears back. We
     // deliver nullptr so single-call users don't hang; Collector users see
     // it as a missing reply, preserving quorum semantics.
-    if (callee.crashed.load()) {
+    if (callee.lifecycle.load() != NodeLifecycle::kRunning) {
       (*on_done)(nullptr);
       return;
     }
@@ -114,9 +233,10 @@ void Cluster::dispatch(Request request, CallbackPtr on_done, Duration delay,
     HandlerResult result = handler(request);
     if (result.retry) {
       // Not ready yet: redeliver after a backoff instead of blocking a
-      // pool thread. Give up at the caller's deadline so an abandoned
-      // request cannot poll a dead-ended callee forever.
-      if (Clock::now() + retry_backoff >= retry_deadline) {
+      // pool thread. Give up past the caller's deadline so an abandoned
+      // request cannot poll a dead-ended callee forever — a retry landing
+      // exactly AT the deadline is still a legitimate attempt.
+      if (retry_gives_up(Clock::now() + retry_backoff, retry_deadline)) {
         (*on_done)(nullptr);
         return;
       }
@@ -212,6 +332,10 @@ std::vector<Reply> Cluster::collect(
   // downstream floating-point reductions (e.g. averaging) are
   // bit-reproducible whenever the membership is.
   state->closed = true;
+  // Deadline expired short of quorum (or every responder resolved silent):
+  // record it, so churn/straggler scenarios are distinguishable from runs
+  // that genuinely met q, instead of just looking slow.
+  if (state->replies.size() < q) quorum_misses_.fetch_add(1);
   std::vector<Reply> replies = std::move(state->replies);
   lock.unlock();
   std::sort(replies.begin(), replies.end(),
@@ -220,9 +344,9 @@ std::vector<Reply> Cluster::collect(
 }
 
 NetStats Cluster::stats() const {
-  return NetStats{requests_sent_.load(), replies_received_.load(),
+  return NetStats{requests_sent_.load(),  replies_received_.load(),
                   floats_transferred_.load(), wasted_replies_.load(),
-                  dropped_tasks_.load()};
+                  quorum_misses_.load(),  dropped_tasks_.load()};
 }
 
 }  // namespace garfield::net

@@ -22,8 +22,14 @@
 //    the cluster redelivers the request after a short backoff instead of
 //    blocking a pool thread — the primitive behind step-tagged model and
 //    gossip serving;
-//  - crashed nodes never answer; Byzantine behaviour lives in the handler
-//    (a Byzantine node simply serves corrupted payloads — separate
+//  - every node carries a lifecycle FSM (RUNNING -> CRASHED -> RECOVERING
+//    -> RUNNING) owned by the cluster: CRASHED and RECOVERING nodes are
+//    fail-silent (delivery refused, handlers dropped at crash time) and a
+//    parsed churn schedule (NetworkConditions `churn:` clauses) drives the
+//    transitions per training iteration, invoking a per-node recovery
+//    hook — handler re-registration plus checkpoint state transfer — on
+//    the way back up; Byzantine behaviour lives in the handler (a
+//    Byzantine node simply serves corrupted payloads — separate
 //    replicated state, there is no shared graph to protect);
 //  - Collector implements fastest-q-of-n with a deadline, the liveness
 //    primitive that lets Garfield run in asynchronous settings.
@@ -58,6 +64,21 @@ using Payload = tensor::FlatVector;
 using PayloadPtr = std::shared_ptr<const Payload>;
 using Clock = std::chrono::steady_clock;
 using Duration = std::chrono::microseconds;
+
+/// Per-node lifecycle state (the Graphite-style per-core state machine,
+/// applied to cluster membership). Only RUNNING nodes serve requests;
+/// CRASHED and RECOVERING nodes are fail-silent to every caller.
+enum class NodeLifecycle { kRunning, kCrashed, kRecovering };
+
+/// Give-up predicate for the not-ready redelivery chain: true when the
+/// next attempt, landing at `next_attempt`, would arrive after the
+/// caller's `deadline`. Strictly after — an attempt landing exactly at
+/// the deadline is still inside the contract (a `>=` here silently shaved
+/// one legitimate retry off every timeout-bounded exchange).
+[[nodiscard]] inline bool retry_gives_up(Clock::time_point next_attempt,
+                                         Clock::time_point deadline) {
+  return next_attempt > deadline;
+}
 
 /// A pull request: "node `from` asks node `to` to run `method`".
 /// `iteration` tags the training step; `argument` carries the caller's data
@@ -116,6 +137,12 @@ struct NetStats {
   /// met — the overshoot cost of fastest-q pulls (the callee still paid
   /// the compute and the link still carried the floats).
   std::uint64_t wasted_replies = 0;
+  /// collect() calls that returned with fewer than q replies — the wait
+  /// expired, or every outstanding responder resolved silent (crashed /
+  /// declined). Without this counter a short quorum is indistinguishable
+  /// from a met one in the stats, which hides exactly the degraded rounds
+  /// a churn or straggler scenario is supposed to expose.
+  std::uint64_t quorum_misses = 0;
   /// Dispatches rejected because the pool/timer had begun shutdown. The
   /// callback is resolved with "no reply" so quorum accounting cannot
   /// hang-then-timeout during teardown; nonzero values outside teardown
@@ -148,9 +175,45 @@ class Cluster {
   void register_handler(NodeId node, const std::string& method,
                         Handler handler);
 
-  /// Crash a node: it stops answering any request, forever (fail-silent).
+  // Lifecycle FSM: RUNNING -> CRASHED -> RECOVERING -> RUNNING. crash()
+  // may fire from any state; the two recovery edges are strict and throw
+  // std::logic_error on an invalid transition — an out-of-order recovery
+  // is a scheduler bug, not a tolerable race.
+
+  /// Crash a node: delivery to it is refused and its registered handlers
+  /// are dropped (a restarted process has none) until it recovers.
   void crash(NodeId node);
+  /// CRASHED -> RECOVERING: still fail-silent; the node is re-registering
+  /// handlers and state-transferring.
+  void begin_recovery(NodeId node);
+  /// RECOVERING -> RUNNING: serving again; wakes wait_until_running().
+  void complete_recovery(NodeId node);
+  [[nodiscard]] NodeLifecycle lifecycle(NodeId node) const;
+  /// True whenever the node is not serving (CRASHED or RECOVERING).
   [[nodiscard]] bool is_crashed(NodeId node) const;
+
+  /// Hook invoked between the RECOVERING and RUNNING edges when the churn
+  /// schedule brings `node` back up (advance_lifecycle), with the
+  /// scheduled recovery iteration. This is where the trainer re-registers
+  /// the node's handlers and transfers checkpointed state.
+  void set_recovery_handler(NodeId node,
+                            std::function<void(std::uint64_t)> handler);
+
+  /// Drive the parsed churn schedule (options.conditions `churn:` clauses)
+  /// up to `iteration`: apply every crash whose window has started and
+  /// every recovery/join whose up-edge has passed, invoking recovery
+  /// handlers along the way. Idempotent and monotonic — any loop thread
+  /// may call it with its own iteration counter; the max ever seen drives
+  /// the schedule. Nodes down at iteration 0 (joins, at_iter=0 crashes)
+  /// start CRASHED without a call.
+  void advance_lifecycle(std::uint64_t iteration);
+
+  /// Block until `node` is RUNNING (a crashed node's own driving loop
+  /// parks here while live peers drive the schedule past its up-edge).
+  /// Returns the iteration the schedule recovered it at, or nullopt on
+  /// timeout — the deadlock guard for schedules nobody can drive.
+  [[nodiscard]] std::optional<std::uint64_t> wait_until_running(
+      NodeId node, Duration timeout);
 
   /// Pull from every peer in `peers` in parallel and return the fastest
   /// `q` replies (arrival order). Returns fewer than q only if the deadline
@@ -199,19 +262,36 @@ class Cluster {
   struct NodeState {
     std::mutex mutex;
     std::unordered_map<std::string, Handler> handlers;
-    std::atomic<bool> crashed{false};
+    std::atomic<NodeLifecycle> lifecycle{NodeLifecycle::kRunning};
   };
 
   void dispatch(Request request, CallbackPtr on_done, Duration delay,
                 Clock::time_point retry_deadline, Duration retry_backoff);
 
+  /// Any state -> CRASHED + drop handlers; lifecycle_mutex_ held.
+  void crash_locked(NodeId node);
+
   std::size_t nodes_;
   Options options_;
   std::vector<std::unique_ptr<NodeState>> states_;
+  // Lifecycle scheduling state. The per-node lifecycle enum itself is
+  // atomic (dispatch reads it lock-free); the mutex serializes transitions
+  // and the churn schedule's one-shot event application.
+  mutable std::mutex lifecycle_mutex_;
+  std::condition_variable lifecycle_cv_;
+  std::uint64_t lifecycle_horizon_ = 0;
+  struct ChurnEventState {
+    bool crashed_applied = false;
+    bool recovered_applied = false;
+  };
+  std::vector<ChurnEventState> churn_state_;
+  std::vector<std::function<void(std::uint64_t)>> recovery_handlers_;
+  std::vector<std::uint64_t> recovered_at_;
   std::atomic<std::uint64_t> requests_sent_{0};
   std::atomic<std::uint64_t> replies_received_{0};
   std::atomic<std::uint64_t> floats_transferred_{0};
   std::atomic<std::uint64_t> wasted_replies_{0};
+  std::atomic<std::uint64_t> quorum_misses_{0};
   std::atomic<std::uint64_t> dropped_tasks_{0};
   // Torn down explicitly by ~Cluster in the order stop-wheel ->
   // drain-pool -> destroy both, so in-flight dispatches can never re-arm

@@ -143,6 +143,27 @@ NetworkConditions NetworkConditions::parse(const std::string& spec) {
             "network spec: partition groups overlap");
       }
       out.partition_ = partition;
+    } else if (clause.name == "churn") {
+      // Unlike the other clauses, churn may repeat: each occurrence is one
+      // scheduled membership event (a crash window or a join).
+      ChurnEvent event;
+      const bool has_crash = opt.contains("crash");
+      const bool has_join = opt.contains("join");
+      if (has_crash == has_join) {
+        throw std::invalid_argument(
+            "network spec: churn clause needs exactly one of 'crash=' or "
+            "'join='");
+      }
+      event.join = has_join;
+      event.nodes = range_option(opt, has_join ? "join" : "crash", "churn");
+      event.at_iter = opt.get_size("at_iter", 0);
+      if (has_join && opt.contains("recover_after")) {
+        throw std::invalid_argument(
+            "network spec: churn join has no 'recover_after' (a join IS "
+            "the recovery)");
+      }
+      event.recover_after = opt.get_size("recover_after", 0);
+      out.churn_.push_back(event);
     } else {
       throw std::invalid_argument("network spec: unknown clause '" +
                                   clause.name + "' in '" + spec + "'");
@@ -173,6 +194,9 @@ void NetworkConditions::validate(std::size_t nodes) const {
   if (partition_) {
     check(partition_->a, "partition group a");
     check(partition_->b, "partition group b");
+  }
+  for (const ChurnEvent& e : churn_) {
+    check(e.nodes, e.join ? "churn join" : "churn crash");
   }
 }
 
@@ -205,6 +229,52 @@ std::size_t NetworkConditions::count_straggling(
     std::size_t lo, std::size_t hi, std::uint64_t iteration) const {
   if (!straggler_window_active(iteration)) return 0;
   return straggler_->nodes.count_in(lo, hi);
+}
+
+bool NetworkConditions::churn_down(std::size_t node,
+                                   std::uint64_t iteration) const {
+  for (const ChurnEvent& e : churn_) {
+    if (!e.nodes.contains(node)) continue;
+    if (e.join) {
+      if (iteration < e.at_iter) return true;
+    } else if (iteration >= e.at_iter &&
+               (e.recover_after == 0 ||
+                iteration - e.at_iter < e.recover_after)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::uint64_t> NetworkConditions::next_up_iteration(
+    std::size_t node, std::uint64_t iteration) const {
+  if (!churn_down(node, iteration)) return iteration;
+  // No transition can lift the node past the last scheduled up-edge that
+  // covers it; scanning to that horizon is exact even when several down
+  // windows overlap.
+  std::uint64_t horizon = iteration;
+  for (const ChurnEvent& e : churn_) {
+    if (!e.nodes.contains(node)) continue;
+    const std::uint64_t up = e.join ? e.at_iter
+                             : e.recover_after == 0
+                                 ? 0
+                                 : e.at_iter + e.recover_after;
+    horizon = std::max(horizon, up);
+  }
+  for (std::uint64_t t = iteration + 1; t <= horizon; ++t) {
+    if (!churn_down(node, t)) return t;
+  }
+  return std::nullopt;
+}
+
+std::size_t NetworkConditions::count_down(std::size_t lo, std::size_t hi,
+                                          std::uint64_t iteration) const {
+  if (churn_.empty()) return 0;
+  std::size_t down = 0;
+  for (std::size_t node = lo; node < hi; ++node) {
+    if (churn_down(node, iteration)) ++down;
+  }
+  return down;
 }
 
 std::size_t NetworkConditions::count_cross(std::size_t from, std::size_t lo,

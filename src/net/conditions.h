@@ -16,7 +16,8 @@
 //   conditions := clause (";" clause)*            |  "" (ideal network)
 //   clause     := name [ ":" key "=" value ("," key "=" value)* ]
 //
-// Clauses (each may appear at most once):
+// Clauses (each may appear at most once, except `churn`, which may repeat
+// — every occurrence schedules one membership event):
 //
 //   wan:latency=5ms,jitter=2ms
 //       Base per-message latency plus a deterministic per-edge jitter in
@@ -35,6 +36,16 @@
 //       the a|b cut are DELAYED by `lag` — never dropped — modelling the
 //       pre-GST regime where delivery is guaranteed but unbounded-ish.
 //       Nodes in neither group are reachable from both sides.
+//   churn:crash=3,at_iter=100,recover_after=50
+//   churn:join=9,at_iter=200
+//       Elastic membership: `crash` fail-stops the nodes at `at_iter`;
+//       with `recover_after=m` they come back up at `at_iter + m`
+//       (omitted or 0 => permanent). `join` nodes are absent from
+//       iteration 0 and come up at `at_iter` — a join is a recovery of a
+//       node that was never alive, and rides the same state-transfer
+//       path. While a node is down, the live Cluster refuses delivery to
+//       it (lifecycle FSM, net/cluster.h) and the analytic simulator
+//       removes it from every stage's candidate pool.
 //
 // Durations accept us/ms/s suffixes (bare integers are microseconds) and
 // reject negative or malformed values at parse time. Node sets are single
@@ -48,6 +59,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace garfield::net {
 
@@ -92,6 +104,16 @@ class NetworkConditions {
     std::uint64_t len = 0;  ///< 0 => open-ended (no GST)
     Duration lag{10'000};   ///< cross-cut delivery delay while active
   };
+  /// One scheduled membership event. A crash event downs `nodes` during
+  /// [at_iter, at_iter + recover_after) (recover_after = 0 => forever); a
+  /// join event downs them during [0, at_iter). Events are independent: a
+  /// node covered by several is down whenever any of them says so.
+  struct ChurnEvent {
+    NodeRange nodes;
+    std::uint64_t at_iter = 0;
+    std::uint64_t recover_after = 0;  ///< crash events only; 0 => permanent
+    bool join = false;
+  };
 
   NetworkConditions() = default;
 
@@ -110,7 +132,7 @@ class NetworkConditions {
 
   [[nodiscard]] bool ideal() const {
     return latency_.count() == 0 && jitter_.count() == 0 && !hetero_ &&
-           !straggler_ && !partition_;
+           !straggler_ && !partition_ && churn_.empty();
   }
 
   // ----------------------------------------------------- live-plane queries
@@ -152,6 +174,16 @@ class NetworkConditions {
   [[nodiscard]] bool partitioned(std::size_t x, std::size_t y,
                                  std::uint64_t iteration) const;
 
+  [[nodiscard]] bool has_churn() const { return !churn_.empty(); }
+  /// True when the churn schedule has `node` down (crashed, or not yet
+  /// joined) at `iteration` — the membership predicate both planes share.
+  [[nodiscard]] bool churn_down(std::size_t node,
+                                std::uint64_t iteration) const;
+  /// The first iteration >= `iteration` at which `node` is up again, or
+  /// nullopt when the schedule never brings it back.
+  [[nodiscard]] std::optional<std::uint64_t> next_up_iteration(
+      std::size_t node, std::uint64_t iteration) const;
+
   // ------------------------------------------------------ sim-plane queries
   // The analytic plane reasons over id spans (servers [0, nps), workers
   // [nps, nps+nw), decentralized peers [0, n)) rather than edges.
@@ -165,6 +197,11 @@ class NetworkConditions {
   [[nodiscard]] std::size_t count_cross(std::size_t from, std::size_t lo,
                                         std::size_t hi,
                                         std::uint64_t iteration) const;
+  /// Nodes inside [lo, hi) the churn schedule has down at `iteration` —
+  /// the quorum-trajectory primitive (a cohort of span n fields
+  /// n - count_down(...) responders).
+  [[nodiscard]] std::size_t count_down(std::size_t lo, std::size_t hi,
+                                       std::uint64_t iteration) const;
 
   [[nodiscard]] double latency_seconds() const {
     return double(latency_.count()) * 1e-6;
@@ -193,6 +230,9 @@ class NetworkConditions {
   [[nodiscard]] const std::optional<Partition>& partition() const {
     return partition_;
   }
+  [[nodiscard]] const std::vector<ChurnEvent>& churn() const {
+    return churn_;
+  }
 
  private:
   std::string spec_;
@@ -201,6 +241,7 @@ class NetworkConditions {
   std::optional<Hetero> hetero_;
   std::optional<Straggler> straggler_;
   std::optional<Partition> partition_;
+  std::vector<ChurnEvent> churn_;
 };
 
 }  // namespace garfield::net

@@ -47,6 +47,20 @@ StageNet resolve_pull(const SimSetup& s, std::size_t from, std::size_t lo,
     if (c.is_slow(from)) slow -= 1;
     if (c.is_straggling(from, s.iteration)) straggling -= 1;
   }
+  // Churn removes a down node from the candidate pool entirely — it is
+  // not slow, it is absent: the live plane refuses delivery to it, so the
+  // analytic plane shrinks the pool (and each degraded class the node
+  // belonged to) the same way. The quorum clamp below then reproduces the
+  // live trajectory q' = min(q, span - count_down).
+  if (c.has_churn()) {
+    for (std::size_t node = lo; node < hi; ++node) {
+      if (node == from || !c.churn_down(node, s.iteration)) continue;
+      avail -= 1;
+      if (c.is_slow(node) && slow > 0) slow -= 1;
+      if (c.is_straggling(node, s.iteration) && straggling > 0) straggling -= 1;
+      if (c.partitioned(from, node, s.iteration) && cross > 0) cross -= 1;
+    }
+  }
   // A slow puller degrades every edge it uses, regardless of who answers.
   if (c.is_slow(from)) slow = avail;
   q = std::min(q, avail);

@@ -27,7 +27,12 @@
 //  - an active partition window adds its delivery lag whenever q cannot be
 //    met on the puller's side of the cut (messages are delayed, not
 //    dropped — the pre-GST partial-synchrony regime);
-//  - jitter contributes the expected tail of the q-th fastest reply.
+//  - jitter contributes the expected tail of the q-th fastest reply;
+//  - a churn schedule removes its down nodes from the stage's candidate
+//    pool outright (they are absent, not slow) and clamps the quorum to
+//    what remains — the analytic twin of the live cluster's lifecycle FSM
+//    refusing delivery to CRASHED nodes, so both planes walk the same
+//    per-iteration quorum trajectory.
 #pragma once
 
 #include <cstdint>

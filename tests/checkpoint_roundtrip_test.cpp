@@ -195,3 +195,72 @@ TEST_F(CheckpointRoundTrip, MissingFileThrowsRuntimeError) {
   EXPECT_THROW(gc::load_checkpoint(path("does_not_exist.ckpt")),
                std::runtime_error);
 }
+
+TEST_F(CheckpointRoundTrip, EmptyFileIsRejectedWithAPointedMessage) {
+  // An empty file used to reach net::encoded_size and die on a generic
+  // "truncated header"; the loader must say what actually happened — the
+  // checkpoint on disk is empty (e.g. a crash before any bytes landed).
+  { std::ofstream out(path("empty.ckpt"), std::ios::binary); }
+  try {
+    (void)gc::load_checkpoint(path("empty.ckpt"));
+    FAIL() << "empty checkpoint must not load";
+  } catch (const gn::WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("empty"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(CheckpointRoundTrip, SubHeaderFileIsRejectedAsTruncated) {
+  // Shorter than one wire header: no field of it is trustworthy.
+  {
+    std::ofstream out(path("stub.ckpt"), std::ios::binary);
+    out.write("GRFD\x01\x00\x00\x00\x99", 9);
+  }
+  try {
+    (void)gc::load_checkpoint(path("stub.ckpt"));
+    FAIL() << "sub-header checkpoint must not load";
+  } catch (const gn::WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(CheckpointRoundTrip, TruncatedParametersAreRejected) {
+  // Header intact, parameter payload cut mid-vector — the header's element
+  // count must trip the truncation check, not index past the blob.
+  gc::Checkpoint original;
+  original.iteration = 3;
+  original.parameters = random_vector(64, 14);
+  gc::save_checkpoint(path("cutparams.ckpt"), original);
+  std::filesystem::resize_file(path("cutparams.ckpt"),
+                               gn::wire_size(0) + 12);
+  EXPECT_THROW(gc::load_checkpoint(path("cutparams.ckpt")), gn::WireError);
+}
+
+TEST_F(CheckpointRoundTrip, TruncatedVelocityTailIsRejected) {
+  // Cut inside the velocity message's own header: the parameters decode
+  // fine, the tail must still fail loudly instead of loading param-only.
+  gc::Checkpoint original;
+  original.iteration = 4;
+  original.parameters = random_vector(32, 15);
+  original.velocity = random_vector(32, 16);
+  gc::save_checkpoint(path("cutvel.ckpt"), original);
+  const std::size_t head = gn::wire_size(original.parameters.size());
+  std::filesystem::resize_file(path("cutvel.ckpt"), head + 10);
+  EXPECT_THROW(gc::load_checkpoint(path("cutvel.ckpt")), gn::WireError);
+}
+
+TEST_F(CheckpointRoundTrip, RenameFailureThrowsAndCleansUpTheTempFile) {
+  // Make the final path un-renameable-to: a non-empty directory. The write
+  // of the tmp file succeeds, the commit rename fails — save_checkpoint
+  // must surface that as an error (the checkpoint is NOT durable) and not
+  // leave the orphaned tmp file around.
+  const std::string target = path("blocked.ckpt");
+  std::filesystem::create_directories(std::filesystem::path(target) /
+                                      "occupant");
+  gc::Checkpoint ckpt;
+  ckpt.iteration = 2;
+  ckpt.parameters = random_vector(8, 17);
+  EXPECT_THROW(gc::save_checkpoint(target, ckpt), std::runtime_error);
+  EXPECT_FALSE(std::filesystem::exists(target + ".tmp"));
+}

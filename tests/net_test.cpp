@@ -414,3 +414,135 @@ TEST(Cluster, LatencyAndJitterDelayDelivery) {
   const auto elapsed = std::chrono::steady_clock::now() - start;
   EXPECT_GE(elapsed, 45ms);
 }
+
+// ----------------------------------------------------------- lifecycle FSM
+
+TEST(Lifecycle, RetryGiveUpIsStrictlyAfterTheDeadline) {
+  // The give-up comparison must be strict: a retry landing exactly AT the
+  // deadline is the last legitimate attempt of a timeout-bounded exchange,
+  // not one past it (the old `>=` silently dropped it).
+  const auto deadline = gn::Clock::now() + 1s;
+  EXPECT_FALSE(gn::retry_gives_up(deadline, deadline));
+  EXPECT_FALSE(gn::retry_gives_up(deadline - 1us, deadline));
+  EXPECT_TRUE(gn::retry_gives_up(deadline + 1us, deadline));
+}
+
+TEST(Lifecycle, CrashRecoverRoundTripRestoresService) {
+  gn::Cluster cluster(small_cluster(2));
+  serve_constant(cluster, 1, 5.0F);
+  EXPECT_EQ(cluster.lifecycle(1), gn::NodeLifecycle::kRunning);
+
+  cluster.crash(1);
+  EXPECT_EQ(cluster.lifecycle(1), gn::NodeLifecycle::kCrashed);
+  EXPECT_TRUE(cluster.is_crashed(1));
+  std::vector<gn::NodeId> peers{1};
+  EXPECT_TRUE(cluster.collect(0, peers, "echo", 0, nullptr, 1, 1s).empty());
+
+  cluster.begin_recovery(1);
+  EXPECT_EQ(cluster.lifecycle(1), gn::NodeLifecycle::kRecovering);
+  // RECOVERING is still fail-silent.
+  EXPECT_TRUE(cluster.is_crashed(1));
+  EXPECT_TRUE(cluster.collect(0, peers, "echo", 1, nullptr, 1, 1s).empty());
+
+  // A restarted process has no handlers: re-register before completing.
+  serve_constant(cluster, 1, 6.0F);
+  cluster.complete_recovery(1);
+  EXPECT_EQ(cluster.lifecycle(1), gn::NodeLifecycle::kRunning);
+  EXPECT_FALSE(cluster.is_crashed(1));
+  auto replies = cluster.collect(0, peers, "echo", 2, nullptr, 1);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_FLOAT_EQ((*replies[0].payload)[0], 6.0F);
+}
+
+TEST(Lifecycle, CrashDropsRegisteredHandlers) {
+  gn::Cluster cluster(small_cluster(2));
+  serve_constant(cluster, 1, 5.0F);
+  cluster.crash(1);
+  cluster.begin_recovery(1);
+  cluster.complete_recovery(1);
+  // Recovered without re-registering: the old handler must be gone (a
+  // restarted process does not keep the dead one's function pointers).
+  std::promise<gn::PayloadPtr> done;
+  cluster.call(0, 1, "echo", 0, nullptr,
+               [&done](gn::PayloadPtr p) { done.set_value(std::move(p)); });
+  EXPECT_FALSE(done.get_future().get());
+}
+
+TEST(Lifecycle, OutOfOrderTransitionsThrow) {
+  gn::Cluster cluster(small_cluster(2));
+  EXPECT_THROW(cluster.begin_recovery(1), std::logic_error);     // RUNNING
+  EXPECT_THROW(cluster.complete_recovery(1), std::logic_error);  // RUNNING
+  cluster.crash(1);
+  EXPECT_THROW(cluster.complete_recovery(1), std::logic_error);  // CRASHED
+  cluster.begin_recovery(1);
+  EXPECT_THROW(cluster.begin_recovery(1), std::logic_error);  // RECOVERING
+  cluster.complete_recovery(1);
+  EXPECT_EQ(cluster.lifecycle(1), gn::NodeLifecycle::kRunning);
+}
+
+TEST(Lifecycle, ChurnScheduleDrivesCrashAndRecovery) {
+  gn::Cluster::Options opts = small_cluster(3);
+  opts.conditions =
+      gn::NetworkConditions::parse("churn:crash=2,at_iter=5,recover_after=3");
+  gn::Cluster cluster(opts);
+  serve_constant(cluster, 2, 1.0F);
+  std::atomic<int> recoveries{0};
+  std::atomic<std::uint64_t> recovered_at{0};
+  cluster.set_recovery_handler(2, [&](std::uint64_t up) {
+    recoveries.fetch_add(1);
+    recovered_at.store(up);
+  });
+
+  cluster.advance_lifecycle(4);
+  EXPECT_FALSE(cluster.is_crashed(2));
+  cluster.advance_lifecycle(5);
+  EXPECT_TRUE(cluster.is_crashed(2));
+  cluster.advance_lifecycle(7);
+  EXPECT_TRUE(cluster.is_crashed(2));
+  cluster.advance_lifecycle(8);  // up-edge: 5 + 3
+  EXPECT_FALSE(cluster.is_crashed(2));
+  EXPECT_EQ(recoveries.load(), 1);
+  EXPECT_EQ(recovered_at.load(), 8u);
+  // One-shot events: replaying old iterations must not re-crash the node.
+  cluster.advance_lifecycle(6);
+  EXPECT_FALSE(cluster.is_crashed(2));
+  // wait_until_running on an already-running node reports the recovery.
+  const auto resumed = cluster.wait_until_running(2, 1s);
+  ASSERT_TRUE(resumed.has_value());
+  EXPECT_EQ(*resumed, 8u);
+}
+
+TEST(Lifecycle, JoinNodesStartCrashedAndComeUpAtTheirIteration) {
+  gn::Cluster::Options opts = small_cluster(3);
+  opts.conditions = gn::NetworkConditions::parse("churn:join=2,at_iter=10");
+  gn::Cluster cluster(opts);
+  // Down from construction, before any advance_lifecycle call.
+  EXPECT_TRUE(cluster.is_crashed(2));
+  EXPECT_FALSE(cluster.is_crashed(1));
+  cluster.advance_lifecycle(9);
+  EXPECT_TRUE(cluster.is_crashed(2));
+  cluster.advance_lifecycle(10);
+  EXPECT_FALSE(cluster.is_crashed(2));
+}
+
+TEST(Lifecycle, PermanentCrashNeverRecovers) {
+  gn::Cluster::Options opts = small_cluster(2);
+  opts.conditions = gn::NetworkConditions::parse("churn:crash=1,at_iter=3");
+  gn::Cluster cluster(opts);
+  cluster.advance_lifecycle(1000);
+  EXPECT_TRUE(cluster.is_crashed(1));
+  EXPECT_FALSE(cluster.wait_until_running(1, 50ms).has_value());
+}
+
+TEST(Lifecycle, QuorumMissesCountShortCollects) {
+  gn::Cluster cluster(small_cluster(4));
+  for (gn::NodeId i = 1; i < 4; ++i) serve_constant(cluster, i, float(i));
+  cluster.crash(3);
+  std::vector<gn::NodeId> peers{1, 2, 3};
+  // Met quorum: no miss.
+  EXPECT_EQ(cluster.collect(0, peers, "echo", 0, nullptr, 2).size(), 2u);
+  EXPECT_EQ(cluster.stats().quorum_misses, 0u);
+  // q = 3 with one crashed responder: resolves short, counts one miss.
+  EXPECT_EQ(cluster.collect(0, peers, "echo", 1, nullptr, 3, 2s).size(), 2u);
+  EXPECT_EQ(cluster.stats().quorum_misses, 1u);
+}
