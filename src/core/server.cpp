@@ -39,7 +39,7 @@ Server::Server(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
 
 void Server::rejoin() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     model_ring_.clear();
     aggr_ring_.clear();
     latest_aggr_grad_ = nullptr;
@@ -54,7 +54,7 @@ void Server::rejoin() {
 }
 
 net::PayloadPtr Server::snapshot() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return params_;
 }
 
@@ -97,20 +97,20 @@ std::vector<net::Payload> Server::get_aggr_grads(std::uint64_t tag,
 }
 
 void Server::enable_step_tagged_serving(bool models, bool aggr_grads) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   tagged_models_ = models;
   tagged_aggr_grads_ = aggr_grads;
 }
 
 void Server::publish_model(std::uint64_t t) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!tagged_models_) return;  // untagged serving never reads the ring
   model_ring_.push_back(TaggedEntry{t, params_});
   if (model_ring_.size() > kRingDepth) model_ring_.pop_front();
 }
 
 void Server::publish_aggr_grad(std::uint64_t tag, net::Payload grad) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!tagged_aggr_grads_) return;
   aggr_ring_.push_back(
       TaggedEntry{tag, std::make_shared<const net::Payload>(std::move(grad))});
@@ -118,20 +118,20 @@ void Server::publish_aggr_grad(std::uint64_t tag, net::Payload grad) {
 }
 
 void Server::skip_aggr_grad(std::uint64_t tag) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!tagged_aggr_grads_) return;
   aggr_ring_.push_back(TaggedEntry{tag, nullptr});
   if (aggr_ring_.size() > kRingDepth) aggr_ring_.pop_front();
 }
 
 void Server::set_latest_aggr_grad(net::Payload grad) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   latest_aggr_grad_ =
       std::make_shared<const net::Payload>(std::move(grad));
 }
 
 void Server::update_model(const net::Payload& aggregated_gradient) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   // Copy-on-write: outstanding snapshot holders keep the old vector.
   net::Payload next = *params_;
   optimizer_.step(next, aggregated_gradient, step_);
@@ -140,19 +140,19 @@ void Server::update_model(const net::Payload& aggregated_gradient) {
 }
 
 void Server::write_model(const net::Payload& parameters) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   assert(parameters.size() == params_->size());
   params_ = std::make_shared<const net::Payload>(parameters);
 }
 
 double Server::compute_accuracy(const data::Batch& test) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   model_->set_parameters(*params_);
   return model_->accuracy(test.inputs, test.labels);
 }
 
 double Server::compute_loss(const data::Batch& test) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   model_->set_parameters(*params_);
   return model_->loss(test.inputs, test.labels);
 }
@@ -160,7 +160,7 @@ double Server::compute_loss(const data::Batch& test) {
 net::Payload Server::parameters() const { return *snapshot(); }
 
 std::uint64_t Server::steps_taken() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return step_;
 }
 
@@ -193,7 +193,7 @@ net::HandlerResult Server::serve_tagged(const std::deque<TaggedEntry>& ring,
 }
 
 net::HandlerResult Server::serve_model(const net::Request& req) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (tagged_models_) {
     return serve_tagged(model_ring_, req.iteration,
                         /*serve_oldest_on_eviction=*/true);
@@ -202,7 +202,7 @@ net::HandlerResult Server::serve_model(const net::Request& req) {
 }
 
 net::HandlerResult Server::serve_aggr_grad(const net::Request& req) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (tagged_aggr_grads_) {
     return serve_tagged(aggr_ring_, req.iteration,
                         /*serve_oldest_on_eviction=*/false);
@@ -233,7 +233,7 @@ ByzantineServer::ByzantineServer(net::NodeId id, net::Cluster& cluster,
 net::HandlerResult ByzantineServer::corrupt(const net::Payload& honest,
                                             std::uint64_t iteration,
                                             const std::string& cohort_gar) {
-  std::lock_guard lock(attack_mutex_);
+  util::MutexLock lock(attack_mutex_);
   attacks::AttackContext ctx(rng_);
   ctx.iteration = iteration;
   ctx.attacker_id = id();

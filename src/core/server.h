@@ -30,7 +30,6 @@
 #include <atomic>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "attacks/attack.h"
@@ -39,6 +38,8 @@
 #include "net/cluster.h"
 #include "nn/model.h"
 #include "nn/optimizer.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace garfield::core {
 
@@ -117,13 +118,13 @@ class Server {
   /// Snapshot of the optimizer's momentum buffer (persisted in checkpoints;
   /// empty when momentum is off or no step has run yet).
   [[nodiscard]] tensor::FlatVector optimizer_velocity() const {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     return optimizer_.velocity();
   }
 
   /// Reinstate a checkpointed momentum buffer (checkpoint resume).
   void restore_optimizer_velocity(tensor::FlatVector velocity) {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     optimizer_.restore_velocity(std::move(velocity));
   }
 
@@ -181,25 +182,31 @@ class Server {
   /// (gossip pulls — a wrong round would corrupt the contraction).
   [[nodiscard]] net::HandlerResult serve_tagged(
       const std::deque<TaggedEntry>& ring, std::uint64_t tag,
-      bool serve_oldest_on_eviction) const;
+      bool serve_oldest_on_eviction) const GARFIELD_REQUIRES(mutex_);
 
   net::NodeId id_;
   net::Cluster& cluster_;
-  nn::ModelPtr model_;  // used for evaluation; params_ is canonical
-  nn::SgdOptimizer optimizer_;
+  /// Used for evaluation (set_parameters under mutex_); params_ is
+  /// canonical. Left un-annotated: the const dimension() query is read on
+  /// the lock-free ingress path (validate), and only the mutable
+  /// set_parameters/accuracy/loss calls need — and take — the lock.
+  nn::ModelPtr model_;
+  nn::SgdOptimizer optimizer_ GARFIELD_GUARDED_BY(mutex_);
   std::vector<net::NodeId> workers_;
   std::vector<net::NodeId> peer_servers_;
 
   gars::AggregationContext aggregation_context_;
 
-  mutable std::mutex mutex_;
-  net::PayloadPtr params_;  // immutable snapshot, swapped on write
-  net::PayloadPtr latest_aggr_grad_;  // untagged legacy gossip slot
-  bool tagged_models_ = false;
-  bool tagged_aggr_grads_ = false;
-  std::deque<TaggedEntry> model_ring_;
-  std::deque<TaggedEntry> aggr_ring_;
-  std::uint64_t step_ = 0;
+  mutable util::Mutex mutex_;
+  /// Immutable snapshot, swapped on write.
+  net::PayloadPtr params_ GARFIELD_GUARDED_BY(mutex_);
+  /// Untagged legacy gossip slot.
+  net::PayloadPtr latest_aggr_grad_ GARFIELD_GUARDED_BY(mutex_);
+  bool tagged_models_ GARFIELD_GUARDED_BY(mutex_) = false;
+  bool tagged_aggr_grads_ GARFIELD_GUARDED_BY(mutex_) = false;
+  std::deque<TaggedEntry> model_ring_ GARFIELD_GUARDED_BY(mutex_);
+  std::deque<TaggedEntry> aggr_ring_ GARFIELD_GUARDED_BY(mutex_);
+  std::uint64_t step_ GARFIELD_GUARDED_BY(mutex_) = 0;
   std::atomic<std::uint64_t> rejected_{0};
 };
 
@@ -239,9 +246,11 @@ class ByzantineServer final : public Server {
                                            std::uint64_t iteration,
                                            const std::string& cohort_gar);
 
-  attacks::AttackPtr attack_;
-  std::mutex attack_mutex_;
-  tensor::Rng rng_;
+  util::Mutex attack_mutex_;
+  /// Stateful across rounds (alternating phase, adaptive_z intensity) and
+  /// reachable from every pool thread serving this node's pulls.
+  attacks::AttackPtr attack_ GARFIELD_GUARDED_BY(attack_mutex_);
+  tensor::Rng rng_ GARFIELD_GUARDED_BY(attack_mutex_);
   std::size_t declared_n_;
   std::size_t declared_f_;
   std::string model_cohort_gar_;

@@ -17,6 +17,8 @@
 #include "gars/gar.h"
 #include "gars/registry.h"
 #include "nn/zoo.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace garfield::core {
 
@@ -81,8 +83,8 @@ struct Runtime {
   std::vector<std::unique_ptr<Worker>> workers;
   data::Batch test;
   std::vector<std::vector<EvalPoint>> curves;  // one per server
-  std::vector<AlignmentSample> alignment;
-  std::mutex alignment_mutex;
+  util::Mutex alignment_mutex;
+  std::vector<AlignmentSample> alignment GARFIELD_GUARDED_BY(alignment_mutex);
   /// Reporting replica's per-iteration gradient reply counts (s == 0 loop
   /// thread only — no lock needed).
   std::vector<std::size_t> reporting_gradient_counts;
@@ -90,8 +92,8 @@ struct Runtime {
   // cohort under its GAR floor records why and flips the flag; every loop
   // exits at its next gate and train() rethrows after the join.
   std::atomic<bool> abort{false};
-  std::mutex abort_mutex;
-  std::string abort_reason;
+  util::Mutex abort_mutex;
+  std::string abort_reason GARFIELD_GUARDED_BY(abort_mutex);
   // Declared last so it is destroyed FIRST: tearing down the cluster joins
   // its thread pool, draining in-flight RPC handler invocations (replies
   // beyond the awaited quorum may still be executing) before the servers
@@ -377,7 +379,7 @@ bool churn_floor_holds(Runtime& rt, const GarPlan& plan, std::size_t lo,
   const std::size_t up = hi - lo - down;
   if (up >= plan.min_n) return true;
   {
-    std::lock_guard lock(rt.abort_mutex);
+    util::MutexLock lock(rt.abort_mutex);
     if (rt.abort_reason.empty()) {
       rt.abort_reason =
           "churn schedule drops " + std::string(what) +
@@ -463,7 +465,7 @@ void maybe_alignment(Runtime& rt, std::size_t correct_servers,
   // b-a); alignment is about the angle between the *lines*, so report the
   // magnitude of the cosine.
   sample.cos_phi = std::abs(tensor::cosine(diffs[0].vec, diffs[1].vec));
-  std::lock_guard lock(rt.alignment_mutex);
+  util::MutexLock lock(rt.alignment_mutex);
   rt.alignment.push_back(sample);
 }
 
@@ -682,7 +684,7 @@ TrainResult train(const DeploymentConfig& config) {
   for (std::thread& t : threads) t.join();
 
   if (rt.abort.load()) {
-    std::lock_guard lock(rt.abort_mutex);
+    util::MutexLock lock(rt.abort_mutex);
     throw std::runtime_error(rt.abort_reason);
   }
 
@@ -697,7 +699,11 @@ TrainResult train(const DeploymentConfig& config) {
     result.gradients_served += worker->gradients_served();
     result.gradients_computed += worker->gradients_computed();
   }
-  result.alignment = std::move(rt.alignment);
+  {
+    // Loops are joined; the lock is for the analysis (and costs nothing).
+    util::MutexLock lock(rt.alignment_mutex);
+    result.alignment = std::move(rt.alignment);
+  }
 
   // Reporting replica: server 0, except after a primary crash in the
   // crash-tolerant protocol, where the next replica takes over (its state

@@ -50,7 +50,7 @@ Worker::Worker(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
 
 void Worker::rejoin() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     cache_.clear();
     cloud_cache_.clear();
     velocity_.clear();
@@ -104,7 +104,7 @@ Worker::ServedGradient Worker::compute_locked(const net::Request& req) {
 }
 
 Worker::ServedGradient Worker::honest_gradient(const net::Request& req) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   assert(req.argument && req.argument->size() == model_->dimension());
   for (const CacheEntry& e : cache_) {
     if (e.iteration != req.iteration) continue;
@@ -122,7 +122,7 @@ Worker::ServedGradient Worker::honest_gradient(const net::Request& req) {
 
 std::vector<net::Payload> Worker::local_gradient_cloud(
     const net::Request& req, std::size_t k) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   assert(req.argument && req.argument->size() == model_->dimension());
   for (const CloudEntry& e : cloud_cache_) {
     if (e.iteration == req.iteration && e.cloud.size() == k &&
@@ -149,17 +149,17 @@ net::HandlerResult Worker::serve_gradient(const net::Request& req) {
 }
 
 double Worker::mean_loss() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return served_ == 0 ? 0.0 : loss_sum_ / double(served_);
 }
 
 std::uint64_t Worker::gradients_served() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return served_;
 }
 
 std::uint64_t Worker::gradients_computed() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return computed_;
 }
 
@@ -188,7 +188,7 @@ net::HandlerResult ByzantineWorker::serve_gradient(const net::Request& req) {
   if (omniscient_) {
     view = local_gradient_cloud(req, kOmniscienceProbes);
   }
-  std::lock_guard lock(attack_mutex_);
+  util::MutexLock lock(attack_mutex_);
   attacks::AttackContext ctx(rng_);
   ctx.iteration = req.iteration;
   ctx.attacker_id = id();

@@ -23,12 +23,13 @@
 
 #include <deque>
 #include <memory>
-#include <mutex>
 
 #include "attacks/attack.h"
 #include "data/dataset.h"
 #include "net/cluster.h"
 #include "nn/model.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace garfield::core {
 
@@ -110,22 +111,30 @@ class Worker {
     double loss = 0.0;
   };
 
-  [[nodiscard]] ServedGradient compute_locked(const net::Request& req);
+  [[nodiscard]] ServedGradient compute_locked(const net::Request& req)
+      GARFIELD_REQUIRES(mutex_);
 
   net::NodeId id_;
   net::Cluster& cluster_;  // for handler re-registration on rejoin()
-  nn::ModelPtr model_;
+  /// The private model replica: every forward/backward (set_parameters +
+  /// gradient) runs under mutex_ — concurrent pulls from several server
+  /// replicas serialize on it, which is what makes the per-iteration cache
+  /// coherent.
+  nn::ModelPtr model_ GARFIELD_GUARDED_BY(mutex_);
   data::Dataset shard_;
-  data::BatchSampler sampler_;
-  data::BatchSampler probe_sampler_;  // omniscience probes (disjoint stream)
+  data::BatchSampler sampler_ GARFIELD_GUARDED_BY(mutex_);
+  /// Omniscience probes (disjoint stream).
+  data::BatchSampler probe_sampler_ GARFIELD_GUARDED_BY(mutex_);
   float momentum_;
-  tensor::FlatVector velocity_;  // worker-side momentum state
+  /// Worker-side momentum state.
+  tensor::FlatVector velocity_ GARFIELD_GUARDED_BY(mutex_);
   // Velocity bookkeeping for once-per-iteration momentum: velocity_ holds
   // the state *after* folding velocity_iteration_; velocity_pre_ the state
   // before it, so a second distinct-parameter compute at the same
   // iteration folds into the same base instead of double-counting.
-  tensor::FlatVector velocity_pre_;
-  std::uint64_t velocity_iteration_ = std::uint64_t(-1);
+  tensor::FlatVector velocity_pre_ GARFIELD_GUARDED_BY(mutex_);
+  std::uint64_t velocity_iteration_ GARFIELD_GUARDED_BY(mutex_) =
+      std::uint64_t(-1);
   /// One cached omniscience probe cloud (see local_gradient_cloud).
   struct CloudEntry {
     std::uint64_t iteration = 0;
@@ -133,12 +142,12 @@ class Worker {
     std::vector<net::Payload> cloud;
   };
 
-  std::deque<CacheEntry> cache_;
-  std::deque<CloudEntry> cloud_cache_;
-  mutable std::mutex mutex_;
-  double loss_sum_ = 0.0;
-  std::uint64_t served_ = 0;
-  std::uint64_t computed_ = 0;
+  mutable util::Mutex mutex_;
+  std::deque<CacheEntry> cache_ GARFIELD_GUARDED_BY(mutex_);
+  std::deque<CloudEntry> cloud_cache_ GARFIELD_GUARDED_BY(mutex_);
+  double loss_sum_ GARFIELD_GUARDED_BY(mutex_) = 0.0;
+  std::uint64_t served_ GARFIELD_GUARDED_BY(mutex_) = 0;
+  std::uint64_t computed_ GARFIELD_GUARDED_BY(mutex_) = 0;
 };
 
 /// A worker under adversarial control: computes the honest gradient, then
@@ -166,8 +175,10 @@ class ByzantineWorker final : public Worker {
   net::HandlerResult serve_gradient(const net::Request& req) override;
 
  private:
-  attacks::AttackPtr attack_;
-  std::mutex attack_mutex_;
+  util::Mutex attack_mutex_;
+  /// Stateful across rounds (alternating phase, adaptive_z intensity) and
+  /// reachable from every pool thread serving this node's pulls.
+  attacks::AttackPtr attack_ GARFIELD_GUARDED_BY(attack_mutex_);
   bool omniscient_;
   std::size_t declared_n_;
   std::size_t declared_f_;

@@ -76,7 +76,7 @@ Cluster::~Cluster() {
 void Cluster::register_handler(NodeId node, const std::string& method,
                                Handler handler) {
   assert(node < nodes_);
-  std::lock_guard lock(states_[node]->mutex);
+  util::MutexLock lock(states_[node]->mutex);
   states_[node]->handlers[method] = std::move(handler);
 }
 
@@ -84,19 +84,21 @@ void Cluster::crash_locked(NodeId node) {
   states_[node]->lifecycle.store(NodeLifecycle::kCrashed);
   // A crashed process loses its registered handlers: recovery must
   // re-register them (Server/Worker::rejoin), not just flip the state.
-  std::lock_guard node_lock(states_[node]->mutex);
+  // Lock order: lifecycle_mutex_ (held by our caller) before the node
+  // mutex — dispatch only ever takes the node mutex, so no cycle.
+  util::MutexLock node_lock(states_[node]->mutex);
   states_[node]->handlers.clear();
 }
 
 void Cluster::crash(NodeId node) {
   assert(node < nodes_);
-  std::lock_guard lock(lifecycle_mutex_);
+  util::MutexLock lock(lifecycle_mutex_);
   crash_locked(node);
 }
 
 void Cluster::begin_recovery(NodeId node) {
   assert(node < nodes_);
-  std::lock_guard lock(lifecycle_mutex_);
+  util::MutexLock lock(lifecycle_mutex_);
   if (states_[node]->lifecycle.load() != NodeLifecycle::kCrashed) {
     throw std::logic_error("Cluster::begin_recovery: node " +
                            std::to_string(node) + " is not CRASHED");
@@ -107,7 +109,7 @@ void Cluster::begin_recovery(NodeId node) {
 void Cluster::complete_recovery(NodeId node) {
   assert(node < nodes_);
   {
-    std::lock_guard lock(lifecycle_mutex_);
+    util::MutexLock lock(lifecycle_mutex_);
     if (states_[node]->lifecycle.load() != NodeLifecycle::kRecovering) {
       throw std::logic_error("Cluster::complete_recovery: node " +
                              std::to_string(node) + " is not RECOVERING");
@@ -130,62 +132,63 @@ bool Cluster::is_crashed(NodeId node) const {
 void Cluster::set_recovery_handler(
     NodeId node, std::function<void(std::uint64_t)> handler) {
   assert(node < nodes_);
-  std::lock_guard lock(lifecycle_mutex_);
+  util::MutexLock lock(lifecycle_mutex_);
   recovery_handlers_[node] = std::move(handler);
 }
 
 void Cluster::advance_lifecycle(std::uint64_t iteration) {
   const auto& churn = options_.conditions.churn();
   if (churn.empty()) return;
-  std::unique_lock lock(lifecycle_mutex_);
-  lifecycle_horizon_ = std::max(lifecycle_horizon_, iteration);
-  // Down-edges first: a horizon jump spanning a whole crash window must
-  // kill before it resurrects, or the recovery hook would run against a
-  // node that was never torn down.
-  for (std::size_t i = 0; i < churn.size(); ++i) {
-    const NetworkConditions::ChurnEvent& e = churn[i];
-    if (e.join || churn_state_[i].crashed_applied ||
-        e.at_iter > lifecycle_horizon_) {
-      continue;
-    }
-    churn_state_[i].crashed_applied = true;
-    for (std::size_t node = e.nodes.lo; node <= e.nodes.hi; ++node) {
-      crash_locked(node);
-    }
-  }
-  for (std::size_t i = 0; i < churn.size(); ++i) {
-    const NetworkConditions::ChurnEvent& e = churn[i];
-    if (churn_state_[i].recovered_applied) continue;
-    if (!e.join && e.recover_after == 0) continue;  // permanent crash
-    const std::uint64_t up =
-        e.join ? e.at_iter : e.at_iter + e.recover_after;
-    if (up > lifecycle_horizon_) continue;
-    churn_state_[i].recovered_applied = true;
-    for (std::size_t node = e.nodes.lo; node <= e.nodes.hi; ++node) {
-      // Another event may still hold the node down at its up-edge, and a
-      // manual crash()/recovery may already have moved it on.
-      if (options_.conditions.churn_down(node, up)) continue;
-      if (states_[node]->lifecycle.load() != NodeLifecycle::kCrashed) {
+  {
+    util::MutexLock lock(lifecycle_mutex_);
+    lifecycle_horizon_ = std::max(lifecycle_horizon_, iteration);
+    // Down-edges first: a horizon jump spanning a whole crash window must
+    // kill before it resurrects, or the recovery hook would run against a
+    // node that was never torn down.
+    for (std::size_t i = 0; i < churn.size(); ++i) {
+      const NetworkConditions::ChurnEvent& e = churn[i];
+      if (e.join || churn_state_[i].crashed_applied ||
+          e.at_iter > lifecycle_horizon_) {
         continue;
       }
-      states_[node]->lifecycle.store(NodeLifecycle::kRecovering);
-      // The hook runs under the lifecycle mutex: transitions stay
-      // serialized, and dispatch never takes this mutex so delivery is
-      // not blocked while the node state-transfers.
-      if (recovery_handlers_[node]) recovery_handlers_[node](up);
-      states_[node]->lifecycle.store(NodeLifecycle::kRunning);
-      recovered_at_[node] = up;
+      churn_state_[i].crashed_applied = true;
+      for (std::size_t node = e.nodes.lo; node <= e.nodes.hi; ++node) {
+        crash_locked(node);
+      }
+    }
+    for (std::size_t i = 0; i < churn.size(); ++i) {
+      const NetworkConditions::ChurnEvent& e = churn[i];
+      if (churn_state_[i].recovered_applied) continue;
+      if (!e.join && e.recover_after == 0) continue;  // permanent crash
+      const std::uint64_t up =
+          e.join ? e.at_iter : e.at_iter + e.recover_after;
+      if (up > lifecycle_horizon_) continue;
+      churn_state_[i].recovered_applied = true;
+      for (std::size_t node = e.nodes.lo; node <= e.nodes.hi; ++node) {
+        // Another event may still hold the node down at its up-edge, and a
+        // manual crash()/recovery may already have moved it on.
+        if (options_.conditions.churn_down(node, up)) continue;
+        if (states_[node]->lifecycle.load() != NodeLifecycle::kCrashed) {
+          continue;
+        }
+        states_[node]->lifecycle.store(NodeLifecycle::kRecovering);
+        // The hook runs under the lifecycle mutex: transitions stay
+        // serialized, and dispatch never takes this mutex so delivery is
+        // not blocked while the node state-transfers.
+        if (recovery_handlers_[node]) recovery_handlers_[node](up);
+        states_[node]->lifecycle.store(NodeLifecycle::kRunning);
+        recovered_at_[node] = up;
+      }
     }
   }
-  lock.unlock();
   lifecycle_cv_.notify_all();
 }
 
 std::optional<std::uint64_t> Cluster::wait_until_running(NodeId node,
                                                          Duration timeout) {
   assert(node < nodes_);
-  std::unique_lock lock(lifecycle_mutex_);
-  const bool up = lifecycle_cv_.wait_for(lock, timeout, [&] {
+  util::MutexLock lock(lifecycle_mutex_);
+  const bool up = lifecycle_cv_.wait_for(lifecycle_mutex_, timeout, [&] {
     return states_[node]->lifecycle.load() == NodeLifecycle::kRunning;
   });
   if (!up) return std::nullopt;
@@ -222,7 +225,7 @@ void Cluster::dispatch(Request request, CallbackPtr on_done, Duration delay,
     }
     Handler handler;
     {
-      std::lock_guard lock(callee.mutex);
+      util::MutexLock lock(callee.mutex);
       auto it = callee.handlers.find(request.method);
       if (it != callee.handlers.end()) handler = it->second;
     }
@@ -246,8 +249,12 @@ void Cluster::dispatch(Request request, CallbackPtr on_done, Duration delay,
       return;
     }
     if (result.payload) {
-      replies_received_.fetch_add(1);
-      floats_transferred_.fetch_add(result.payload->size());
+      // Floats first, then the release bump of replies_received_: the
+      // snapshot's acquire load of replies_received_ (stats()) then also
+      // covers this reply's float accounting.
+      floats_transferred_.fetch_add(result.payload->size(),
+                                    std::memory_order_relaxed);
+      replies_received_.fetch_add(1, std::memory_order_release);
     }
     (*on_done)(std::move(result.payload));
   };
@@ -258,7 +265,7 @@ void Cluster::dispatch(Request request, CallbackPtr on_done, Duration delay,
     // Shutdown already began: count the drop and resolve the callback so
     // a concurrent collect() sees a response instead of hanging into its
     // deadline.
-    dropped_tasks_.fetch_add(1);
+    dropped_tasks_.fetch_add(1, std::memory_order_relaxed);
     (*on_done)(nullptr);
   }
 }
@@ -271,8 +278,11 @@ void Cluster::call(NodeId from, NodeId to, const std::string& method,
   assert(from < nodes_ && to < nodes_);
   const Duration delay =
       delay_for(from, to, method, iteration, window_iteration);
-  requests_sent_.fetch_add(1);
-  if (argument) floats_transferred_.fetch_add(argument->size());
+  requests_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (argument) {
+    floats_transferred_.fetch_add(argument->size(),
+                                  std::memory_order_relaxed);
+  }
   Request request{from, to, method, iteration, std::move(argument)};
   dispatch(std::move(request),
            std::make_shared<Callback>(std::move(on_done)), delay,
@@ -288,11 +298,13 @@ std::vector<Reply> Cluster::collect(
                                 " > peers=" + std::to_string(peers.size()));
   }
   struct State {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::vector<Reply> replies;
-    std::size_t responses = 0;  // including declined/crashed callbacks
-    bool closed = false;        // caller harvested; late replies are wasted
+    util::Mutex mutex;
+    util::CondVar cv;
+    std::vector<Reply> replies GARFIELD_GUARDED_BY(mutex);
+    /// Responses seen, including declined/crashed callbacks.
+    std::size_t responses GARFIELD_GUARDED_BY(mutex) = 0;
+    /// Caller harvested; late replies are wasted.
+    bool closed GARFIELD_GUARDED_BY(mutex) = false;
   };
   auto state = std::make_shared<State>();
   const std::size_t total = peers.size();
@@ -300,7 +312,7 @@ std::vector<Reply> Cluster::collect(
     call(
         from, peer, method, iteration, argument,
         [this, state, peer, q, total](PayloadPtr payload) {
-          std::lock_guard lock(state->mutex);
+          util::MutexLock lock(state->mutex);
           ++state->responses;
           if (payload) {
             if (!state->closed && state->replies.size() < q) {
@@ -311,7 +323,7 @@ std::vector<Reply> Cluster::collect(
               // Crafted, transferred, and already useless: the quorum was
               // met by faster peers (or the caller gave up at its
               // deadline).
-              wasted_replies_.fetch_add(1);
+              wasted_replies_.fetch_add(1, std::memory_order_relaxed);
             }
           }
           // Wake the collector only when its wait predicate can pass —
@@ -323,30 +335,49 @@ std::vector<Reply> Cluster::collect(
         },
         timeout, window_iteration);
   }
-  std::unique_lock lock(state->mutex);
-  const auto deadline = Clock::now() + timeout;
-  state->cv.wait_until(lock, deadline, [&] {
-    return state->replies.size() >= q || state->responses == total;
-  });
+  std::vector<Reply> replies;
+  {
+    util::MutexLock lock(state->mutex);
+    const auto deadline = Clock::now() + timeout;
+    (void)state->cv.wait_until(
+        state->mutex, deadline, [&]() GARFIELD_REQUIRES(state->mutex) {
+          return state->replies.size() >= q || state->responses == total;
+        });
+    state->closed = true;
+    // Deadline expired short of quorum (or every responder resolved
+    // silent): record it, so churn/straggler scenarios are distinguishable
+    // from runs that genuinely met q, instead of just looking slow.
+    if (state->replies.size() < q) {
+      quorum_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    replies = std::move(state->replies);
+  }
   // Fastest-q decides *membership*; normalize the order by origin id so
   // downstream floating-point reductions (e.g. averaging) are
   // bit-reproducible whenever the membership is.
-  state->closed = true;
-  // Deadline expired short of quorum (or every responder resolved silent):
-  // record it, so churn/straggler scenarios are distinguishable from runs
-  // that genuinely met q, instead of just looking slow.
-  if (state->replies.size() < q) quorum_misses_.fetch_add(1);
-  std::vector<Reply> replies = std::move(state->replies);
-  lock.unlock();
   std::sort(replies.begin(), replies.end(),
             [](const Reply& a, const Reply& b) { return a.from < b.from; });
   return replies;
 }
 
 NetStats Cluster::stats() const {
-  return NetStats{requests_sent_.load(),  replies_received_.load(),
-                  floats_transferred_.load(), wasted_replies_.load(),
-                  quorum_misses_.load(),  dropped_tasks_.load()};
+  NetStats s;
+  // Single acquire point for the whole snapshot: pairs with the release
+  // increment in dispatch(). Every write that happened-before an observed
+  // reply bump — its request's requests_sent_/floats_transferred_
+  // accounting, the reply's own float count — is therefore visible to the
+  // relaxed loads below, so replies_received <= requests_sent holds in
+  // every snapshot, even taken mid-flight. Beyond that pairing the
+  // counters are independent relaxed monotone counts (nothing is published
+  // through them), so no stronger ordering is required; exact cross-field
+  // equalities (e.g. floats vs replies) are only asserted at quiescence.
+  s.replies_received = replies_received_.load(std::memory_order_acquire);
+  s.requests_sent = requests_sent_.load(std::memory_order_relaxed);
+  s.floats_transferred = floats_transferred_.load(std::memory_order_relaxed);
+  s.wasted_replies = wasted_replies_.load(std::memory_order_relaxed);
+  s.quorum_misses = quorum_misses_.load(std::memory_order_relaxed);
+  s.dropped_tasks = dropped_tasks_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace garfield::net

@@ -40,11 +40,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -55,6 +53,8 @@
 #include "net/thread_pool.h"
 #include "net/timer_wheel.h"
 #include "tensor/vecops.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace garfield::net {
 
@@ -128,7 +128,11 @@ struct Reply {
   PayloadPtr payload;
 };
 
-/// Cumulative traffic counters.
+/// Cumulative traffic counters — a point-in-time snapshot of the cluster's
+/// relaxed atomic counters (see Cluster::stats() for the exact coherence
+/// contract: replies_received <= requests_sent holds in *every* snapshot,
+/// even mid-flight; exact cross-field equalities are meaningful only at
+/// quiescence, which is when the tests assert them).
 struct NetStats {
   std::uint64_t requests_sent = 0;
   std::uint64_t replies_received = 0;
@@ -236,6 +240,14 @@ class Cluster {
             Duration timeout = std::chrono::seconds(30),
             std::optional<std::uint64_t> window_iteration = std::nullopt);
 
+  /// Coherent-enough snapshot of the traffic counters, taken at a single
+  /// acquire point (no lock on the hot path). Guarantees, in every
+  /// snapshot: each counter is a monotone non-decreasing event count, and
+  /// replies_received <= requests_sent (every observed reply's request is
+  /// included — the acquire load of replies_received pairs with its
+  /// release increment in dispatch, which the request-send count
+  /// happens-before). All other cross-field relations are exact only when
+  /// no calls are in flight.
   [[nodiscard]] NetStats stats() const;
 
   /// Deterministic jitter draw: a splitmix-style hash of
@@ -260,33 +272,48 @@ class Cluster {
   using CallbackPtr = std::shared_ptr<Callback>;
 
   struct NodeState {
-    std::mutex mutex;
-    std::unordered_map<std::string, Handler> handlers;
+    util::Mutex mutex;
+    std::unordered_map<std::string, Handler> handlers
+        GARFIELD_GUARDED_BY(mutex);
+    /// Atomic rather than guarded: dispatch() reads it lock-free on every
+    /// delivery; the lifecycle_mutex_ serializes writers (transitions).
     std::atomic<NodeLifecycle> lifecycle{NodeLifecycle::kRunning};
   };
 
   void dispatch(Request request, CallbackPtr on_done, Duration delay,
                 Clock::time_point retry_deadline, Duration retry_backoff);
 
-  /// Any state -> CRASHED + drop handlers; lifecycle_mutex_ held.
-  void crash_locked(NodeId node);
+  /// Any state -> CRASHED + drop handlers.
+  void crash_locked(NodeId node) GARFIELD_REQUIRES(lifecycle_mutex_);
 
   std::size_t nodes_;
   Options options_;
   std::vector<std::unique_ptr<NodeState>> states_;
   // Lifecycle scheduling state. The per-node lifecycle enum itself is
   // atomic (dispatch reads it lock-free); the mutex serializes transitions
-  // and the churn schedule's one-shot event application.
-  mutable std::mutex lifecycle_mutex_;
-  std::condition_variable lifecycle_cv_;
-  std::uint64_t lifecycle_horizon_ = 0;
+  // and the churn schedule's one-shot event application. Lock order:
+  // lifecycle_mutex_ before any NodeState::mutex (crash_locked), never the
+  // reverse — dispatch takes only the node mutex, so delivery is never
+  // blocked behind a state transfer.
+  mutable util::Mutex lifecycle_mutex_;
+  util::CondVar lifecycle_cv_;
+  std::uint64_t lifecycle_horizon_ GARFIELD_GUARDED_BY(lifecycle_mutex_) = 0;
   struct ChurnEventState {
     bool crashed_applied = false;
     bool recovered_applied = false;
   };
-  std::vector<ChurnEventState> churn_state_;
-  std::vector<std::function<void(std::uint64_t)>> recovery_handlers_;
-  std::vector<std::uint64_t> recovered_at_;
+  std::vector<ChurnEventState> churn_state_
+      GARFIELD_GUARDED_BY(lifecycle_mutex_);
+  std::vector<std::function<void(std::uint64_t)>> recovery_handlers_
+      GARFIELD_GUARDED_BY(lifecycle_mutex_);
+  std::vector<std::uint64_t> recovered_at_
+      GARFIELD_GUARDED_BY(lifecycle_mutex_);
+  // Traffic counters. Increments are memory_order_relaxed: each is an
+  // independent monotone event count and no payload data is ever published
+  // through them, so cross-thread ordering between counters is not needed
+  // for correctness — with one deliberate exception: replies_received_ is
+  // bumped with release and is the snapshot's single acquire point (see
+  // stats() for the invariant this buys).
   std::atomic<std::uint64_t> requests_sent_{0};
   std::atomic<std::uint64_t> replies_received_{0};
   std::atomic<std::uint64_t> floats_transferred_{0};

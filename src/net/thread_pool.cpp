@@ -11,7 +11,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -20,7 +20,7 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::submit(std::function<void()>&& task) {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (stop_) return false;
     queue_.push_back(std::move(task));
   }
@@ -32,8 +32,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      cv_.wait(mutex_, [this]() GARFIELD_REQUIRES(mutex_) {
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         if (stop_) return;
         continue;

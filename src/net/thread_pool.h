@@ -3,15 +3,20 @@
 // queues would. Pool threads only ever run handler compute: simulated link
 // delay lives in the TimerWheel (timer_wheel.h), so the pool can be sized
 // to hardware concurrency instead of over-provisioned to hide sleeps.
+//
+// Locking discipline (compile-checked under the clang-analyze preset):
+// `mutex_` guards the task queue and the stop flag; workers hold it only
+// while dequeuing, never while running a task.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace garfield::net {
 
@@ -28,17 +33,18 @@ class ThreadPool {
   /// Cluster::dispatch counts these as dropped_tasks and resolves the RPC
   /// callback so quorum accounting cannot hang; the TimerWheel runs the
   /// refused task inline.
-  [[nodiscard]] bool submit(std::function<void()>&& task);
+  [[nodiscard]] bool submit(std::function<void()>&& task)
+      GARFIELD_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() GARFIELD_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<std::function<void()>> queue_ GARFIELD_GUARDED_BY(mutex_);
+  bool stop_ GARFIELD_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

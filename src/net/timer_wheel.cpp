@@ -12,7 +12,7 @@ TimerWheel::~TimerWheel() { stop_and_flush(); }
 
 void TimerWheel::stop_and_flush() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (stop_) return;
     stop_ = true;
   }
@@ -26,7 +26,7 @@ void TimerWheel::stop_and_flush() {
   for (;;) {
     Entry entry;
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (heap_.empty()) return;
       entry = pop_locked();
     }
@@ -46,7 +46,7 @@ bool TimerWheel::schedule_after(Clock::duration delay,
   const Clock::time_point due = Clock::now() + delay;
   bool new_front = false;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (stop_) return false;
     heap_.push_back(Entry{due, next_seq_++, std::move(task)});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
@@ -59,32 +59,35 @@ bool TimerWheel::schedule_after(Clock::duration delay,
 }
 
 std::size_t TimerWheel::pending() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return heap_.size();
 }
 
 void TimerWheel::run() {
-  std::unique_lock lock(mutex_);
   for (;;) {
-    if (stop_) return;
-    if (heap_.empty()) {
-      cv_.wait(lock, [this] { return stop_ || !heap_.empty(); });
-      continue;
+    Entry entry;
+    {
+      util::MutexLock lock(mutex_);
+      if (stop_) return;
+      if (heap_.empty()) {
+        cv_.wait(mutex_, [this]() GARFIELD_REQUIRES(mutex_) {
+          return stop_ || !heap_.empty();
+        });
+        continue;  // re-check stop with the fresh state
+      }
+      const Clock::time_point due = heap_.front().due;
+      if (Clock::now() < due) {
+        // Woken early by a new entry (possibly with an earlier due time) or
+        // by shutdown; re-evaluate the heap top either way.
+        (void)cv_.wait_until(mutex_, due);
+        continue;
+      }
+      entry = pop_locked();
     }
-    const Clock::time_point due = heap_.front().due;
-    if (Clock::now() < due) {
-      // Woken early by a new entry (possibly with an earlier due time) or
-      // by shutdown; re-evaluate the heap top either way.
-      cv_.wait_until(lock, due);
-      continue;
-    }
-    Entry entry = pop_locked();
-    lock.unlock();
     // submit() leaves the task untouched on refusal (pool shutdown while
     // the wheel still runs — only possible for standalone wheel users;
     // Cluster stops the wheel first), so running it inline is safe.
     if (!pool_.submit(std::move(entry.task))) entry.task();
-    lock.lock();
   }
 }
 

@@ -11,17 +11,21 @@
 // Entries with identical due times fire in schedule order (a per-entry
 // sequence number breaks ties), keeping delivery deterministic for
 // zero-jitter configurations.
+//
+// Locking discipline (compile-checked under the clang-analyze preset):
+// `mutex_` guards the heap, the sequence counter and the stop flag; the
+// timer thread drops it before submitting a matured task to the pool.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "net/thread_pool.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace garfield::net {
 
@@ -46,15 +50,16 @@ class TimerWheel {
   /// schedule_after() refuses new entries, which lets flushed tasks that
   /// try to re-arm (not-ready retries) observe the shutdown and resolve
   /// instead of looping. Idempotent.
-  void stop_and_flush();
+  void stop_and_flush() GARFIELD_EXCLUDES(mutex_);
 
   /// Fire `task` on the pool once `delay` has elapsed. Returns false (task
   /// left untouched) once shutdown has begun.
   [[nodiscard]] bool schedule_after(Clock::duration delay,
-                                    std::function<void()>&& task);
+                                    std::function<void()>&& task)
+      GARFIELD_EXCLUDES(mutex_);
 
   /// Entries currently waiting to mature (diagnostics).
-  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t pending() const GARFIELD_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -74,16 +79,17 @@ class TimerWheel {
 
   /// Pop the earliest entry. Caller holds the lock; heap must be
   /// non-empty.
-  [[nodiscard]] Entry pop_locked();
+  [[nodiscard]] Entry pop_locked() GARFIELD_REQUIRES(mutex_);
 
-  void run();
+  void run() GARFIELD_EXCLUDES(mutex_);
 
   ThreadPool& pool_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<Entry> heap_;  // std::push_heap/pop_heap with Later
-  std::uint64_t next_seq_ = 0;
-  bool stop_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  /// std::push_heap/pop_heap with Later.
+  std::vector<Entry> heap_ GARFIELD_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ GARFIELD_GUARDED_BY(mutex_) = 0;
+  bool stop_ GARFIELD_GUARDED_BY(mutex_) = false;
   std::thread thread_;
 };
 

@@ -1,0 +1,112 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers — the
+// Abseil-style carriers for the Clang thread-safety analysis
+// (util/thread_annotations.h).
+//
+// util::Mutex is std::mutex declared as a *capability*: fields tagged
+// GARFIELD_GUARDED_BY(mu) and helpers tagged GARFIELD_REQUIRES(mu) are
+// checked against it at compile time under the `clang-analyze` preset.
+// util::MutexLock is the annotated std::lock_guard / std::unique_lock
+// stand-in (scoped acquire, destructor release). util::CondVar pairs with
+// util::Mutex the way absl::CondVar pairs with absl::Mutex: every wait
+// states GARFIELD_REQUIRES(mu), so "waited without the lock" is a compile
+// error rather than undefined behaviour at 3am.
+//
+// CondVar is built on std::condition_variable_any, which (un)locks the
+// Mutex through its public lock()/unlock() — those calls happen inside the
+// standard library (system headers, analysis-exempt), so the capability
+// state the analysis tracks across a wait stays "held", matching the
+// actual postcondition of every wait overload.
+//
+// Everything here is header-only and zero-state beyond the wrapped
+// std primitives; under GCC the annotations vanish and the wrappers
+// compile to exactly the std types they wrap.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace garfield::util {
+
+/// std::mutex as a Clang capability. Satisfies BasicLockable/Lockable, so
+/// it still composes with std facilities where needed — but annotated code
+/// should hold it through MutexLock.
+class GARFIELD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GARFIELD_ACQUIRE() { raw_.lock(); }
+  void unlock() GARFIELD_RELEASE() { raw_.unlock(); }
+  [[nodiscard]] bool try_lock() GARFIELD_TRY_ACQUIRE(true) {
+    return raw_.try_lock();
+  }
+
+ private:
+  std::mutex raw_;
+};
+
+/// Scoped lock over util::Mutex (the annotated std::lock_guard). Acquires
+/// in the constructor, releases in the destructor; no unlock-early surface,
+/// so the analysis can treat the critical section as exactly the scope.
+class GARFIELD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GARFIELD_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() GARFIELD_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with util::Mutex. All waits require the mutex
+/// held (compile-checked); they release it while blocked and reacquire
+/// before returning, exactly like std::condition_variable with a
+/// unique_lock — the scoped MutexLock in the caller stays the single
+/// owner of the critical section.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(Mutex& mu) GARFIELD_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate pred) GARFIELD_REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& dur,
+                Predicate pred) GARFIELD_REQUIRES(mu) {
+    return cv_.wait_for(mu, dur, std::move(pred));
+  }
+
+  template <typename ClockT, typename DurationT>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<ClockT, DurationT>& deadline)
+      GARFIELD_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  template <typename ClockT, typename DurationT, typename Predicate>
+  bool wait_until(Mutex& mu,
+                  const std::chrono::time_point<ClockT, DurationT>& deadline,
+                  Predicate pred) GARFIELD_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline, std::move(pred));
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace garfield::util

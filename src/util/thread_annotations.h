@@ -1,0 +1,76 @@
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// These wrap Clang's capability analysis attributes so the locking
+// discipline of every concurrent subsystem is *stated in the types* and
+// proven at compile time: a field tagged GARFIELD_GUARDED_BY(mu) can only
+// be touched while `mu` is held, a function tagged GARFIELD_REQUIRES(mu)
+// can only be called with `mu` held, and violations are -Wthread-safety
+// diagnostics — promoted to errors by the `clang-analyze` preset
+// (GARFIELD_THREAD_SAFETY=ON, -Wthread-safety -Werror).
+//
+// Under GCC (the default local toolchain) every macro expands to nothing;
+// tests/thread_annotations_test.cpp compile-tests that no-op path, and the
+// CI matrix builds both toolchains so neither can rot.
+//
+// Conventions (new concurrent code must follow them — see README
+// "Correctness tooling"):
+//   - use util::Mutex / util::MutexLock / util::CondVar (util/mutex.h)
+//     instead of raw std::mutex / std::lock_guard / std::condition_variable
+//     wherever a field is shared across threads;
+//   - annotate every guarded field with GARFIELD_GUARDED_BY(mu);
+//   - annotate helpers that expect the lock held with
+//     GARFIELD_REQUIRES(mu) instead of documenting it in a comment;
+//   - GARFIELD_NO_THREAD_SAFETY_ANALYSIS is a last resort and needs a
+//     comment explaining why the analysis cannot see the invariant.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define GARFIELD_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define GARFIELD_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Declares a type to be a capability ("mutex") the analysis tracks.
+#define GARFIELD_CAPABILITY(x) \
+  GARFIELD_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define GARFIELD_SCOPED_CAPABILITY \
+  GARFIELD_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Field may only be read/written while `x` is held.
+#define GARFIELD_GUARDED_BY(x) \
+  GARFIELD_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointed-to data may only be touched while `x` is held.
+#define GARFIELD_PT_GUARDED_BY(x) \
+  GARFIELD_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Caller must hold the listed capabilities (exclusively).
+#define GARFIELD_REQUIRES(...) \
+  GARFIELD_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock guard).
+#define GARFIELD_EXCLUDES(...) \
+  GARFIELD_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability (and holds it on return).
+#define GARFIELD_ACQUIRE(...) \
+  GARFIELD_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define GARFIELD_RELEASE(...) \
+  GARFIELD_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define GARFIELD_TRY_ACQUIRE(b, ...) \
+  GARFIELD_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(b, __VA_ARGS__))
+
+/// Returns a reference to the capability guarding the annotated object.
+#define GARFIELD_RETURN_CAPABILITY(x) \
+  GARFIELD_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the function's locking is correct but inexpressible.
+#define GARFIELD_NO_THREAD_SAFETY_ANALYSIS \
+  GARFIELD_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <future>
 #include <thread>
 #include <vector>
@@ -322,6 +323,47 @@ TEST(Cluster, StatsCountTraffic) {
   EXPECT_EQ(stats.floats_transferred, 30u);
   EXPECT_EQ(stats.wasted_replies, 0u);
   EXPECT_EQ(stats.dropped_tasks, 0u);
+}
+
+TEST(Cluster, StatsSnapshotStaysCoherentUnderConcurrentLoad) {
+  // The traffic counters are relaxed atomics, except the replies_received
+  // release/acquire pair that anchors the snapshot (see Cluster::stats()).
+  // The audited contract: any snapshot taken mid-flight is per-counter
+  // monotone against any earlier snapshot from the same thread, and never
+  // shows more replies than requests — even while collects are racing.
+  gn::Cluster cluster(small_cluster(4));
+  for (gn::NodeId i = 1; i < 4; ++i) serve_constant(cluster, i, float(i), 4);
+  std::atomic<bool> stop{false};
+  std::thread load([&] {
+    std::vector<gn::NodeId> peers{1, 2, 3};
+    for (std::uint64_t it = 0; !stop.load(); ++it) {
+      (void)cluster.collect(0, peers, "echo", it, nullptr, 2);
+    }
+  });
+  gn::NetStats prev;
+  for (int i = 0; i < 2000; ++i) {
+    const gn::NetStats s = cluster.stats();
+    ASSERT_LE(s.replies_received, s.requests_sent) << "sample " << i;
+    ASSERT_GE(s.requests_sent, prev.requests_sent) << "sample " << i;
+    ASSERT_GE(s.replies_received, prev.replies_received) << "sample " << i;
+    ASSERT_GE(s.floats_transferred, prev.floats_transferred) << "sample " << i;
+    ASSERT_GE(s.wasted_replies, prev.wasted_replies) << "sample " << i;
+    ASSERT_GE(s.quorum_misses, prev.quorum_misses) << "sample " << i;
+    ASSERT_GE(s.dropped_tasks, prev.dropped_tasks) << "sample " << i;
+    prev = s;
+  }
+  stop = true;
+  load.join();
+  // Drain: the last collect returned at q=2, so its third reply may still
+  // be in flight. At quiescence the cross-field relation is exact.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (cluster.stats().replies_received < cluster.stats().requests_sent &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  const gn::NetStats end = cluster.stats();
+  EXPECT_EQ(end.replies_received, end.requests_sent);
+  EXPECT_EQ(end.dropped_tasks, 0u);
 }
 
 TEST(Cluster, RepliesBeyondTheQuorumCountAsWasted) {

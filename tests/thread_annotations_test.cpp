@@ -1,0 +1,184 @@
+// util/thread_annotations.h + util/mutex.h coverage.
+//
+// Two jobs. First, the portable no-op path: this suite compiles the whole
+// annotation macro surface under whatever compiler builds the tests — on
+// GCC every GARFIELD_* capability macro must expand to nothing (the
+// attributes are Clang-only), so merely building this file under the GCC
+// half of the CI matrix proves the tree does not depend on Clang to parse.
+// Second, behaviour: util::Mutex / MutexLock / CondVar are thin wrappers,
+// but they are the only lock primitives the annotated subsystems use, so
+// mutual exclusion, scoped release, try-lock semantics and every CondVar
+// wait overload get pinned here once instead of implicitly in every
+// transport test.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace util = garfield::util;
+
+namespace {
+
+// The full macro surface on one annotated type — the compile test. Under
+// Clang this also gives -Wthread-safety a self-contained fixture; under
+// GCC every macro must vanish.
+class GARFIELD_CAPABILITY("mutex") FakeCap {};
+
+struct AnnotatedCounter {
+  util::Mutex mu;
+  int value GARFIELD_GUARDED_BY(mu) = 0;
+  int* slot GARFIELD_PT_GUARDED_BY(mu) = nullptr;
+
+  void bump() GARFIELD_EXCLUDES(mu) {
+    util::MutexLock lock(mu);
+    bump_locked();
+  }
+  void bump_locked() GARFIELD_REQUIRES(mu) { ++value; }
+  int read() GARFIELD_EXCLUDES(mu) {
+    util::MutexLock lock(mu);
+    return value;
+  }
+  int racy_read() GARFIELD_NO_THREAD_SAFETY_ANALYSIS { return value; }
+};
+
+}  // namespace
+
+TEST(ThreadAnnotations, MacrosCompileToNoOpsOutsideClang) {
+#if defined(__clang__)
+  SUCCEED() << "clang: attributes active, -Wthread-safety enforced by the "
+               "clang-analyze preset";
+#else
+  // The macros must not merely compile — they must expand to *nothing*
+  // (GCC never sees the Clang-only attributes, so it cannot warn on or
+  // misparse them). Stringizing the expansion pins that down.
+#define GARFIELD_TEST_STR2(x) #x
+#define GARFIELD_TEST_STR(x) GARFIELD_TEST_STR2(x)
+  EXPECT_STREQ(GARFIELD_TEST_STR(GARFIELD_GUARDED_BY(mu)), "");
+  EXPECT_STREQ(GARFIELD_TEST_STR(GARFIELD_REQUIRES(mu)), "");
+  EXPECT_STREQ(GARFIELD_TEST_STR(GARFIELD_SCOPED_CAPABILITY), "");
+  EXPECT_STREQ(GARFIELD_TEST_STR(GARFIELD_NO_THREAD_SAFETY_ANALYSIS), "");
+#undef GARFIELD_TEST_STR
+#undef GARFIELD_TEST_STR2
+#endif
+  AnnotatedCounter counter;
+  counter.bump();
+  EXPECT_EQ(counter.read(), 1);
+  EXPECT_EQ(counter.racy_read(), 1);
+  (void)FakeCap{};
+}
+
+TEST(ThreadAnnotations, MutexProvidesMutualExclusion) {
+  AnnotatedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kBumps = 2'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kBumps; ++i) counter.bump();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.read(), kThreads * kBumps);
+}
+
+TEST(ThreadAnnotations, TryLockObservesAndTakesTheCapability) {
+  util::Mutex mu;
+  mu.lock();
+  // try_lock on the owning thread is UB for std::mutex; probe from another
+  // thread, which is also the only caller that can meaningfully fail.
+  bool acquired_while_held = true;
+  std::thread([&] {
+    acquired_while_held = mu.try_lock();
+    // Unreachable at runtime; branches on the try result so the analysis
+    // sees the capability released on every path.
+    if (acquired_while_held) mu.unlock();
+  }).join();
+  EXPECT_FALSE(acquired_while_held);
+  mu.unlock();
+  bool acquired_after_release = false;
+  std::thread([&] {
+    acquired_after_release = mu.try_lock();
+    if (acquired_after_release) mu.unlock();
+  }).join();
+  EXPECT_TRUE(acquired_after_release);
+}
+
+TEST(ThreadAnnotations, MutexLockReleasesAtScopeExit) {
+  util::Mutex mu;
+  {
+    util::MutexLock lock(mu);
+  }
+  bool acquired = false;
+  std::thread([&] {
+    acquired = mu.try_lock();
+    if (acquired) mu.unlock();
+  }).join();
+  EXPECT_TRUE(acquired);
+}
+
+TEST(ThreadAnnotations, CondVarPredicateWaitWakesOnNotify) {
+  util::Mutex mu;
+  util::CondVar cv;
+  bool ready = false;
+  std::thread signaller([&] {
+    util::MutexLock lock(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    util::MutexLock lock(mu);
+    cv.wait(mu, [&]() GARFIELD_REQUIRES(mu) { return ready; });
+    EXPECT_TRUE(ready);
+  }
+  signaller.join();
+}
+
+TEST(ThreadAnnotations, CondVarWaitForTimesOutWhenNeverSignalled) {
+  util::Mutex mu;
+  util::CondVar cv;
+  util::MutexLock lock(mu);
+  const bool signalled = cv.wait_for(
+      mu, std::chrono::milliseconds(5), [] { return false; });
+  EXPECT_FALSE(signalled);
+}
+
+TEST(ThreadAnnotations, CondVarWaitUntilReportsTimeout) {
+  util::Mutex mu;
+  util::CondVar cv;
+  util::MutexLock lock(mu);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  EXPECT_EQ(cv.wait_until(mu, deadline), std::cv_status::timeout);
+  EXPECT_FALSE(cv.wait_until(mu, deadline, [] { return false; }));
+}
+
+TEST(ThreadAnnotations, CondVarNotifyAllWakesEveryWaiter) {
+  util::Mutex mu;
+  util::CondVar cv;
+  bool go = false;
+  int awake = 0;
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      util::MutexLock lock(mu);
+      cv.wait(mu, [&]() GARFIELD_REQUIRES(mu) { return go; });
+      ++awake;
+    });
+  }
+  {
+    util::MutexLock lock(mu);
+    go = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : waiters) t.join();
+  util::MutexLock lock(mu);
+  EXPECT_EQ(awake, kWaiters);
+}

@@ -1,0 +1,388 @@
+// spec_lint — validates every spec-string literal in the tree against the
+// real parsers.
+//
+// The repo's configuration surface is spec strings: GAR specs
+// ("multi_krum:m=4", gars/registry.h), attack specs/plans
+// ("little_is_enough:z=2.5", "2*sign_flip;reversed", attacks/registry.h)
+// and network-conditions specs ("wan:latency=5ms,jitter=2ms;churn:...",
+// net/conditions.h). Benches, tests, examples and the README quote dozens
+// of them, and nothing ties those literals to the grammar: a registry
+// rename or an option change rots them silently until someone pastes one.
+//
+// This linter closes the loop. It extracts every string literal from
+// bench/, tests/, examples/ (C++ literal grammar, including adjacent-
+// literal concatenation) and every code span from README.md, classifies
+// the ones whose leading name is a known conditions clause, registered GAR
+// or registered attack, and validates each candidate through the same
+// entry points the runtime uses — NetworkConditions::parse,
+// make_gar(spec, effective_min_n, 1), validate_attack_plan. Any failure is
+// a lint error naming file:line.
+//
+// Intentionally-invalid literals (negative grammar tests) are skipped when
+// they sit within three lines of a gtest *_THROW macro or carry a
+// `spec-lint: ignore` marker on their own or the preceding line. Zero
+// extracted specs is itself a failure: it means the extractor rotted, not
+// that the tree went clean.
+//
+// Usage: spec_lint <repo-root>          (exit 0 clean, 1 findings, 2 usage)
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "attacks/registry.h"
+#include "gars/gar.h"
+#include "gars/registry.h"
+#include "net/conditions.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Candidate {
+  std::string text;
+  std::string file;  // repo-relative
+  std::size_t line = 0;
+  bool skip = false;  // negative-test or explicitly ignored
+};
+
+bool contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// True when the literal starting at `line` is a deliberate grammar
+/// violation: a gtest *_THROW within the previous three lines (the literal
+/// is the macro's argument) or an explicit ignore marker.
+bool in_negative_context(const std::vector<std::string>& lines,
+                         std::size_t line_index) {
+  const std::size_t lo = line_index >= 3 ? line_index - 3 : 0;
+  for (std::size_t i = lo; i <= line_index && i < lines.size(); ++i) {
+    if (contains(lines[i], "_THROW(") || contains(lines[i], "_THROW (") ||
+        contains(lines[i], "spec-lint: ignore")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Extract C++ string literals from `lines`, concatenating adjacent
+/// literals (separated only by whitespace, possibly across lines) the way
+/// the compiler does — long spec strings are written exactly that way.
+/// Comments are skipped; escapes inside literals are passed through
+/// verbatim except \" (specs never contain escapes, and a literal that
+/// does will simply fail classification).
+std::vector<Candidate> extract_cpp_literals(
+    const std::vector<std::string>& lines, const std::string& file) {
+  std::vector<Candidate> out;
+  bool in_block_comment = false;
+  bool in_literal = false;       // between the quotes
+  bool pending_concat = false;   // literal just closed; whitespace so far
+  Candidate current;
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (in_block_comment) {
+        if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      if (in_literal) {
+        if (c == '\\' && i + 1 < line.size()) {
+          current.text += c;
+          current.text += line[i + 1];
+          ++i;
+        } else if (c == '"') {
+          in_literal = false;
+          pending_concat = true;
+        } else {
+          current.text += c;
+        }
+        continue;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        ++i;
+        continue;
+      }
+      if (c == '\'') {  // char literal: skip to its close
+        ++i;
+        while (i < line.size() && line[i] != '\'') {
+          if (line[i] == '\\') ++i;
+          ++i;
+        }
+        continue;
+      }
+      if (c == '"') {
+        if (!pending_concat) {
+          current = Candidate{};
+          current.file = file;
+          current.line = li + 1;
+          current.skip = in_negative_context(lines, li);
+        }
+        // Adjacent literal: keep accumulating into `current`; a negative
+        // context on any fragment poisons the whole concatenation.
+        if (pending_concat) current.skip |= in_negative_context(lines, li);
+        pending_concat = false;
+        in_literal = true;
+        continue;
+      }
+      if (pending_concat && !std::isspace(static_cast<unsigned char>(c))) {
+        out.push_back(current);
+        pending_concat = false;
+      }
+    }
+    // An unterminated literal at end-of-line is not valid C++ (no raw
+    // strings in this tree); just close it defensively.
+    if (in_literal) {
+      in_literal = false;
+      pending_concat = true;
+    }
+  }
+  if (pending_concat) out.push_back(current);
+  return out;
+}
+
+/// Extract backtick spans and double-quoted spans from a markdown file —
+/// the README quotes every spec it shows one of those two ways.
+std::vector<Candidate> extract_markdown_spans(
+    const std::vector<std::string>& lines, const std::string& file) {
+  std::vector<Candidate> out;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    const bool ignored = contains(line, "spec-lint: ignore") ||
+                         (li > 0 && contains(lines[li - 1], "spec-lint: ignore"));
+    for (const char delim : {'`', '"'}) {
+      std::size_t pos = 0;
+      for (;;) {
+        const std::size_t open = line.find(delim, pos);
+        if (open == std::string::npos) break;
+        const std::size_t close = line.find(delim, open + 1);
+        if (close == std::string::npos) break;
+        Candidate c;
+        c.text = line.substr(open + 1, close - open - 1);
+        c.file = file;
+        c.line = li + 1;
+        c.skip = ignored;
+        out.push_back(std::move(c));
+        pos = close + 1;
+      }
+    }
+  }
+  return out;
+}
+
+/// Leading name of a spec-shaped string: [a-z0-9_]+ up to ':' or end.
+/// Empty when the string cannot open a spec (space, uppercase, ...).
+std::string leading_name(const std::string& text) {
+  std::size_t i = 0;
+  while (i < text.size() &&
+         (std::islower(static_cast<unsigned char>(text[i])) ||
+          std::isdigit(static_cast<unsigned char>(text[i])) ||
+          text[i] == '_')) {
+    ++i;
+  }
+  if (i == 0) return {};
+  if (i < text.size() && text[i] != ':') return {};
+  return text.substr(0, i);
+}
+
+enum class SpecKind { kNone, kConditions, kGar, kAttackPlan };
+
+const std::unordered_set<std::string>& conditions_clauses() {
+  static const std::unordered_set<std::string> kClauses{
+      "wan", "hetero", "straggler", "partition", "churn"};
+  return kClauses;
+}
+
+/// A string fragment used to build a spec at runtime ("churn:crash=" +
+/// std::to_string(n)) is not itself a spec; don't classify it.
+bool looks_like_fragment(const std::string& text) {
+  if (text.empty()) return true;
+  const char last = text.back();
+  return last == '=' || last == ',' || last == ':' || last == ';';
+}
+
+/// The README's option tables document schemas with single-capital
+/// placeholders ("trimmed_mean:trim=N", "little_is_enough:z=X"). Those are
+/// templates, not instances — any option whose entire value is one
+/// uppercase letter marks the string as such.
+bool looks_like_template(const std::string& text) {
+  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] != '=') continue;
+    if (!std::isupper(static_cast<unsigned char>(text[i + 1]))) continue;
+    const std::size_t end = i + 2;
+    if (end == text.size() || text[end] == ',' || text[end] == ';') {
+      return true;
+    }
+  }
+  return false;
+}
+
+SpecKind classify(const std::string& text,
+                  const std::unordered_set<std::string>& gars,
+                  const std::unordered_set<std::string>& attacks) {
+  if (looks_like_fragment(text) || looks_like_template(text)) {
+    return SpecKind::kNone;
+  }
+  const std::string name = leading_name(text);
+  if (name.empty()) return SpecKind::kNone;
+  // A conditions spec needs a clause body ("churn:crash=..."); the bare
+  // clause name is prose (a label, a column header), not a spec. Bare GAR
+  // and attack names ARE complete specs, so those classify as-is.
+  if (conditions_clauses().count(name) > 0) {
+    return text.size() > name.size() ? SpecKind::kConditions
+                                     : SpecKind::kNone;
+  }
+  if (gars.count(name) > 0) return SpecKind::kGar;
+  if (attacks.count(name) > 0) return SpecKind::kAttackPlan;
+  return SpecKind::kNone;
+}
+
+/// Validate through the runtime's own entry points; returns an error
+/// message, empty on success.
+std::string validate(SpecKind kind, const std::string& text) {
+  try {
+    switch (kind) {
+      case SpecKind::kConditions: {
+        (void)garfield::net::NetworkConditions::parse(text);
+        return {};
+      }
+      case SpecKind::kGar: {
+        // Construct at the spec's own effective floor with f=1 — exactly
+        // what a deployment at the resilience bound would do.
+        const std::size_t floor = garfield::gars::gar_min_n(text, 1);
+        (void)garfield::gars::make_gar(text, floor, 1);
+        return {};
+      }
+      case SpecKind::kAttackPlan: {
+        // Validate as a plan sized to its own declared attacker count —
+        // single specs are one-entry plans, so this covers both forms.
+        const garfield::attacks::AttackPlan plan =
+            garfield::attacks::parse_attack_plan(text);
+        std::size_t f = 0;
+        for (const auto& entry : plan.entries) f += entry.count;
+        if (f == 0) f = 1;
+        (void)garfield::attacks::validate_attack_plan(text, f, "spec_lint");
+        return {};
+      }
+      case SpecKind::kNone:
+        return {};
+    }
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return {};
+}
+
+const char* kind_name(SpecKind kind) {
+  switch (kind) {
+    case SpecKind::kConditions:
+      return "conditions";
+    case SpecKind::kGar:
+      return "gar";
+    case SpecKind::kAttackPlan:
+      return "attack";
+    case SpecKind::kNone:
+      return "none";
+  }
+  return "none";
+}
+
+std::vector<std::string> read_lines(const fs::path& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: spec_lint <repo-root>\n";
+    return 2;
+  }
+  const fs::path root = argv[1];
+  if (!fs::is_directory(root)) {
+    std::cerr << "spec_lint: not a directory: " << root << "\n";
+    return 2;
+  }
+
+  // Registry snapshots drive classification, so a registered-but-renamed
+  // rule immediately reclassifies (and fails) every stale literal.
+  std::unordered_set<std::string> gars;
+  for (const std::string& n : garfield::gars::gar_names()) gars.insert(n);
+  std::unordered_set<std::string> attacks;
+  for (const std::string& n : garfield::attacks::attack_names()) {
+    attacks.insert(n);
+  }
+
+  std::vector<Candidate> candidates;
+  for (const char* dir : {"bench", "tests", "examples"}) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base)) continue;
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".cpp" || ext == ".h") files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& path : files) {
+      const std::string rel = fs::relative(path, root).string();
+      const std::vector<std::string> lines = read_lines(path);
+      std::vector<Candidate> found = extract_cpp_literals(lines, rel);
+      candidates.insert(candidates.end(), found.begin(), found.end());
+    }
+  }
+  {
+    const fs::path readme = root / "README.md";
+    if (fs::is_regular_file(readme)) {
+      const std::vector<std::string> lines = read_lines(readme);
+      std::vector<Candidate> found = extract_markdown_spans(lines, "README.md");
+      candidates.insert(candidates.end(), found.begin(), found.end());
+    }
+  }
+
+  std::size_t checked = 0;
+  std::size_t skipped = 0;
+  std::size_t failures = 0;
+  for (const Candidate& c : candidates) {
+    const SpecKind kind = classify(c.text, gars, attacks);
+    if (kind == SpecKind::kNone) continue;
+    if (c.skip) {
+      ++skipped;
+      continue;
+    }
+    const std::string error = validate(kind, c.text);
+    ++checked;
+    if (!error.empty()) {
+      ++failures;
+      std::cerr << c.file << ":" << c.line << ": invalid " << kind_name(kind)
+                << " spec \"" << c.text << "\": " << error << "\n";
+    }
+  }
+
+  std::cout << "spec_lint: " << checked << " specs validated, " << skipped
+            << " negative-test literals skipped, " << failures
+            << " invalid\n";
+  if (checked == 0) {
+    std::cerr << "spec_lint: extracted zero spec literals — the extractor "
+                 "or the classification registries rotted\n";
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
