@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iterator>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,10 @@ struct LiveCell {
   std::size_t fw = 1;
   std::size_t fps = 0;
   std::size_t pool_threads = 0;  // 0 = hardware concurrency
+  /// "inproc" = threads in this process; "tcp" = one OS process per node
+  /// over localhost streams — the multi-process section's cross-process
+  /// its/sec, scheduler and loopback included.
+  const char* transport = "inproc";
 };
 
 struct LiveResult {
@@ -130,6 +135,7 @@ gc::DeploymentConfig live_config(const LiveCell& cell,
   cfg.fw = cell.fw;
   cfg.fps = cell.fps;
   cfg.pool_threads = cell.pool_threads;
+  cfg.transport = cell.transport;
   if (cell.deployment != gc::Deployment::kVanilla) {
     cfg.gradient_gar = "multi_krum";
     cfg.model_gar = "median";
@@ -163,7 +169,7 @@ LiveResult run_live(const LiveCell& cell, std::size_t iterations) {
   // The committed baseline covers the reference shape only: nw=8, auto
   // pool, full-length run.
   if (!garfield::bench::smoke_mode() && cell.nw == 8 &&
-      cell.pool_threads == 0) {
+      cell.pool_threads == 0 && std::string(cell.transport) == "inproc") {
     for (const PrePrBaseline& b : kPrePr) {
       if (gc::to_string(cell.deployment) == b.deployment &&
           cell.nps == b.nps && b.its_per_sec > 0) {
@@ -199,11 +205,11 @@ void write_json(const std::vector<LiveResult>& results,
     const LiveResult& r = results[i];
     std::fprintf(
         f,
-        "    {\"deployment\": \"%s\", \"nps\": %zu, \"nw\": %zu, "
-        "\"pool_threads\": %zu, \"iterations_per_sec\": %.1f, "
+        "    {\"deployment\": \"%s\", \"transport\": \"%s\", \"nps\": %zu, "
+        "\"nw\": %zu, \"pool_threads\": %zu, \"iterations_per_sec\": %.1f, "
         "\"floats_transferred\": %llu, \"wasted_replies\": %llu",
-        gc::to_string(r.cell.deployment).c_str(), r.cell.nps, r.cell.nw,
-        r.cell.pool_threads, r.its_per_sec,
+        gc::to_string(r.cell.deployment).c_str(), r.cell.transport,
+        r.cell.nps, r.cell.nw, r.cell.pool_threads, r.its_per_sec,
         (unsigned long long)r.floats_transferred,
         (unsigned long long)r.wasted_replies);
     if (r.speedup_vs_pre_pr > 0) {
@@ -222,9 +228,9 @@ void live_mode() {
   std::printf("\nLive real-contention mode — in-process trainer, latency "
               "0,\n(deployment x nps x nw x pool_threads), %zu iterations "
               "per cell\n", iterations);
-  std::printf("%-14s %-4s %-4s %-6s %-10s %-12s %-8s %-10s\n", "deployment",
-              "nps", "nw", "pool", "its/sec", "floats", "wasted",
-              "vs pre-PR");
+  std::printf("%-14s %-7s %-4s %-4s %-6s %-10s %-12s %-8s %-10s\n",
+              "deployment", "trans", "nps", "nw", "pool", "its/sec", "floats",
+              "wasted", "vs pre-PR");
 
   std::vector<LiveCell> cells;
   // nw floor is 6: multi_krum at fw=1 needs 2f+3 = 5 inputs and the
@@ -244,17 +250,44 @@ void live_mode() {
   // nps scaling point: more server replicas at fixed nw.
   cells.push_back({gc::Deployment::kMsmw, 5, 8, 1, 1, 0});
 
+  // Multi-process section: the same robust deployments with one OS process
+  // per node over localhost TCP streams — cross-process its/sec with
+  // fork/exec, loopback framing and the ready/done barriers on the clock.
+  // Auto pool only: each node process sizes its own pool. Needs the
+  // tools/garfield_node launcher; without it the cells are skipped. The
+  // floats/wasted columns of tcp rows are the orchestrating rank's
+  // process-local view (core/node_runner.h scope note).
+  for (std::size_t nw : nws) {
+    cells.push_back({gc::Deployment::kSsmw, 1, nw, 1, 0, 0, "tcp"});
+    cells.push_back({gc::Deployment::kMsmw, 3, nw, 1, 1, 0, "tcp"});
+    cells.push_back({gc::Deployment::kDecentralized, 1, nw, 1, 0, 0, "tcp"});
+  }
+
   std::vector<LiveResult> results;
   results.reserve(cells.size());
+  bool tcp_unavailable = false;
   for (const LiveCell& cell : cells) {
-    const LiveResult r = run_live(cell, iterations);
+    const bool is_tcp = std::string(cell.transport) == "tcp";
+    if (tcp_unavailable && is_tcp) continue;
+    LiveResult r;
+    try {
+      r = run_live(cell, iterations);
+    } catch (const std::runtime_error& e) {
+      if (is_tcp && std::string(e.what()).find("garfield_node") !=
+                        std::string::npos) {
+        std::printf("(skipping transport=tcp cells: %s)\n", e.what());
+        tcp_unavailable = true;
+        continue;
+      }
+      throw;
+    }
     char speedup[32] = "-";
     if (r.speedup_vs_pre_pr > 0) {
       std::snprintf(speedup, sizeof speedup, "%.2fx", r.speedup_vs_pre_pr);
     }
-    std::printf("%-14s %-4zu %-4zu %-6zu %-10.1f %-12llu %-8llu %-10s\n",
-                gc::to_string(cell.deployment).c_str(), cell.nps, cell.nw,
-                cell.pool_threads, r.its_per_sec,
+    std::printf("%-14s %-7s %-4zu %-4zu %-6zu %-10.1f %-12llu %-8llu %-10s\n",
+                gc::to_string(cell.deployment).c_str(), cell.transport,
+                cell.nps, cell.nw, cell.pool_threads, r.its_per_sec,
                 (unsigned long long)r.floats_transferred,
                 (unsigned long long)r.wasted_replies, speedup);
     results.push_back(r);

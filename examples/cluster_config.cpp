@@ -28,6 +28,8 @@ eval_every = 25
 seed = 5
 # network conditions (net/conditions.h spec; omit for an ideal network):
 # network = wan:latency=100us,jitter=50us;straggler:nodes=11,lag=5ms,from_iter=50
+# transport backend: inproc (threads, default) or tcp (a process per node):
+# transport = tcp
 )";
 
 }  // namespace

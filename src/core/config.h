@@ -103,6 +103,14 @@ struct DeploymentConfig {
   /// handler compute — simulated latency lives on the cluster's timer
   /// wheel — so this is the real-contention knob bench_fig8 sweeps.
   std::size_t pool_threads = 0;
+  /// Transport backend under the cluster: "inproc" (threads in one
+  /// process, the default) or "tcp" (one OS process per node on localhost,
+  /// framed streams — the paper's actual one-process-per-machine topology,
+  /// see core/node_runner.h). Sync runs are bitwise identical across the
+  /// two. validate() rejects anything else, and rejects tcp combined with
+  /// knobs that need a shared address space (alignment_every, the
+  /// imperative crash_primary_at fault injection).
+  std::string transport = "inproc";
 
   /// Total node count of the deployment.
   [[nodiscard]] std::size_t total_nodes() const;

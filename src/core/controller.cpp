@@ -74,8 +74,28 @@ void apply(DeploymentConfig& cfg, const std::string& key,
   else if (key == "resume_from") cfg.resume_from = value;
   else if (key == "network") cfg.network = value;
   else if (key == "pool_threads") cfg.pool_threads = to_size(key, value);
+  else if (key == "transport") cfg.transport = value;
   else
     throw std::invalid_argument("config: unknown key '" + key + "'");
+}
+
+/// Emit a float so that parsing the text recovers the exact bits. The
+/// default 6-significant-digit print is kept when it round-trips (it almost
+/// always does for human-entered values); otherwise fall back to hexfloat,
+/// which strtof/stof parse exactly. This matters beyond aesthetics: the
+/// multi-process launcher ships the config to every node as formatted text,
+/// and a float that re-parses one ulp off would silently break the
+/// bitwise-parity guarantee between the transport backends.
+std::string fmt_float(float v) {
+  std::ostringstream out;
+  out << v;
+  try {
+    if (std::stof(out.str()) == v) return out.str();
+  } catch (const std::exception&) {
+  }
+  std::ostringstream hex;
+  hex << std::hexfloat << v;
+  return hex.str();
 }
 
 std::string trim(const std::string& s) {
@@ -136,15 +156,16 @@ std::string format_config(const DeploymentConfig& cfg) {
   out << "deployment = " << to_string(cfg.deployment) << '\n'
       << "model = " << cfg.model << '\n'
       << "dataset = " << cfg.dataset << '\n'
-      << "dataset_noise = " << cfg.dataset_noise << '\n'
+      << "dataset_noise = " << fmt_float(cfg.dataset_noise) << '\n'
       << "train_size = " << cfg.train_size << '\n'
       << "test_size = " << cfg.test_size << '\n'
       << "batch_size = " << cfg.batch_size << '\n'
-      << "lr = " << cfg.optimizer.lr.gamma0 << '\n'
-      << "lr_decay_steps = " << cfg.optimizer.lr.decay_steps << '\n'
-      << "momentum = " << cfg.optimizer.momentum << '\n'
-      << "worker_momentum = " << cfg.worker_momentum << '\n'
-      << "weight_decay = " << cfg.optimizer.weight_decay << '\n'
+      << "lr = " << fmt_float(cfg.optimizer.lr.gamma0) << '\n'
+      << "lr_decay_steps = " << fmt_float(cfg.optimizer.lr.decay_steps)
+      << '\n'
+      << "momentum = " << fmt_float(cfg.optimizer.momentum) << '\n'
+      << "worker_momentum = " << fmt_float(cfg.worker_momentum) << '\n'
+      << "weight_decay = " << fmt_float(cfg.optimizer.weight_decay) << '\n'
       << "nw = " << cfg.nw << '\n'
       << "fw = " << cfg.fw << '\n'
       << "nps = " << cfg.nps << '\n'
@@ -178,7 +199,8 @@ std::string format_config(const DeploymentConfig& cfg) {
            "#           churn:crash=3,at_iter=100,recover_after=50 "
            "schedules elastic membership)\n";
   }
-  out << "pool_threads = " << cfg.pool_threads << '\n';
+  out << "pool_threads = " << cfg.pool_threads << '\n'
+      << "transport = " << cfg.transport << '\n';
   return out.str();
 }
 

@@ -12,7 +12,9 @@
 
 #include "attacks/registry.h"
 #include "core/checkpoint.h"
+#include "core/node_runner.h"
 #include "core/server.h"
+#include "core/train_loop.h"
 #include "core/worker.h"
 #include "gars/gar.h"
 #include "gars/registry.h"
@@ -24,6 +26,8 @@ namespace garfield::core {
 
 namespace {
 
+using detail::is_decentralized;
+using detail::Runtime;
 using net::Payload;
 using tensor::Rng;
 
@@ -73,33 +77,8 @@ bool spec_is_omniscient(const attacks::AttackSpec& spec) {
   return attacks::AttackRegistry::instance().at(spec.name).omniscient;
 }
 
-/// Everything a deployment run needs to keep alive while threads execute.
-struct Runtime {
-  DeploymentConfig config;
-  /// Parsed once at build time; the loops query its churn schedule every
-  /// iteration (the cluster holds its own copy for delivery decisions).
-  net::NetworkConditions conditions;
-  std::vector<std::unique_ptr<Server>> servers;
-  std::vector<std::unique_ptr<Worker>> workers;
-  data::Batch test;
-  std::vector<std::vector<EvalPoint>> curves;  // one per server
-  util::Mutex alignment_mutex;
-  std::vector<AlignmentSample> alignment GARFIELD_GUARDED_BY(alignment_mutex);
-  /// Reporting replica's per-iteration gradient reply counts (s == 0 loop
-  /// thread only — no lock needed).
-  std::vector<std::size_t> reporting_gradient_counts;
-  // Below-floor abort: the first loop that sees the churn schedule drop a
-  // cohort under its GAR floor records why and flips the flag; every loop
-  // exits at its next gate and train() rethrows after the join.
-  std::atomic<bool> abort{false};
-  util::Mutex abort_mutex;
-  std::string abort_reason GARFIELD_GUARDED_BY(abort_mutex);
-  // Declared last so it is destroyed FIRST: tearing down the cluster joins
-  // its thread pool, draining in-flight RPC handler invocations (replies
-  // beyond the awaited quorum may still be executing) before the servers
-  // and workers those handlers reference are freed.
-  std::unique_ptr<net::Cluster> cluster;
-};
+// Runtime moved to core/train_loop.h: the multi-process node runner builds
+// and drives the same structure, one rank per process.
 
 data::Dataset make_dataset(const DeploymentConfig& cfg,
                            const tensor::Shape& input_shape,
@@ -138,6 +117,7 @@ void build_parameter_server(Runtime& rt) {
   net_opts.pool_threads = cfg.pool_threads;
   net_opts.conditions = net::NetworkConditions::parse(cfg.network);
   net_opts.seed = cfg.seed ^ 0xc1u;
+  net_opts.transport = rt.transport;  // null => in-process backend
   rt.conditions = net_opts.conditions;
   rt.cluster = std::make_unique<net::Cluster>(net_opts);
 
@@ -228,6 +208,7 @@ void build_decentralized(Runtime& rt) {
   net_opts.pool_threads = cfg.pool_threads;
   net_opts.conditions = net::NetworkConditions::parse(cfg.network);
   net_opts.seed = cfg.seed ^ 0xc2u;
+  net_opts.transport = rt.transport;  // null => in-process backend
   rt.conditions = net_opts.conditions;
   rt.cluster = std::make_unique<net::Cluster>(net_opts);
 
@@ -295,11 +276,18 @@ void build_decentralized(Runtime& rt) {
 /// rejoin (their shard is their state). Decentralized peers rejoin both
 /// halves and re-sync through the step-tagged model exchange instead — the
 /// next write_model folds the live peers' aggregated state in.
-void register_recovery(Runtime& rt, bool decentralized) {
+/// `only_node` scopes registration to one node id: a multi-process rank
+/// owns exactly its own recovery (foreign object copies never serve).
+void register_recovery_hooks(Runtime& rt,
+                             std::optional<net::NodeId> only_node) {
   if (!rt.conditions.has_churn()) return;
   const DeploymentConfig& cfg = rt.config;
-  if (decentralized) {
+  const auto wanted = [only_node](net::NodeId node) {
+    return !only_node || *only_node == node;
+  };
+  if (is_decentralized(cfg)) {
     for (std::size_t i = 0; i < rt.servers.size(); ++i) {
+      if (!wanted(i)) continue;
       Server* server = rt.servers[i].get();
       Worker* worker = rt.workers[i].get();
       rt.cluster->set_recovery_handler(i, [server, worker](std::uint64_t) {
@@ -310,6 +298,7 @@ void register_recovery(Runtime& rt, bool decentralized) {
     return;
   }
   for (std::size_t s = 0; s < cfg.nps; ++s) {
+    if (!wanted(s)) continue;
     Server* server = rt.servers[s].get();
     rt.cluster->set_recovery_handler(s, [&rt, server](std::uint64_t) {
       server->rejoin();
@@ -394,7 +383,7 @@ bool churn_floor_holds(Runtime& rt, const GarPlan& plan, std::size_t lo,
 }
 
 /// Resume support: overwrite every replica's state with the checkpoint.
-void maybe_resume(Runtime& rt) {
+void resume_replicas(Runtime& rt) {
   if (rt.config.resume_from.empty()) return;
   const Checkpoint ckpt = load_checkpoint(rt.config.resume_from);
   for (auto& server : rt.servers) {
@@ -650,44 +639,39 @@ void decentralized_loop(Runtime& rt, std::size_t s) {
 
 }  // namespace
 
-TrainResult train(const DeploymentConfig& config) {
-  config.validate();
-  Runtime rt;
-  rt.config = config;
+namespace detail {
 
-  const bool decentralized =
-      config.deployment == Deployment::kDecentralized;
-  if (decentralized) {
+void build_runtime(Runtime& rt) {
+  if (is_decentralized(rt.config)) {
     build_decentralized(rt);
   } else {
     build_parameter_server(rt);
   }
-  register_recovery(rt, decentralized);
-  maybe_resume(rt);
+}
 
-  // Spawn one driving thread per server replica / peer. Byzantine servers
-  // run the same loop (their lies live in their RPC handlers).
-  std::vector<std::thread> threads;
-  const std::size_t loops = rt.servers.size();
-  threads.reserve(loops);
-  for (std::size_t s = 0; s < loops; ++s) {
-    threads.emplace_back([&rt, s] {
-      switch (rt.config.deployment) {
-        case Deployment::kVanilla: vanilla_loop(rt, s); break;
-        case Deployment::kCrashTolerant: crash_tolerant_loop(rt, s); break;
-        case Deployment::kSsmw: ssmw_loop(rt, s); break;
-        case Deployment::kMsmw: msmw_loop(rt, s); break;
-        case Deployment::kDecentralized: decentralized_loop(rt, s); break;
-      }
-    });
+void register_recovery(Runtime& rt, std::optional<net::NodeId> only_node) {
+  register_recovery_hooks(rt, only_node);
+}
+
+void maybe_resume(Runtime& rt) { resume_replicas(rt); }
+
+void run_loop(Runtime& rt, std::size_t s) {
+  switch (rt.config.deployment) {
+    case Deployment::kVanilla: vanilla_loop(rt, s); break;
+    case Deployment::kCrashTolerant: crash_tolerant_loop(rt, s); break;
+    case Deployment::kSsmw: ssmw_loop(rt, s); break;
+    case Deployment::kMsmw: msmw_loop(rt, s); break;
+    case Deployment::kDecentralized: decentralized_loop(rt, s); break;
   }
-  for (std::thread& t : threads) t.join();
+}
 
+TrainResult harvest(Runtime& rt) {
   if (rt.abort.load()) {
     util::MutexLock lock(rt.abort_mutex);
     throw std::runtime_error(rt.abort_reason);
   }
 
+  const DeploymentConfig& config = rt.config;
   TrainResult result;
   result.iterations_run = config.iterations;
   result.reporting_gradient_counts = std::move(rt.reporting_gradient_counts);
@@ -726,7 +710,40 @@ TrainResult train(const DeploymentConfig& config) {
     result.final_accuracy = rt.servers[0]->compute_accuracy(rt.test);
     result.final_loss = rt.servers[0]->compute_loss(rt.test);
   }
+  // Reporting replica's final model, bit-exact — the cross-backend parity
+  // probe (a TCP run of a sync deployment must reproduce the in-process
+  // model down to the last float).
+  if (!rt.servers.empty()) {
+    result.final_parameters = rt.servers[0]->parameters();
+  }
   return result;
+}
+
+}  // namespace detail
+
+TrainResult train(const DeploymentConfig& config) {
+  config.validate();
+  // The TCP backend spreads the deployment over one OS process per node;
+  // everything below this dispatch is the single-process path.
+  if (config.transport == "tcp") return detail::train_multiprocess(config);
+
+  detail::Runtime rt;
+  rt.config = config;
+  detail::build_runtime(rt);
+  detail::register_recovery(rt);
+  detail::maybe_resume(rt);
+
+  // Spawn one driving thread per server replica / peer. Byzantine servers
+  // run the same loop (their lies live in their RPC handlers).
+  std::vector<std::thread> threads;
+  const std::size_t loops = rt.servers.size();
+  threads.reserve(loops);
+  for (std::size_t s = 0; s < loops; ++s) {
+    threads.emplace_back([&rt, s] { detail::run_loop(rt, s); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  return detail::harvest(rt);
 }
 
 }  // namespace garfield::core

@@ -56,6 +56,11 @@ struct TrainResult {
   std::uint64_t gradients_computed = 0;
   std::vector<AlignmentSample> alignment;
   std::size_t iterations_run = 0;
+  /// The reporting replica's (server 0 / peer 0) final parameter vector,
+  /// bit-exact. Sync deployments are bitwise deterministic, so this is the
+  /// cross-backend parity probe: an `inproc` and a `tcp` run of the same
+  /// config must produce identical bytes here.
+  net::Payload final_parameters;
   /// Gradient replies the reporting replica's pull returned per iteration —
   /// the live quorum trajectory. Under a churn schedule this is what the
   /// analytic plane predicts as span - count_down(span, it); compared

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
-#include <thread>
+#include <utility>
 
 namespace garfield::net {
 
@@ -30,16 +30,18 @@ Cluster::Cluster(const Options& options)
   states_.reserve(nodes_);
   for (std::size_t i = 0; i < nodes_; ++i)
     states_.push_back(std::make_unique<NodeState>());
-  // Pool threads only run handler compute (delays live on the timer
-  // wheel), so hardware concurrency is the right default — more threads
-  // would just contend for the same cores.
-  std::size_t threads = options.pool_threads;
-  if (threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw == 0 ? 1 : hw;
+  // Physical message movement: the caller's transport, or the original
+  // in-process path (timer wheel + thread pool sized by pool_threads).
+  transport_ = options.transport;
+  if (!transport_) {
+    transport_ = std::make_shared<InProcTransport>(options.pool_threads);
   }
-  pool_ = std::make_unique<ThreadPool>(threads);
-  timer_ = std::make_unique<TimerWheel>(*pool_);
+  transport_->start([this](Request request, Clock::time_point deadline,
+                           Transport::Respond respond) {
+    deliver_local(std::move(request), deadline,
+                  std::make_shared<Transport::Respond>(std::move(respond)),
+                  kRetryBackoffFloor);
+  });
   // Churn schedule bootstrap: joins (and at_iter=0 crashes) are down
   // before anyone drives an iteration. Their one-shot down-edges are
   // marked applied so advance_lifecycle() cannot re-crash them later.
@@ -60,17 +62,11 @@ Cluster::Cluster(const Options& options)
 }
 
 Cluster::~Cluster() {
-  // Teardown order matters. First stop the wheel and run its backlog
-  // inline: from here on schedule_after() refuses new entries, so a
-  // flushed or in-flight not-ready retry resolves its callback (counted as
-  // dropped) instead of re-arming a dying timer. The pool is still alive
-  // for any zero-delay dispatch a flushed task issues. Then the pool
-  // drains and joins — draining tasks that try to re-arm still see the
-  // stopped-but-alive wheel. The unique_ptrs are destroyed afterwards with
-  // nothing in flight.
-  timer_->stop_and_flush();
-  pool_.reset();
-  timer_.reset();
+  // The transport owns the teardown order (stop wheel, flush its backlog
+  // inline, drain the pool): flushed or in-flight not-ready retries see
+  // run_after() refuse and resolve their callbacks (counted as dropped)
+  // instead of re-arming a dying timer.
+  transport_->shutdown();
 }
 
 void Cluster::register_handler(NodeId node, const std::string& method,
@@ -210,64 +206,63 @@ Duration Cluster::delay_for(
                                    options_.seed, window_iteration);
 }
 
-void Cluster::dispatch(Request request, CallbackPtr on_done, Duration delay,
-                       Clock::time_point retry_deadline,
-                       Duration retry_backoff) {
-  auto task = [this, request = std::move(request), on_done, retry_deadline,
-               retry_backoff]() mutable {
-    NodeState& callee = *states_[request.to];
-    // A crashed callee is fail-silent: the caller never hears back. We
-    // deliver nullptr so single-call users don't hang; Collector users see
-    // it as a missing reply, preserving quorum semantics.
-    if (callee.lifecycle.load() != NodeLifecycle::kRunning) {
-      (*on_done)(nullptr);
-      return;
-    }
-    Handler handler;
-    {
-      util::MutexLock lock(callee.mutex);
-      auto it = callee.handlers.find(request.method);
-      if (it != callee.handlers.end()) handler = it->second;
-    }
-    if (!handler) {
-      (*on_done)(nullptr);
-      return;
-    }
-    HandlerResult result = handler(request);
-    if (result.retry) {
-      // Not ready yet: redeliver after a backoff instead of blocking a
-      // pool thread. Give up past the caller's deadline so an abandoned
-      // request cannot poll a dead-ended callee forever — a retry landing
-      // exactly AT the deadline is still a legitimate attempt.
-      if (retry_gives_up(Clock::now() + retry_backoff, retry_deadline)) {
-        (*on_done)(nullptr);
-        return;
-      }
-      dispatch(std::move(request), std::move(on_done), retry_backoff,
-               retry_deadline,
-               std::min(retry_backoff * 2, kRetryBackoffCeiling));
-      return;
-    }
-    if (result.payload) {
-      // Floats first, then the release bump of replies_received_: the
-      // snapshot's acquire load of replies_received_ (stats()) then also
-      // covers this reply's float accounting.
-      floats_transferred_.fetch_add(result.payload->size(),
-                                    std::memory_order_relaxed);
-      replies_received_.fetch_add(1, std::memory_order_release);
-    }
-    (*on_done)(std::move(result.payload));
-  };
-  const bool scheduled =
-      delay.count() <= 0 ? pool_->submit(std::move(task))
-                         : timer_->schedule_after(delay, std::move(task));
-  if (!scheduled) {
-    // Shutdown already began: count the drop and resolve the callback so
-    // a concurrent collect() sees a response instead of hanging into its
-    // deadline.
-    dropped_tasks_.fetch_add(1, std::memory_order_relaxed);
-    (*on_done)(nullptr);
+void Cluster::deliver_local(Request request,
+                            Clock::time_point retry_deadline,
+                            RespondPtr respond, Duration retry_backoff) {
+  if (transport_->remote()) {
+    // A remote callee has no local loop threads driving its churn
+    // schedule: the arrival itself carries the caller's notion of
+    // training time, so advance on it. Gated on remote() so the
+    // in-process path's transition points are exactly the pre-seam ones.
+    advance_lifecycle(request.window_iteration ? *request.window_iteration
+                                               : request.iteration);
   }
+  NodeState& callee = *states_[request.to];
+  // A crashed callee is fail-silent: the caller never hears back. We
+  // deliver nullptr so single-call users don't hang; Collector users see
+  // it as a missing reply, preserving quorum semantics.
+  if (callee.lifecycle.load() != NodeLifecycle::kRunning) {
+    (*respond)(nullptr);
+    return;
+  }
+  Handler handler;
+  {
+    util::MutexLock lock(callee.mutex);
+    auto it = callee.handlers.find(request.method);
+    if (it != callee.handlers.end()) handler = it->second;
+  }
+  if (!handler) {
+    (*respond)(nullptr);
+    return;
+  }
+  HandlerResult result = handler(request);
+  if (result.retry) {
+    // Not ready yet: redeliver after a backoff instead of blocking a
+    // pool thread. Give up past the caller's deadline so an abandoned
+    // request cannot poll a dead-ended callee forever — a retry landing
+    // exactly AT the deadline is still a legitimate attempt.
+    if (retry_gives_up(Clock::now() + retry_backoff, retry_deadline)) {
+      (*respond)(nullptr);
+      return;
+    }
+    const Duration next =
+        std::min(retry_backoff * 2, kRetryBackoffCeiling);
+    std::function<void()> task = [this, request = std::move(request),
+                                  retry_deadline, respond,
+                                  next]() mutable {
+      deliver_local(std::move(request), retry_deadline, std::move(respond),
+                    next);
+    };
+    if (!transport_->run_after(retry_backoff, std::move(task))) {
+      // Shutdown already began: count the drop and resolve so a
+      // concurrent collect() sees a response instead of hanging into its
+      // deadline.
+      dropped_tasks_.fetch_add(1, std::memory_order_relaxed);
+      (*respond)(nullptr);
+    }
+    return;
+  }
+  (*respond)(std::move(result.payload));
 }
 
 void Cluster::call(NodeId from, NodeId to, const std::string& method,
@@ -283,10 +278,31 @@ void Cluster::call(NodeId from, NodeId to, const std::string& method,
     floats_transferred_.fetch_add(argument->size(),
                                   std::memory_order_relaxed);
   }
-  Request request{from, to, method, iteration, std::move(argument)};
-  dispatch(std::move(request),
-           std::make_shared<Callback>(std::move(on_done)), delay,
-           Clock::now() + timeout, kRetryBackoffFloor);
+  Request request{from,      to,       method, iteration, std::move(argument),
+                  window_iteration};
+  auto cb = std::make_shared<Callback>(std::move(on_done));
+  // Caller-side reply accounting rides the respond path: the transport
+  // invokes this on whichever thread produced the reply, which for the
+  // in-process backend is exactly where the pre-seam dispatch counted it.
+  Transport::Respond wrapped = [this, cb](PayloadPtr payload) {
+    if (payload) {
+      // Floats first, then the release bump of replies_received_: the
+      // snapshot's acquire load of replies_received_ (stats()) then also
+      // covers this reply's float accounting.
+      floats_transferred_.fetch_add(payload->size(),
+                                    std::memory_order_relaxed);
+      replies_received_.fetch_add(1, std::memory_order_release);
+    }
+    (*cb)(std::move(payload));
+  };
+  if (!transport_->send(std::move(request), delay, Clock::now() + timeout,
+                        std::move(wrapped))) {
+    // Shutdown already began: count the drop and resolve the callback so
+    // a concurrent collect() sees a response instead of hanging into its
+    // deadline.
+    dropped_tasks_.fetch_add(1, std::memory_order_relaxed);
+    (*cb)(nullptr);
+  }
 }
 
 std::vector<Reply> Cluster::collect(
@@ -363,7 +379,8 @@ std::vector<Reply> Cluster::collect(
 NetStats Cluster::stats() const {
   NetStats s;
   // Single acquire point for the whole snapshot: pairs with the release
-  // increment in dispatch(). Every write that happened-before an observed
+  // increment on call()'s reply path. Every write that happened-before an
+  // observed
   // reply bump — its request's requests_sent_/floats_transferred_
   // accounting, the reply's own float count — is therefore visible to the
   // relaxed loads below, so replies_received <= requests_sent holds in
@@ -377,6 +394,11 @@ NetStats Cluster::stats() const {
   s.wasted_replies = wasted_replies_.load(std::memory_order_relaxed);
   s.quorum_misses = quorum_misses_.load(std::memory_order_relaxed);
   s.dropped_tasks = dropped_tasks_.load(std::memory_order_relaxed);
+  // Reply frame costs are charged before the release bump above pairs
+  // with this snapshot's acquire, so every observed reply's bytes are
+  // covered; request bytes follow the requests_sent_ charge-at-send rule.
+  s.bytes_sent = transport_->bytes_sent();
+  s.bytes_received = transport_->bytes_received();
   return s;
 }
 

@@ -50,20 +50,12 @@
 #include <vector>
 
 #include "net/conditions.h"
-#include "net/thread_pool.h"
-#include "net/timer_wheel.h"
+#include "net/transport.h"
 #include "tensor/vecops.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
 namespace garfield::net {
-
-using NodeId = std::size_t;
-using Payload = tensor::FlatVector;
-/// Immutable refcounted payload — the zero-copy currency of the transport.
-using PayloadPtr = std::shared_ptr<const Payload>;
-using Clock = std::chrono::steady_clock;
-using Duration = std::chrono::microseconds;
 
 /// Per-node lifecycle state (the Graphite-style per-core state machine,
 /// applied to cluster membership). Only RUNNING nodes serve requests;
@@ -80,16 +72,9 @@ enum class NodeLifecycle { kRunning, kCrashed, kRecovering };
   return next_attempt > deadline;
 }
 
-/// A pull request: "node `from` asks node `to` to run `method`".
-/// `iteration` tags the training step; `argument` carries the caller's data
-/// (e.g. the server's current model when requesting a gradient).
-struct Request {
-  NodeId from = 0;
-  NodeId to = 0;
-  std::string method;
-  std::uint64_t iteration = 0;
-  PayloadPtr argument;  // may be null
-};
+// Request (with its window_iteration tag), PayloadPtr, Clock and Duration
+// moved to net/transport.h — the seam needs them and this header re-exports
+// them unchanged.
 
 /// Handler outcome. Exactly one of three shapes:
 ///  - reply(p): deliver payload p to the caller;
@@ -152,6 +137,13 @@ struct NetStats {
   /// hang-then-timeout during teardown; nonzero values outside teardown
   /// indicate a bug.
   std::uint64_t dropped_tasks = 0;
+  /// Wire-equivalent traffic through this endpoint's Transport, charged
+  /// per frame by the request/reply_frame_bytes formulas (transport.h) so
+  /// the numbers are comparable across backends. In-process, every frame
+  /// is both sent and received, so the two counters track each other; over
+  /// TCP they are this process's view of the links.
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
 };
 
 class Cluster {
@@ -165,6 +157,13 @@ class Cluster {
     /// ideal network.
     NetworkConditions conditions;
     std::uint64_t seed = 42;
+    /// Physical message movement. Null selects an internal InProcTransport
+    /// sized by pool_threads — the original single-process path, bitwise
+    /// identical to the pre-seam Cluster. A TcpTransport here turns every
+    /// cross-node call into a framed localhost stream exchange. The
+    /// Cluster becomes the transport's sole driver: ~Cluster shuts it
+    /// down.
+    std::shared_ptr<Transport> transport;
   };
 
   explicit Cluster(const Options& options);
@@ -245,7 +244,7 @@ class Cluster {
   /// snapshot: each counter is a monotone non-decreasing event count, and
   /// replies_received <= requests_sent (every observed reply's request is
   /// included — the acquire load of replies_received pairs with its
-  /// release increment in dispatch, which the request-send count
+  /// release increment on the reply path, which the request-send count
   /// happens-before). All other cross-field relations are exact only when
   /// no calls are in flight.
   [[nodiscard]] NetStats stats() const;
@@ -270,18 +269,24 @@ class Cluster {
  private:
   using Callback = std::function<void(PayloadPtr)>;
   using CallbackPtr = std::shared_ptr<Callback>;
+  using RespondPtr = std::shared_ptr<Transport::Respond>;
 
   struct NodeState {
     util::Mutex mutex;
     std::unordered_map<std::string, Handler> handlers
         GARFIELD_GUARDED_BY(mutex);
-    /// Atomic rather than guarded: dispatch() reads it lock-free on every
-    /// delivery; the lifecycle_mutex_ serializes writers (transitions).
+    /// Atomic rather than guarded: deliver_local() reads it lock-free on
+    /// every delivery; the lifecycle_mutex_ serializes writers
+    /// (transitions).
     std::atomic<NodeLifecycle> lifecycle{NodeLifecycle::kRunning};
   };
 
-  void dispatch(Request request, CallbackPtr on_done, Duration delay,
-                Clock::time_point retry_deadline, Duration retry_backoff);
+  /// Callee-side delivery: the transport's sink. Lifecycle gate -> handler
+  /// lookup -> run -> not-ready redelivery via Transport::run_after ->
+  /// respond exactly once. Runs on a pool thread of whichever process owns
+  /// `request.to`.
+  void deliver_local(Request request, Clock::time_point retry_deadline,
+                     RespondPtr respond, Duration retry_backoff);
 
   /// Any state -> CRASHED + drop handlers.
   void crash_locked(NodeId node) GARFIELD_REQUIRES(lifecycle_mutex_);
@@ -320,11 +325,10 @@ class Cluster {
   std::atomic<std::uint64_t> wasted_replies_{0};
   std::atomic<std::uint64_t> quorum_misses_{0};
   std::atomic<std::uint64_t> dropped_tasks_{0};
-  // Torn down explicitly by ~Cluster in the order stop-wheel ->
-  // drain-pool -> destroy both, so in-flight dispatches can never re-arm
-  // a dead timer or submit to a dead pool.
-  std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<TimerWheel> timer_;
+  // Shut down explicitly by ~Cluster (stop-wheel -> drain-pool inside the
+  // transport), so in-flight deliveries can never re-arm a dead timer or
+  // submit to a dead pool.
+  std::shared_ptr<Transport> transport_;
 };
 
 }  // namespace garfield::net

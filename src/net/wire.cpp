@@ -123,4 +123,55 @@ WireMessage decode(std::span<const std::uint8_t> bytes) {
   return msg;
 }
 
+std::vector<std::uint8_t> frame(std::span<const std::uint8_t> body,
+                                std::size_t max_frame) {
+  if (body.size() > max_frame || body.size() > 0xFFFFFFFFU) {
+    throw WireError("wire: frame body of " + std::to_string(body.size()) +
+                    " bytes exceeds the frame limit");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + body.size());
+  put_u32(out, std::uint32_t(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  // Validate the length prefix as soon as it is complete: a hostile or
+  // corrupted prefix fails here, before next() would size a frame by it.
+  if (buffer_.size() - consumed_ >= 4) {
+    const std::uint32_t len = get_u32(buffer_, consumed_);
+    if (len > max_frame_) {
+      throw WireError("wire: stream frame of " + std::to_string(len) +
+                      " bytes exceeds the frame limit");
+    }
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> FrameDecoder::next() {
+  for (;;) {
+    const std::size_t available = buffer_.size() - consumed_;
+    if (available < 4) break;
+    const std::uint32_t len = get_u32(buffer_, consumed_);
+    if (len > max_frame_) {
+      throw WireError("wire: stream frame of " + std::to_string(len) +
+                      " bytes exceeds the frame limit");
+    }
+    if (available < 4 + std::size_t(len)) break;
+    std::vector<std::uint8_t> body(
+        buffer_.begin() + std::ptrdiff_t(consumed_ + 4),
+        buffer_.begin() + std::ptrdiff_t(consumed_ + 4 + len));
+    consumed_ += 4 + std::size_t(len);
+    return body;
+  }
+  // Compact once the prefix has nothing complete left behind it, so a
+  // long-lived connection doesn't accrete every frame it ever saw.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + std::ptrdiff_t(consumed_));
+    consumed_ = 0;
+  }
+  return std::nullopt;
+}
+
 }  // namespace garfield::net

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -58,5 +59,53 @@ struct WireMessage {
 
 /// Parse and verify; throws WireError on malformed/corrupt input.
 [[nodiscard]] WireMessage decode(std::span<const std::uint8_t> bytes);
+
+// ------------------------------------------------------------- streaming
+//
+// The TCP transport ships frames over byte streams, where read() returns
+// arbitrary slices: a frame may arrive split across many reads or several
+// frames may coalesce into one. frame()/FrameDecoder are the stream
+// boundary: a 4-byte little-endian length prefix followed by the frame
+// body, reassembled incrementally on the receive side.
+
+/// Largest frame body a decoder accepts by default — a corrupted or
+/// hostile length prefix must not become a multi-gigabyte allocation.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1U << 30;
+
+/// Prepend the length prefix: the unit every stream write sends.
+/// Throws WireError when `body` exceeds the u32 prefix (or `max_frame`).
+[[nodiscard]] std::vector<std::uint8_t> frame(
+    std::span<const std::uint8_t> body,
+    std::size_t max_frame = kDefaultMaxFrameBytes);
+
+/// Incremental reassembly of length-prefixed frames from a byte stream.
+/// feed() arbitrary read slices, then drain complete frame bodies with
+/// next(). idle() distinguishes a clean EOF (stream ended on a frame
+/// boundary) from a truncated tail — the stream-level analogue of
+/// decode()'s truncation check.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame = kDefaultMaxFrameBytes)
+      : max_frame_(max_frame) {}
+
+  /// Append one read's worth of stream bytes. Throws WireError as soon as
+  /// a buffered length prefix exceeds max_frame — before any allocation.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// The next complete frame body, or nullopt until more bytes arrive.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> next();
+
+  /// True when no partial frame is buffered — EOF here is clean; EOF with
+  /// idle() false means the peer died mid-frame.
+  [[nodiscard]] bool idle() const { return buffer_.size() == consumed_; }
+
+ private:
+  std::size_t max_frame_;
+  std::vector<std::uint8_t> buffer_;
+  /// Read cursor into buffer_: consumed frames advance it and the prefix
+  /// is compacted away only when the buffer drains, so a burst of
+  /// coalesced frames costs one erase, not one per frame.
+  std::size_t consumed_ = 0;
+};
 
 }  // namespace garfield::net

@@ -147,6 +147,7 @@ std::size_t ScenarioMatrix::for_each(
       attacks.empty() ? attacks::attack_names() : attacks;
 
   std::size_t cells = 0;
+  std::size_t seeded_cells = 0;  // transport twins share one seed
   for (const std::string& gar : gar_list) {
     // The vanilla mean tolerates no Byzantine input; sweep it at f = 0 so
     // the matrix still covers it as a no-adversary sanity row.
@@ -158,16 +159,25 @@ std::size_t ScenarioMatrix::for_each(
         const std::size_t n = std::max<std::size_t>(min_n + f + slack, 3);
         for (const std::string& attack : attack_list) {
           for (const std::string& network : networks) {
-            Scenario cell;
-            cell.gar = gar;
-            cell.attack = attack;
-            cell.n = n;
-            cell.f = f;
-            cell.d = d;
-            cell.seed = seed + cells;  // decorrelate cells, reproducible
-            cell.network = network;
-            fn(cell);
-            ++cells;
+            // Transport twins are the SAME cell on different backends —
+            // they share one seed so a parity consumer can compare their
+            // results bit for bit. With the default single-transport axis
+            // this degenerates to the historical seed-per-cell sequence.
+            const std::uint64_t cell_seed = seed + seeded_cells;
+            ++seeded_cells;
+            for (const std::string& transport : transports) {
+              Scenario cell;
+              cell.gar = gar;
+              cell.attack = attack;
+              cell.n = n;
+              cell.f = f;
+              cell.d = d;
+              cell.seed = cell_seed;  // decorrelate cells, reproducible
+              cell.network = network;
+              cell.transport = transport;
+              fn(cell);
+              ++cells;
+            }
           }
         }
       }

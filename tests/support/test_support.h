@@ -77,6 +77,12 @@ struct Scenario {
   /// Byzantine) never reaches the GAR. Cells must stay sized so the
   /// surviving quorum satisfies gar_min_n(gar, f).
   std::string network;
+  /// Transport backend a deployment-level consumer should run this cell
+  /// under ("inproc" | "tcp", the DeploymentConfig::transport values).
+  /// run_scenario() itself models server ingress above the transport seam
+  /// and is backend-independent; the axis exists so deployment suites
+  /// (transport_backend_test) sweep identical cells across backends.
+  std::string transport = "inproc";
 };
 
 struct ScenarioResult {
@@ -117,6 +123,9 @@ struct ScenarioMatrix {
   /// Non-ideal entries must only degrade nodes the cell sizes can spare
   /// (see Scenario::network).
   std::vector<std::string> networks = {""};
+  /// Transport-backend axis, innermost so the default single entry leaves
+  /// every existing matrix's cell count and per-cell seeds untouched.
+  std::vector<std::string> transports = {"inproc"};
   std::size_t d = 32;
   std::uint64_t seed = 42;
 

@@ -9,7 +9,9 @@
 // AddressSanitizer + UBSan).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "net/wire.h"
@@ -177,6 +179,123 @@ TEST(WireFuzz, RawGarbageNeverEscapesTheContract) {
     for (std::uint8_t& b : bytes) b = std::uint8_t(rng.index(256));
     expect_total_decode(bytes, "raw garbage");
   }
+}
+
+// ---------------------------------------------------- stream reassembly
+//
+// The TCP transport's framed-stream decoder (net::frame / net::FrameDecoder)
+// faces the read() boundary lottery: a frame may arrive in 1-byte dribbles,
+// several frames may coalesce into one read, and a dying peer can cut the
+// stream mid-frame. The contract: every complete frame body comes back
+// exactly once and byte-identical regardless of boundaries; a truncated
+// tail is reported by idle(); a hostile length prefix throws WireError
+// before any allocation.
+
+namespace {
+
+std::vector<std::uint8_t> random_body(gt::Rng& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> body(rng.index(max_len + 1));
+  for (std::uint8_t& b : body) b = std::uint8_t(rng.index(256));
+  return body;
+}
+
+}  // namespace
+
+TEST(WireStreamFuzz, ArbitrarySplitBoundariesReassembleExactly) {
+  gt::Rng rng(kSeed + 7);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t count = 1 + rng.index(6);
+    std::vector<std::vector<std::uint8_t>> bodies;
+    std::vector<std::uint8_t> stream;
+    for (std::size_t k = 0; k < count; ++k) {
+      bodies.push_back(random_body(rng, 300));
+      const std::vector<std::uint8_t> framed = gn::frame(bodies.back());
+      stream.insert(stream.end(), framed.begin(), framed.end());
+    }
+    gn::FrameDecoder decoder;
+    std::vector<std::vector<std::uint8_t>> got;
+    std::size_t at = 0;
+    while (at < stream.size()) {
+      const std::size_t chunk = 1 + rng.index(stream.size() - at);
+      decoder.feed(std::span<const std::uint8_t>(stream.data() + at, chunk));
+      at += chunk;
+      while (auto body = decoder.next()) got.push_back(std::move(*body));
+    }
+    ASSERT_EQ(got.size(), bodies.size()) << "round " << round;
+    for (std::size_t k = 0; k < count; ++k) {
+      EXPECT_EQ(got[k], bodies[k]) << "frame " << k << " round " << round;
+    }
+    EXPECT_TRUE(decoder.idle()) << "clean stream left a partial frame";
+  }
+}
+
+TEST(WireStreamFuzz, CoalescedFramesDrainInOneFeed) {
+  gt::Rng rng(kSeed + 8);
+  for (int round = 0; round < 100; ++round) {
+    const std::size_t count = 2 + rng.index(8);
+    std::vector<std::vector<std::uint8_t>> bodies;
+    std::vector<std::uint8_t> stream;
+    for (std::size_t k = 0; k < count; ++k) {
+      bodies.push_back(random_body(rng, 120));
+      const std::vector<std::uint8_t> framed = gn::frame(bodies.back());
+      stream.insert(stream.end(), framed.begin(), framed.end());
+    }
+    gn::FrameDecoder decoder;
+    decoder.feed(stream);  // one read carrying every frame
+    std::vector<std::vector<std::uint8_t>> got;
+    while (auto body = decoder.next()) got.push_back(std::move(*body));
+    ASSERT_EQ(got.size(), bodies.size());
+    for (std::size_t k = 0; k < count; ++k) EXPECT_EQ(got[k], bodies[k]);
+    EXPECT_TRUE(decoder.idle());
+  }
+}
+
+TEST(WireStreamFuzz, TruncatedTailAtEofIsDetected) {
+  gt::Rng rng(kSeed + 9);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t count = 1 + rng.index(5);
+    std::vector<std::size_t> boundaries = {0};  // cumulative frame ends
+    std::vector<std::uint8_t> stream;
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::vector<std::uint8_t> framed =
+          gn::frame(random_body(rng, 100));
+      stream.insert(stream.end(), framed.begin(), framed.end());
+      boundaries.push_back(stream.size());
+    }
+    // Cut anywhere, including frame boundaries and the full stream.
+    const std::size_t cut = rng.index(stream.size() + 1);
+    const bool clean_cut =
+        std::find(boundaries.begin(), boundaries.end(), cut) !=
+        boundaries.end();
+    const std::size_t whole_frames =
+        std::size_t(std::count_if(boundaries.begin() + 1, boundaries.end(),
+                                  [cut](std::size_t b) { return b <= cut; }));
+    gn::FrameDecoder decoder;
+    decoder.feed(std::span<const std::uint8_t>(stream.data(), cut));
+    std::size_t got = 0;
+    while (decoder.next()) ++got;
+    EXPECT_EQ(got, whole_frames) << "cut " << cut << " round " << round;
+    // EOF now: idle() must say whether the peer died mid-frame.
+    EXPECT_EQ(decoder.idle(), clean_cut) << "cut " << cut;
+  }
+}
+
+TEST(WireStreamFuzz, OversizeLengthPrefixThrowsBeforeAllocation) {
+  // A hostile prefix must fail as soon as its 4 bytes are buffered — even
+  // when they arrive split across feeds — not when next() would size a
+  // buffer by it.
+  gn::FrameDecoder decoder(/*max_frame=*/64);
+  std::vector<std::uint8_t> prefix = {0xFF, 0xFF, 0xFF, 0x7F};  // ~2 GiB
+  decoder.feed(std::span<const std::uint8_t>(prefix.data(), 2));
+  EXPECT_THROW(
+      decoder.feed(std::span<const std::uint8_t>(prefix.data() + 2, 2)),
+      gn::WireError);
+
+  // frame() enforces the same limit on the send side.
+  const std::vector<std::uint8_t> big(65, 0);
+  EXPECT_THROW((void)gn::frame(big, /*max_frame=*/64), gn::WireError);
+  EXPECT_NO_THROW((void)gn::frame(
+      std::span<const std::uint8_t>(big.data(), 64), /*max_frame=*/64));
 }
 
 TEST(WireFuzz, UncorruptedRoundTripStillHolds) {

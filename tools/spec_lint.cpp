@@ -3,9 +3,10 @@
 //
 // The repo's configuration surface is spec strings: GAR specs
 // ("multi_krum:m=4", gars/registry.h), attack specs/plans
-// ("little_is_enough:z=2.5", "2*sign_flip;reversed", attacks/registry.h)
-// and network-conditions specs ("wan:latency=5ms,jitter=2ms;churn:...",
-// net/conditions.h). Benches, tests, examples and the README quote dozens
+// ("little_is_enough:z=2.5", "2*sign_flip;reversed", attacks/registry.h),
+// network-conditions specs ("wan:latency=5ms,jitter=2ms;churn:...",
+// net/conditions.h) and the transport backend key ("transport=tcp",
+// core/config.h). Benches, tests, examples and the README quote dozens
 // of them, and nothing ties those literals to the grammar: a registry
 // rename or an option change rots them silently until someone pastes one.
 //
@@ -32,12 +33,14 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "attacks/registry.h"
+#include "core/config.h"
 #include "gars/gar.h"
 #include "gars/registry.h"
 #include "net/conditions.h"
@@ -198,7 +201,23 @@ std::string leading_name(const std::string& text) {
   return text.substr(0, i);
 }
 
-enum class SpecKind { kNone, kConditions, kGar, kAttackPlan };
+enum class SpecKind { kNone, kConditions, kGar, kAttackPlan, kTransport };
+
+/// The transport backend key: "transport=tcp" in docs and specs,
+/// "transport = tcp" in controller config text. Returns the assigned
+/// value, nullopt when the text is not a transport assignment.
+std::optional<std::string> transport_value(const std::string& text) {
+  static const std::string kKey = "transport";
+  if (text.compare(0, kKey.size(), kKey) != 0) return std::nullopt;
+  std::size_t i = kKey.size();
+  while (i < text.size() && text[i] == ' ') ++i;
+  if (i >= text.size() || text[i] != '=') return std::nullopt;
+  ++i;
+  while (i < text.size() && text[i] == ' ') ++i;
+  std::string value = text.substr(i);
+  while (!value.empty() && value.back() == ' ') value.pop_back();
+  return value;
+}
 
 const std::unordered_set<std::string>& conditions_clauses() {
   static const std::unordered_set<std::string> kClauses{
@@ -236,6 +255,7 @@ SpecKind classify(const std::string& text,
   if (looks_like_fragment(text) || looks_like_template(text)) {
     return SpecKind::kNone;
   }
+  if (transport_value(text)) return SpecKind::kTransport;
   const std::string name = leading_name(text);
   if (name.empty()) return SpecKind::kNone;
   // A conditions spec needs a clause body ("churn:crash=..."); the bare
@@ -277,6 +297,15 @@ std::string validate(SpecKind kind, const std::string& text) {
         (void)garfield::attacks::validate_attack_plan(text, f, "spec_lint");
         return {};
       }
+      case SpecKind::kTransport: {
+        // Route through the runtime validator: a default config with only
+        // the transport swapped is exactly what the quoted key claims
+        // works, so cfg.validate() is the closed loop.
+        garfield::core::DeploymentConfig cfg;
+        cfg.transport = *transport_value(text);
+        cfg.validate();
+        return {};
+      }
       case SpecKind::kNone:
         return {};
     }
@@ -294,6 +323,8 @@ const char* kind_name(SpecKind kind) {
       return "gar";
     case SpecKind::kAttackPlan:
       return "attack";
+    case SpecKind::kTransport:
+      return "transport";
     case SpecKind::kNone:
       return "none";
   }
