@@ -8,6 +8,7 @@
 #include "attacks/registry.h"
 #include "gars/gar.h"
 #include "gars/registry.h"
+#include "net/conditions.h"
 
 namespace garfield::attacks {
 
@@ -255,6 +256,48 @@ std::optional<FlatVector> AdaptiveZAttack::craft(const FlatVector& honest,
   return candidate(z);
 }
 
+// ---------------------------------------------------------- window_striker
+
+WindowStrikerAttack::WindowStrikerAttack(AttackPtr inner, std::size_t margin)
+    : inner_(std::move(inner)), margin_(margin) {
+  require(inner_ != nullptr, "window_striker: missing inner attack");
+}
+
+bool WindowStrikerAttack::strikes(const AttackContext& ctx) {
+  if (ctx.conditions == nullptr || !ctx.conditions->has_churn()) {
+    return false;  // no reconfiguration windows to wait for
+  }
+  if (ctx.cohort_hi <= ctx.cohort_lo) return false;  // unknown cohort span
+  const std::size_t span = ctx.cohort_hi - ctx.cohort_lo;
+  const std::size_t down =
+      ctx.conditions->count_down(ctx.cohort_lo, ctx.cohort_hi, ctx.iteration);
+  // Only strike inside an active window: the whole point is hitting the
+  // quorum while the membership plane has already thinned it.
+  if (down == 0) return false;
+  const std::string gar = ctx.gar.empty() ? "krum" : ctx.gar;
+  if (gar != floor_gar_ || ctx.f != floor_f_) {
+    floor_ = gars::gar_min_n(gar, ctx.f);
+    floor_gar_ = gar;
+    floor_f_ = ctx.f;
+  }
+  return span - down <= floor_ + margin_;
+}
+
+std::optional<FlatVector> WindowStrikerAttack::craft(const FlatVector& honest,
+                                                     AttackContext& ctx) {
+  if (!strikes(ctx)) return honest;  // camouflage phase: behave correctly
+  return inner_->craft(honest, ctx);
+}
+
+// -------------------------------------------------------- corrupt_recovery
+
+std::optional<FlatVector> CorruptRecoveryAttack::craft(
+    const FlatVector& honest, AttackContext& /*ctx*/) {
+  // Regular channels stay honest; the lie lives in the state-transfer
+  // blobs (tampers_state_transfer + ByzantineServer::serve_checkpoint).
+  return honest;
+}
+
 // ----------------------------------------------------- registry descriptors
 
 namespace detail {
@@ -340,6 +383,21 @@ void register_core_attacks(AttackRegistry& registry) {
          opts.fallback_z = options.get_double("fallback_z", opts.fallback_z);
          return std::make_unique<AdaptiveZAttack>(std::move(opts));
        }});
+  registry.add(
+      {.name = "window_striker",
+       // Wants the view whenever its inner attack does; harmless otherwise.
+       .omniscient = true,
+       .factory = [](const AttackOptions& options) -> AttackPtr {
+         const std::string inner = options.get_string("inner", "reversed");
+         const std::size_t margin = options.get_size("margin", 0);
+         return std::make_unique<WindowStrikerAttack>(make_attack(inner),
+                                                      margin);
+       }});
+  registry.add({.name = "corrupt_recovery",
+                .omniscient = false,
+                .factory = [](const AttackOptions&) -> AttackPtr {
+                  return std::make_unique<CorruptRecoveryAttack>();
+                }});
 }
 
 }  // namespace detail

@@ -34,6 +34,10 @@ namespace garfield::gars {
 class Gar;  // adaptive_z's cached probe rule (gars/gar.h)
 }  // namespace garfield::gars
 
+namespace garfield::net {
+class NetworkConditions;  // window_striker's churn-schedule view
+}  // namespace garfield::net
+
 namespace garfield::attacks {
 
 using tensor::FlatVector;
@@ -64,6 +68,19 @@ class AttackContext {
   /// unit fixtures). Adaptive attacks tune themselves against *this*
   /// defense instead of a separately configured guess.
   std::string gar;
+  /// The deployment's parsed NetworkConditions (churn/fault schedules),
+  /// shared from the owning node's Cluster; nullptr when the crafting node
+  /// has no cluster view (unit fixtures). Schedule-aware adversaries
+  /// (window_striker) read the same membership windows the cluster
+  /// executes — a pure function of (spec, iteration), so every process of
+  /// a multi-rank run resolves identical strike decisions.
+  const net::NetworkConditions* conditions = nullptr;
+  /// Node-id span [cohort_lo, cohort_hi) of the cohort this payload joins
+  /// (workers [nps, nps+nw) in parameter-server deployments, peers [0, n)
+  /// decentralized; both 0 when unknown) — what schedule-aware attacks
+  /// count live members over.
+  std::size_t cohort_lo = 0;
+  std::size_t cohort_hi = 0;
 
   /// Per-attacker random stream (never shared across nodes).
   [[nodiscard]] Rng& rng() const { return *rng_; }
@@ -88,6 +105,12 @@ class Attack {
   [[nodiscard]] virtual std::optional<FlatVector> craft(
       const FlatVector& honest, AttackContext& ctx) = 0;
 
+  /// True when this adversary corrupts Byzantine-recovery state transfer:
+  /// a ByzantineServer mounting it serves checkpoint blobs damaged after
+  /// the digest seal (core/server.h serve_checkpoint). Orthogonal to
+  /// craft(), which such attacks leave honest to stay inconspicuous.
+  [[nodiscard]] virtual bool tampers_state_transfer() const { return false; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -99,7 +122,8 @@ using AttackPtr = std::unique_ptr<Attack>;
 /// Names registered in the AttackRegistry, in registration order:
 /// "random", "reversed", "dropped", "sign_flip", "zero",
 /// "little_is_enough", "fall_of_empires", "nan_poison", "alternating",
-/// "adaptive_z" — and anything registered at runtime.
+/// "adaptive_z", "window_striker", "corrupt_recovery" — and anything
+/// registered at runtime.
 [[nodiscard]] std::vector<std::string> attack_names();
 
 /// Factory. `spec` is either a bare registry name ("sign_flip") or a spec
@@ -297,6 +321,57 @@ class AdaptiveZAttack final : public Attack {
   std::size_t probe_gar_f_ = 0;
   double last_z_ = 0.0;
   std::string last_probe_;
+};
+
+/// Churn-timed adversary: stays perfectly honest until the deployment's
+/// churn schedule (AttackContext::conditions) has cohort members down AND
+/// the live count grazes the cohort GAR's min_n(f) resilience floor —
+/// live <= min_n + margin — then mounts its inner attack at full
+/// intensity. Defenses that profile per-node statistics see an honest node
+/// for the whole healthy phase; the strike lands exactly when the quorum
+/// has the least slack to absorb it. The strike predicate is a pure
+/// function of (schedule, iteration, gar, f), so every process of a
+/// multi-rank run agrees on the strike windows. With no conditions view or
+/// no churn scheduled the attack never strikes (it is *waiting* for a
+/// reconfiguration window). Spec options: inner (sub-attack spec, default
+/// "reversed"), margin >= 0 (slack above the floor that still triggers a
+/// strike, default 0).
+class WindowStrikerAttack final : public Attack {
+ public:
+  WindowStrikerAttack(AttackPtr inner, std::size_t margin);
+  std::optional<FlatVector> craft(const FlatVector& honest,
+                                  AttackContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "window_striker"; }
+
+  /// The strike predicate alone (exposed for tests; craft() consumes no
+  /// randomness outside strike windows, so the schedule is replayable).
+  [[nodiscard]] bool strikes(const AttackContext& ctx);
+
+ private:
+  AttackPtr inner_;
+  std::size_t margin_;
+  /// min_n floor cache, rebuilt only when the (gar, f) pair changes.
+  std::string floor_gar_;
+  std::size_t floor_f_ = std::size_t(-1);
+  std::size_t floor_ = 0;
+};
+
+/// Byzantine *recovery* adversary: every regular channel (gradients,
+/// models, gossip) is served honestly — craft() is the identity — but the
+/// node declares tampers_state_transfer(), so a ByzantineServer mounting
+/// it serves checkpoint blobs damaged after the digest seal to any
+/// recovering peer. The verified state-transfer path detects the damage
+/// (digest mismatch), rejects the blob before decoding a single float and
+/// falls back to the remaining peers or the local checkpoint — leaving the
+/// honest trajectory untouched.
+class CorruptRecoveryAttack final : public Attack {
+ public:
+  std::optional<FlatVector> craft(const FlatVector& honest,
+                                  AttackContext& ctx) override;
+  [[nodiscard]] bool tampers_state_transfer() const override { return true; }
+  [[nodiscard]] std::string name() const override {
+    return "corrupt_recovery";
+  }
 };
 
 }  // namespace garfield::attacks

@@ -1,6 +1,7 @@
 #include "core/checkpoint.h"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
@@ -13,7 +14,89 @@
 
 namespace garfield::core {
 
-void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
+namespace {
+
+/// Digest trailer: magic "GCKD" + CRC-32 of every byte before it.
+constexpr std::uint32_t kDigestMagic = 0x444b4347;  // "GCKD" little-endian
+constexpr std::size_t kDigestTrailerBytes = 8;
+
+std::uint32_t read_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= std::uint32_t(in[at + std::size_t(i)]) << (8 * i);
+  }
+  return v;
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+/// Digest check first, message decodes second — a blob that fails its
+/// digest is rejected before a single header field is trusted. Returns
+/// the body (trailer stripped).
+std::span<const std::uint8_t> verify_digest(
+    std::span<const std::uint8_t> bytes, const std::string& context) {
+  if (bytes.size() < net::wire_size(0) + kDigestTrailerBytes) {
+    throw net::WireError(context + ": truncated blob (" +
+                         std::to_string(bytes.size()) +
+                         " bytes, shorter than a message plus digest)");
+  }
+  const std::size_t body_size = bytes.size() - kDigestTrailerBytes;
+  if (read_u32(bytes, body_size) != kDigestMagic) {
+    throw net::WireError(context +
+                         ": missing digest trailer (pre-digest blob, or "
+                         "the trailer itself was damaged)");
+  }
+  const std::uint32_t stored = read_u32(bytes, body_size + 4);
+  if (net::crc32(bytes.first(body_size)) != stored) {
+    throw net::WireError(context +
+                         ": digest mismatch — state blob corrupted or "
+                         "tampered with; rejecting before decode");
+  }
+  return bytes.first(body_size);
+}
+
+/// True when the blob ends in a digest trailer (by magic). Distinguishes
+/// the current format from pre-digest on-disk checkpoints.
+bool has_digest_trailer(std::span<const std::uint8_t> bytes) {
+  return bytes.size() >= net::wire_size(0) + kDigestTrailerBytes &&
+         read_u32(bytes, bytes.size() - kDigestTrailerBytes) == kDigestMagic;
+}
+
+/// Decode the message body (digest already stripped/absent): parameters
+/// message, optionally followed by a velocity message with a matching
+/// iteration tag and dimension.
+Checkpoint decode_messages(std::span<const std::uint8_t> body,
+                           const std::string& context) {
+  const std::size_t head = net::encoded_size(body);
+  net::WireMessage msg = net::decode(body.first(head));
+  Checkpoint checkpoint{msg.iteration, std::move(msg.payload), {}};
+  if (head < body.size()) {
+    net::WireMessage tail = net::decode(body.subspan(head));
+    if (tail.iteration != checkpoint.iteration) {
+      throw net::WireError(
+          context + ": velocity iteration tag mismatch (parameters at " +
+          std::to_string(checkpoint.iteration) + ", velocity at " +
+          std::to_string(tail.iteration) + ")");
+    }
+    // A mismatched velocity would be silently discarded by the optimizer's
+    // first step — fail loudly here instead, like every other corruption.
+    if (tail.payload.size() != checkpoint.parameters.size()) {
+      throw net::WireError(
+          context + ": velocity dimension mismatch (" +
+          std::to_string(tail.payload.size()) + " vs " +
+          std::to_string(checkpoint.parameters.size()) + " parameters)");
+    }
+    checkpoint.velocity = std::move(tail.payload);
+  }
+  return checkpoint;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_checkpoint_blob(
+    const Checkpoint& checkpoint) {
   std::vector<std::uint8_t> blob =
       net::encode(checkpoint.iteration, checkpoint.parameters);
   if (!checkpoint.velocity.empty()) {
@@ -21,6 +104,47 @@ void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
         net::encode(checkpoint.iteration, checkpoint.velocity);
     blob.insert(blob.end(), tail.begin(), tail.end());
   }
+  const std::uint32_t digest = net::crc32(blob);
+  append_u32(blob, kDigestMagic);
+  append_u32(blob, digest);
+  return blob;
+}
+
+Checkpoint decode_checkpoint_blob(std::span<const std::uint8_t> bytes,
+                                  const std::string& context) {
+  return decode_messages(verify_digest(bytes, context), context);
+}
+
+net::Payload pack_bytes(std::span<const std::uint8_t> bytes) {
+  net::Payload carrier(1 + (bytes.size() + 3) / 4, 0.0F);
+  const std::uint32_t size = std::uint32_t(bytes.size());
+  std::memcpy(carrier.data(), &size, 4);
+  if (!bytes.empty()) {
+    std::memcpy(carrier.data() + 1, bytes.data(), bytes.size());
+  }
+  return carrier;
+}
+
+std::vector<std::uint8_t> unpack_bytes(std::span<const float> carrier,
+                                       const std::string& context) {
+  if (carrier.empty()) {
+    throw net::WireError(context + ": empty byte carrier");
+  }
+  std::uint32_t size = 0;
+  std::memcpy(&size, carrier.data(), 4);
+  const std::size_t capacity = (carrier.size() - 1) * 4;
+  if (size > capacity || capacity - size >= 4) {
+    throw net::WireError(context + ": byte carrier claims " +
+                         std::to_string(size) + " bytes but holds " +
+                         std::to_string(capacity));
+  }
+  std::vector<std::uint8_t> bytes(size);
+  if (size > 0) std::memcpy(bytes.data(), carrier.data() + 1, size);
+  return bytes;
+}
+
+void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
+  const std::vector<std::uint8_t> blob = encode_checkpoint_blob(checkpoint);
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -71,10 +195,10 @@ Checkpoint load_checkpoint(const std::string& path) {
   in.read(reinterpret_cast<char*>(blob.data()), size);
   if (!in) throw std::runtime_error("checkpoint: read failed for " + path);
   const std::span<const std::uint8_t> bytes(blob);
-  // Size-gate before the decoder sees the blob: encoded_size() reads the
-  // header, so an empty or short file would surface as a confusing wire
-  // error (or worse, garbage header fields) instead of naming the real
-  // problem — the checkpoint on disk is incomplete.
+  // Size-gate before the decoder sees the blob: the digest check reads the
+  // trailer, so an empty or short file would surface as a confusing wire
+  // error instead of naming the real problem — the checkpoint on disk is
+  // incomplete.
   if (bytes.empty()) {
     throw net::WireError("checkpoint: empty file '" + path + "'");
   }
@@ -83,28 +207,15 @@ Checkpoint load_checkpoint(const std::string& path) {
                          std::to_string(bytes.size()) +
                          " bytes, shorter than a header)");
   }
-  const std::size_t head = net::encoded_size(bytes);
-  net::WireMessage msg = net::decode(bytes.first(head));
-  Checkpoint checkpoint{msg.iteration, std::move(msg.payload), {}};
-  if (head < bytes.size()) {
-    net::WireMessage tail = net::decode(bytes.subspan(head));
-    if (tail.iteration != checkpoint.iteration) {
-      throw net::WireError(
-          "checkpoint: velocity iteration tag mismatch (parameters at " +
-          std::to_string(checkpoint.iteration) + ", velocity at " +
-          std::to_string(tail.iteration) + ")");
-    }
-    // A mismatched velocity would be silently discarded by the optimizer's
-    // first step — fail loudly here instead, like every other corruption.
-    if (tail.payload.size() != checkpoint.parameters.size()) {
-      throw net::WireError(
-          "checkpoint: velocity dimension mismatch (" +
-          std::to_string(tail.payload.size()) + " vs " +
-          std::to_string(checkpoint.parameters.size()) + " parameters)");
-    }
-    checkpoint.velocity = std::move(tail.payload);
+  // Digest before any decode: a bit-flipped blob that keeps a plausible
+  // message header must never reach the field decoders. Files written
+  // before the digest trailer existed carry bare messages; those still
+  // load on the per-message CRCs alone (local disk only — the RPC
+  // state-transfer path always requires the digest).
+  if (!has_digest_trailer(bytes)) {
+    return decode_messages(bytes, "checkpoint '" + path + "'");
   }
-  return checkpoint;
+  return decode_checkpoint_blob(bytes, "checkpoint '" + path + "'");
 }
 
 }  // namespace garfield::core

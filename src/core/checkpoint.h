@@ -1,15 +1,30 @@
-// Model checkpointing.
+// Model checkpointing and verified state-transfer blobs.
 //
 // The paper's related work notes that classic parameter servers tolerate
 // crashes via checkpoints [6]; garfield ships the same facility so any
 // deployment can persist its model state and resume. Checkpoints use the
 // CRC-verified wire format — a torn write or disk corruption is detected
 // at load time, never silently trained on.
+//
+// On top of the per-message CRCs the serialized blob carries a whole-blob
+// digest trailer (magic + CRC-32 over every preceding byte), verified
+// BEFORE any message decode. The per-message CRC covers only the payload
+// bytes: a flipped bit in an iteration tag, a truncated velocity message
+// or two valid messages spliced from different checkpoints all decode
+// "cleanly" into a wrong model — the digest catches every one of them.
+// The same blob format is what a recovering replica pulls from its peers
+// over the get_checkpoint RPC (core/server.h), so Byzantine recovery
+// state transfer is verified by construction: a tampered blob fails its
+// digest at the receiver and is rejected before a single float is
+// decoded.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
+#include "net/transport.h"
 #include "tensor/vecops.h"
 
 namespace garfield::core {
@@ -28,8 +43,31 @@ struct Checkpoint {
 /// std::runtime_error on I/O failure.
 void save_checkpoint(const std::string& path, const Checkpoint& checkpoint);
 
-/// Load and verify. Throws net::WireError on corruption and
+/// Load and verify. The whole-blob digest is checked before any decode;
+/// pre-digest files (bare wire messages, no trailer) still load on their
+/// per-message CRCs alone. Throws net::WireError on corruption and
 /// std::runtime_error if the file cannot be read.
 [[nodiscard]] Checkpoint load_checkpoint(const std::string& path);
+
+// ----------------------------------------------- state-transfer blob API
+// The serialized form shared by the on-disk file and the get_checkpoint
+// RPC: wire message(s) + digest trailer.
+
+/// Serialize `checkpoint` with the digest trailer appended.
+[[nodiscard]] std::vector<std::uint8_t> encode_checkpoint_blob(
+    const Checkpoint& checkpoint);
+
+/// Verify the digest trailer, then decode. Throws net::WireError naming
+/// `context` when the blob is truncated, lacks a trailer, or its digest
+/// does not cover the bytes — BEFORE any wire message is decoded.
+[[nodiscard]] Checkpoint decode_checkpoint_blob(
+    std::span<const std::uint8_t> bytes, const std::string& context);
+
+/// Carry an opaque byte blob inside an RPC float payload (4 bytes per
+/// element, length in the leading element). Bit-exact round trip;
+/// unpack throws net::WireError on an inconsistent carrier.
+[[nodiscard]] net::Payload pack_bytes(std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::vector<std::uint8_t> unpack_bytes(
+    std::span<const float> carrier, const std::string& context);
 
 }  // namespace garfield::core

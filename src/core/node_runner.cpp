@@ -37,7 +37,9 @@ namespace {
 // net/wire blob (magic + CRC, so a torn write cannot decode as a model).
 
 constexpr std::uint32_t kResultMagic = 0x52545247;  // "GRTR" little-endian
-constexpr std::uint32_t kResultVersion = 1;
+// v2: fault/retry NetStats (faults_injected, retries, retry_give_ups,
+// peer_deaths) and the Byzantine-recovery state-transfer counters.
+constexpr std::uint32_t kResultVersion = 2;
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
@@ -125,6 +127,12 @@ std::vector<std::uint8_t> encode_result(const TrainResult& r) {
   put_u64(out, r.net_stats.dropped_tasks);
   put_u64(out, r.net_stats.bytes_sent);
   put_u64(out, r.net_stats.bytes_received);
+  put_u64(out, r.net_stats.faults_injected);
+  put_u64(out, r.net_stats.retries);
+  put_u64(out, r.net_stats.retry_give_ups);
+  put_u64(out, r.net_stats.peer_deaths);
+  put_u64(out, r.state_transfers);
+  put_u64(out, r.state_transfer_rejects);
   put_u64(out, r.curve.size());
   for (const EvalPoint& p : r.curve) {
     put_u64(out, p.iteration);
@@ -176,6 +184,12 @@ TrainResult decode_result(std::span<const std::uint8_t> bytes) {
   r.net_stats.dropped_tasks = in.u64();
   r.net_stats.bytes_sent = in.u64();
   r.net_stats.bytes_received = in.u64();
+  r.net_stats.faults_injected = in.u64();
+  r.net_stats.retries = in.u64();
+  r.net_stats.retry_give_ups = in.u64();
+  r.net_stats.peer_deaths = in.u64();
+  r.state_transfers = in.u64();
+  r.state_transfer_rejects = in.u64();
   const std::uint64_t curve_n = in.u64();
   for (std::uint64_t i = 0; i < curve_n; ++i) {
     EvalPoint p;

@@ -35,6 +35,10 @@ Server::Server(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
                             [this](const net::Request& req) {
                               return serve_aggr_grad(req);
                             });
+  cluster_.register_handler(id_, kGetCheckpoint,
+                            [this](const net::Request& req) {
+                              return serve_checkpoint(req);
+                            });
 }
 
 void Server::rejoin() {
@@ -50,6 +54,10 @@ void Server::rejoin() {
   cluster_.register_handler(id_, kGetAggrGrad,
                             [this](const net::Request& req) {
                               return serve_aggr_grad(req);
+                            });
+  cluster_.register_handler(id_, kGetCheckpoint,
+                            [this](const net::Request& req) {
+                              return serve_checkpoint(req);
                             });
 }
 
@@ -211,6 +219,16 @@ net::HandlerResult Server::serve_aggr_grad(const net::Request& req) {
   return net::HandlerResult::reply(latest_aggr_grad_);
 }
 
+Checkpoint Server::current_checkpoint() const {
+  util::MutexLock lock(mutex_);
+  return Checkpoint{step_, *params_, optimizer_.velocity()};
+}
+
+net::HandlerResult Server::serve_checkpoint(const net::Request& /*req*/) {
+  return net::HandlerResult::reply(
+      pack_bytes(encode_checkpoint_blob(current_checkpoint())));
+}
+
 ByzantineServer::ByzantineServer(net::NodeId id, net::Cluster& cluster,
                                  nn::ModelPtr model,
                                  nn::SgdOptimizer::Options opt,
@@ -256,6 +274,26 @@ net::HandlerResult ByzantineServer::serve_aggr_grad(
   net::HandlerResult honest = Server::serve_aggr_grad(req);
   if (honest.retry || !honest.payload) return honest;
   return corrupt(*honest.payload, req.iteration, aggr_cohort_gar_);
+}
+
+net::HandlerResult ByzantineServer::serve_checkpoint(
+    const net::Request& req) {
+  {
+    util::MutexLock lock(attack_mutex_);
+    if (!attack_->tampers_state_transfer()) {
+      // Most attacks have no state-transfer channel — serve honestly, like
+      // a correct replica (staying inconspicuous is part of the model).
+      return Server::serve_checkpoint(req);
+    }
+  }
+  std::vector<std::uint8_t> blob =
+      encode_checkpoint_blob(current_checkpoint());
+  // Flip a bit of the iteration tag AFTER the digest seal. The tag is not
+  // covered by the per-message payload CRC, so without the whole-blob
+  // digest this tampered transfer would decode "cleanly" into wrong state;
+  // with it the recovering peer rejects the blob before any decode.
+  blob[8] ^= 0x01;
+  return net::HandlerResult::reply(pack_bytes(blob));
 }
 
 }  // namespace garfield::core

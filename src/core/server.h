@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "attacks/attack.h"
+#include "core/checkpoint.h"
 #include "data/dataset.h"
 #include "gars/gar.h"
 #include "net/cluster.h"
@@ -46,6 +47,10 @@ namespace garfield::core {
 /// RPC methods served by servers.
 inline constexpr const char* kGetModel = "get_model";
 inline constexpr const char* kGetAggrGrad = "get_aggr_grad";
+/// Byzantine-recovery state transfer: a recovering replica pulls peers'
+/// digest-sealed checkpoint blobs (core/checkpoint.h) instead of trusting
+/// a single local file.
+inline constexpr const char* kGetCheckpoint = "get_checkpoint";
 
 class Server {
  public:
@@ -159,9 +164,19 @@ class Server {
       const net::Request& req);
   [[nodiscard]] virtual net::HandlerResult serve_aggr_grad(
       const net::Request& req);
+  /// What get_checkpoint serves: the live state as a digest-sealed blob
+  /// (encode_checkpoint_blob + pack_bytes). ByzantineServer tampers with
+  /// the blob *after* the digest is computed, which is exactly what the
+  /// receiver's verify-before-decode rejects.
+  [[nodiscard]] virtual net::HandlerResult serve_checkpoint(
+      const net::Request& req);
 
   /// Current snapshot pointer (refcount bump, no copy).
   [[nodiscard]] net::PayloadPtr snapshot() const;
+
+  /// Consistent (parameters, velocity, step) triple under one lock hold —
+  /// what serve_checkpoint seals into its blob.
+  [[nodiscard]] Checkpoint current_checkpoint() const;
 
  private:
   /// One tagged publication (model or contracted gradient). A null payload
@@ -237,6 +252,12 @@ class ByzantineServer final : public Server {
  protected:
   net::HandlerResult serve_model(const net::Request& req) override;
   net::HandlerResult serve_aggr_grad(const net::Request& req) override;
+  /// State-transfer tamper channel: when the mounted attack declares
+  /// tampers_state_transfer() (corrupt_recovery), the served blob's
+  /// iteration tag is flipped *after* the digest seal — a corruption the
+  /// per-message CRC would miss but the whole-blob digest catches, so a
+  /// recovering peer detects and rejects the transfer.
+  net::HandlerResult serve_checkpoint(const net::Request& req) override;
 
  private:
   /// Corrupt a copy of the honest payload (attacks rewrite in place; the

@@ -53,6 +53,11 @@ struct Runtime {
   /// Reporting replica's per-iteration gradient reply counts (s == 0 loop
   /// thread only — no lock needed).
   std::vector<std::size_t> reporting_gradient_counts;
+  /// Byzantine-recovery state transfer outcomes: peer checkpoint blobs
+  /// adopted after digest verification, and blobs rejected by it (a
+  /// corrupt_recovery peer, a torn carrier, a dimension mismatch).
+  std::atomic<std::uint64_t> state_transfers{0};
+  std::atomic<std::uint64_t> state_transfer_rejects{0};
   // Below-floor abort: the first loop that sees the churn schedule drop a
   // cohort under its GAR floor records why and flips the flag; every loop
   // exits at its next gate and the driver rethrows after the join.

@@ -18,6 +18,7 @@
 #include "core/worker.h"
 #include "gars/gar.h"
 #include "gars/registry.h"
+#include "net/wire.h"
 #include "nn/zoo.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -161,7 +162,7 @@ void build_parameter_server(Runtime& rt) {
           id, *rt.cluster, std::move(model), std::move(shards[w]),
           cfg.batch_size, root.fork(200 + w), attacks::make_attack(spec),
           cfg.worker_momentum, spec_is_omniscient(spec), cfg.nw, cfg.fw,
-          cfg.gradient_gar));
+          cfg.gradient_gar, cfg.nps, cfg.nps + cfg.nw));
     } else {
       rt.workers.push_back(std::make_unique<Worker>(
           id, *rt.cluster, std::move(model), std::move(shards[w]),
@@ -255,7 +256,7 @@ void build_decentralized(Runtime& rt) {
           cfg.batch_size, root.fork(200 + i),
           attacks::make_attack(worker_specs[rank]), cfg.worker_momentum,
           spec_is_omniscient(worker_specs[rank]), cfg.nw, cfg.fw,
-          cfg.gradient_gar));
+          cfg.gradient_gar, 0, cfg.nw));
     } else {
       rt.workers.push_back(std::make_unique<Worker>(
           i, *rt.cluster, std::move(worker_model), std::move(shards[i]),
@@ -267,6 +268,63 @@ void build_decentralized(Runtime& rt) {
   for (auto& server : rt.servers)
     server->enable_step_tagged_serving(/*models=*/true, /*aggr_grads=*/true);
   rt.curves.resize(cfg.nw);
+}
+
+/// Byzantine-recovery state transfer — the live path the checkpoint
+/// digest trailer exists for. The recovering replica pulls every live peer
+/// server's sealed checkpoint blob over the get_checkpoint RPC, rejects
+/// any blob that fails its whole-blob digest (a corrupt_recovery peer
+/// tampering post-seal) or carries the wrong dimension, and adopts the
+/// freshest surviving state: highest checkpoint iteration, ties broken
+/// toward the lowest sender rank — a pure function of the verified reply
+/// set, so the pick never depends on reply arrival order. Returns false
+/// when no peer blob survives verification; the caller then falls back to
+/// the durable local checkpoint.
+bool recover_from_peers(Runtime& rt, Server& server, net::NodeId self,
+                        std::uint64_t iteration) {
+  const DeploymentConfig& cfg = rt.config;
+  std::vector<net::NodeId> live;
+  for (std::size_t p = 0; p < cfg.nps; ++p) {
+    if (p != self && !rt.cluster->is_crashed(p)) live.push_back(p);
+  }
+  if (live.empty()) return false;
+  std::vector<net::Reply> replies = rt.cluster->collect(
+      self, live, kGetCheckpoint, iteration, nullptr, live.size(),
+      std::chrono::seconds(10));
+  const std::size_t dimension = server.parameters().size();
+  std::optional<Checkpoint> best;
+  net::NodeId best_from = 0;
+  for (net::Reply& r : replies) {
+    if (!r.payload) continue;
+    Checkpoint ckpt;
+    try {
+      ckpt = decode_checkpoint_blob(
+          unpack_bytes(*r.payload,
+                       "state transfer from server " + std::to_string(r.from)),
+          "state transfer from server " + std::to_string(r.from));
+    } catch (const std::exception&) {
+      // Digest (or carrier) verification rejected the blob before any
+      // field was decoded: drop this peer's offer, keep the honest ones.
+      rt.state_transfer_rejects.fetch_add(1);
+      continue;
+    }
+    if (ckpt.parameters.size() != dimension) {
+      rt.state_transfer_rejects.fetch_add(1);
+      continue;
+    }
+    if (!best || ckpt.iteration > best->iteration ||
+        (ckpt.iteration == best->iteration && r.from < best_from)) {
+      best_from = r.from;
+      best = std::move(ckpt);
+    }
+  }
+  if (!best) return false;
+  server.write_model(best->parameters);
+  if (!best->velocity.empty()) {
+    server.restore_optimizer_velocity(best->velocity);
+  }
+  rt.state_transfers.fetch_add(1);
+  return true;
 }
 
 /// Wire the churn schedule's recovery path: when advance_lifecycle brings
@@ -300,14 +358,17 @@ void register_recovery_hooks(Runtime& rt,
   for (std::size_t s = 0; s < cfg.nps; ++s) {
     if (!wanted(s)) continue;
     Server* server = rt.servers[s].get();
-    rt.cluster->set_recovery_handler(s, [&rt, server](std::uint64_t) {
+    rt.cluster->set_recovery_handler(s, [&rt, server, s](std::uint64_t it) {
       server->rejoin();
-      // Checkpoint state transfer: the restarted replica resumes from the
-      // reporting replica's last durable snapshot (config validation
-      // requires checkpointing whenever a schedule recovers a server). An
-      // unreadable checkpoint — none written yet, or torn — leaves the
-      // stale pre-crash state in place; the model exchange pulls the
-      // replica forward from there.
+      // State transfer, freshest source first: live peer replicas serve
+      // their sealed checkpoint blobs (digest-verified on receipt, so a
+      // tampering peer is rejected, not trained on), and only when no
+      // verified peer blob arrives does the replica fall back to the
+      // durable local checkpoint (config validation requires checkpointing
+      // whenever a schedule recovers a server). An unreadable checkpoint —
+      // none written yet, or torn — leaves the stale pre-crash state in
+      // place; the model exchange pulls the replica forward from there.
+      if (recover_from_peers(rt, *server, s, it)) return;
       if (rt.config.checkpoint_path.empty()) return;
       try {
         const Checkpoint ckpt = load_checkpoint(rt.config.checkpoint_path);
@@ -676,6 +737,8 @@ TrainResult harvest(Runtime& rt) {
   result.iterations_run = config.iterations;
   result.reporting_gradient_counts = std::move(rt.reporting_gradient_counts);
   result.net_stats = rt.cluster->stats();
+  result.state_transfers = rt.state_transfers.load();
+  result.state_transfer_rejects = rt.state_transfer_rejects.load();
   for (const auto& server : rt.servers) {
     result.rejected_payloads += server->rejected_payloads();
   }

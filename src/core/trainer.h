@@ -61,6 +61,15 @@ struct TrainResult {
   /// cross-backend parity probe: an `inproc` and a `tcp` run of the same
   /// config must produce identical bytes here.
   net::Payload final_parameters;
+  /// Byzantine-recovery state transfer outcomes, summed over every
+  /// recovery the churn schedule drove: peer checkpoint blobs adopted
+  /// after their whole-blob digest verified, and blobs rejected by that
+  /// verification (a corrupt_recovery peer tampering post-seal, a torn
+  /// carrier, a dimension mismatch). A run where recovering replicas hit
+  /// tampered peers shows rejects > 0 while the honest trajectory
+  /// continues unchanged.
+  std::uint64_t state_transfers = 0;
+  std::uint64_t state_transfer_rejects = 0;
   /// Gradient replies the reporting replica's pull returned per iteration —
   /// the live quorum trajectory. Under a churn schedule this is what the
   /// analytic plane predicts as span - count_down(span, it); compared

@@ -169,14 +169,19 @@ ByzantineWorker::ByzantineWorker(net::NodeId id, net::Cluster& cluster,
                                  attacks::AttackPtr attack, float momentum,
                                  bool omniscient, std::size_t declared_n,
                                  std::size_t declared_f,
-                                 std::string cohort_gar)
+                                 std::string cohort_gar,
+                                 std::size_t cohort_lo,
+                                 std::size_t cohort_hi)
     : Worker(id, cluster, std::move(model), std::move(shard), batch_size,
              rng, momentum),
       attack_(std::move(attack)),
+      conditions_(&cluster.conditions()),
       omniscient_(omniscient),
       declared_n_(declared_n),
       declared_f_(declared_f),
-      cohort_gar_(std::move(cohort_gar)) {}
+      cohort_gar_(std::move(cohort_gar)),
+      cohort_lo_(cohort_lo),
+      cohort_hi_(cohort_hi) {}
 
 net::HandlerResult ByzantineWorker::serve_gradient(const net::Request& req) {
   const ServedGradient honest = honest_gradient(req);
@@ -196,6 +201,9 @@ net::HandlerResult ByzantineWorker::serve_gradient(const net::Request& req) {
   ctx.f = declared_f_;
   ctx.honest = view;
   ctx.gar = cohort_gar_;
+  ctx.conditions = conditions_;
+  ctx.cohort_lo = cohort_lo_;
+  ctx.cohort_hi = cohort_hi_;
   std::optional<net::Payload> crafted =
       attack_->craft(*honest.gradient, ctx);
   if (!crafted) return net::HandlerResult::none();

@@ -163,13 +163,17 @@ class ByzantineWorker final : public Worker {
  public:
   /// `cohort_gar` is the GAR spec the deployment aggregates this node's
   /// gradients with (config's gradient_gar; "" when unknown) — adaptive
-  /// attacks probe it through AttackContext::gar.
+  /// attacks probe it through AttackContext::gar. `cohort_lo`/`cohort_hi`
+  /// span the worker cohort's node ids (both 0 when unknown) — schedule-
+  /// aware attacks (window_striker) count live cohort members over it
+  /// against the cluster's churn schedule.
   ByzantineWorker(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
                   data::Dataset shard, std::size_t batch_size,
                   tensor::Rng rng, attacks::AttackPtr attack,
                   float momentum = 0.0F, bool omniscient = false,
                   std::size_t declared_n = 0, std::size_t declared_f = 0,
-                  std::string cohort_gar = {});
+                  std::string cohort_gar = {}, std::size_t cohort_lo = 0,
+                  std::size_t cohort_hi = 0);
 
  protected:
   net::HandlerResult serve_gradient(const net::Request& req) override;
@@ -179,10 +183,14 @@ class ByzantineWorker final : public Worker {
   /// Stateful across rounds (alternating phase, adaptive_z intensity) and
   /// reachable from every pool thread serving this node's pulls.
   attacks::AttackPtr attack_ GARFIELD_GUARDED_BY(attack_mutex_);
+  /// The cluster's parsed schedules, shared into every AttackContext.
+  const net::NetworkConditions* conditions_;
   bool omniscient_;
   std::size_t declared_n_;
   std::size_t declared_f_;
   std::string cohort_gar_;
+  std::size_t cohort_lo_;
+  std::size_t cohort_hi_;
 };
 
 }  // namespace garfield::core

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "tensor/rng.h"
+
 namespace garfield::net {
 
 namespace {
@@ -18,6 +20,31 @@ constexpr Duration kRetryBackoffFloor{20};
 /// Redelivery backoff ceiling — keeps a long-lagging callee from being
 /// polled hot, without adding seconds of artificial latency.
 constexpr Duration kRetryBackoffCeiling{2000};
+
+/// Fault-retry layer: a lost attempt (fault:drop / fault:corrupt) is
+/// re-sent after floor * 2^attempt capped at the ceiling, plus a
+/// deterministic hash jitter in [0, backoff/2) so synchronized cohorts
+/// don't re-strike the network in lockstep. Bounded: after
+/// kMaxSendAttempts the call resolves nullptr (retry_give_ups).
+constexpr Duration kSendBackoffFloor{50};
+constexpr Duration kSendBackoffCeiling{5000};
+constexpr std::uint32_t kMaxSendAttempts = 8;
+
+Duration send_backoff(std::uint64_t seed, NodeId from, NodeId to,
+                      std::uint64_t iteration, std::uint32_t attempt) {
+  Duration base = kSendBackoffFloor;
+  for (std::uint32_t k = 0; k < attempt && base < kSendBackoffCeiling; ++k) {
+    base *= 2;
+  }
+  base = std::min(base, kSendBackoffCeiling);
+  std::uint64_t h = tensor::splitmix64_mix(seed ^ 0xbac0ff5eedULL);
+  h = tensor::splitmix64_mix(h ^ (std::uint64_t(from) << 32) ^
+                             std::uint64_t(to));
+  h = tensor::splitmix64_mix(h ^ iteration);
+  h = tensor::splitmix64_mix(h ^ std::uint64_t(attempt));
+  const double u = double(h >> 11) * 0x1.0p-53;
+  return base + Duration{std::int64_t(u * double(base.count()) * 0.5)};
+}
 
 }  // namespace
 
@@ -271,20 +298,79 @@ void Cluster::call(NodeId from, NodeId to, const std::string& method,
                    Duration timeout,
                    std::optional<std::uint64_t> window_iteration) {
   assert(from < nodes_ && to < nodes_);
-  const Duration delay =
-      delay_for(from, to, method, iteration, window_iteration);
   requests_sent_.fetch_add(1, std::memory_order_relaxed);
   if (argument) {
     floats_transferred_.fetch_add(argument->size(),
                                   std::memory_order_relaxed);
   }
+  auto cb = std::make_shared<Callback>(std::move(on_done));
+  send_attempt(from, to, method, iteration, std::move(argument),
+               std::move(cb), Clock::now() + timeout, 0, window_iteration);
+}
+
+void Cluster::send_attempt(NodeId from, NodeId to, const std::string& method,
+                           std::uint64_t iteration, PayloadPtr argument,
+                           CallbackPtr cb, Clock::time_point deadline,
+                           std::uint32_t attempt,
+                           std::optional<std::uint64_t> window_iteration) {
+  // The SENDER resolves the fault verdict: it is a pure hash of
+  // (seed, edge, method, iteration, attempt), so the caller knows a lost
+  // attempt is lost without waiting out a timeout — the retry fires after
+  // a backoff, and both transport backends replay the identical schedule.
+  const NetworkConditions::FaultVerdict verdict =
+      options_.conditions.fault_verdict(from, to, method, iteration,
+                                        options_.seed, attempt,
+                                        window_iteration);
+  const Duration delay = delay_for(from, to, method, iteration,
+                                   window_iteration) +
+                         verdict.spike_delay;
+  if (verdict.drop || verdict.corrupt || verdict.dup) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (verdict.lost()) {
+    if (verdict.corrupt && transport_->remote()) {
+      // Ship the damage for real on the multi-process backend: the frame
+      // goes out with a flipped body byte, the receiver's stream CRC
+      // discards it (FrameDecoder::corrupt_frames), and the transport
+      // resolves the doomed exchange immediately into this no-op — the
+      // retry below is the recovery path, exactly as for a drop.
+      Request doomed{from,      to,       method, iteration, argument,
+                     window_iteration};
+      doomed.wire_corrupt = true;
+      (void)transport_->send(std::move(doomed), delay, deadline,
+                             [](PayloadPtr) {});
+    }
+    const Duration backoff =
+        send_backoff(options_.seed, from, to, iteration, attempt);
+    if (attempt + 1 >= kMaxSendAttempts ||
+        retry_gives_up(Clock::now() + backoff, deadline)) {
+      // Bounded degradation: the caller sees a silent peer, its collect()
+      // books a quorum miss if q becomes unreachable — never a hang.
+      retry_give_ups_.fetch_add(1, std::memory_order_relaxed);
+      (*cb)(nullptr);
+      return;
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    std::function<void()> task = [this, from, to, method, iteration,
+                                  argument = std::move(argument),
+                                  cb = std::move(cb), deadline, attempt,
+                                  window_iteration]() mutable {
+      send_attempt(from, to, method, iteration, std::move(argument),
+                   std::move(cb), deadline, attempt + 1, window_iteration);
+    };
+    if (!transport_->run_after(backoff, std::move(task))) {
+      dropped_tasks_.fetch_add(1, std::memory_order_relaxed);
+      (*cb)(nullptr);
+    }
+    return;
+  }
   Request request{from,      to,       method, iteration, std::move(argument),
                   window_iteration};
-  auto cb = std::make_shared<Callback>(std::move(on_done));
   // Caller-side reply accounting rides the respond path: the transport
   // invokes this on whichever thread produced the reply, which for the
   // in-process backend is exactly where the pre-seam dispatch counted it.
-  Transport::Respond wrapped = [this, cb](PayloadPtr payload) {
+  Transport::Respond wrapped = [this, cb,
+                                dup = verdict.dup](PayloadPtr payload) {
     if (payload) {
       // Floats first, then the release bump of replies_received_: the
       // snapshot's acquire load of replies_received_ (stats()) then also
@@ -292,10 +378,16 @@ void Cluster::call(NodeId from, NodeId to, const std::string& method,
       floats_transferred_.fetch_add(payload->size(),
                                     std::memory_order_relaxed);
       replies_received_.fetch_add(1, std::memory_order_release);
+      if (dup) {
+        // fault:dup models a duplicated delivery of this reply; the RPC
+        // layer is idempotent, so the second copy is suppressed here and
+        // surfaces only as a wasted (crafted-and-discarded) reply.
+        wasted_replies_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     (*cb)(std::move(payload));
   };
-  if (!transport_->send(std::move(request), delay, Clock::now() + timeout,
+  if (!transport_->send(std::move(request), delay, deadline,
                         std::move(wrapped))) {
     // Shutdown already began: count the drop and resolve the callback so
     // a concurrent collect() sees a response instead of hanging into its
@@ -394,6 +486,10 @@ NetStats Cluster::stats() const {
   s.wasted_replies = wasted_replies_.load(std::memory_order_relaxed);
   s.quorum_misses = quorum_misses_.load(std::memory_order_relaxed);
   s.dropped_tasks = dropped_tasks_.load(std::memory_order_relaxed);
+  s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.retry_give_ups = retry_give_ups_.load(std::memory_order_relaxed);
+  s.peer_deaths = transport_->peer_deaths();
   // Reply frame costs are charged before the release bump above pairs
   // with this snapshot's acquire, so every observed reply's bytes are
   // covered; request bytes follow the requests_sent_ charge-at-send rule.

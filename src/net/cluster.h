@@ -137,6 +137,21 @@ struct NetStats {
   /// hang-then-timeout during teardown; nonzero values outside teardown
   /// indicate a bug.
   std::uint64_t dropped_tasks = 0;
+  /// Send attempts the fault plane declared lost (dropped or corrupted in
+  /// flight) plus duplicated deliveries — every verdict the `fault:`
+  /// clause actually applied.
+  std::uint64_t faults_injected = 0;
+  /// Re-send attempts the bounded retry layer issued after a lost
+  /// attempt. Always 0 without an active `fault:` clause.
+  std::uint64_t retries = 0;
+  /// Logical calls abandoned after the attempt cap / deadline: the caller
+  /// saw a silent peer and its collect() degraded toward quorum_misses
+  /// instead of hanging.
+  std::uint64_t retry_give_ups = 0;
+  /// Peer processes the transport observed dying mid-run (TCP backend
+  /// only: a reader hitting EOF/reset outside shutdown). The in-process
+  /// backend has no peer processes, so this stays 0 there.
+  std::uint64_t peer_deaths = 0;
   /// Wire-equivalent traffic through this endpoint's Transport, charged
   /// per frame by the request/reply_frame_bytes formulas (transport.h) so
   /// the numbers are comparable across backends. In-process, every frame
@@ -233,6 +248,15 @@ class Cluster {
   /// Single async pull; the callback fires once with the reply or, when the
   /// callee is crashed / declines to answer / stays not-ready past the
   /// timeout, with nullptr after the simulated delay.
+  ///
+  /// Under an active `fault:` clause every attempt first resolves a
+  /// deterministic fault verdict (NetworkConditions::fault_verdict): lost
+  /// attempts (drop, corrupt) are retried with exponential backoff and
+  /// deterministic jitter up to a bounded attempt budget, after which the
+  /// callback resolves nullptr (retry_give_ups) — graceful degradation to
+  /// a quorum miss, never a hang. Because the verdict is a pure hash the
+  /// retry schedule is identical on both transport backends and in a
+  /// replay.
   void call(NodeId from, NodeId to, const std::string& method,
             std::uint64_t iteration, PayloadPtr argument,
             std::function<void(PayloadPtr)> on_done,
@@ -266,6 +290,14 @@ class Cluster {
       std::uint64_t iteration,
       std::optional<std::uint64_t> window_iteration = std::nullopt) const;
 
+  /// The parsed conditions this cluster resolves every edge from — shared
+  /// with attack contexts so schedule-aware adversaries (window_striker)
+  /// read the same churn/fault windows the membership plane executes.
+  [[nodiscard]] const NetworkConditions& conditions() const {
+    return options_.conditions;
+  }
+  [[nodiscard]] std::uint64_t seed() const { return options_.seed; }
+
  private:
   using Callback = std::function<void(PayloadPtr)>;
   using CallbackPtr = std::shared_ptr<Callback>;
@@ -287,6 +319,15 @@ class Cluster {
   /// `request.to`.
   void deliver_local(Request request, Clock::time_point retry_deadline,
                      RespondPtr respond, Duration retry_backoff);
+
+  /// One send attempt of call()'s bounded retry chain: resolve the fault
+  /// verdict for `attempt`, either hand the message to the transport or
+  /// model its loss and schedule the next attempt.
+  void send_attempt(NodeId from, NodeId to, const std::string& method,
+                    std::uint64_t iteration, PayloadPtr argument,
+                    CallbackPtr cb, Clock::time_point deadline,
+                    std::uint32_t attempt,
+                    std::optional<std::uint64_t> window_iteration);
 
   /// Any state -> CRASHED + drop handlers.
   void crash_locked(NodeId node) GARFIELD_REQUIRES(lifecycle_mutex_);
@@ -325,6 +366,9 @@ class Cluster {
   std::atomic<std::uint64_t> wasted_replies_{0};
   std::atomic<std::uint64_t> quorum_misses_{0};
   std::atomic<std::uint64_t> dropped_tasks_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> retry_give_ups_{0};
   // Shut down explicitly by ~Cluster (stop-wheel -> drain-pool inside the
   // transport), so in-flight deliveries can never re-arm a dead timer or
   // submit to a dead pool.

@@ -41,6 +41,47 @@ NodeRange range_option(const util::SpecOptions& options,
   return parse_node_range(raw, "network spec: " + clause + ":" + key);
 }
 
+double probability_option(const util::SpecOptions& options,
+                          const std::string& key) {
+  const double p = options.get_double(key, 0.0);
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument("network spec: fault " + key +
+                                " must be a probability in [0, 1), got " +
+                                std::to_string(p));
+  }
+  return p;
+}
+
+/// FNV-1a over the method bytes (std::hash is implementation-defined,
+/// which would make "deterministic" verdicts vary across stdlibs).
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h = (h ^ std::uint64_t(std::uint8_t(c))) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// One uniform draw in [0, 1) from the (seed, edge, method, iteration,
+/// attempt, salt) tuple — the fault plane's entire source of randomness,
+/// replayable by construction.
+double fault_uniform(std::uint64_t seed, std::size_t from, std::size_t to,
+                     std::uint64_t method_hash, std::uint64_t iteration,
+                     std::uint32_t attempt, std::uint64_t salt) {
+  std::uint64_t h = splitmix(seed ^ salt);
+  h = splitmix(h ^ (std::uint64_t(from) << 32) ^ std::uint64_t(to));
+  h = splitmix(h ^ method_hash);
+  h = splitmix(h ^ iteration);
+  h = splitmix(h ^ std::uint64_t(attempt));
+  // 53 mantissa bits -> uniform in [0, 1).
+  return double(h >> 11) * 0x1.0p-53;
+}
+
+/// Salts decorrelating the fault draw from the spike draw (and both from
+/// the jitter hash, which mixes no salt at all).
+constexpr std::uint64_t kFaultSalt = 0xf417'1d0e'5eed'0001ULL;
+constexpr std::uint64_t kSpikeSalt = 0xf417'1d0e'5eed'0002ULL;
+
 }  // namespace
 
 std::size_t NodeRange::count_in(std::size_t span_lo,
@@ -164,6 +205,38 @@ NetworkConditions NetworkConditions::parse(const std::string& spec) {
       }
       event.recover_after = opt.get_size("recover_after", 0);
       out.churn_.push_back(event);
+    } else if (clause.name == "fault") {
+      if (out.fault_) {
+        throw std::invalid_argument("network spec: duplicate 'fault' clause");
+      }
+      Fault fault;
+      fault.drop = probability_option(opt, "drop");
+      fault.corrupt = probability_option(opt, "corrupt");
+      fault.dup = probability_option(opt, "dup");
+      fault.spike = probability_option(opt, "spike");
+      fault.delay_spike = opt.get_duration("delay_spike", Duration{0});
+      if (fault.drop + fault.corrupt + fault.dup >= 1.0) {
+        throw std::invalid_argument(
+            "network spec: fault drop+corrupt+dup must stay below 1 (the "
+            "verdicts are mutually exclusive per attempt)");
+      }
+      if ((fault.spike > 0.0) != (fault.delay_spike.count() > 0)) {
+        throw std::invalid_argument(
+            "network spec: fault delay spikes need both 'spike=' "
+            "(probability) and 'delay_spike=' (duration)");
+      }
+      if (fault.drop == 0.0 && fault.corrupt == 0.0 && fault.dup == 0.0 &&
+          fault.spike == 0.0) {
+        throw std::invalid_argument(
+            "network spec: fault clause injects nothing — set at least one "
+            "of drop/corrupt/dup/spike");
+      }
+      if (opt.contains("edges")) {
+        fault.edges = range_option(opt, "edges", "fault");
+      }
+      fault.from_iter = opt.get_size("from_iter", 0);
+      fault.len = opt.get_size("len", 0);
+      out.fault_ = fault;
     } else {
       throw std::invalid_argument("network spec: unknown clause '" +
                                   clause.name + "' in '" + spec + "'");
@@ -198,6 +271,7 @@ void NetworkConditions::validate(std::size_t nodes) const {
   for (const ChurnEvent& e : churn_) {
     check(e.nodes, e.join ? "churn join" : "churn crash");
   }
+  if (fault_ && fault_->edges) check(*fault_->edges, "fault edges");
 }
 
 bool NetworkConditions::straggler_window_active(
@@ -229,6 +303,54 @@ std::size_t NetworkConditions::count_straggling(
     std::size_t lo, std::size_t hi, std::uint64_t iteration) const {
   if (!straggler_window_active(iteration)) return 0;
   return straggler_->nodes.count_in(lo, hi);
+}
+
+bool NetworkConditions::fault_active(std::size_t from, std::size_t to,
+                                     std::uint64_t iteration) const {
+  if (!fault_) return false;
+  if (!window_active(fault_->from_iter, fault_->len, iteration)) return false;
+  if (fault_->edges &&
+      !(fault_->edges->contains(from) || fault_->edges->contains(to))) {
+    return false;
+  }
+  return true;
+}
+
+NetworkConditions::FaultVerdict NetworkConditions::fault_verdict(
+    std::size_t from, std::size_t to, const std::string& method,
+    std::uint64_t iteration, std::uint64_t seed, std::uint32_t attempt,
+    std::optional<std::uint64_t> window_iteration) const {
+  FaultVerdict verdict;
+  const std::uint64_t window = window_iteration.value_or(iteration);
+  if (!fault_active(from, to, window)) return verdict;
+  const std::uint64_t method_hash = fnv1a(method);
+  // One draw decides drop/corrupt/dup (mutually exclusive, drop >
+  // corrupt > dup precedence); an independent salted draw decides the
+  // delay spike. `iteration` (not `window`) keys the draws so gossip
+  // rounds sharing one training iteration still fault independently.
+  const double u = fault_uniform(seed, from, to, method_hash, iteration,
+                                 attempt, kFaultSalt);
+  if (u < fault_->drop) {
+    verdict.drop = true;
+  } else if (u < fault_->drop + fault_->corrupt) {
+    verdict.corrupt = true;
+  } else if (u < fault_->drop + fault_->corrupt + fault_->dup) {
+    verdict.dup = true;
+  }
+  if (fault_->spike > 0.0) {
+    const double s = fault_uniform(seed, from, to, method_hash, iteration,
+                                   attempt, kSpikeSalt);
+    if (s < fault_->spike) verdict.spike_delay = fault_->delay_spike;
+  }
+  return verdict;
+}
+
+std::size_t NetworkConditions::count_faulty(std::size_t lo, std::size_t hi,
+                                            std::uint64_t iteration) const {
+  if (!fault_) return 0;
+  if (!window_active(fault_->from_iter, fault_->len, iteration)) return 0;
+  if (hi <= lo) return 0;
+  return fault_->edges ? fault_->edges->count_in(lo, hi) : hi - lo;
 }
 
 bool NetworkConditions::churn_down(std::size_t node,
@@ -292,14 +414,7 @@ NetworkConditions::Duration NetworkConditions::jitter_for(
     std::size_t from, std::size_t to, const std::string& method,
     std::uint64_t iteration, std::uint64_t seed) const {
   if (jitter_.count() <= 0) return Duration{0};
-  // FNV-1a over the method bytes: std::hash<std::string> is
-  // implementation-defined, which would make "deterministic" jitter vary
-  // across standard libraries.
-  std::uint64_t method_hash = 0xcbf29ce484222325ULL;
-  for (const char c : method) {
-    method_hash =
-        (method_hash ^ std::uint64_t(std::uint8_t(c))) * 0x100000001b3ULL;
-  }
+  const std::uint64_t method_hash = fnv1a(method);
   std::uint64_t h = splitmix(seed);
   h = splitmix(h ^ (std::uint64_t(from) << 32) ^ std::uint64_t(to));
   h = splitmix(h ^ method_hash);

@@ -46,6 +46,25 @@
 //       path. While a node is down, the live Cluster refuses delivery to
 //       it (lifecycle FSM, net/cluster.h) and the analytic simulator
 //       removes it from every stage's candidate pool.
+//   fault:drop=0.01,dup=0.001,corrupt=0.005,delay_spike=5ms,spike=0.02,
+//         edges=0-3,from_iter=50,len=20
+//       Seeded message-fault injection. Every RPC attempt on an affected
+//       edge draws one deterministic fault verdict hashed from
+//       (seed, from, to, method, iteration, attempt): with probability
+//       `drop` the message is silently lost, `corrupt` it is damaged in
+//       flight (on tcp a real flipped byte the frame CRC catches; on
+//       inproc an equivalent discard), `dup` a second copy arrives and is
+//       discarded as a wasted duplicate. Verdicts are mutually exclusive
+//       per attempt (drop > corrupt > dup precedence, so the clause
+//       requires drop + corrupt + dup <= 1). Independently, with
+//       probability `spike` the delivery delay gains `delay_spike`.
+//       `edges` restricts injection to edges touching those nodes
+//       (default: all edges); from_iter/len window the clause like
+//       straggler phases (len=0 => open-ended). Because the verdict is a
+//       pure hash, the same seed + spec replays the identical fault
+//       schedule on both transport backends and in the analytic plane —
+//       lost attempts surface as sender-side retries (net/cluster.h),
+//       never as hangs.
 //
 // Durations accept us/ms/s suffixes (bare integers are microseconds) and
 // reject negative or malformed values at parse time. Node sets are single
@@ -114,6 +133,31 @@ class NetworkConditions {
     std::uint64_t recover_after = 0;  ///< crash events only; 0 => permanent
     bool join = false;
   };
+  /// Seeded message-fault injection (see the grammar block above).
+  struct Fault {
+    double drop = 0.0;     ///< P(message silently lost) per attempt
+    double corrupt = 0.0;  ///< P(message damaged in flight) per attempt
+    double dup = 0.0;      ///< P(a duplicate copy arrives) per attempt
+    double spike = 0.0;    ///< P(delivery delay gains delay_spike)
+    Duration delay_spike{0};
+    /// Edges touching these nodes are affected; nullopt = every edge.
+    std::optional<NodeRange> edges;
+    std::uint64_t from_iter = 0;
+    std::uint64_t len = 0;  ///< 0 => open-ended
+  };
+  /// The deterministic outcome of one send attempt under the fault
+  /// clause. At most one of drop/corrupt/dup is set; spike_delay is
+  /// resolved independently and composes with the edge's base delay.
+  struct FaultVerdict {
+    bool drop = false;
+    bool corrupt = false;
+    bool dup = false;
+    Duration spike_delay{0};
+    [[nodiscard]] bool lost() const { return drop || corrupt; }
+    [[nodiscard]] bool any() const {
+      return drop || corrupt || dup || spike_delay.count() > 0;
+    }
+  };
 
   NetworkConditions() = default;
 
@@ -132,7 +176,7 @@ class NetworkConditions {
 
   [[nodiscard]] bool ideal() const {
     return latency_.count() == 0 && jitter_.count() == 0 && !hetero_ &&
-           !straggler_ && !partition_ && churn_.empty();
+           !straggler_ && !partition_ && churn_.empty() && !fault_;
   }
 
   // ----------------------------------------------------- live-plane queries
@@ -173,6 +217,38 @@ class NetworkConditions {
   /// True when `x` and `y` sit on opposite sides of an active cut.
   [[nodiscard]] bool partitioned(std::size_t x, std::size_t y,
                                  std::uint64_t iteration) const;
+
+  // ------------------------------------------------------- fault injection
+
+  [[nodiscard]] bool has_fault() const { return fault_.has_value(); }
+  /// True when the fault window covers `iteration` AND the (from, to)
+  /// edge is inside the clause's `edges` restriction — the gate both
+  /// fault_verdict() and the analytic mirror share.
+  [[nodiscard]] bool fault_active(std::size_t from, std::size_t to,
+                                  std::uint64_t iteration) const;
+  /// Resolve the deterministic fault outcome of send attempt number
+  /// `attempt` (0 = the first try) for one message. Pure in its
+  /// arguments: the sender, the receiver, the analytic plane and a replay
+  /// all agree on which attempts are lost. Returns a no-fault verdict
+  /// outside the window / edge set.
+  [[nodiscard]] FaultVerdict fault_verdict(
+      std::size_t from, std::size_t to, const std::string& method,
+      std::uint64_t iteration, std::uint64_t seed, std::uint32_t attempt,
+      std::optional<std::uint64_t> window_iteration = std::nullopt) const;
+  /// P(one attempt is lost) = drop + corrupt — what the sim's expected
+  /// retry mirror integrates over.
+  [[nodiscard]] double fault_loss_rate() const {
+    return fault_ ? fault_->drop + fault_->corrupt : 0.0;
+  }
+  /// Expected spike contribution per attempt, in seconds.
+  [[nodiscard]] double fault_spike_seconds() const {
+    return fault_ ? fault_->spike * double(fault_->delay_spike.count()) * 1e-6
+                  : 0.0;
+  }
+  /// Nodes inside [lo, hi) whose edges the fault clause can touch at
+  /// `iteration` (the whole span when no `edges=` restriction applies).
+  [[nodiscard]] std::size_t count_faulty(std::size_t lo, std::size_t hi,
+                                         std::uint64_t iteration) const;
 
   [[nodiscard]] bool has_churn() const { return !churn_.empty(); }
   /// True when the churn schedule has `node` down (crashed, or not yet
@@ -233,6 +309,7 @@ class NetworkConditions {
   [[nodiscard]] const std::vector<ChurnEvent>& churn() const {
     return churn_;
   }
+  [[nodiscard]] const std::optional<Fault>& fault() const { return fault_; }
 
  private:
   std::string spec_;
@@ -242,6 +319,7 @@ class NetworkConditions {
   std::optional<Straggler> straggler_;
   std::optional<Partition> partition_;
   std::vector<ChurnEvent> churn_;
+  std::optional<Fault> fault_;
 };
 
 }  // namespace garfield::net

@@ -8,6 +8,7 @@
 
 #include <cassert>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -205,13 +206,14 @@ void TcpTransport::start(DeliverFn deliver) {
                                std::string(std::strerror(errno)));
     }
     set_nodelay(fd);
-    // Hello frame: 4-byte length prefix + type + rank.
-    std::uint8_t raw[9];
+    // Hello frame: 8-byte length+CRC prefix + type + rank.
+    std::uint8_t raw[kFramePrefixBytes + 5];
     if (!read_exact(fd, raw, sizeof(raw))) {
       ::close(fd);
       throw std::runtime_error("TcpTransport: peer hung up mid-hello");
     }
-    FrameReader reader{std::span<const std::uint8_t>(raw + 4, 5), 0};
+    FrameReader reader{
+        std::span<const std::uint8_t>(raw + kFramePrefixBytes, 5), 0};
     if (reader.u8() != kFrameHello) {
       ::close(fd);
       throw std::runtime_error("TcpTransport: first frame was not hello");
@@ -278,7 +280,10 @@ void TcpTransport::write_request(Request request, Clock::time_point deadline,
   const std::size_t to = request.to;
   Peer* peer = peers_[to].get();
   const std::uint64_t cid = next_cid_.fetch_add(1, std::memory_order_relaxed);
-  {
+  // A wire-corrupt frame can never be answered (the receiver's CRC
+  // discards it before the callee sees a request), so it gets no pending
+  // entry: the exchange resolves silent right after the damage ships.
+  if (!request.wire_corrupt) {
     util::MutexLock lock(pending_mutex_);
     pending_.emplace(cid, PendingCall{std::move(on_reply), to});
   }
@@ -310,7 +315,12 @@ void TcpTransport::write_request(Request request, Clock::time_point deadline,
   }
   // The frame-size formulas in transport.cpp are the single source of
   // truth for byte accounting; the real frame must match them.
-  assert(4 + body.size() == request_frame_bytes(request));
+  assert(kFramePrefixBytes + body.size() == request_frame_bytes(request));
+  if (request.wire_corrupt) {
+    if (peer) (void)write_frame(*peer, body, /*corrupt=*/true);
+    on_reply(nullptr);
+    return;
+  }
   if (!peer || !write_frame(*peer, body)) {
     resolve_pending(cid, nullptr);
   }
@@ -323,8 +333,15 @@ bool TcpTransport::run_after(Duration delay, std::function<void()>&& task) {
 }
 
 bool TcpTransport::write_frame(Peer& peer,
-                               std::span<const std::uint8_t> body) {
-  const std::vector<std::uint8_t> framed = frame(body);
+                               std::span<const std::uint8_t> body,
+                               bool corrupt) {
+  std::vector<std::uint8_t> framed = frame(body);
+  if (corrupt) {
+    // Flip one body byte AFTER the prefix CRC was computed: the frame
+    // stays length-consistent (the stream cannot desync) but fails the
+    // receiver's CRC check and is discarded — a genuine wire fault.
+    framed[kFramePrefixBytes] ^= 0x01;
+  }
   util::MutexLock lock(peer.write_mutex);
   if (!peer.alive.load(std::memory_order_relaxed)) return false;
   std::size_t sent = 0;
@@ -396,7 +413,7 @@ void TcpTransport::reader_loop(std::size_t peer_rank) {
       decoder.feed(
           std::span<const std::uint8_t>(buf.data(), std::size_t(n)));
       while (auto body = decoder.next()) {
-        bytes_received_.fetch_add(4 + body->size(),
+        bytes_received_.fetch_add(kFramePrefixBytes + body->size(),
                                   std::memory_order_relaxed);
         handle_frame(peer_rank, *body);
       }
@@ -457,7 +474,7 @@ void TcpTransport::handle_frame(std::size_t peer_rank,
           const std::vector<std::uint8_t> blob = encode(0, *payload);
           reply.insert(reply.end(), blob.begin(), blob.end());
         }
-        assert(4 + reply.size() == reply_frame_bytes(payload));
+        assert(kFramePrefixBytes + reply.size() == reply_frame_bytes(payload));
         Peer* back = peers_[peer_rank].get();
         if (back) (void)write_frame(*back, reply);
       };
@@ -519,6 +536,17 @@ void TcpTransport::resolve_pending(std::uint64_t cid, PayloadPtr payload) {
 }
 
 void TcpTransport::on_peer_down(std::size_t peer_rank) {
+  // Mid-run peer death is fail-silent to the protocol but must never be
+  // silent to the operator: name the dead rank. During shutdown() the EOFs
+  // are expected teardown, not deaths.
+  if (!down_.load(std::memory_order_relaxed)) {
+    peer_deaths_.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "[garfield:tcp] rank %zu: peer rank %zu died mid-run "
+                 "(EOF/reset on its stream); its pending calls resolve "
+                 "silent and its barrier slots are forced\n",
+                 rank_, peer_rank);
+  }
   // Fail-silence: every call still waiting on this peer resolves as a
   // missing reply, the same shape a crashed in-process node has.
   std::vector<Respond> orphans;

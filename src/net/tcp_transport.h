@@ -21,8 +21,14 @@
 //  - NetworkConditions delays are applied sender-side, before the frame is
 //    written, by the same timer-wheel path the in-process backend uses —
 //    `wan:`/`hetero:`/`churn:` specs drive both backends identically;
-//  - peer death (EOF, reset, corrupt stream) resolves that peer's pending
-//    calls with nullptr: fail-silence, the same shape a crashed node has.
+//  - a corrupted frame body fails the stream prefix CRC and is discarded
+//    by the receiver's FrameDecoder — one lost message the sender's fault
+//    retry layer recovers, never a dead stream;
+//  - peer death (EOF, reset, unrecoverable stream desync) resolves that
+//    peer's pending calls with nullptr: fail-silence, the same shape a
+//    crashed node has — but no longer silent to the operator: the death
+//    is counted (NetStats::peer_deaths) and announced on stderr naming
+//    the local and dead ranks.
 //
 // Beyond the Transport contract the backend exposes two process-level
 // barriers the orchestrator drives: a ready barrier (no request may arrive
@@ -119,9 +125,13 @@ class TcpTransport final : public Transport {
   /// Frame and write one remote request; runs after the sender-side delay.
   void write_request(Request request, Clock::time_point deadline,
                      Respond on_reply);
-  /// Write a length-prefixed frame to `peer`; false when the peer is down.
+  /// Write a length+CRC-prefixed frame to `peer`; false when the peer is
+  /// down. With `corrupt` set the frame ships with a flipped body byte —
+  /// the fault plane's wire damage, which the receiver's stream CRC
+  /// discards.
   [[nodiscard]] bool write_frame(Peer& peer,
-                                 std::span<const std::uint8_t> body)
+                                 std::span<const std::uint8_t> body,
+                                 bool corrupt = false)
       GARFIELD_EXCLUDES(pending_mutex_);
   void broadcast_control(std::uint8_t type);
   void reader_loop(std::size_t peer_rank);

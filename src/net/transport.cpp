@@ -11,11 +11,12 @@ namespace {
 
 // Envelope field widths, shared between the byte-accounting formulas here
 // and the TCP backend's actual frames (tcp_transport.cpp static_asserts
-// and runtime-asserts the match). Request envelope: type(1) + call id(8) +
-// from(4) + to(4) + iteration(8) + window flag(1) + window(8) + timeout
-// budget(8) + method length(2) + payload flag(1). Reply envelope: type(1)
-// + call id(8) + payload flag(1).
-constexpr std::size_t kLenPrefixBytes = 4;
+// and runtime-asserts the match). The stream prefix is wire.h's
+// kFramePrefixBytes (u32 length + u32 body CRC). Request envelope: type(1)
+// + call id(8) + from(4) + to(4) + iteration(8) + window flag(1) +
+// window(8) + timeout budget(8) + method length(2) + payload flag(1).
+// Reply envelope: type(1) + call id(8) + payload flag(1).
+constexpr std::size_t kLenPrefixBytes = kFramePrefixBytes;
 constexpr std::size_t kRequestEnvelopeBytes =
     1 + 8 + 4 + 4 + 8 + 1 + 8 + 8 + 2 + 1;
 constexpr std::size_t kReplyEnvelopeBytes = 1 + 8 + 1;

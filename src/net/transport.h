@@ -60,6 +60,12 @@ struct Request {
   /// backends ship it so the callee's churn schedule advances on the true
   /// training step, exactly as the caller's would.
   std::optional<std::uint64_t> window_iteration;
+  /// Sender-local fault-injection instruction (never serialized): the TCP
+  /// backend ships this request's frame with a flipped body byte so the
+  /// receiver's stream CRC discards it, and resolves the exchange
+  /// immediately as silent. Set only by the Cluster's fault plane when a
+  /// `fault:corrupt` verdict fires on a remote backend.
+  bool wire_corrupt = false;
 };
 
 /// On-wire cost (length prefix + envelope + wire-encoded payload) of one
@@ -135,12 +141,18 @@ class Transport {
   [[nodiscard]] std::uint64_t bytes_received() const {
     return bytes_received_.load(std::memory_order_relaxed);
   }
+  /// Peer processes observed dying mid-run (a reader hitting EOF/reset
+  /// outside shutdown). Always 0 for in-process backends.
+  [[nodiscard]] std::uint64_t peer_deaths() const {
+    return peer_deaths_.load(std::memory_order_relaxed);
+  }
 
  protected:
   Transport() = default;
 
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> peer_deaths_{0};
 };
 
 /// The original in-process path, factored out of the Cluster verbatim:

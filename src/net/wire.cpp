@@ -130,8 +130,9 @@ std::vector<std::uint8_t> frame(std::span<const std::uint8_t> body,
                     " bytes exceeds the frame limit");
   }
   std::vector<std::uint8_t> out;
-  out.reserve(4 + body.size());
+  out.reserve(kFramePrefixBytes + body.size());
   put_u32(out, std::uint32_t(body.size()));
+  put_u32(out, crc32(body));
   out.insert(out.end(), body.begin(), body.end());
   return out;
 }
@@ -152,17 +153,26 @@ void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
 std::optional<std::vector<std::uint8_t>> FrameDecoder::next() {
   for (;;) {
     const std::size_t available = buffer_.size() - consumed_;
-    if (available < 4) break;
+    if (available < kFramePrefixBytes) break;
     const std::uint32_t len = get_u32(buffer_, consumed_);
     if (len > max_frame_) {
       throw WireError("wire: stream frame of " + std::to_string(len) +
                       " bytes exceeds the frame limit");
     }
-    if (available < 4 + std::size_t(len)) break;
-    std::vector<std::uint8_t> body(
-        buffer_.begin() + std::ptrdiff_t(consumed_ + 4),
-        buffer_.begin() + std::ptrdiff_t(consumed_ + 4 + len));
-    consumed_ += 4 + std::size_t(len);
+    if (available < kFramePrefixBytes + std::size_t(len)) break;
+    const std::uint32_t expected_crc = get_u32(buffer_, consumed_ + 4);
+    const std::span<const std::uint8_t> body_view(
+        buffer_.data() + consumed_ + kFramePrefixBytes, std::size_t(len));
+    if (crc32(body_view) != expected_crc) {
+      // A flipped bit on the wire loses this message, nothing more: skip
+      // the frame, keep the stream, and let the sender's retry layer see
+      // the silence.
+      consumed_ += kFramePrefixBytes + std::size_t(len);
+      ++corrupt_frames_;
+      continue;
+    }
+    std::vector<std::uint8_t> body(body_view.begin(), body_view.end());
+    consumed_ += kFramePrefixBytes + std::size_t(len);
     return body;
   }
   // Compact once the prefix has nothing complete left behind it, so a

@@ -65,14 +65,24 @@ struct WireMessage {
 // The TCP transport ships frames over byte streams, where read() returns
 // arbitrary slices: a frame may arrive split across many reads or several
 // frames may coalesce into one. frame()/FrameDecoder are the stream
-// boundary: a 4-byte little-endian length prefix followed by the frame
-// body, reassembled incrementally on the receive side.
+// boundary: an 8-byte little-endian prefix — 4 bytes of body length, then
+// a CRC-32 of the body — followed by the frame body, reassembled
+// incrementally on the receive side. The frame CRC makes a flipped bit on
+// the wire a *lost message* rather than a corrupted delivery or a dead
+// peer: the decoder verifies every body against its prefix CRC, silently
+// skips frames that fail (counting them in corrupt_frames()), and keeps
+// the stream alive — the retry layer above treats the skip exactly like a
+// drop.
 
 /// Largest frame body a decoder accepts by default — a corrupted or
 /// hostile length prefix must not become a multi-gigabyte allocation.
 inline constexpr std::size_t kDefaultMaxFrameBytes = 1U << 30;
 
-/// Prepend the length prefix: the unit every stream write sends.
+/// Bytes the stream prefix adds ahead of every frame body: u32 length +
+/// u32 CRC-32 of the body.
+inline constexpr std::size_t kFramePrefixBytes = 8;
+
+/// Prepend the length + CRC prefix: the unit every stream write sends.
 /// Throws WireError when `body` exceeds the u32 prefix (or `max_frame`).
 [[nodiscard]] std::vector<std::uint8_t> frame(
     std::span<const std::uint8_t> body,
@@ -92,12 +102,21 @@ class FrameDecoder {
   /// a buffered length prefix exceeds max_frame — before any allocation.
   void feed(std::span<const std::uint8_t> bytes);
 
-  /// The next complete frame body, or nullopt until more bytes arrive.
+  /// The next complete frame body whose CRC verifies, or nullopt until
+  /// more bytes arrive. A complete frame that fails its prefix CRC is
+  /// skipped in place (corrupt_frames() counts it) and the scan continues
+  /// with the following frame — wire corruption loses one message, it
+  /// does not kill the stream.
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> next();
 
   /// True when no partial frame is buffered — EOF here is clean; EOF with
   /// idle() false means the peer died mid-frame.
   [[nodiscard]] bool idle() const { return buffer_.size() == consumed_; }
+
+  /// Frames discarded because their body failed the prefix CRC.
+  [[nodiscard]] std::uint64_t corrupt_frames() const {
+    return corrupt_frames_;
+  }
 
  private:
   std::size_t max_frame_;
@@ -106,6 +125,7 @@ class FrameDecoder {
   /// is compacted away only when the buffer drains, so a burst of
   /// coalesced frames costs one erase, not one per frame.
   std::size_t consumed_ = 0;
+  std::uint64_t corrupt_frames_ = 0;
 };
 
 }  // namespace garfield::net

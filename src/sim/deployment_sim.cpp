@@ -23,6 +23,13 @@ namespace {
 /// cores (§4.1: "we parallelize the replicated communication").
 constexpr double kSerParallelism = 8.0;
 
+/// The live sender's first retry backoff (net/cluster.h
+/// kSendBackoffFloor) — the dominant per-retry cost the analytic twin
+/// charges for fault-induced resends (later attempts double it, but the
+/// geometric attempt distribution keeps the first term in charge for the
+/// small loss rates the grammar targets).
+constexpr double kRetryBackoffFloor = 50e-6;
+
 /// What the parsed NetworkConditions do to one pull stage (see header).
 struct StageNet {
   double link_factor = 1.0;  ///< slowest edge class the quorum must cross
@@ -67,6 +74,36 @@ StageNet resolve_pull(const SimSetup& s, std::size_t from, std::size_t lo,
   if (q + slow > avail) net.link_factor = c.slow_factor();
   if (q + straggling > avail) net.wait += c.straggler_lag_seconds();
   if (q + cross > avail) net.wait += c.partition_lag_seconds();
+  // Fault clause: a lost attempt (drop, or a corrupt frame the receiver's
+  // CRC discards) surfaces on the live plane as a sender-side retry after
+  // an exponential backoff — never as a hang. The analytic twin charges
+  // the expected retry tail, p/(1-p) extra attempts each costing the
+  // backoff floor plus a fresh edge traversal, and the expected
+  // delay-spike mass, whenever the quorum cannot be met without a
+  // fault-affected edge (the same fastest-q dodge as every other degraded
+  // class). An ideal spec — or an iteration outside the fault window —
+  // contributes exactly zero, which is what keeps the crossval
+  // equalities between conditioned and unconditioned breakdowns exact.
+  if (c.has_fault()) {
+    std::size_t faulty;
+    if (c.fault_active(from, from, s.iteration)) {
+      faulty = avail;  // the puller's own edges are in the clause's set
+    } else {
+      faulty = c.count_faulty(lo, hi, s.iteration);
+      if (c.has_churn()) {
+        for (std::size_t node = lo; node < hi; ++node) {
+          if (node == from || !c.churn_down(node, s.iteration)) continue;
+          if (faulty > 0 && c.fault_active(from, node, s.iteration)) --faulty;
+        }
+      }
+    }
+    if (faulty > 0 && q + faulty > avail) {
+      const double p = std::min(c.fault_loss_rate(), 0.99);
+      const double edge_latency = s.link.latency + c.latency_seconds();
+      net.wait += p / (1.0 - p) * (kRetryBackoffFloor + edge_latency) +
+                  c.fault_spike_seconds();
+    }
+  }
   // Expected tail of the q-th fastest of `avail` jittered replies: the
   // q-th order statistic of U[0, J) draws.
   if (avail > 0) {

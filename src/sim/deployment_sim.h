@@ -32,7 +32,12 @@
 //    pool outright (they are absent, not slow) and clamps the quorum to
 //    what remains — the analytic twin of the live cluster's lifecycle FSM
 //    refusing delivery to CRASHED nodes, so both planes walk the same
-//    per-iteration quorum trajectory.
+//    per-iteration quorum trajectory;
+//  - an active fault clause charges the expected retry tail of its lost
+//    attempts (drop + corrupt, each resent after the live sender's
+//    backoff floor) plus its expected delay-spike mass whenever the
+//    quorum cannot dodge the affected edges — the analytic twin of the
+//    cluster's bounded retry layer, zero outside the fault window.
 #pragma once
 
 #include <cstdint>

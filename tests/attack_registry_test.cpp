@@ -33,10 +33,10 @@ TEST(AttackRegistry, ExactBuiltinNameSet) {
   // accidentally dropped registration fails loudly. Runs before any
   // runtime registration in this binary.
   const std::vector<std::string> expected = {
-      "random",          "reversed",   "dropped",
-      "sign_flip",       "zero",       "little_is_enough",
-      "fall_of_empires", "nan_poison", "alternating",
-      "adaptive_z"};
+      "random",          "reversed",       "dropped",
+      "sign_flip",       "zero",           "little_is_enough",
+      "fall_of_empires", "nan_poison",     "alternating",
+      "adaptive_z",      "window_striker", "corrupt_recovery"};
   EXPECT_EQ(ga::attack_names(), expected);
 }
 

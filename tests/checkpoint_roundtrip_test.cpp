@@ -250,6 +250,153 @@ TEST_F(CheckpointRoundTrip, TruncatedVelocityTailIsRejected) {
   EXPECT_THROW(gc::load_checkpoint(path("cutvel.ckpt")), gn::WireError);
 }
 
+// ------------------------------------------- verified state-transfer blobs
+//
+// The same serialized form a recovering replica pulls over get_checkpoint.
+// The whole-blob digest must catch the corruptions the per-message CRCs
+// are blind to: a flipped iteration tag (outside the payload CRC), spliced
+// messages from different checkpoints, a stripped trailer.
+
+TEST_F(CheckpointRoundTrip, StateBlobRoundTripsThroughTheRpcCarrier) {
+  gc::Checkpoint original;
+  original.iteration = 321;
+  original.parameters = random_vector(257, 20);
+  original.velocity = random_vector(257, 21);
+
+  const std::vector<std::uint8_t> blob = gc::encode_checkpoint_blob(original);
+  // pack_bytes/unpack_bytes is the float-payload carrier the RPC uses.
+  const auto carrier = gc::pack_bytes(blob);
+  const std::vector<std::uint8_t> shipped = gc::unpack_bytes(carrier, "test");
+  ASSERT_EQ(shipped, blob);
+
+  const gc::Checkpoint loaded = gc::decode_checkpoint_blob(shipped, "test");
+  EXPECT_EQ(loaded.iteration, original.iteration);
+  EXPECT_EQ(std::memcmp(loaded.parameters.data(), original.parameters.data(),
+                        original.parameters.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(loaded.velocity.data(), original.velocity.data(),
+                        original.velocity.size() * sizeof(float)),
+            0);
+}
+
+TEST_F(CheckpointRoundTrip, TamperedIterationTagFailsTheDigest) {
+  // The iteration tag at offset 8 is NOT covered by the per-message payload
+  // CRC — flipping it yields a blob whose messages decode "cleanly" into
+  // the wrong step. Exactly what a corrupt_recovery server serves; the
+  // digest must reject it before any decode.
+  gc::Checkpoint original;
+  original.iteration = 50;
+  original.parameters = random_vector(64, 22);
+  std::vector<std::uint8_t> blob = gc::encode_checkpoint_blob(original);
+  blob[8] ^= 0x01;
+  try {
+    (void)gc::decode_checkpoint_blob(blob, "transfer from server 2");
+    FAIL() << "tampered iteration tag must not decode";
+  } catch (const gn::WireError& e) {
+    // The error names the context so NetStats diagnostics can say WHICH
+    // peer served the tampered blob.
+    EXPECT_NE(std::string(e.what()).find("transfer from server 2"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("digest"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(CheckpointRoundTrip, AnySingleByteTamperFailsTheDigest) {
+  gc::Checkpoint original;
+  original.iteration = 7;
+  original.parameters = random_vector(48, 23);
+  original.velocity = random_vector(48, 24);
+  const std::vector<std::uint8_t> sealed =
+      gc::encode_checkpoint_blob(original);
+  garfield::tensor::Rng rng(25);
+  for (int round = 0; round < 64; ++round) {
+    std::vector<std::uint8_t> blob = sealed;
+    blob[rng.index(blob.size())] ^= std::uint8_t(1U << rng.index(8));
+    EXPECT_THROW((void)gc::decode_checkpoint_blob(blob, "tamper"),
+                 gn::WireError);
+  }
+}
+
+TEST_F(CheckpointRoundTrip, SplicedMessagesFromTwoCheckpointsAreRejected) {
+  // Paste checkpoint A's parameters message together with checkpoint B's
+  // velocity message (same iteration, same dimension — every per-message
+  // check passes) and reseal nothing: the digest over the splice is absent.
+  gc::Checkpoint a, b;
+  a.iteration = b.iteration = 9;
+  a.parameters = random_vector(32, 26);
+  a.velocity = random_vector(32, 27);
+  b.parameters = random_vector(32, 28);
+  b.velocity = random_vector(32, 29);
+  const std::vector<std::uint8_t> blob_a = gc::encode_checkpoint_blob(a);
+  const std::vector<std::uint8_t> blob_b = gc::encode_checkpoint_blob(b);
+  const std::size_t head = gn::wire_size(a.parameters.size());
+  std::vector<std::uint8_t> spliced(blob_a.begin(),
+                                    blob_a.begin() + std::ptrdiff_t(head));
+  spliced.insert(spliced.end(), blob_b.begin() + std::ptrdiff_t(head),
+                 blob_b.end());
+  EXPECT_THROW((void)gc::decode_checkpoint_blob(spliced, "splice"),
+               gn::WireError);
+}
+
+TEST_F(CheckpointRoundTrip, MissingTrailerIsRejectedOnTheTransferPath) {
+  // A pre-digest blob is tolerated on local disk (legacy files) but never
+  // on the state-transfer path: stripping the trailer must read as
+  // tampering there.
+  gc::Checkpoint original;
+  original.iteration = 11;
+  original.parameters = random_vector(16, 30);
+  std::vector<std::uint8_t> blob = gc::encode_checkpoint_blob(original);
+  blob.resize(blob.size() - 8);  // strip magic + digest
+  try {
+    (void)gc::decode_checkpoint_blob(blob, "strip");
+    FAIL() << "trailer-less transfer blob must not decode";
+  } catch (const gn::WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("trailer"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(CheckpointRoundTrip, TamperedFileOnDiskFailsTheDigestToo) {
+  // save_checkpoint seals the digest; a byte flipped anywhere in the file
+  // — including the header fields outside any payload CRC — must fail the
+  // load.
+  gc::Checkpoint original;
+  original.iteration = 77;
+  original.parameters = random_vector(32, 31);
+  gc::save_checkpoint(path("sealed.ckpt"), original);
+  std::fstream f(path("sealed.ckpt"),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(8);  // iteration tag, outside the per-message payload CRC
+  char byte = 0;
+  f.seekg(8);
+  f.read(&byte, 1);
+  byte = char(byte ^ 0x01);
+  f.seekp(8);
+  f.write(&byte, 1);
+  f.close();
+  EXPECT_THROW((void)gc::load_checkpoint(path("sealed.ckpt")), gn::WireError);
+}
+
+TEST_F(CheckpointRoundTrip, ByteCarrierRejectsInconsistentLengths) {
+  const std::vector<std::uint8_t> bytes = {1, 2, 3, 4, 5};
+  auto carrier = gc::pack_bytes(bytes);
+  // Claim more bytes than the carrier holds.
+  std::uint32_t lie = 64;
+  std::memcpy(carrier.data(), &lie, 4);
+  EXPECT_THROW((void)gc::unpack_bytes(carrier, "carrier"), gn::WireError);
+  // Claim far fewer than the trailing elements imply (torn carrier).
+  lie = 0;
+  std::memcpy(carrier.data(), &lie, 4);
+  EXPECT_THROW((void)gc::unpack_bytes(carrier, "carrier"), gn::WireError);
+  EXPECT_THROW((void)gc::unpack_bytes(std::vector<float>{}, "carrier"),
+               gn::WireError);
+  // Empty blob round-trips.
+  const auto empty = gc::pack_bytes(std::vector<std::uint8_t>{});
+  EXPECT_TRUE(gc::unpack_bytes(empty, "carrier").empty());
+}
+
 TEST_F(CheckpointRoundTrip, RenameFailureThrowsAndCleansUpTheTempFile) {
   // Make the final path un-renameable-to: a non-empty directory. The write
   // of the tmp file succeeds, the commit rename fails — save_checkpoint

@@ -1,0 +1,266 @@
+// Byzantine recovery under the deterministic fault plane (README "Fault
+// injection & Byzantine recovery"):
+//
+//   - window_striker: a schedule-aware adversary that behaves honestly
+//     until the churn plane thins its cohort to the GAR's resilience
+//     floor, then mounts its inner attack at full intensity. Pinned: the
+//     strike predicate (pure function of schedule x iteration x gar x f),
+//     the camouflage phase (bitwise honest), and the end-to-end claim —
+//     the strike wrecks a plain `average` deployment yet bounces off
+//     `krum` and `centered_clip`.
+//   - corrupt_recovery: a server that serves every regular channel
+//     honestly but damages the checkpoint blobs it serves to recovering
+//     peers. Pinned: the verified state-transfer path detects the damage
+//     (digest mismatch), rejects the blob before decoding a float, falls
+//     back to an honest peer, and the honest trajectory is untouched —
+//     bitwise identical to a run with no tampering.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "attacks/attack.h"
+#include "core/config.h"
+#include "core/trainer.h"
+#include "gars/gar.h"
+#include "net/conditions.h"
+#include "tensor/parallel.h"
+#include "tensor/rng.h"
+
+namespace ga = garfield::attacks;
+namespace gc = garfield::core;
+namespace gn = garfield::net;
+
+using garfield::tensor::FlatVector;
+
+namespace {
+
+/// Restore the global kernel-thread override when a test exits.
+struct ThreadGuard {
+  ~ThreadGuard() { garfield::tensor::set_parallel_threads(0); }
+};
+
+FlatVector ramp(std::size_t d) {
+  FlatVector v(d);
+  for (std::size_t i = 0; i < d; ++i) v[i] = 0.5F + 0.25F * float(i);
+  return v;
+}
+
+}  // namespace
+
+// ----------------------------------------------- window_striker predicate
+
+TEST(WindowStriker, WaitsWithoutAScheduleViewOrChurn) {
+  const ga::AttackPtr attack = ga::make_attack("window_striker");
+  garfield::tensor::Rng rng(1);
+  ga::AttackContext ctx(rng);
+  ctx.iteration = 3;
+  ctx.f = 1;
+  ctx.gar = "krum";
+  ctx.cohort_lo = 1;
+  ctx.cohort_hi = 7;
+  const FlatVector honest = ramp(8);
+
+  // No cluster view at all: camouflage, bitwise.
+  auto p = attack->craft(honest, ctx);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, honest);
+
+  // A view with no churn schedule: nothing to wait for, still honest.
+  const gn::NetworkConditions wan =
+      gn::NetworkConditions::parse("wan:latency=1ms");
+  ctx.conditions = &wan;
+  p = attack->craft(honest, ctx);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, honest);
+
+  // A churn view but an unknown cohort span: still honest.
+  const gn::NetworkConditions churn =
+      gn::NetworkConditions::parse("churn:crash=5,at_iter=2,recover_after=3");
+  ctx.conditions = &churn;
+  ctx.cohort_lo = ctx.cohort_hi = 0;
+  p = attack->craft(honest, ctx);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, honest);
+}
+
+TEST(WindowStriker, StrikesExactlyWhenChurnGrazesTheFloor) {
+  // Cohort [1, 7) (span 6), f = 1; node 5 is down over iterations [2, 5).
+  // krum's floor is 2f + 3 = 5, so the live span 6 - 1 = 5 grazes the
+  // floor exactly inside the window — and only there.
+  const gn::NetworkConditions churn =
+      gn::NetworkConditions::parse("churn:crash=5,at_iter=2,recover_after=3");
+  ga::WindowStrikerAttack striker(ga::make_attack("reversed"), /*margin=*/0);
+  garfield::tensor::Rng rng(2);
+  ga::AttackContext ctx(rng);
+  ctx.f = 1;
+  ctx.gar = "krum";
+  ctx.conditions = &churn;
+  ctx.cohort_lo = 1;
+  ctx.cohort_hi = 7;
+  const FlatVector honest = ramp(8);
+  for (std::uint64_t it = 0; it < 8; ++it) {
+    ctx.iteration = it;
+    const bool in_window = it >= 2 && it < 5;
+    EXPECT_EQ(striker.strikes(ctx), in_window) << "iteration " << it;
+    const auto payload = striker.craft(honest, ctx);
+    ASSERT_TRUE(payload.has_value());
+    if (in_window) {
+      EXPECT_NE(*payload, honest) << "strike must mount the inner attack";
+    } else {
+      EXPECT_EQ(*payload, honest) << "camouflage must be bitwise honest";
+    }
+  }
+
+  // A roomier floor never triggers: average needs only f + 1 = 2 nodes,
+  // and 5 live is far above it.
+  ctx.gar = "average";
+  ctx.iteration = 3;
+  EXPECT_FALSE(striker.strikes(ctx));
+  // ... unless the margin option widens the trigger band to reach it.
+  ga::WindowStrikerAttack eager(ga::make_attack("reversed"), /*margin=*/3);
+  EXPECT_TRUE(eager.strikes(ctx));
+  // Outside the window the margin changes nothing: down == 0, no strike.
+  ctx.iteration = 0;
+  EXPECT_FALSE(eager.strikes(ctx));
+}
+
+// -------------------------------------------- end-to-end window_striker
+
+namespace {
+
+/// SSMW run sized so the churn window [5, 25) thins the worker cohort to
+/// exactly min_n(gar, 1) + 1 live nodes — one inside the striker's
+/// margin=1 trigger band. The crashed worker (node 1) is honest; the
+/// Byzantine one holds the highest rank. Twenty clean iterations after
+/// the window separate transient damage (a robust GAR re-converges) from
+/// permanent damage (the wrecked mean cannot).
+double final_accuracy(const std::string& gar, const std::string& attack) {
+  gc::DeploymentConfig cfg;
+  cfg.deployment = gc::Deployment::kSsmw;
+  cfg.model = "tiny_mlp";
+  cfg.dataset = "cluster";
+  cfg.train_size = 256;
+  cfg.test_size = 64;
+  cfg.batch_size = 8;
+  cfg.nps = 1;
+  cfg.nw = garfield::gars::gar_min_n(gar, 1) + 2;
+  cfg.fw = 1;
+  cfg.gradient_gar = gar;
+  cfg.iterations = 45;
+  cfg.eval_every = 0;
+  cfg.seed = 20260808;
+  cfg.worker_attack = attack;
+  cfg.network = "churn:crash=1,at_iter=5,recover_after=20";
+  cfg.validate();
+  return gc::train(cfg).final_accuracy;
+}
+
+}  // namespace
+
+TEST(WindowStriker, WrecksAverageButBouncesOffRobustGars) {
+  ThreadGuard guard;
+  garfield::tensor::set_parallel_threads(1);
+  const char* striker = "window_striker:margin=1";
+  // Unprotected mean: the -100x reversed strike during the twenty thinned
+  // iterations destroys what the run learned, beyond repair.
+  const double avg_clean = final_accuracy("average", "");
+  const double avg_struck = final_accuracy("average", striker);
+  EXPECT_LT(avg_struck, avg_clean - 0.15)
+      << "clean " << avg_clean << " struck " << avg_struck;
+  // Robust GARs at their floor still filter the striker.
+  for (const char* gar : {"krum", "centered_clip"}) {
+    const double clean = final_accuracy(gar, "");
+    const double struck = final_accuracy(gar, striker);
+    EXPECT_GT(struck, clean - 0.08)
+        << gar << ": clean " << clean << " struck " << struck;
+  }
+}
+
+// ------------------------------------------------------- corrupt_recovery
+
+namespace {
+
+class CorruptRecovery : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("garfield_recovery_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// MSMW with 4 server replicas (the highest rank declared Byzantine)
+  /// where honest server 1 crashes at iteration 2 and recovers at 4 —
+  /// recovery runs the peer state-transfer protocol against honest and
+  /// tampering sources, and the 3 surviving replicas keep the model GAR
+  /// above its min_n(median, 1) = 3 floor through the outage.
+  gc::DeploymentConfig recovery_config(const std::string& server_attack,
+                                       const char* ckpt_name) const {
+    gc::DeploymentConfig cfg;
+    cfg.deployment = gc::Deployment::kMsmw;
+    cfg.model = "tiny_mlp";
+    cfg.dataset = "cluster";
+    cfg.train_size = 256;
+    cfg.test_size = 64;
+    cfg.batch_size = 8;
+    cfg.nps = 4;
+    cfg.fps = 1;
+    cfg.nw = 3;
+    cfg.fw = 0;
+    cfg.gradient_gar = "median";
+    cfg.model_gar = "median";
+    cfg.iterations = 8;
+    cfg.eval_every = 4;
+    cfg.seed = 20260808;
+    cfg.server_attack = server_attack;
+    cfg.network = "churn:crash=1,at_iter=2,recover_after=2";
+    cfg.checkpoint_path = (dir_ / ckpt_name).string();
+    cfg.checkpoint_every = 1;
+    return cfg;
+  }
+
+  std::filesystem::path dir_;
+};
+
+}  // namespace
+
+TEST_F(CorruptRecovery, TamperedStateTransferIsRejectedAndHarmless) {
+  ThreadGuard guard;
+  garfield::tensor::set_parallel_threads(1);
+
+  // Baseline: every state-transfer source honest. The recovering server
+  // adopts a verified peer blob (freshest iteration, lowest rank on ties).
+  gc::DeploymentConfig honest_cfg = recovery_config("", "honest.ckpt");
+  ASSERT_NO_THROW(honest_cfg.validate());
+  const gc::TrainResult honest = gc::train(honest_cfg);
+  EXPECT_GE(honest.state_transfers, 1u);
+  EXPECT_EQ(honest.state_transfer_rejects, 0u);
+
+  // Under attack: the Byzantine replica (server 2) serves a blob damaged
+  // after the digest seal. The receiver must detect it, reject it without
+  // decoding, and adopt honest server 0's blob instead — the same blob
+  // the baseline adopted, so the whole run stays bitwise identical.
+  gc::DeploymentConfig attacked_cfg =
+      recovery_config("corrupt_recovery", "attacked.ckpt");
+  ASSERT_NO_THROW(attacked_cfg.validate());
+  const gc::TrainResult attacked = gc::train(attacked_cfg);
+  EXPECT_GE(attacked.state_transfers, 1u);
+  EXPECT_GE(attacked.state_transfer_rejects, 1u);
+
+  ASSERT_EQ(honest.final_parameters.size(), attacked.final_parameters.size());
+  EXPECT_EQ(std::memcmp(honest.final_parameters.data(),
+                        attacked.final_parameters.data(),
+                        honest.final_parameters.size() * sizeof(float)),
+            0)
+      << "a rejected tampered blob must not perturb the trajectory";
+  ASSERT_EQ(honest.curve.size(), attacked.curve.size());
+  for (std::size_t i = 0; i < honest.curve.size(); ++i) {
+    EXPECT_EQ(honest.curve[i].accuracy, attacked.curve[i].accuracy);
+    EXPECT_EQ(honest.curve[i].loss, attacked.curve[i].loss);
+  }
+  EXPECT_EQ(honest.final_accuracy, attacked.final_accuracy);
+}

@@ -200,6 +200,110 @@ TEST(NetworkConditions, SimPlaneCountsMatchTheEdgePredicates) {
   EXPECT_EQ(c.count_cross(5, 3, 11, 2), 0u);  // ungrouped node keeps all
 }
 
+// --------------------------------------------------------- fault injection
+
+TEST(NetworkConditions, ParsesTheFaultClause) {
+  const gn::NetworkConditions c = gn::NetworkConditions::parse(
+      "fault:drop=0.01,dup=0.001,corrupt=0.005,delay_spike=5ms,spike=0.02,"
+      "edges=0-3,from_iter=50,len=20");
+  EXPECT_FALSE(c.ideal());
+  ASSERT_TRUE(c.has_fault());
+  ASSERT_TRUE(c.fault().has_value());
+  EXPECT_DOUBLE_EQ(c.fault()->drop, 0.01);
+  EXPECT_DOUBLE_EQ(c.fault()->corrupt, 0.005);
+  EXPECT_DOUBLE_EQ(c.fault()->dup, 0.001);
+  EXPECT_DOUBLE_EQ(c.fault()->spike, 0.02);
+  EXPECT_EQ(c.fault()->delay_spike, Duration{5000});
+  ASSERT_TRUE(c.fault()->edges.has_value());
+  EXPECT_TRUE(c.fault()->edges->contains(3));
+  EXPECT_FALSE(c.fault()->edges->contains(4));
+  EXPECT_EQ(c.fault()->from_iter, 50u);
+  EXPECT_EQ(c.fault()->len, 20u);
+  EXPECT_DOUBLE_EQ(c.fault_loss_rate(), 0.015);
+  EXPECT_NEAR(c.fault_spike_seconds(), 0.02 * 0.005, 1e-12);
+}
+
+TEST(NetworkConditions, RejectsMalformedFaultClauses) {
+  // Probabilities outside [0, 1), a verdict budget reaching 1, spike
+  // without its duration (and vice versa), an empty clause, duplicates,
+  // and misspelled options.
+  for (const char* bad : {
+           "fault:drop=-0.1",                     // spec-lint: ignore
+           "fault:drop=1.0",                      // spec-lint: ignore
+           "fault:drop=0.6,corrupt=0.3,dup=0.2",  // spec-lint: ignore
+           "fault:spike=0.1",                     // spec-lint: ignore
+           "fault:delay_spike=5ms",               // spec-lint: ignore
+           "fault:",                              // spec-lint: ignore
+           "fault:drop=0.1;fault:drop=0.2",       // spec-lint: ignore
+           "fault:dorp=0.1",                      // spec-lint: ignore
+           "fault:drop=0.1,edges=3-1",            // spec-lint: ignore
+       }) {
+    EXPECT_THROW((void)gn::NetworkConditions::parse(bad),
+                 std::invalid_argument)
+        << "accepted '" << bad << "'";
+  }
+  // validate() rejects edge references beyond the deployment.
+  const gn::NetworkConditions c =
+      gn::NetworkConditions::parse("fault:drop=0.1,edges=6");
+  EXPECT_NO_THROW(c.validate(7));
+  EXPECT_THROW(c.validate(6), std::invalid_argument);
+}
+
+TEST(NetworkConditions, FaultWindowAndEdgeSetGateTheVerdicts) {
+  const gn::NetworkConditions c = gn::NetworkConditions::parse(
+      "fault:drop=0.5,edges=2-3,from_iter=10,len=5");
+  // Outside the window, or off the edge set, every verdict is clean.
+  EXPECT_FALSE(c.fault_active(0, 2, 9));
+  EXPECT_TRUE(c.fault_active(0, 2, 10));
+  EXPECT_TRUE(c.fault_active(3, 0, 14));
+  EXPECT_FALSE(c.fault_active(3, 0, 15));
+  EXPECT_FALSE(c.fault_active(0, 1, 12));  // edge touches neither of 2-3
+  EXPECT_FALSE(
+      c.fault_verdict(0, 1, "m", 12, /*seed=*/1, /*attempt=*/0).any());
+  EXPECT_FALSE(
+      c.fault_verdict(0, 2, "m", 9, /*seed=*/1, /*attempt=*/0).any());
+  // count_faulty mirrors the same gate for the analytic plane.
+  EXPECT_EQ(c.count_faulty(0, 6, 9), 0u);
+  EXPECT_EQ(c.count_faulty(0, 6, 12), 2u);
+  EXPECT_EQ(c.count_faulty(4, 6, 12), 0u);
+}
+
+TEST(NetworkConditions, FaultVerdictsAreDeterministicAndExclusive) {
+  const gn::NetworkConditions c =
+      gn::NetworkConditions::parse("fault:drop=0.3,corrupt=0.2,dup=0.1");
+  std::size_t drops = 0, corrupts = 0, dups = 0, clean = 0;
+  for (std::uint64_t it = 0; it < 400; ++it) {
+    const auto v = c.fault_verdict(0, 1, "get_gradient", it, 42, 0);
+    // Replay: the verdict is a pure function of its arguments.
+    const auto replay = c.fault_verdict(0, 1, "get_gradient", it, 42, 0);
+    EXPECT_EQ(v.drop, replay.drop);
+    EXPECT_EQ(v.corrupt, replay.corrupt);
+    EXPECT_EQ(v.dup, replay.dup);
+    // Mutual exclusion: at most one of drop/corrupt/dup per attempt.
+    EXPECT_LE(int(v.drop) + int(v.corrupt) + int(v.dup), 1);
+    drops += v.drop;
+    corrupts += v.corrupt;
+    dups += v.dup;
+    clean += !v.drop && !v.corrupt && !v.dup;
+  }
+  // The empirical rates sit near the configured ones (wide margins — this
+  // is a sanity band, not a statistical test).
+  EXPECT_GT(drops, 60u);
+  EXPECT_GT(corrupts, 30u);
+  EXPECT_GT(dups, 10u);
+  EXPECT_GT(clean, 100u);
+  // A different seed, attempt, or edge decorrelates the draw.
+  bool seed_differs = false, attempt_differs = false;
+  for (std::uint64_t it = 0; it < 64 && !(seed_differs && attempt_differs);
+       ++it) {
+    const auto v = c.fault_verdict(0, 1, "m", it, 42, 0);
+    seed_differs |= v.drop != c.fault_verdict(0, 1, "m", it, 43, 0).drop;
+    attempt_differs |= v.drop != c.fault_verdict(0, 1, "m", it, 42, 1).drop;
+  }
+  EXPECT_TRUE(seed_differs);
+  EXPECT_TRUE(attempt_differs);
+}
+
 // -------------------------------------------------- config-level plumbing
 
 TEST(NetworkConditions, ConfigValidateRejectsBadSpecs) {

@@ -274,6 +274,51 @@ TEST(NetcondCrossval, DecentralizedFabricLoadDominatesOnBothPlanes) {
   EXPECT_GT(sim_dec_ratio, sim_ps_ratio);
 }
 
+// ------------------------------------------- scenario 5: fault injection
+
+TEST(NetcondCrossval, FaultRetryTailBindsOnlyInsideTheWindowOnBothPlanes) {
+  // Window [1, 3): every edge drops 40% of attempts and spikes half its
+  // deliveries by 20ms. The analytic plane charges the expected retry
+  // tail plus the expected spike mass inside the window and EXACTLY zero
+  // outside it; the live plane retries every lost attempt within the
+  // budget, so the synchronous run learns the same bits as the ideal one.
+  // (The rate is sized so the 12 in-window edge draws under this seed
+  // really contain drops — the verdict is a pure hash, so if they fire
+  // once they fire forever.)
+  const char* spec =
+      "fault:drop=0.4,delay_spike=20ms,spike=0.5,from_iter=1,len=2";
+  gs::SimSetup sim = sim_ssmw();
+  sim.asynchronous = false;
+  sim.conditions = garfield::net::NetworkConditions::parse(spec);
+  sim.iteration = 0;
+  const double before = gs::simulate_iteration(sim).total();
+  sim.iteration = 1;
+  const double inside = gs::simulate_iteration(sim).total();
+  sim.iteration = 3;
+  const double after = gs::simulate_iteration(sim).total();
+  gs::SimSetup ideal_setup = sim_ssmw();
+  ideal_setup.asynchronous = false;
+  const double ideal = gs::simulate_iteration(ideal_setup).total();
+  EXPECT_DOUBLE_EQ(before, ideal);
+  EXPECT_DOUBLE_EQ(after, ideal);
+  EXPECT_GT(inside, ideal + 0.009);  // >= the 10ms expected spike mass
+
+  // Live plane: same spec string. Faults really fired, every one was
+  // recovered (no give-ups), and the curve is bitwise the ideal curve.
+  garfield::tensor::set_parallel_threads(1);
+  gc::DeploymentConfig live = live_ssmw();
+  live.asynchronous = false;
+  const gc::TrainResult plain = gc::train(live);
+  live.network = spec;
+  ASSERT_NO_THROW(live.validate());
+  const gc::TrainResult faulted = gc::train(live);
+  garfield::tensor::set_parallel_threads(0);
+  EXPECT_GT(faulted.net_stats.faults_injected, 0u);
+  EXPECT_GT(faulted.net_stats.retries, 0u);
+  EXPECT_EQ(faulted.net_stats.retry_give_ups, 0u);
+  expect_same_curve(plain, faulted, "recovered faults are pure latency");
+}
+
 // -------------------------------------- matrix: (GAR x attack x network)
 
 TEST(NetcondCrossval, ScenarioMatrixSweepsTheNetworkAxis) {
@@ -309,4 +354,38 @@ TEST(NetcondCrossval, ScenarioMatrixSweepsTheNetworkAxis) {
   });
   EXPECT_EQ(cells, 2u * 2u * 3u);
   EXPECT_EQ(degraded_cells, 2u * 2u * 2u);
+}
+
+TEST(NetcondCrossval, ScenarioMatrixSweepsTheFaultAxis) {
+  // The `faults` axis rides inside the network axis. The ingress model
+  // mirrors the live retry budget: a modest drop rate is always recovered
+  // (the quorum stays whole), while a near-certain drop rate on one edge
+  // exhausts all attempts — a give-up, the node reads as silent. Cell
+  // sizing (slack 2 + the f = 1 budget) spares the silenced node, so the
+  // robustness bound must hold either way.
+  gt::ScenarioMatrix matrix;
+  matrix.gars = {"median", "multi_krum"};
+  matrix.attacks = {"sign_flip"};
+  matrix.byzantine_fs = {1};
+  matrix.quorum_slacks = {2};
+  matrix.faults = {
+      "",
+      "fault:drop=0.3",            // lossy but inside the retry budget
+      "fault:drop=0.999,edges=0",  // one edge almost certainly gives up
+  };
+  std::size_t cells = 0;
+  std::size_t silenced = 0;
+  matrix.for_each([&](const gt::Scenario& cell) {
+    ++cells;
+    const gt::ScenarioResult result = gt::run_scenario(cell);
+    EXPECT_LE(result.rms_deviation, gt::robustness_tolerance(cell))
+        << cell.gar << " x " << cell.attack << " x '" << cell.fault << "'";
+    if (cell.fault == "fault:drop=0.3") {
+      EXPECT_EQ(result.received, cell.n)
+          << "a 0.3 drop rate must never survive 8 retry attempts";
+    }
+    if (result.received < cell.n) ++silenced;
+  });
+  EXPECT_EQ(cells, 2u * 3u);
+  EXPECT_GE(silenced, 1u) << "the give-up spec never silenced its edge";
 }

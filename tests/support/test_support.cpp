@@ -41,6 +41,16 @@ double max_abs_diff(const FlatVector& a, const FlatVector& b) {
   return worst;
 }
 
+namespace {
+
+/// The live sender's bounded retry budget (net/cluster.cpp
+/// kMaxSendAttempts): a faulted exchange is retried up to this many
+/// attempts before the caller books a give-up and treats the peer as
+/// silent. The ingress model replays the same per-attempt verdicts.
+constexpr std::uint32_t kMaxSendAttempts = 8;
+
+}  // namespace
+
 ScenarioResult run_scenario(const Scenario& scenario) {
   if (scenario.n <= scenario.f) {
     throw std::invalid_argument("run_scenario: need n > f");
@@ -54,14 +64,40 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   // silent node on the live transport. Honest nodes occupy ids
   // [0, n - f), Byzantine nodes [n - f, n); the aggregator sits with
   // partition group `a`, so group-`b` members miss the window.
+  std::string spec = scenario.network;
+  if (!scenario.fault.empty()) {
+    if (!spec.empty()) spec += ';';
+    spec += scenario.fault;
+  }
   const net::NetworkConditions conditions =
-      net::NetworkConditions::parse(scenario.network);
+      net::NetworkConditions::parse(spec);
+  // The aggregator sits one past the input span; the fault clause's edge
+  // restriction keys on the *input* node, so the aggregator's synthetic
+  // id never changes which edges a spec targets.
+  const std::size_t aggregator = scenario.n;
   const auto reaches_quorum = [&](std::size_t node) {
     if (conditions.is_straggling(node, scenario.iteration)) return false;
     if (conditions.partition() &&
         conditions.partition_window_active(scenario.iteration) &&
         conditions.partition()->b.contains(node)) {
       return false;
+    }
+    if (conditions.has_fault()) {
+      // Bounded-retry mirror: the sender re-sends every lost attempt, so
+      // the payload misses the quorum only when the whole attempt budget
+      // draws losing verdicts — exactly the live cluster's give-up.
+      bool all_lost = true;
+      for (std::uint32_t attempt = 0; attempt < kMaxSendAttempts;
+           ++attempt) {
+        if (!conditions
+                 .fault_verdict(aggregator, node, "get_gradient",
+                                scenario.iteration, scenario.seed, attempt)
+                 .lost()) {
+          all_lost = false;
+          break;
+        }
+      }
+      if (all_lost) return false;
     }
     return true;
   };
@@ -159,24 +195,28 @@ std::size_t ScenarioMatrix::for_each(
         const std::size_t n = std::max<std::size_t>(min_n + f + slack, 3);
         for (const std::string& attack : attack_list) {
           for (const std::string& network : networks) {
-            // Transport twins are the SAME cell on different backends —
-            // they share one seed so a parity consumer can compare their
-            // results bit for bit. With the default single-transport axis
-            // this degenerates to the historical seed-per-cell sequence.
-            const std::uint64_t cell_seed = seed + seeded_cells;
-            ++seeded_cells;
-            for (const std::string& transport : transports) {
-              Scenario cell;
-              cell.gar = gar;
-              cell.attack = attack;
-              cell.n = n;
-              cell.f = f;
-              cell.d = d;
-              cell.seed = cell_seed;  // decorrelate cells, reproducible
-              cell.network = network;
-              cell.transport = transport;
-              fn(cell);
-              ++cells;
+            for (const std::string& fault : faults) {
+              // Transport twins are the SAME cell on different backends —
+              // they share one seed so a parity consumer can compare their
+              // results bit for bit. With the default single-transport and
+              // single-fault axes this degenerates to the historical
+              // seed-per-cell sequence.
+              const std::uint64_t cell_seed = seed + seeded_cells;
+              ++seeded_cells;
+              for (const std::string& transport : transports) {
+                Scenario cell;
+                cell.gar = gar;
+                cell.attack = attack;
+                cell.n = n;
+                cell.f = f;
+                cell.d = d;
+                cell.seed = cell_seed;  // decorrelate cells, reproducible
+                cell.network = network;
+                cell.fault = fault;
+                cell.transport = transport;
+                fn(cell);
+                ++cells;
+              }
             }
           }
         }

@@ -77,6 +77,14 @@ struct Scenario {
   /// Byzantine) never reaches the GAR. Cells must stay sized so the
   /// surviving quorum satisfies gar_min_n(gar, f).
   std::string network;
+  /// `fault:` clause (net/conditions.h grammar) composed onto `network`;
+  /// "" = none. The ingress model mirrors the live cluster's bounded
+  /// retry layer: a node's payload misses the quorum only when every
+  /// attempt in the retry budget draws a losing fault verdict (drop or
+  /// corrupt) — the give-up case — so modest loss rates leave the quorum
+  /// whole and only near-certain loss silences a node, deterministically
+  /// per (seed, edge, iteration).
+  std::string fault;
   /// Transport backend a deployment-level consumer should run this cell
   /// under ("inproc" | "tcp", the DeploymentConfig::transport values).
   /// run_scenario() itself models server ingress above the transport seam
@@ -123,6 +131,10 @@ struct ScenarioMatrix {
   /// Non-ideal entries must only degrade nodes the cell sizes can spare
   /// (see Scenario::network).
   std::vector<std::string> networks = {""};
+  /// `fault:` clause axis crossed inside the network axis (Scenario::fault
+  /// semantics); the default single empty entry preserves the classic
+  /// matrix's cell count and per-cell seeds.
+  std::vector<std::string> faults = {""};
   /// Transport-backend axis, innermost so the default single entry leaves
   /// every existing matrix's cell count and per-cell seeds untouched.
   std::vector<std::string> transports = {"inproc"};

@@ -164,6 +164,52 @@ TEST(TransportBackend, ChurnCrashRecoveryMatchesAcrossBackends) {
   expect_bitwise(inproc, *tcp, "ssmw+churn");
 }
 
+// ------------------------------------------------- fault-injection parity
+
+TEST(TransportBackend, FaultInjectionIsBitwiseIdenticalAcrossBackends) {
+  // A `fault:` clause derives every drop/corrupt/dup verdict from a pure
+  // hash of (seed, edge, method, iteration, attempt) — the inproc dispatch
+  // path and the tcp frame path must inject the SAME faults, and the
+  // bounded retry layer must recover every one of them, so the run stays
+  // bitwise identical across backends AND to a fault-free run.
+  gc::DeploymentConfig cfg = tiny(gc::Deployment::kSsmw);
+  cfg.nw = 3;
+  cfg.fw = 0;
+  cfg.nps = 1;
+  cfg.gradient_gar = "median";
+  cfg.network = "fault:drop=0.1,corrupt=0.05,dup=0.05";
+  const std::optional<gc::TrainResult> tcp = try_tcp(cfg);
+  if (!tcp) GTEST_SKIP() << "garfield_node launcher not built";
+  const gc::TrainResult inproc = run_inproc(cfg);
+
+  // The fault plane actually fired and the retry layer absorbed it: no
+  // give-ups, no quorum damage.
+  EXPECT_GT(inproc.net_stats.faults_injected, 0u);
+  EXPECT_GT(inproc.net_stats.retries, 0u);
+  EXPECT_EQ(inproc.net_stats.retry_give_ups, 0u);
+  EXPECT_EQ(inproc.net_stats.quorum_misses, 0u);
+  // The tcp result blob (v2) carries the reporting rank's fault counters;
+  // its own edges are under the same clause, so it saw faults too.
+  EXPECT_GT(tcp->net_stats.faults_injected, 0u);
+  EXPECT_EQ(tcp->net_stats.retry_give_ups, 0u);
+
+  expect_bitwise(inproc, *tcp, "ssmw+fault");
+
+  // Retries make recovered wire faults invisible to synchronous learning:
+  // the faulted run's trajectory equals the clean run's, bit for bit.
+  gc::DeploymentConfig clean = cfg;
+  clean.network.clear();
+  const gc::TrainResult baseline = run_inproc(clean);
+  ASSERT_EQ(baseline.final_parameters.size(),
+            inproc.final_parameters.size());
+  EXPECT_EQ(std::memcmp(baseline.final_parameters.data(),
+                        inproc.final_parameters.data(),
+                        baseline.final_parameters.size() * sizeof(float)),
+            0)
+      << "recovered faults leaked into the learning trajectory";
+  EXPECT_EQ(baseline.net_stats.retries, 0u);
+}
+
 // ------------------------------------------------------- validation scope
 
 TEST(TransportBackend, ValidateRejectsWhatTcpCannotHonor) {

@@ -188,6 +188,51 @@ TEST(TransportStress, SimulatedLatencyPreservesTheSynchronousCurve) {
   expect_identical(instant, delayed, "latency 0 vs jittered links");
 }
 
+TEST(TransportStress, FaultInjectionStaysBitwiseDeterministic) {
+  // The fault plane under contention: drop/corrupt/dup verdicts are pure
+  // hashes, the retry layer's backoff is hash-jittered, and both run on
+  // the multi-threaded cluster — so a faulted run must be bitwise
+  // identical run-to-run, across kernel thread counts, and (because every
+  // lost attempt is recovered within the budget) its CURVE must equal the
+  // fault-free one. Traffic counters legitimately differ from the clean
+  // run (retransmits and duplicates are real traffic), but must agree
+  // between faulted runs exactly.
+  ThreadGuard guard;
+  gc::DeploymentConfig cfg = stress_base();
+  cfg.deployment = gc::Deployment::kMsmw;
+  cfg.nps = 3;
+  cfg.nw = 8;
+  cfg.gradient_gar = "multi_krum";
+  cfg.model_gar = "median";
+  cfg.iterations = 4;
+
+  garfield::tensor::set_parallel_threads(1);
+  const gc::TrainResult clean = gc::train(cfg);
+  cfg.network = "fault:drop=0.08,corrupt=0.04,dup=0.04";
+  ASSERT_NO_THROW(cfg.validate());
+  const gc::TrainResult faulted = gc::train(cfg);
+  const gc::TrainResult faulted_again = gc::train(cfg);
+  expect_identical(faulted, faulted_again, "faulted run-to-run");
+  EXPECT_EQ(faulted.net_stats.faults_injected,
+            faulted_again.net_stats.faults_injected);
+  EXPECT_EQ(faulted.net_stats.retries, faulted_again.net_stats.retries);
+
+  garfield::tensor::set_parallel_threads(4);
+  const gc::TrainResult threaded = gc::train(cfg);
+  expect_identical(faulted, threaded, "faulted serial vs 4-thread kernels");
+
+  // The faults really happened, and really were absorbed.
+  EXPECT_GT(faulted.net_stats.faults_injected, 0u);
+  EXPECT_GT(faulted.net_stats.retries, 0u);
+  EXPECT_EQ(faulted.net_stats.retry_give_ups, 0u);
+  ASSERT_EQ(clean.curve.size(), faulted.curve.size());
+  for (std::size_t i = 0; i < clean.curve.size(); ++i) {
+    EXPECT_EQ(clean.curve[i].accuracy, faulted.curve[i].accuracy)
+        << "probe " << i;
+    EXPECT_EQ(clean.curve[i].loss, faulted.curve[i].loss) << "probe " << i;
+  }
+}
+
 TEST(TransportStress, AdverseConditionsStayBitwiseDeterministic) {
   // The whole NetworkConditions surface at once — WAN latency + jitter,
   // heterogeneous slow links, an iteration-scheduled straggler phase and a

@@ -298,6 +298,88 @@ TEST(WireStreamFuzz, OversizeLengthPrefixThrowsBeforeAllocation) {
       std::span<const std::uint8_t>(big.data(), 64), /*max_frame=*/64));
 }
 
+TEST(WireStreamFuzz, CorruptedFrameBodyIsSkippedNotFatal) {
+  // A flipped bit inside one frame's body must lose exactly that message:
+  // the decoder skips it, counts it, and keeps delivering the frames
+  // around it — the stream stays alive for the retry layer above.
+  gt::Rng rng(kSeed + 10);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<std::vector<std::uint8_t>> bodies;
+    std::vector<std::uint8_t> stream;
+    std::size_t victim_at = 0;  // stream offset of the middle frame
+    for (std::size_t k = 0; k < 3; ++k) {
+      bodies.push_back(random_body(rng, 200));
+      if (bodies.back().empty()) bodies.back().push_back(0x5A);
+      if (k == 1) victim_at = stream.size();
+      const std::vector<std::uint8_t> framed = gn::frame(bodies.back());
+      stream.insert(stream.end(), framed.begin(), framed.end());
+    }
+    // Flip a byte of the middle frame — in its body, or in the prefix CRC
+    // itself (either way the body no longer matches the CRC).
+    const std::size_t body_len = bodies[1].size();
+    const std::size_t at =
+        rng.bernoulli(0.25)
+            ? victim_at + 4 + rng.index(4)  // CRC field
+            : victim_at + gn::kFramePrefixBytes + rng.index(body_len);
+    stream[at] ^= std::uint8_t(1U << rng.index(8));
+
+    gn::FrameDecoder decoder;
+    decoder.feed(stream);
+    std::vector<std::vector<std::uint8_t>> got;
+    while (auto body = decoder.next()) got.push_back(std::move(*body));
+    ASSERT_EQ(got.size(), 2u) << "round " << round;
+    EXPECT_EQ(got[0], bodies[0]);
+    EXPECT_EQ(got[1], bodies[2]);
+    EXPECT_EQ(decoder.corrupt_frames(), 1u);
+    EXPECT_TRUE(decoder.idle());
+  }
+}
+
+TEST(WireStreamFuzz, ManyCorruptFramesAcrossSplitBoundaries) {
+  // Randomized composition: corrupt a random subset of frame bodies, feed
+  // the stream in random slices, and require exactly the clean bodies in
+  // order with the corrupt ones counted.
+  gt::Rng rng(kSeed + 11);
+  for (int round = 0; round < 100; ++round) {
+    const std::size_t count = 2 + rng.index(8);
+    std::vector<std::vector<std::uint8_t>> clean_bodies;
+    std::vector<std::uint8_t> stream;
+    std::size_t corrupted = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+      std::vector<std::uint8_t> body = random_body(rng, 150);
+      if (body.empty()) body.push_back(std::uint8_t(k));
+      const std::vector<std::uint8_t> framed = gn::frame(body);
+      const std::size_t start = stream.size();
+      stream.insert(stream.end(), framed.begin(), framed.end());
+      if (rng.bernoulli(0.4)) {
+        // Corrupt body bytes only — the length field must stay honest or
+        // the framing itself desyncs, which is a different failure mode
+        // (a dead peer), not a lost message.
+        stream[start + gn::kFramePrefixBytes + rng.index(body.size())] ^=
+            std::uint8_t(1 + rng.index(255));
+        ++corrupted;
+      } else {
+        clean_bodies.push_back(std::move(body));
+      }
+    }
+    gn::FrameDecoder decoder;
+    std::vector<std::vector<std::uint8_t>> got;
+    std::size_t at = 0;
+    while (at < stream.size()) {
+      const std::size_t chunk = 1 + rng.index(stream.size() - at);
+      decoder.feed(std::span<const std::uint8_t>(stream.data() + at, chunk));
+      at += chunk;
+      while (auto body = decoder.next()) got.push_back(std::move(*body));
+    }
+    ASSERT_EQ(got.size(), clean_bodies.size()) << "round " << round;
+    for (std::size_t k = 0; k < got.size(); ++k) {
+      EXPECT_EQ(got[k], clean_bodies[k]) << "frame " << k;
+    }
+    EXPECT_EQ(decoder.corrupt_frames(), corrupted) << "round " << round;
+    EXPECT_TRUE(decoder.idle());
+  }
+}
+
 TEST(WireFuzz, UncorruptedRoundTripStillHolds) {
   // Sanity anchor for the suite: with no corruption, decode(encode(x)) == x.
   gt::Rng rng(kSeed + 6);

@@ -221,7 +221,7 @@ std::optional<std::string> transport_value(const std::string& text) {
 
 const std::unordered_set<std::string>& conditions_clauses() {
   static const std::unordered_set<std::string> kClauses{
-      "wan", "hetero", "straggler", "partition", "churn"};
+      "wan", "hetero", "straggler", "partition", "churn", "fault"};
   return kClauses;
 }
 
