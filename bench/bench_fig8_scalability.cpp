@@ -108,6 +108,11 @@ struct LiveCell {
   /// over localhost streams — the multi-process section's cross-process
   /// its/sec, scheduler and loopback included.
   const char* transport = "inproc";
+  /// Wire codec spec (net/codec.h) and network-conditions spec — the
+  /// codec-frontier sweep varies these; the main contention sweep keeps
+  /// the identity codec on an ideal network.
+  const char* codec = "none";
+  const char* network = "";
 };
 
 struct LiveResult {
@@ -115,7 +120,15 @@ struct LiveResult {
   double its_per_sec = 0.0;
   std::uint64_t floats_transferred = 0;
   std::uint64_t wasted_replies = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_saved = 0;
+  double final_accuracy = 0.0;
   double speedup_vs_pre_pr = 0.0;  // 0 = shape has no committed baseline
+  /// codec=none bytes_sent of the same (deployment, transport, nw,
+  /// network) shape divided by this row's bytes_sent — the compression
+  /// headline. 0 = not a codec-frontier row or no baseline to compare.
+  double bytes_ratio_vs_none = 0.0;
 };
 
 gc::DeploymentConfig live_config(const LiveCell& cell,
@@ -136,6 +149,8 @@ gc::DeploymentConfig live_config(const LiveCell& cell,
   cfg.fps = cell.fps;
   cfg.pool_threads = cell.pool_threads;
   cfg.transport = cell.transport;
+  cfg.codec = cell.codec;
+  cfg.network = cell.network;
   if (cell.deployment != gc::Deployment::kVanilla) {
     cfg.gradient_gar = "multi_krum";
     cfg.model_gar = "median";
@@ -164,6 +179,10 @@ LiveResult run_live(const LiveCell& cell, std::size_t iterations) {
       out.its_per_sec = its;
       out.floats_transferred = r.net_stats.floats_transferred;
       out.wasted_replies = r.net_stats.wasted_replies;
+      out.bytes_sent = r.net_stats.bytes_sent;
+      out.bytes_received = r.net_stats.bytes_received;
+      out.bytes_saved = r.net_stats.bytes_saved;
+      out.final_accuracy = r.final_accuracy;
     }
   }
   // The committed baseline covers the reference shape only: nw=8, auto
@@ -180,7 +199,32 @@ LiveResult run_live(const LiveCell& cell, std::size_t iterations) {
   return out;
 }
 
+void write_row(std::FILE* f, const LiveResult& r, bool last) {
+  std::fprintf(
+      f,
+      "    {\"deployment\": \"%s\", \"transport\": \"%s\", \"nps\": %zu, "
+      "\"nw\": %zu, \"pool_threads\": %zu, \"codec\": \"%s\", "
+      "\"network\": \"%s\", \"iterations_per_sec\": %.1f, "
+      "\"floats_transferred\": %llu, \"wasted_replies\": %llu, "
+      "\"bytes_sent\": %llu, \"bytes_received\": %llu, "
+      "\"bytes_saved\": %llu, \"final_accuracy\": %.4f",
+      gc::to_string(r.cell.deployment).c_str(), r.cell.transport, r.cell.nps,
+      r.cell.nw, r.cell.pool_threads, r.cell.codec, r.cell.network,
+      r.its_per_sec, (unsigned long long)r.floats_transferred,
+      (unsigned long long)r.wasted_replies, (unsigned long long)r.bytes_sent,
+      (unsigned long long)r.bytes_received, (unsigned long long)r.bytes_saved,
+      r.final_accuracy);
+  if (r.bytes_ratio_vs_none > 0) {
+    std::fprintf(f, ", \"bytes_ratio_vs_none\": %.2f", r.bytes_ratio_vs_none);
+  }
+  if (r.speedup_vs_pre_pr > 0) {
+    std::fprintf(f, ", \"speedup_vs_pre_pr\": %.2f", r.speedup_vs_pre_pr);
+  }
+  std::fprintf(f, "}%s\n", last ? "" : ",");
+}
+
 void write_json(const std::vector<LiveResult>& results,
+                const std::vector<LiveResult>& frontier,
                 std::size_t iterations) {
   const char* path = std::getenv("GARFIELD_FIG8_JSON");
   if (path == nullptr || *path == '\0') path = "BENCH_fig8.json";
@@ -202,35 +246,28 @@ void write_json(const std::vector<LiveResult>& results,
   }
   std::fprintf(f, "},\n  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const LiveResult& r = results[i];
-    std::fprintf(
-        f,
-        "    {\"deployment\": \"%s\", \"transport\": \"%s\", \"nps\": %zu, "
-        "\"nw\": %zu, \"pool_threads\": %zu, \"iterations_per_sec\": %.1f, "
-        "\"floats_transferred\": %llu, \"wasted_replies\": %llu",
-        gc::to_string(r.cell.deployment).c_str(), r.cell.transport,
-        r.cell.nps, r.cell.nw, r.cell.pool_threads, r.its_per_sec,
-        (unsigned long long)r.floats_transferred,
-        (unsigned long long)r.wasted_replies);
-    if (r.speedup_vs_pre_pr > 0) {
-      std::fprintf(f, ", \"speedup_vs_pre_pr\": %.2f", r.speedup_vs_pre_pr);
-    }
-    std::fprintf(f, "}%s\n", i + 1 == results.size() ? "" : ",");
+    write_row(f, results[i], i + 1 == results.size());
+  }
+  // Accuracy-vs-bytes frontier: (deployment x codec x nw), the tcp
+  // decentralized bytes-cut rows and the constrained-bw throughput rows.
+  std::fprintf(f, "  ],\n  \"codec_frontier\": [\n");
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    write_row(f, frontier[i], i + 1 == frontier.size());
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
-  std::printf("\nwrote %s (%zu cells)\n", path, results.size());
+  std::printf("\nwrote %s (%zu + %zu cells)\n", path, results.size(),
+              frontier.size());
 }
 
-void live_mode() {
+std::vector<LiveResult> live_mode(std::size_t iterations) {
   const bool smoke = garfield::bench::smoke_mode();
-  const std::size_t iterations = smoke ? 6 : 60;
   std::printf("\nLive real-contention mode — in-process trainer, latency "
               "0,\n(deployment x nps x nw x pool_threads), %zu iterations "
               "per cell\n", iterations);
-  std::printf("%-14s %-7s %-4s %-4s %-6s %-10s %-12s %-8s %-10s\n",
+  std::printf("%-14s %-7s %-4s %-4s %-6s %-10s %-12s %-12s %-8s %-10s\n",
               "deployment", "trans", "nps", "nw", "pool", "its/sec", "floats",
-              "wasted", "vs pre-PR");
+              "bytes_sent", "wasted", "vs pre-PR");
 
   std::vector<LiveCell> cells;
   // nw floor is 6: multi_krum at fw=1 needs 2f+3 = 5 inputs and the
@@ -285,14 +322,107 @@ void live_mode() {
     if (r.speedup_vs_pre_pr > 0) {
       std::snprintf(speedup, sizeof speedup, "%.2fx", r.speedup_vs_pre_pr);
     }
-    std::printf("%-14s %-7s %-4zu %-4zu %-6zu %-10.1f %-12llu %-8llu %-10s\n",
+    std::printf("%-14s %-7s %-4zu %-4zu %-6zu %-10.1f %-12llu %-12llu "
+                "%-8llu %-10s\n",
                 gc::to_string(cell.deployment).c_str(), cell.transport,
                 cell.nps, cell.nw, cell.pool_threads, r.its_per_sec,
                 (unsigned long long)r.floats_transferred,
+                (unsigned long long)r.bytes_sent,
                 (unsigned long long)r.wasted_replies, speedup);
     results.push_back(r);
   }
-  write_json(results, iterations);
+  return results;
+}
+
+// ------------------------------------------------- codec frontier mode
+
+/// Accuracy-vs-bytes frontier: the same live trainer sweeping
+/// (deployment x codec x nw), plus two acceptance groups on the
+/// decentralized nw=8 shape — transport=tcp rows pinning the bytes cut a
+/// codec buys on a real multi-process deployment, and bandwidth-capped
+/// rows ("wan:bw=25Mbps") where serialization delay makes the saved bytes
+/// show up as iterations per second. Every row carries final_accuracy so
+/// the frontier (accuracy loss vs bytes shipped) reads straight off the
+/// JSON; bytes_ratio_vs_none compares each lossy row to the codec=none
+/// row of the same (deployment, transport, nw, network) shape.
+std::vector<LiveResult> codec_mode(std::size_t iterations) {
+  const bool smoke = garfield::bench::smoke_mode();
+  std::printf("\nCodec frontier — accuracy vs bytes, %zu iterations per "
+              "cell\n", iterations);
+  std::printf("%-14s %-7s %-4s %-12s %-16s %-10s %-12s %-12s %-9s %-8s\n",
+              "deployment", "trans", "nw", "codec", "network", "its/sec",
+              "bytes_sent", "bytes_saved", "accuracy", "vs none");
+
+  const char* codecs[] = {"none", "int8", "topk:k=0.01"};
+  std::vector<LiveCell> cells;
+  const std::vector<std::size_t> nws =
+      smoke ? std::vector<std::size_t>{6} : std::vector<std::size_t>{6, 8};
+  for (std::size_t nw : nws) {
+    for (const char* codec : codecs) {
+      cells.push_back({gc::Deployment::kSsmw, 1, nw, 1, 0, 0, "inproc",
+                       codec, ""});
+      cells.push_back({gc::Deployment::kDecentralized, 1, nw, 1, 0, 0,
+                       "inproc", codec, ""});
+    }
+  }
+  // Acceptance group 1: decentralized nw=8 over real processes — the
+  // bytes a codec keeps off the localhost links (rank-0's process-local
+  // view, like every tcp row).
+  for (const char* codec : codecs) {
+    cells.push_back({gc::Deployment::kDecentralized, 1, 8, 1, 0, 0, "tcp",
+                     codec, ""});
+  }
+  // Acceptance group 2: same shape in-process under a bandwidth-honest
+  // 25 Mbps WAN — compressed frames serialize in a fraction of the time,
+  // so its/sec must strictly beat codec=none.
+  for (const char* codec : codecs) {
+    cells.push_back({gc::Deployment::kDecentralized, 1, 8, 1, 0, 0,
+                     "inproc", codec, "wan:bw=25Mbps"});
+  }
+
+  std::vector<LiveResult> results;
+  results.reserve(cells.size());
+  bool tcp_unavailable = false;
+  for (const LiveCell& cell : cells) {
+    const bool is_tcp = std::string(cell.transport) == "tcp";
+    if (tcp_unavailable && is_tcp) continue;
+    LiveResult r;
+    try {
+      r = run_live(cell, iterations);
+    } catch (const std::runtime_error& e) {
+      if (is_tcp && std::string(e.what()).find("garfield_node") !=
+                        std::string::npos) {
+        std::printf("(skipping transport=tcp cells: %s)\n", e.what());
+        tcp_unavailable = true;
+        continue;
+      }
+      throw;
+    }
+    // Each group's codec=none row runs first (the codecs[] order), so the
+    // baseline is already in `results` when its lossy rows arrive.
+    for (const LiveResult& base : results) {
+      if (base.cell.deployment == cell.deployment &&
+          std::string(base.cell.transport) == cell.transport &&
+          base.cell.nw == cell.nw &&
+          std::string(base.cell.network) == cell.network &&
+          std::string(base.cell.codec) == "none" &&
+          std::string(cell.codec) != "none" && r.bytes_sent > 0) {
+        r.bytes_ratio_vs_none = double(base.bytes_sent) / double(r.bytes_sent);
+      }
+    }
+    char ratio[32] = "-";
+    if (r.bytes_ratio_vs_none > 0) {
+      std::snprintf(ratio, sizeof ratio, "%.2fx", r.bytes_ratio_vs_none);
+    }
+    std::printf("%-14s %-7s %-4zu %-12s %-16s %-10.1f %-12llu %-12llu "
+                "%-9.4f %-8s\n",
+                gc::to_string(cell.deployment).c_str(), cell.transport,
+                cell.nw, cell.codec, *cell.network ? cell.network : "-",
+                r.its_per_sec, (unsigned long long)r.bytes_sent,
+                (unsigned long long)r.bytes_saved, r.final_accuracy, ratio);
+    results.push_back(r);
+  }
+  return results;
 }
 
 }  // namespace
@@ -306,6 +436,9 @@ int main() {
   std::printf("\nPaper shapes: all parameter-server systems scale with nw; "
               "the decentralized\ncolumn flattens; GPU panel sits about an "
               "order of magnitude above CPU.\n");
-  live_mode();
+  const std::size_t iterations = garfield::bench::smoke_mode() ? 6 : 60;
+  const std::vector<LiveResult> results = live_mode(iterations);
+  const std::vector<LiveResult> frontier = codec_mode(iterations);
+  write_json(results, frontier, iterations);
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include "attacks/registry.h"
 #include "gars/gar.h"
+#include "net/codec.h"
 #include "net/conditions.h"
 
 namespace garfield::core {
@@ -46,6 +47,10 @@ void DeploymentConfig::validate() const {
     throw std::invalid_argument("config: unknown transport '" + transport +
                                 "' (expected inproc or tcp)");
   }
+  // Codec spec: unknown names, out-of-range k and stray options must fail
+  // here, never run silently uncompressed (same contract as the network
+  // spec below).
+  (void)net::CodecSpec::parse(codec);
   if (transport == "tcp") {
     // These knobs read or mutate *other* replicas' in-memory state from the
     // reporting rank — impossible once every node is its own process. The

@@ -111,6 +111,14 @@ struct DeploymentConfig {
   /// knobs that need a shared address space (alignment_every, the
   /// imperative crash_primary_at fault injection).
   std::string transport = "inproc";
+  /// Gradient-compression wire codec (net/codec.h grammar): "none" (the
+  /// default), "int8", or "topk:k=0.01". Lossy codecs compress gradient
+  /// exchanges with the configured codec and degrade model/state payloads
+  /// to int8; both transport backends honour it identically, so sync runs
+  /// stay bitwise reproducible per codec choice (though a lossy codec's
+  /// trajectory differs from codec=none — see README). validate() rejects
+  /// unknown codecs and malformed options.
+  std::string codec = "none";
 
   /// Total node count of the deployment.
   [[nodiscard]] std::size_t total_nodes() const;

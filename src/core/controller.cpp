@@ -75,6 +75,7 @@ void apply(DeploymentConfig& cfg, const std::string& key,
   else if (key == "network") cfg.network = value;
   else if (key == "pool_threads") cfg.pool_threads = to_size(key, value);
   else if (key == "transport") cfg.transport = value;
+  else if (key == "codec") cfg.codec = value;
   else
     throw std::invalid_argument("config: unknown key '" + key + "'");
 }
@@ -200,7 +201,8 @@ std::string format_config(const DeploymentConfig& cfg) {
            "schedules elastic membership)\n";
   }
   out << "pool_threads = " << cfg.pool_threads << '\n'
-      << "transport = " << cfg.transport << '\n';
+      << "transport = " << cfg.transport << '\n'
+      << "codec = " << cfg.codec << '\n';
   return out.str();
 }
 

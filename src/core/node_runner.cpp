@@ -39,7 +39,8 @@ namespace {
 constexpr std::uint32_t kResultMagic = 0x52545247;  // "GRTR" little-endian
 // v2: fault/retry NetStats (faults_injected, retries, retry_give_ups,
 // peer_deaths) and the Byzantine-recovery state-transfer counters.
-constexpr std::uint32_t kResultVersion = 2;
+// v3: bytes_saved (wire-codec compression credit).
+constexpr std::uint32_t kResultVersion = 3;
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
@@ -127,6 +128,7 @@ std::vector<std::uint8_t> encode_result(const TrainResult& r) {
   put_u64(out, r.net_stats.dropped_tasks);
   put_u64(out, r.net_stats.bytes_sent);
   put_u64(out, r.net_stats.bytes_received);
+  put_u64(out, r.net_stats.bytes_saved);
   put_u64(out, r.net_stats.faults_injected);
   put_u64(out, r.net_stats.retries);
   put_u64(out, r.net_stats.retry_give_ups);
@@ -184,6 +186,7 @@ TrainResult decode_result(std::span<const std::uint8_t> bytes) {
   r.net_stats.dropped_tasks = in.u64();
   r.net_stats.bytes_sent = in.u64();
   r.net_stats.bytes_received = in.u64();
+  r.net_stats.bytes_saved = in.u64();
   r.net_stats.faults_injected = in.u64();
   r.net_stats.retries = in.u64();
   r.net_stats.retry_give_ups = in.u64();

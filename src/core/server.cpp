@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "core/worker.h"
+#include "net/wire.h"
 
 namespace garfield::core {
 
@@ -28,12 +29,15 @@ Server::Server(net::NodeId id, net::Cluster& cluster, nn::ModelPtr model,
       workers_(std::move(workers)),
       peer_servers_(std::move(peer_servers)),
       params_(std::make_shared<const net::Payload>(model_->parameters())) {
+  // The serve_* calls are virtual (ByzantineServer corrupts plaintext);
+  // the codec wraps them here so corruption happens before encoding.
   cluster_.register_handler(id_, kGetModel, [this](const net::Request& req) {
-    return serve_model(req);
+    return encode_result(serve_model(req), /*state_class=*/true);
   });
   cluster_.register_handler(id_, kGetAggrGrad,
                             [this](const net::Request& req) {
-                              return serve_aggr_grad(req);
+                              return encode_result(serve_aggr_grad(req),
+                                                   /*state_class=*/false);
                             });
   cluster_.register_handler(id_, kGetCheckpoint,
                             [this](const net::Request& req) {
@@ -47,13 +51,17 @@ void Server::rejoin() {
     model_ring_.clear();
     aggr_ring_.clear();
     latest_aggr_grad_ = nullptr;
+    reply_cache_.clear();
+    arg_cache_.clear();
+    gossip_residual_.clear();
   }
   cluster_.register_handler(id_, kGetModel, [this](const net::Request& req) {
-    return serve_model(req);
+    return encode_result(serve_model(req), /*state_class=*/true);
   });
   cluster_.register_handler(id_, kGetAggrGrad,
                             [this](const net::Request& req) {
-                              return serve_aggr_grad(req);
+                              return encode_result(serve_aggr_grad(req),
+                                                   /*state_class=*/false);
                             });
   cluster_.register_handler(id_, kGetCheckpoint,
                             [this](const net::Request& req) {
@@ -66,28 +74,100 @@ net::PayloadPtr Server::snapshot() const {
   return params_;
 }
 
+net::PayloadPtr Server::encoded_snapshot(std::size_t destinations) {
+  util::MutexLock lock(mutex_);
+  if (codec_.identity()) return params_;
+  // Saturating: a tiny tensor's encoding can be larger than dense (the
+  // 3-float header), which saves nothing rather than un-saving.
+  const auto charge = [&](const net::Payload& encoded) {
+    if (encoded.size() < params_->size()) {
+      cluster_.note_bytes_saved(
+          std::uint64_t(destinations) *
+          (net::wire_size(params_->size()) - net::wire_size(encoded.size())));
+    }
+  };
+  for (const EncodedFrame& e : arg_cache_) {
+    if (e.source.get() == params_.get()) {
+      charge(*e.encoded);
+      return e.encoded;
+    }
+  }
+  auto encoded =
+      std::make_shared<const net::Payload>(codec_.encode_state(*params_));
+  arg_cache_.push_back(EncodedFrame{params_, encoded});
+  if (arg_cache_.size() > kRingDepth) arg_cache_.pop_front();
+  charge(*encoded);
+  return encoded;
+}
+
+net::HandlerResult Server::encode_result(net::HandlerResult r,
+                                         bool state_class) {
+  if (codec_.identity() || r.retry || !r.payload) return r;
+  util::MutexLock lock(mutex_);
+  const auto charge = [&](const net::Payload& encoded) {
+    if (encoded.size() < r.payload->size()) {
+      cluster_.note_bytes_saved(net::wire_size(r.payload->size()) -
+                                net::wire_size(encoded.size()));
+    }
+  };
+  // Every peer pulling the same published payload ships the same frame
+  // (and the gossip residual advances exactly once per publication).
+  // Byzantine replies are per-request fresh vectors, so they miss the
+  // cache and are encoded standalone — the deque bound keeps that cheap.
+  for (const EncodedFrame& e : reply_cache_) {
+    if (e.source.get() == r.payload.get()) {
+      charge(*e.encoded);
+      return net::HandlerResult::reply(e.encoded);
+    }
+  }
+  auto encoded = std::make_shared<const net::Payload>(
+      state_class ? codec_.encode_state(*r.payload)
+                  : codec_.encode_gradient(*r.payload, &gossip_residual_));
+  reply_cache_.push_back(EncodedFrame{r.payload, encoded});
+  if (reply_cache_.size() > kRingDepth) reply_cache_.pop_front();
+  charge(*encoded);
+  return net::HandlerResult::reply(encoded);
+}
+
 std::vector<net::Payload> Server::validate(std::vector<net::Reply> replies) {
   std::vector<net::Payload> out;
   out.reserve(replies.size());
   const std::size_t d = model_->dimension();
   for (net::Reply& r : replies) {
-    if (!r.payload || r.payload->size() != d ||
-        !tensor::all_finite(*r.payload)) {
+    if (!r.payload) {
       rejected_.fetch_add(1);
       continue;
     }
     // The aggregation kernels consume contiguous owned vectors; this is
     // the single ingress copy of the whole pull path (the wire, the
     // collector and the callee's serving side are all refcounted views).
-    out.push_back(*r.payload);
+    // Encoded frames are expanded here; a frame failing the structural
+    // gate — or a decoded/plain payload failing the dimension/finiteness
+    // gate — is Byzantine garbage, dropped and counted.
+    net::Payload dense;
+    if (net::Codec::looks_encoded(*r.payload)) {
+      std::optional<net::Payload> decoded = codec_.decode(*r.payload, d);
+      if (!decoded) {
+        rejected_.fetch_add(1);
+        continue;
+      }
+      dense = std::move(*decoded);
+    } else {
+      dense = *r.payload;
+    }
+    if (dense.size() != d || !tensor::all_finite(dense)) {
+      rejected_.fetch_add(1);
+      continue;
+    }
+    out.push_back(std::move(dense));
   }
   return out;
 }
 
 std::vector<net::Payload> Server::get_gradients(std::uint64_t t,
                                                 std::size_t q) {
-  return validate(
-      cluster_.collect(id_, workers_, kGetGradient, t, snapshot(), q));
+  return validate(cluster_.collect(id_, workers_, kGetGradient, t,
+                                   encoded_snapshot(workers_.size()), q));
 }
 
 std::vector<net::Payload> Server::get_models(std::uint64_t t,
@@ -120,9 +200,21 @@ void Server::publish_model(std::uint64_t t) {
 void Server::publish_aggr_grad(std::uint64_t tag, net::Payload grad) {
   util::MutexLock lock(mutex_);
   if (!tagged_aggr_grads_) return;
-  aggr_ring_.push_back(
-      TaggedEntry{tag, std::make_shared<const net::Payload>(std::move(grad))});
+  auto payload = std::make_shared<const net::Payload>(std::move(grad));
+  aggr_ring_.push_back(TaggedEntry{tag, payload});
   if (aggr_ring_.size() > kRingDepth) aggr_ring_.pop_front();
+  // Encode the gossip frame NOW, in publish order — the peer's own loop
+  // order, which every backend reproduces. Deferring to first serve would
+  // let request arrival order (real transports race) decide the
+  // error-feedback residual sequence, leaking transport timing into the
+  // learning trajectory. serve_aggr_grad then hits this cache; the
+  // bytes_saved charge stays at serve time, when a frame actually ships.
+  if (!codec_.identity()) {
+    reply_cache_.push_back(EncodedFrame{
+        payload, std::make_shared<const net::Payload>(codec_.encode_gradient(
+                     *payload, &gossip_residual_))});
+    if (reply_cache_.size() > kRingDepth) reply_cache_.pop_front();
+  }
 }
 
 void Server::skip_aggr_grad(std::uint64_t tag) {

@@ -37,6 +37,7 @@
 #include "data/dataset.h"
 #include "gars/gar.h"
 #include "net/cluster.h"
+#include "net/codec.h"
 #include "nn/model.h"
 #include "nn/optimizer.h"
 #include "util/mutex.h"
@@ -83,6 +84,16 @@ class Server {
   /// would race ahead of them by the contraction depth).
   [[nodiscard]] std::vector<net::Payload> get_aggr_grads(
       std::uint64_t tag, std::size_t q, std::uint64_t iteration);
+
+  /// Install the deployment's wire codec (net/codec.h). Call once at
+  /// build time, before the driving loops start. Gradient-class payloads
+  /// this node serves (the contraction gossip) are compressed with the
+  /// configured codec; state-class payloads (the model snapshot riding
+  /// get_gradients requests, serve_model replies) degrade lossy codecs to
+  /// int8 — a model missing most coordinates is not a model. Encoded
+  /// ingress payloads are decoded — and Byzantine garbage rejected — in
+  /// validate(). Default: identity.
+  void set_codec(net::CodecSpec spec) { codec_ = net::Codec(spec); }
 
   /// Switch peer-facing serving to step-tagged mode (see file comment).
   /// Call before the driving loops start; publish_model / publish_aggr_grad
@@ -186,9 +197,36 @@ class Server {
     net::PayloadPtr payload;
   };
 
-  /// Keep only well-formed payloads; counts the dropped ones.
+  /// Keep only well-formed payloads; counts the dropped ones. Encoded
+  /// codec frames are decoded first — a frame that fails the structural
+  /// gate is dropped exactly like a non-finite plain payload.
   [[nodiscard]] std::vector<net::Payload> validate(
       std::vector<net::Reply> replies);
+
+  /// One cached wire encoding, keyed on the source payload's identity.
+  /// The key is OWNING: holding the source alive is what makes pointer
+  /// identity exact — a raw key would dangle once the snapshot/ring drops
+  /// its reference, and the freed address can be reused by the very next
+  /// published payload, silently serving a stale frame (real transports
+  /// hold no extra reference to the argument bytes, so they hit this).
+  struct EncodedFrame {
+    net::PayloadPtr source;
+    net::PayloadPtr encoded;
+  };
+
+  /// The current snapshot, state-encoded for the get_gradients request
+  /// argument (identity codec: the snapshot itself). Cached per snapshot
+  /// pointer; charges NetStats::bytes_saved once per destination.
+  [[nodiscard]] net::PayloadPtr encoded_snapshot(std::size_t destinations);
+
+  /// Compress an outbound handler reply. Wrapped around the *virtual*
+  /// serve_model / serve_aggr_grad calls at handler-registration level, so
+  /// ByzantineServer attacks operate on the plaintext payload and the
+  /// corrupted result is encoded after — a Byzantine sender still speaks
+  /// the wire format (attacks on the format itself live in the fuzz
+  /// suite). `state_class` selects encode_state over encode_gradient.
+  [[nodiscard]] net::HandlerResult encode_result(net::HandlerResult r,
+                                                 bool state_class);
 
   /// Tagged lookup shared by serve_model / serve_aggr_grad: not_ready
   /// until `tag` is published, then the ring entry. Long-evicted tags are
@@ -212,7 +250,17 @@ class Server {
 
   gars::AggregationContext aggregation_context_;
 
+  /// Wire codec; immutable after set_codec (build time).
+  net::Codec codec_;
+
   mutable util::Mutex mutex_;
+  /// Outbound reply encodings (serve_model / serve_aggr_grad frames).
+  std::deque<EncodedFrame> reply_cache_ GARFIELD_GUARDED_BY(mutex_);
+  /// State-encoded get_gradients request arguments.
+  std::deque<EncodedFrame> arg_cache_ GARFIELD_GUARDED_BY(mutex_);
+  /// Error-feedback memory for the gossip (gradient-class) channel; the
+  /// reply cache advances it once per distinct published gradient.
+  tensor::FlatVector gossip_residual_ GARFIELD_GUARDED_BY(mutex_);
   /// Immutable snapshot, swapped on write.
   net::PayloadPtr params_ GARFIELD_GUARDED_BY(mutex_);
   /// Untagged legacy gossip slot.

@@ -18,6 +18,7 @@
 #include "core/worker.h"
 #include "gars/gar.h"
 #include "gars/registry.h"
+#include "net/codec.h"
 #include "net/wire.h"
 #include "nn/zoo.h"
 #include "util/mutex.h"
@@ -707,6 +708,14 @@ void build_runtime(Runtime& rt) {
     build_decentralized(rt);
   } else {
     build_parameter_server(rt);
+  }
+  // Install the wire codec on every endpoint before any loop starts: the
+  // whole cluster speaks one codec (mixed-codec clusters are not a thing —
+  // the spec is part of the deployment config every process shares).
+  const net::CodecSpec codec = net::CodecSpec::parse(rt.config.codec);
+  if (!codec.identity()) {
+    for (auto& server : rt.servers) server->set_codec(codec);
+    for (auto& worker : rt.workers) worker->set_codec(codec);
   }
 }
 

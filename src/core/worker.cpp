@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "net/wire.h"
+
 namespace garfield::core {
 
 namespace {
@@ -53,6 +55,8 @@ void Worker::rejoin() {
     util::MutexLock lock(mutex_);
     cache_.clear();
     cloud_cache_.clear();
+    encode_cache_.clear();
+    residuals_.clear();
     velocity_.clear();
     velocity_pre_.clear();
     velocity_iteration_ = std::uint64_t(-1);
@@ -144,8 +148,55 @@ std::vector<net::Payload> Worker::local_gradient_cloud(
   return out;
 }
 
+bool Worker::decode_argument(net::Request& req) {
+  if (!req.argument || !net::Codec::looks_encoded(*req.argument)) {
+    return true;  // plain dense payload (or no argument): pass through
+  }
+  std::size_t dimension = 0;
+  {
+    util::MutexLock lock(mutex_);
+    dimension = model_->dimension();
+  }
+  std::optional<net::Payload> dense = codec_.decode(*req.argument, dimension);
+  if (!dense) return false;
+  req.argument = std::make_shared<const net::Payload>(std::move(*dense));
+  return true;
+}
+
+net::PayloadPtr Worker::encode_reply(const net::PayloadPtr& dense,
+                                     net::NodeId from) {
+  if (codec_.identity() || !dense) return dense;
+  util::MutexLock lock(mutex_);
+  // Saturating: encoding a tiny tensor can be *larger* than dense (the
+  // 3-float header), which saves nothing rather than un-saving.
+  const auto charge_saved = [&](const net::Payload& encoded) {
+    if (encoded.size() < dense->size()) {
+      cluster_.note_bytes_saved(net::wire_size(dense->size()) -
+                                net::wire_size(encoded.size()));
+    }
+  };
+  for (const EncodedEntry& e : encode_cache_) {
+    if (e.source == dense && e.from == from) {
+      charge_saved(*e.encoded);
+      return e.encoded;
+    }
+  }
+  auto encoded = std::make_shared<const net::Payload>(
+      codec_.encode_gradient(*dense, &residuals_[from]));
+  encode_cache_.push_back(EncodedEntry{dense, from, encoded});
+  if (encode_cache_.size() > kGradientCacheDepth) encode_cache_.pop_front();
+  charge_saved(*encoded);
+  return encoded;
+}
+
 net::HandlerResult Worker::serve_gradient(const net::Request& req) {
-  return net::HandlerResult::reply(honest_gradient(req).gradient);
+  net::Request local = req;
+  // Ingress gate: a Byzantine caller can ship arbitrary bytes as an
+  // "encoded" model — structural garbage answers with silence, exactly
+  // like a crashed peer, never a throw.
+  if (!decode_argument(local)) return net::HandlerResult::none();
+  return net::HandlerResult::reply(
+      encode_reply(honest_gradient(local).gradient, local.from));
 }
 
 double Worker::mean_loss() const {
@@ -184,18 +235,20 @@ ByzantineWorker::ByzantineWorker(net::NodeId id, net::Cluster& cluster,
       cohort_hi_(cohort_hi) {}
 
 net::HandlerResult ByzantineWorker::serve_gradient(const net::Request& req) {
-  const ServedGradient honest = honest_gradient(req);
+  net::Request local = req;
+  if (!decode_argument(local)) return net::HandlerResult::none();
+  const ServedGradient honest = honest_gradient(local);
   // Omniscient attacks get a local cohort estimate (see class comment);
   // non-omniscient ones see only the attacker's own honest estimate. The
   // full honest-cohort view is exercised directly against GARs in the
   // robustness-matrix tests.
   std::vector<net::Payload> view;
   if (omniscient_) {
-    view = local_gradient_cloud(req, kOmniscienceProbes);
+    view = local_gradient_cloud(local, kOmniscienceProbes);
   }
   util::MutexLock lock(attack_mutex_);
   attacks::AttackContext ctx(rng_);
-  ctx.iteration = req.iteration;
+  ctx.iteration = local.iteration;
   ctx.attacker_id = id();
   ctx.n = declared_n_;
   ctx.f = declared_f_;
@@ -207,6 +260,15 @@ net::HandlerResult ByzantineWorker::serve_gradient(const net::Request& req) {
   std::optional<net::Payload> crafted =
       attack_->craft(*honest.gradient, ctx);
   if (!crafted) return net::HandlerResult::none();
+  // The attack operates on the plaintext gradient; the codec is a wire
+  // concern, applied after corruption (a Byzantine sender still speaks
+  // the wire format — attacks on the *format* live in the fuzz suite).
+  // No shared residual: crafted payloads are per-request, so each is
+  // encoded standalone.
+  if (!codec().identity()) {
+    return net::HandlerResult::reply(
+        codec().encode_gradient(*crafted, nullptr));
+  }
   return net::HandlerResult::reply(std::move(*crafted));
 }
 

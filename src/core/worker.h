@@ -22,11 +22,13 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 
 #include "attacks/attack.h"
 #include "data/dataset.h"
 #include "net/cluster.h"
+#include "net/codec.h"
 #include "nn/model.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -62,6 +64,15 @@ class Worker {
   /// crash window skipped.
   void rejoin();
 
+  /// Install the deployment's gradient-compression codec (net/codec.h).
+  /// Called once at build time, before any pull arrives: replies are
+  /// encoded with it (one error-feedback residual per requesting node, so
+  /// each requester sees a coherent corrected stream regardless of how
+  /// concurrent pulls interleave) and encoded request arguments (the
+  /// server's int8 model snapshot) are decoded at ingress. Default:
+  /// identity.
+  void set_codec(net::CodecSpec spec) { codec_ = net::Codec(spec); }
+
   /// Mean training loss of the gradients served so far (diagnostics).
   [[nodiscard]] double mean_loss() const;
   /// Replies served (cache hits included).
@@ -95,6 +106,27 @@ class Worker {
   /// Handler body; ByzantineWorker overrides to corrupt the reply.
   [[nodiscard]] virtual net::HandlerResult serve_gradient(
       const net::Request& req);
+
+  /// Rewrite an encoded request argument (a codec state frame) back to a
+  /// dense model vector, in place. Returns false on Byzantine garbage —
+  /// the caller answers with silence, exactly like a crashed peer. Plain
+  /// dense arguments pass through untouched.
+  [[nodiscard]] bool decode_argument(net::Request& req);
+
+  /// Wire-encode one outbound gradient with the configured codec. The
+  /// error-feedback residual is keyed on the requesting node: each
+  /// requester's stream of gradients is corrected independently, which
+  /// keeps the encoding a pure function of (requester, computed-gradient
+  /// sequence) — request arrival order across requesters, which real
+  /// transports do not make deterministic, cannot leak into the frames.
+  /// Cached per (source payload, requester) so a re-pull of the same
+  /// computation ships the same frame and advances the residual once.
+  /// Charges NetStats::bytes_saved for the frame. Identity codec returns
+  /// `dense` unchanged.
+  [[nodiscard]] net::PayloadPtr encode_reply(const net::PayloadPtr& dense,
+                                             net::NodeId from);
+
+  [[nodiscard]] const net::Codec& codec() const { return codec_; }
 
   tensor::Rng rng_;
 
@@ -142,9 +174,29 @@ class Worker {
     std::vector<net::Payload> cloud;
   };
 
+  /// One cached wire encoding, keyed on the source gradient's identity
+  /// and the requesting node (whose residual the frame folded in). The
+  /// key is OWNING: holding the source alive is what makes pointer
+  /// identity exact — a raw key would dangle once the gradient ring
+  /// evicts, and the freed address can be reused by a later computation,
+  /// silently serving a stale frame.
+  struct EncodedEntry {
+    net::PayloadPtr source;
+    net::NodeId from = 0;
+    net::PayloadPtr encoded;
+  };
+
+  net::Codec codec_;
+
   mutable util::Mutex mutex_;
   std::deque<CacheEntry> cache_ GARFIELD_GUARDED_BY(mutex_);
   std::deque<CloudEntry> cloud_cache_ GARFIELD_GUARDED_BY(mutex_);
+  std::deque<EncodedEntry> encode_cache_ GARFIELD_GUARDED_BY(mutex_);
+  /// Error-feedback memory per requesting node: what compression dropped
+  /// from that requester's stream last round, added back before
+  /// compressing this round (net/codec.h).
+  std::map<net::NodeId, tensor::FlatVector> residuals_
+      GARFIELD_GUARDED_BY(mutex_);
   double loss_sum_ GARFIELD_GUARDED_BY(mutex_) = 0.0;
   std::uint64_t served_ GARFIELD_GUARDED_BY(mutex_) = 0;
   std::uint64_t computed_ GARFIELD_GUARDED_BY(mutex_) = 0;

@@ -86,6 +86,11 @@ Cluster::Cluster(const Options& options)
       states_[node]->lifecycle.store(NodeLifecycle::kCrashed);
     }
   }
+  if (options_.conditions.has_bandwidth()) {
+    // Zero-initialized busy horizons: every link starts idle.
+    busy_until_us_ =
+        std::make_unique<std::atomic<std::int64_t>[]>(nodes_ * nodes_);
+  }
 }
 
 Cluster::~Cluster() {
@@ -233,6 +238,33 @@ Duration Cluster::delay_for(
                                    options_.seed, window_iteration);
 }
 
+Duration Cluster::serialization_delay(NodeId from, NodeId to,
+                                      std::size_t frame_bytes,
+                                      std::uint64_t window_iteration) {
+  if (!busy_until_us_ || frame_bytes == 0) return Duration{0};
+  const double rate =
+      options_.conditions.byte_rate(from, to, window_iteration);
+  if (rate <= 0.0) return Duration{0};
+  const auto ser =
+      std::int64_t(double(frame_bytes) / rate * 1e6);
+  // Busy-queue: reserve [start, start + ser) on the directed edge with a
+  // CAS race — a message departing while the link still drains a prior
+  // frame waits out the difference. Wall-clock state: it shapes delivery
+  // *timing* only (who waits how long), never which payload arrives, so
+  // sync trajectories stay bitwise deterministic.
+  std::atomic<std::int64_t>& busy = busy_until_us_[from * nodes_ + to];
+  const std::int64_t now_us =
+      std::chrono::duration_cast<Duration>(Clock::now().time_since_epoch())
+          .count();
+  std::int64_t prev = busy.load(std::memory_order_relaxed);
+  std::int64_t start;
+  do {
+    start = std::max(prev, now_us);
+  } while (!busy.compare_exchange_weak(prev, start + ser,
+                                       std::memory_order_relaxed));
+  return Duration{(start - now_us) + ser};
+}
+
 void Cluster::deliver_local(Request request,
                             Clock::time_point retry_deadline,
                             RespondPtr respond, Duration retry_backoff) {
@@ -366,10 +398,16 @@ void Cluster::send_attempt(NodeId from, NodeId to, const std::string& method,
   }
   Request request{from,      to,       method, iteration, std::move(argument),
                   window_iteration};
+  const std::uint64_t window = window_iteration.value_or(iteration);
+  // Bandwidth-honest request leg: the frame costs its bytes at the edge's
+  // rate (plus any wait behind a draining link) before the latency path.
+  const Duration send_delay =
+      delay + serialization_delay(from, to, request_frame_bytes(request),
+                                  window);
   // Caller-side reply accounting rides the respond path: the transport
   // invokes this on whichever thread produced the reply, which for the
   // in-process backend is exactly where the pre-seam dispatch counted it.
-  Transport::Respond wrapped = [this, cb,
+  Transport::Respond wrapped = [this, cb, from, to, window,
                                 dup = verdict.dup](PayloadPtr payload) {
     if (payload) {
       // Floats first, then the release bump of replies_received_: the
@@ -384,10 +422,23 @@ void Cluster::send_attempt(NodeId from, NodeId to, const std::string& method,
         // surfaces only as a wasted (crafted-and-discarded) reply.
         wasted_replies_.fetch_add(1, std::memory_order_relaxed);
       }
+      // Bandwidth-honest reply leg: a fat reply drains the reverse edge
+      // (to, from) for bytes / rate; defer the caller's callback by that
+      // long. Accounting above already happened — the deferral shapes
+      // when the caller *sees* the reply, not whether.
+      const Duration ser = serialization_delay(
+          to, from, reply_frame_bytes(payload), window);
+      if (ser.count() > 0) {
+        std::function<void()> deliver = [cb, payload]() mutable {
+          (*cb)(std::move(payload));
+        };
+        if (transport_->run_after(ser, std::move(deliver))) return;
+        // Shutdown began: deliver inline rather than losing the reply.
+      }
     }
     (*cb)(std::move(payload));
   };
-  if (!transport_->send(std::move(request), delay, deadline,
+  if (!transport_->send(std::move(request), send_delay, deadline,
                         std::move(wrapped))) {
     // Shutdown already began: count the drop and resolve the callback so
     // a concurrent collect() sees a response instead of hanging into its
@@ -495,6 +546,7 @@ NetStats Cluster::stats() const {
   // covered; request bytes follow the requests_sent_ charge-at-send rule.
   s.bytes_sent = transport_->bytes_sent();
   s.bytes_received = transport_->bytes_received();
+  s.bytes_saved = bytes_saved_.load(std::memory_order_relaxed);
   return s;
 }
 

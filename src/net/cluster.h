@@ -11,9 +11,11 @@
 //    concurrency; simulated link delay is resolved per edge from the
 //    deployment's NetworkConditions (net/conditions.h: base latency +
 //    deterministic per-edge hash jitter + heterogeneous slow links +
-//    iteration-scheduled straggler lag + partition windows, delivered as
-//    delayed — never dropped — messages) and is an event on the
-//    TimerWheel, never a sleep on a pool thread;
+//    iteration-scheduled straggler lag + partition windows + payload-
+//    proportional serialization at the edge's configured byte rate with a
+//    per-link busy queue, delivered as delayed — never dropped —
+//    messages) and is an event on the TimerWheel, never a sleep on a pool
+//    thread;
 //  - payloads are immutable and refcounted (std::shared_ptr<const Payload>)
 //    end to end: a handler can serve the same snapshot to every requester
 //    without copying, and the Collector never copies replies beyond the
@@ -152,6 +154,12 @@ struct NetStats {
   /// only: a reader hitting EOF/reset outside shutdown). The in-process
   /// backend has no peer processes, so this stays 0 there.
   std::uint64_t peer_deaths = 0;
+  /// Bytes a gradient-compression codec (net/codec.h) kept off the wire:
+  /// the sum over every encoded frame actually sent of
+  /// (plain wire cost - encoded wire cost). Always 0 under codec=none.
+  /// bytes_sent counts what really crossed the link, so
+  /// bytes_sent + bytes_saved is the codec=none-equivalent traffic.
+  std::uint64_t bytes_saved = 0;
   /// Wire-equivalent traffic through this endpoint's Transport, charged
   /// per frame by the request/reply_frame_bytes formulas (transport.h) so
   /// the numbers are comparable across backends. In-process, every frame
@@ -284,11 +292,22 @@ class Cluster {
 
   /// Full simulated delivery delay of one call (latency + jitter + slow
   /// links + straggler lag + partition lag), resolved from the
-  /// NetworkConditions. Pure in its arguments.
+  /// NetworkConditions. Pure in its arguments. The payload-proportional
+  /// serialization component (frame bytes / byte_rate, plus the busy-link
+  /// queue) is composed next to this in send_attempt() — it needs the
+  /// concrete frame, which only the sender holds.
   [[nodiscard]] Duration delay_for(
       NodeId from, NodeId to, const std::string& method,
       std::uint64_t iteration,
       std::optional<std::uint64_t> window_iteration = std::nullopt) const;
+
+  /// Credit `n` bytes a wire codec kept off the wire (NetStats::
+  /// bytes_saved). Called by the codec seam's users at each encode that
+  /// actually ships; relaxed monotone counter, same discipline as the
+  /// rest.
+  void note_bytes_saved(std::uint64_t n) {
+    bytes_saved_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   /// The parsed conditions this cluster resolves every edge from — shared
   /// with attack contexts so schedule-aware adversaries (window_striker)
@@ -328,6 +347,16 @@ class Cluster {
                     CallbackPtr cb, Clock::time_point deadline,
                     std::uint32_t attempt,
                     std::optional<std::uint64_t> window_iteration);
+
+  /// Serialization delay of one `frame_bytes` frame on the directed edge
+  /// (from, to) at `window_iteration`: frame_bytes / byte_rate, plus the
+  /// time spent queued behind whatever the link is still draining (the
+  /// per-edge busy horizon below). Zero when no byte rate covers the
+  /// edge. Wall-clock-stateful (the queue), so it shapes *timing* only —
+  /// never a sync trajectory.
+  [[nodiscard]] Duration serialization_delay(NodeId from, NodeId to,
+                                             std::size_t frame_bytes,
+                                             std::uint64_t window_iteration);
 
   /// Any state -> CRASHED + drop handlers.
   void crash_locked(NodeId node) GARFIELD_REQUIRES(lifecycle_mutex_);
@@ -369,6 +398,13 @@ class Cluster {
   std::atomic<std::uint64_t> faults_injected_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> retry_give_ups_{0};
+  std::atomic<std::uint64_t> bytes_saved_{0};
+  /// Per-directed-edge busy horizon (microseconds on Clock's timeline):
+  /// the instant edge (from, to) finishes draining its last serialized
+  /// frame. A message departing earlier queues behind it. Allocated
+  /// (nodes^2, zero-initialized) only when the conditions carry a byte
+  /// rate; null otherwise — the ideal path never touches it.
+  std::unique_ptr<std::atomic<std::int64_t>[]> busy_until_us_;
   // Shut down explicitly by ~Cluster (stop-wheel -> drain-pool inside the
   // transport), so in-flight deliveries can never re-arm a dead timer or
   // submit to a dead pool.

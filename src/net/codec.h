@@ -1,0 +1,118 @@
+// Gradient-compression wire codecs (the `codec=` config key).
+//
+// The paper's deployments are communication-bound (Fig 8/9: decentralized
+// traffic grows O(n^2); the TCP backend runs an order of magnitude slower
+// than in-process at identical floats_transferred). A wire codec shrinks
+// what crosses the Transport seam without touching the learning code: the
+// sender encodes a dense FlatVector into a (much) shorter FlatVector, the
+// receiver decodes it back to full dimension, and everything in between —
+// wire framing, byte accounting, fault injection — rides the existing
+// PayloadPtr machinery unchanged.
+//
+// Spec grammar (util/spec.h):
+//
+//   codec := "none"                  identity (the default)
+//          | "int8"                  per-tensor linear quantization to
+//                                    signed bytes, 4 packed per wire float
+//                                    (~4x fewer wire floats, asymptotically)
+//          | "topk:k=0.01"           top-k sparsification: keep the k*d
+//                                    largest-|value| coordinates as
+//                                    (index, value) pairs (k in (0, 1])
+//
+// Two payload classes, because one lossy knob does not fit both:
+//
+//  - *gradient* payloads (worker gradient replies, decentralized gradient
+//    gossip) tolerate aggressive sparsification — encode_gradient applies
+//    the configured codec, with an optional caller-owned error-feedback
+//    residual (the classic memory trick: what topk dropped this round is
+//    added back next round, so the compression error stays bounded instead
+//    of accumulating);
+//  - *state* payloads (model snapshots riding get_gradients requests, the
+//    publish_model ring, get_models pulls) would diverge under topk — a
+//    model missing 99% of its coordinates is not a model — so encode_state
+//    degrades any lossy codec to int8 (documented determinism caveat: the
+//    quantization round-trip perturbs trajectories vs codec=none, but
+//    identically on every backend and every run).
+//
+// Wire layout (all plain floats, so the payload is an ordinary FlatVector
+// and the wire layer's memcpy round-trip preserves it bit-exactly; the
+// magic words are NaN-space bit patterns no real gradient produces):
+//
+//   topk:  [magic, d, k] + k index floats + k value floats
+//   int8:  [magic, d, scale] + ceil(d / 4) floats of 4 packed int8 each
+//
+// decode() is the ingress gate: a Byzantine peer can ship arbitrary bytes,
+// so every structural violation (wrong magic, dimension mismatch,
+// out-of-range index, non-finite scale) returns nullopt — the caller
+// treats the payload exactly like a non-finite plain gradient (rejected,
+// counted, never thrown through).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/transport.h"
+
+namespace garfield::net {
+
+enum class CodecKind { kNone, kTopK, kInt8 };
+
+/// Parsed `codec=` spec. parse() throws std::invalid_argument on unknown
+/// names, out-of-range k, or stray options — a typo'd codec must fail at
+/// DeploymentConfig::validate(), never run silently uncompressed.
+struct CodecSpec {
+  CodecKind kind = CodecKind::kNone;
+  double k = 0.01;  ///< topk fraction of coordinates kept, in (0, 1]
+
+  [[nodiscard]] static CodecSpec parse(const std::string& spec);
+
+  [[nodiscard]] bool identity() const { return kind == CodecKind::kNone; }
+
+  /// Coordinates topk keeps for dimension d (>= 1 for non-empty tensors).
+  [[nodiscard]] std::size_t topk_count(std::size_t d) const;
+
+  /// Wire floats per model float for a dimension-d *gradient* payload —
+  /// what the analytic plane (SimSetup::codec_ratio) scales communication
+  /// volumes by. 1.0 for none; never below it for degenerate tiny d.
+  [[nodiscard]] double wire_ratio(std::size_t d) const;
+};
+
+/// Stateless encode/decode pair for one parsed spec. Thread-safe (no
+/// mutable state); the error-feedback residual is caller-owned so each
+/// sender keeps its own.
+class Codec {
+ public:
+  Codec() = default;
+  explicit Codec(CodecSpec spec) : spec_(spec) {}
+
+  [[nodiscard]] const CodecSpec& spec() const { return spec_; }
+  [[nodiscard]] bool identity() const { return spec_.identity(); }
+
+  /// Encode a gradient-class payload with the configured codec. When
+  /// `residual` is non-null it is the caller's error-feedback memory:
+  /// sized to the tensor on first use, added to `dense` before
+  /// compression, and rewritten to what this round's encoding dropped.
+  /// Identity codec returns a copy of `dense` untouched.
+  [[nodiscard]] Payload encode_gradient(const Payload& dense,
+                                        Payload* residual = nullptr) const;
+
+  /// Encode a state-class payload (model snapshot): lossy codecs degrade
+  /// to int8 (see header block), identity stays identity.
+  [[nodiscard]] Payload encode_state(const Payload& dense) const;
+
+  /// Decode an encoded payload back to `dimension` dense floats. Returns
+  /// nullopt on any structural violation — the Byzantine-garbage ingress
+  /// gate. Identity codec requires size == dimension and returns a copy.
+  [[nodiscard]] std::optional<Payload> decode(const Payload& encoded,
+                                              std::size_t dimension) const;
+
+  /// True when `payload` opens with one of the codec magic words — how a
+  /// receiver distinguishes an encoded frame from a plain dense one.
+  [[nodiscard]] static bool looks_encoded(const Payload& payload);
+
+ private:
+  CodecSpec spec_;
+};
+
+}  // namespace garfield::net

@@ -23,12 +23,24 @@ std::size_t overlap(std::size_t lo, std::size_t hi, std::size_t a,
   return right >= left ? right - left + 1 : 0;
 }
 
-/// Window predicate shared by straggler phases and partition windows:
-/// active from from_iter for len iterations (len = 0 => open-ended).
+/// Window predicate shared by every windowed clause: active from
+/// from_iter for len iterations (len = 0 => open-ended).
 bool window_active(std::uint64_t from_iter, std::uint64_t len,
                    std::uint64_t iteration) {
   if (iteration < from_iter) return false;
   return len == 0 || iteration - from_iter < len;
+}
+
+/// Last clause in spec order whose window covers `iteration` (the shared
+/// multi-window resolution rule), or nullptr.
+template <typename Clause>
+const Clause* last_active(const std::vector<Clause>& clauses,
+                          std::uint64_t iteration) {
+  const Clause* found = nullptr;
+  for (const Clause& c : clauses) {
+    if (window_active(c.from_iter, c.len, iteration)) found = &c;
+  }
+  return found;
 }
 
 NodeRange range_option(const util::SpecOptions& options,
@@ -124,7 +136,6 @@ NetworkConditions NetworkConditions::parse(const std::string& spec) {
   out.spec_ = spec;
   if (spec.empty()) return out;
 
-  bool saw_wan = false;
   std::size_t begin = 0;
   while (begin <= spec.size()) {
     const auto semi = spec.find(';', begin);
@@ -138,12 +149,15 @@ NetworkConditions NetworkConditions::parse(const std::string& spec) {
     util::ParsedSpec clause = util::parse_spec(clause_text, "network spec");
     const util::SpecOptions& opt = clause.options;
     if (clause.name == "wan") {
-      if (saw_wan) {
-        throw std::invalid_argument("network spec: duplicate 'wan' clause");
-      }
-      saw_wan = true;
-      out.latency_ = opt.get_duration("latency", Duration{0});
-      out.jitter_ = opt.get_duration("jitter", Duration{0});
+      // Repeatable: each occurrence is one windowed phase; the last
+      // active phase in spec order binds (base + windowed overrides).
+      Wan wan;
+      wan.latency = opt.get_duration("latency", Duration{0});
+      wan.jitter = opt.get_duration("jitter", Duration{0});
+      wan.byte_rate = opt.get_byte_rate("bw", 0.0);
+      wan.from_iter = opt.get_size("from_iter", 0);
+      wan.len = opt.get_size("len", 0);
+      out.wan_.push_back(wan);
     } else if (clause.name == "hetero") {
       if (out.hetero_) {
         throw std::invalid_argument(
@@ -157,22 +171,28 @@ NetworkConditions NetworkConditions::parse(const std::string& spec) {
             "network spec: hetero factor must be >= 1");
       }
       out.hetero_ = hetero;
-    } else if (clause.name == "straggler") {
-      if (out.straggler_) {
+    } else if (clause.name == "link") {
+      // Repeatable: each occurrence overrides the edges touching its node
+      // set; where overrides overlap, the slowest rate wins at query time.
+      LinkOverride link;
+      link.nodes = range_option(opt, "nodes", "link");
+      if (!opt.contains("bw")) {
         throw std::invalid_argument(
-            "network spec: duplicate 'straggler' clause");
+            "network spec: link clause requires 'bw=' (e.g. "
+            "link:nodes=0-1,bw=200Mbps)");
       }
+      link.byte_rate = opt.get_byte_rate("bw", 0.0);
+      out.links_.push_back(link);
+    } else if (clause.name == "straggler") {
+      // Repeatable: each occurrence is one windowed phase.
       Straggler straggler;
       straggler.nodes = range_option(opt, "nodes", "straggler");
       straggler.lag = opt.get_duration("lag", Duration{50'000});
       straggler.from_iter = opt.get_size("from_iter", 0);
       straggler.len = opt.get_size("len", 0);
-      out.straggler_ = straggler;
+      out.stragglers_.push_back(straggler);
     } else if (clause.name == "partition") {
-      if (out.partition_) {
-        throw std::invalid_argument(
-            "network spec: duplicate 'partition' clause");
-      }
+      // Repeatable: each occurrence is one windowed cut.
       Partition partition;
       partition.a = range_option(opt, "a", "partition");
       partition.b = range_option(opt, "b", "partition");
@@ -183,10 +203,10 @@ NetworkConditions NetworkConditions::parse(const std::string& spec) {
         throw std::invalid_argument(
             "network spec: partition groups overlap");
       }
-      out.partition_ = partition;
+      out.partitions_.push_back(partition);
     } else if (clause.name == "churn") {
-      // Unlike the other clauses, churn may repeat: each occurrence is one
-      // scheduled membership event (a crash window or a join).
+      // Repeatable: each occurrence is one scheduled membership event (a
+      // crash window or a join).
       ChurnEvent event;
       const bool has_crash = opt.contains("crash");
       const bool has_join = opt.contains("join");
@@ -263,10 +283,11 @@ void NetworkConditions::validate(std::size_t nodes) const {
     }
   };
   if (hetero_) check(hetero_->slow_links, "hetero slow_links");
-  if (straggler_) check(straggler_->nodes, "straggler nodes");
-  if (partition_) {
-    check(partition_->a, "partition group a");
-    check(partition_->b, "partition group b");
+  for (const LinkOverride& l : links_) check(l.nodes, "link nodes");
+  for (const Straggler& s : stragglers_) check(s.nodes, "straggler nodes");
+  for (const Partition& p : partitions_) {
+    check(p.a, "partition group a");
+    check(p.b, "partition group b");
   }
   for (const ChurnEvent& e : churn_) {
     check(e.nodes, e.join ? "churn join" : "churn crash");
@@ -274,24 +295,79 @@ void NetworkConditions::validate(std::size_t nodes) const {
   if (fault_ && fault_->edges) check(*fault_->edges, "fault edges");
 }
 
-bool NetworkConditions::straggler_window_active(
+const NetworkConditions::Wan* NetworkConditions::active_wan(
     std::uint64_t iteration) const {
-  return straggler_ &&
-         window_active(straggler_->from_iter, straggler_->len, iteration);
+  return last_active(wan_, iteration);
 }
 
-bool NetworkConditions::partition_window_active(
+const NetworkConditions::Straggler* NetworkConditions::active_straggler(
     std::uint64_t iteration) const {
-  return partition_ &&
-         window_active(partition_->from_iter, partition_->len, iteration);
+  return last_active(stragglers_, iteration);
+}
+
+const NetworkConditions::Partition* NetworkConditions::active_partition(
+    std::uint64_t iteration) const {
+  return last_active(partitions_, iteration);
 }
 
 bool NetworkConditions::partitioned(std::size_t x, std::size_t y,
                                     std::uint64_t iteration) const {
-  if (!partition_window_active(iteration)) return false;
-  const Partition& p = *partition_;
-  return (p.a.contains(x) && p.b.contains(y)) ||
-         (p.b.contains(x) && p.a.contains(y));
+  const Partition* p = active_partition(iteration);
+  if (p == nullptr) return false;
+  return (p->a.contains(x) && p->b.contains(y)) ||
+         (p->b.contains(x) && p->a.contains(y));
+}
+
+double NetworkConditions::wan_byte_rate(std::uint64_t iteration) const {
+  const Wan* w = active_wan(iteration);
+  return w ? w->byte_rate : 0.0;
+}
+
+double NetworkConditions::link_rate_touching(std::size_t node) const {
+  double rate = 0.0;
+  for (const LinkOverride& l : links_) {
+    if (!l.nodes.contains(node)) continue;
+    rate = rate > 0.0 ? std::min(rate, l.byte_rate) : l.byte_rate;
+  }
+  return rate;
+}
+
+std::size_t NetworkConditions::count_link_limited(std::size_t lo,
+                                                  std::size_t hi) const {
+  if (links_.empty() || hi <= lo) return 0;
+  std::size_t count = 0;
+  for (std::size_t node = lo; node < hi; ++node) {
+    for (const LinkOverride& l : links_) {
+      if (l.nodes.contains(node)) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+double NetworkConditions::min_link_rate(std::size_t lo,
+                                        std::size_t hi) const {
+  double rate = 0.0;
+  for (const LinkOverride& l : links_) {
+    if (l.nodes.count_in(lo, hi) == 0) continue;
+    rate = rate > 0.0 ? std::min(rate, l.byte_rate) : l.byte_rate;
+  }
+  return rate;
+}
+
+double NetworkConditions::byte_rate(std::size_t from, std::size_t to,
+                                    std::uint64_t iteration) const {
+  double rate = wan_byte_rate(iteration);
+  for (const LinkOverride& l : links_) {
+    if (!l.nodes.contains(from) && !l.nodes.contains(to)) continue;
+    rate = rate > 0.0 ? std::min(rate, l.byte_rate) : l.byte_rate;
+  }
+  if (rate > 0.0 && hetero_ && (is_slow(from) || is_slow(to))) {
+    rate /= hetero_->factor;
+  }
+  return rate;
 }
 
 std::size_t NetworkConditions::count_slow(std::size_t lo,
@@ -301,8 +377,8 @@ std::size_t NetworkConditions::count_slow(std::size_t lo,
 
 std::size_t NetworkConditions::count_straggling(
     std::size_t lo, std::size_t hi, std::uint64_t iteration) const {
-  if (!straggler_window_active(iteration)) return 0;
-  return straggler_->nodes.count_in(lo, hi);
+  const Straggler* s = active_straggler(iteration);
+  return s ? s->nodes.count_in(lo, hi) : 0;
 }
 
 bool NetworkConditions::fault_active(std::size_t from, std::size_t to,
@@ -402,18 +478,20 @@ std::size_t NetworkConditions::count_down(std::size_t lo, std::size_t hi,
 std::size_t NetworkConditions::count_cross(std::size_t from, std::size_t lo,
                                            std::size_t hi,
                                            std::uint64_t iteration) const {
-  if (!partition_window_active(iteration)) return 0;
-  const Partition& p = *partition_;
+  const Partition* p = active_partition(iteration);
+  if (p == nullptr) return 0;
   // A node in neither group sees both sides; only membership cuts.
-  if (p.a.contains(from)) return p.b.count_in(lo, hi);
-  if (p.b.contains(from)) return p.a.count_in(lo, hi);
+  if (p->a.contains(from)) return p->b.count_in(lo, hi);
+  if (p->b.contains(from)) return p->a.count_in(lo, hi);
   return 0;
 }
 
 NetworkConditions::Duration NetworkConditions::jitter_for(
     std::size_t from, std::size_t to, const std::string& method,
-    std::uint64_t iteration, std::uint64_t seed) const {
-  if (jitter_.count() <= 0) return Duration{0};
+    std::uint64_t iteration, std::uint64_t seed,
+    std::optional<std::uint64_t> window_iteration) const {
+  const Duration magnitude = jitter(window_iteration.value_or(iteration));
+  if (magnitude.count() <= 0) return Duration{0};
   const std::uint64_t method_hash = fnv1a(method);
   std::uint64_t h = splitmix(seed);
   h = splitmix(h ^ (std::uint64_t(from) << 32) ^ std::uint64_t(to));
@@ -421,7 +499,7 @@ NetworkConditions::Duration NetworkConditions::jitter_for(
   h = splitmix(h ^ iteration);
   // 53 mantissa bits -> uniform in [0, 1).
   const double u = double(h >> 11) * 0x1.0p-53;
-  return Duration{std::int64_t(u * double(jitter_.count()))};
+  return Duration{std::int64_t(u * double(magnitude.count()))};
 }
 
 NetworkConditions::Duration NetworkConditions::delay(
@@ -430,14 +508,23 @@ NetworkConditions::Duration NetworkConditions::delay(
     std::optional<std::uint64_t> window_iteration) const {
   const std::uint64_t window = window_iteration.value_or(iteration);
   std::int64_t us =
-      latency_.count() + jitter_for(from, to, method, iteration, seed).count();
+      latency(window).count() +
+      jitter_for(from, to, method, iteration, seed, window).count();
   if (hetero_ && (is_slow(from) || is_slow(to))) {
     us = std::int64_t(double(us) * hetero_->factor);
   }
   // The *serving* node straggles: every reply it crafts leaves late —
   // the live twin of a per-callee service delay.
-  if (is_straggling(to, window)) us += straggler_->lag.count();
-  if (partitioned(from, to, window)) us += partition_->lag.count();
+  const Straggler* straggler = active_straggler(window);
+  if (straggler != nullptr && straggler->nodes.contains(to)) {
+    us += straggler->lag.count();
+  }
+  const Partition* partition = active_partition(window);
+  if (partition != nullptr &&
+      ((partition->a.contains(from) && partition->b.contains(to)) ||
+       (partition->b.contains(from) && partition->a.contains(to)))) {
+    us += partition->lag.count();
+  }
   return Duration{us};
 }
 

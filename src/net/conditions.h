@@ -4,7 +4,8 @@
 //
 //  - the live in-process Cluster resolves every edge's delivery delay from
 //    it (per-edge latency + deterministic hash jitter + heterogeneous slow
-//    links + iteration-scheduled straggler lag + partition windows), and
+//    links + iteration-scheduled straggler lag + partition windows +
+//    payload-proportional serialization at the edge's byte rate), and
 //  - the analytic simulator (sim/deployment_sim.h) derives its
 //    communication/wait terms from the *same parsed object*,
 //
@@ -16,17 +17,32 @@
 //   conditions := clause (";" clause)*            |  "" (ideal network)
 //   clause     := name [ ":" key "=" value ("," key "=" value)* ]
 //
-// Clauses (each may appear at most once, except `churn`, which may repeat
-// — every occurrence schedules one membership event):
+// Clauses. `wan`, `straggler`, `partition`, `link` and `churn` may repeat;
+// `hetero` and `fault` may appear at most once. Repeating a windowed
+// clause is how a condition gets several time windows
+// ("wan:latency=1ms;wan:latency=9ms,from_iter=50,len=20"); when several
+// occurrences of one clause are active at the same iteration, the LAST
+// one in spec order binds — a base clause followed by windowed overrides.
 //
-//   wan:latency=5ms,jitter=2ms
+//   wan:latency=5ms,jitter=2ms,bw=1Gbps,from_iter=0,len=0
 //       Base per-message latency plus a deterministic per-edge jitter in
 //       [0, jitter) hashed from (seed, from, to, method, iteration).
+//       `bw` (optional; Gbps/Mbps/MBps) makes bytes cost time: every
+//       message additionally pays a serialization delay of
+//       frame_bytes / bw, and a message departing while the link is still
+//       draining a prior one queues behind it (live plane only — the
+//       queue term is wall-clock contention, never part of the model
+//       trajectory). from_iter/len window the clause (len=0 =>
+//       open-ended; both default to the whole run).
 //   hetero:slow_links=0-3,factor=10
 //       Heterogeneous links: any edge touching a node in `slow_links` is
-//       `factor` x slower (latency and jitter scale; the analytic plane
-//       additionally derates the edge's bandwidth — cost_model's degraded
-//       link class).
+//       `factor` x slower (latency and jitter scale, and any configured
+//       byte rate is derated to bw / factor — the live twin of
+//       cost_model's degraded link class).
+//   link:nodes=0-1,bw=200Mbps
+//       Per-edge bandwidth override: edges touching a node in `nodes` run
+//       at `bw`. Where several link clauses (or a wan bw) cover the same
+//       edge, the slowest rate wins; hetero derating applies on top.
 //   straggler:nodes=2,lag=50ms,from_iter=100,len=0
 //       Iteration-scheduled straggler phase: replies *served by* nodes in
 //       `nodes` are delayed by `lag` while the window
@@ -64,13 +80,16 @@
 //       pure hash, the same seed + spec replays the identical fault
 //       schedule on both transport backends and in the analytic plane —
 //       lost attempts surface as sender-side retries (net/cluster.h),
-//       never as hangs.
+//       never as hangs. The fault clause does not repeat (multi-window
+//       fault schedules are a recorded ROADMAP leftover).
 //
 // Durations accept us/ms/s suffixes (bare integers are microseconds) and
-// reject negative or malformed values at parse time. Node sets are single
-// ids ("2") or inclusive ranges ("0-3"). Unknown clauses and unknown or
-// unconsumed options are hard errors — a typo'd scenario must fail at
-// DeploymentConfig::validate(), never run silently ideal.
+// reject negative or malformed values at parse time. Byte rates require a
+// unit ("1Gbps", "200Mbps", "50MBps") and reject zero or malformed values.
+// Node sets are single ids ("2") or inclusive ranges ("0-3"). Unknown
+// clauses and unknown or unconsumed options are hard errors — a typo'd
+// scenario must fail at DeploymentConfig::validate(), never run silently
+// ideal.
 #pragma once
 
 #include <chrono>
@@ -106,9 +125,24 @@ class NetworkConditions {
  public:
   using Duration = std::chrono::microseconds;
 
+  /// One windowed wan phase (latency/jitter/bandwidth). The last active
+  /// phase in spec order binds at any iteration.
+  struct Wan {
+    Duration latency{0};
+    Duration jitter{0};
+    double byte_rate = 0.0;  ///< bytes/second; 0 => unlimited
+    std::uint64_t from_iter = 0;
+    std::uint64_t len = 0;  ///< 0 => open-ended
+  };
   struct Hetero {
     NodeRange slow_links;
     double factor = 10.0;  ///< >= 1
+  };
+  /// Per-edge bandwidth override: edges touching `nodes` run at
+  /// `byte_rate`; the slowest matching rate wins.
+  struct LinkOverride {
+    NodeRange nodes;
+    double byte_rate = 0.0;  ///< bytes/second; always > 0 once parsed
   };
   struct Straggler {
     NodeRange nodes;
@@ -163,7 +197,8 @@ class NetworkConditions {
 
   /// Parse a conditions spec ("" => ideal network). Throws
   /// std::invalid_argument on grammar violations, unknown clauses/options,
-  /// negative or malformed durations, and inverted ranges.
+  /// negative or malformed durations, zero or unit-less byte rates, and
+  /// inverted ranges.
   [[nodiscard]] static NetworkConditions parse(const std::string& spec);
 
   /// Structural validation against a concrete cluster size: every node
@@ -175,8 +210,12 @@ class NetworkConditions {
   [[nodiscard]] const std::string& spec() const { return spec_; }
 
   [[nodiscard]] bool ideal() const {
-    return latency_.count() == 0 && jitter_.count() == 0 && !hetero_ &&
-           !straggler_ && !partition_ && churn_.empty() && !fault_;
+    for (const Wan& w : wan_) {
+      if (w.latency.count() > 0 || w.jitter.count() > 0 || w.byte_rate > 0.0)
+        return false;
+    }
+    return !hetero_ && stragglers_.empty() && partitions_.empty() &&
+           links_.empty() && churn_.empty() && !fault_;
   }
 
   // ----------------------------------------------------- live-plane queries
@@ -187,9 +226,11 @@ class NetworkConditions {
   /// two runs of the same scenario see identical simulated latencies.
   /// `iteration` keys the jitter hash (for gossip it is the round tag, so
   /// every round draws fresh jitter); `window_iteration` drives the
-  /// straggler/partition schedules and defaults to `iteration` — pass the
-  /// true training iteration when the method tag encodes more than it
-  /// (the decentralized contraction gossip).
+  /// straggler/partition/wan schedules and defaults to `iteration` — pass
+  /// the true training iteration when the method tag encodes more than it
+  /// (the decentralized contraction gossip). The serialization component
+  /// (frame bytes / byte_rate) is NOT included — the cluster composes it
+  /// per message because only the sender knows the payload size.
   [[nodiscard]] Duration delay(
       std::size_t from, std::size_t to, const std::string& method,
       std::uint64_t iteration, std::uint64_t seed,
@@ -197,23 +238,66 @@ class NetworkConditions {
 
   /// The jitter component alone (hash of (seed, from, to, method,
   /// iteration) mapped to [0, jitter), before heterogeneous scaling).
-  [[nodiscard]] Duration jitter_for(std::size_t from, std::size_t to,
-                                    const std::string& method,
-                                    std::uint64_t iteration,
-                                    std::uint64_t seed) const;
+  /// `window_iteration` picks the wan phase whose jitter magnitude applies
+  /// (defaults to `iteration`).
+  [[nodiscard]] Duration jitter_for(
+      std::size_t from, std::size_t to, const std::string& method,
+      std::uint64_t iteration, std::uint64_t seed,
+      std::optional<std::uint64_t> window_iteration = std::nullopt) const;
+
+  // ------------------------------------------------------------- bandwidth
+
+  /// True when any wan phase carries a byte rate or any link override
+  /// exists — the gate for the cluster's serialization/queue machinery.
+  [[nodiscard]] bool has_bandwidth() const {
+    if (!links_.empty()) return true;
+    for (const Wan& w : wan_) {
+      if (w.byte_rate > 0.0) return true;
+    }
+    return false;
+  }
+  /// Effective byte rate (bytes/second) of the directed edge (from, to) at
+  /// `iteration`: the active wan rate, clamped down by every link override
+  /// touching either endpoint, derated by the hetero factor on slow edges.
+  /// 0 = unlimited (no serialization delay).
+  [[nodiscard]] double byte_rate(std::size_t from, std::size_t to,
+                                 std::uint64_t iteration) const;
+  /// The active wan phase's byte rate alone (0 = none) — the sim plane's
+  /// base rate before link-override and hetero resolution.
+  [[nodiscard]] double wan_byte_rate(std::uint64_t iteration) const;
+  /// Slowest link-override rate touching `node` (0 = none).
+  [[nodiscard]] double link_rate_touching(std::size_t node) const;
+  /// Nodes inside [lo, hi) touched by any link override — the sim plane's
+  /// fastest-q dodge primitive for overridden edges.
+  [[nodiscard]] std::size_t count_link_limited(std::size_t lo,
+                                               std::size_t hi) const;
+  /// Slowest link-override rate intersecting [lo, hi) (0 = none).
+  [[nodiscard]] double min_link_rate(std::size_t lo, std::size_t hi) const;
 
   // ---------------------------------------------- plane-agnostic predicates
 
   [[nodiscard]] bool is_slow(std::size_t node) const {
     return hetero_ && hetero_->slow_links.contains(node);
   }
-  [[nodiscard]] bool straggler_window_active(std::uint64_t iteration) const;
+  /// Last active clause in spec order, or nullptr when no window covers
+  /// `iteration` — the shared multi-window resolution rule.
+  [[nodiscard]] const Wan* active_wan(std::uint64_t iteration) const;
+  [[nodiscard]] const Straggler* active_straggler(
+      std::uint64_t iteration) const;
+  [[nodiscard]] const Partition* active_partition(
+      std::uint64_t iteration) const;
+
+  [[nodiscard]] bool straggler_window_active(std::uint64_t iteration) const {
+    return active_straggler(iteration) != nullptr;
+  }
   [[nodiscard]] bool is_straggling(std::size_t node,
                                    std::uint64_t iteration) const {
-    return straggler_ && straggler_window_active(iteration) &&
-           straggler_->nodes.contains(node);
+    const Straggler* s = active_straggler(iteration);
+    return s != nullptr && s->nodes.contains(node);
   }
-  [[nodiscard]] bool partition_window_active(std::uint64_t iteration) const;
+  [[nodiscard]] bool partition_window_active(std::uint64_t iteration) const {
+    return active_partition(iteration) != nullptr;
+  }
   /// True when `x` and `y` sit on opposite sides of an active cut.
   [[nodiscard]] bool partitioned(std::size_t x, std::size_t y,
                                  std::uint64_t iteration) const;
@@ -279,32 +363,48 @@ class NetworkConditions {
   [[nodiscard]] std::size_t count_down(std::size_t lo, std::size_t hi,
                                        std::uint64_t iteration) const;
 
-  [[nodiscard]] double latency_seconds() const {
-    return double(latency_.count()) * 1e-6;
+  [[nodiscard]] double latency_seconds(std::uint64_t iteration = 0) const {
+    return double(latency(iteration).count()) * 1e-6;
   }
-  [[nodiscard]] double jitter_seconds() const {
-    return double(jitter_.count()) * 1e-6;
+  [[nodiscard]] double jitter_seconds(std::uint64_t iteration = 0) const {
+    return double(jitter(iteration).count()) * 1e-6;
   }
-  [[nodiscard]] double straggler_lag_seconds() const {
-    return straggler_ ? double(straggler_->lag.count()) * 1e-6 : 0.0;
+  [[nodiscard]] double straggler_lag_seconds(
+      std::uint64_t iteration = 0) const {
+    const Straggler* s = active_straggler(iteration);
+    return s ? double(s->lag.count()) * 1e-6 : 0.0;
   }
-  [[nodiscard]] double partition_lag_seconds() const {
-    return partition_ ? double(partition_->lag.count()) * 1e-6 : 0.0;
+  [[nodiscard]] double partition_lag_seconds(
+      std::uint64_t iteration = 0) const {
+    const Partition* p = active_partition(iteration);
+    return p ? double(p->lag.count()) * 1e-6 : 0.0;
   }
   [[nodiscard]] double slow_factor() const {
     return hetero_ ? hetero_->factor : 1.0;
   }
 
-  [[nodiscard]] Duration latency() const { return latency_; }
-  [[nodiscard]] Duration jitter() const { return jitter_; }
+  /// Latency/jitter of the wan phase active at `iteration` (zeros when no
+  /// phase covers it).
+  [[nodiscard]] Duration latency(std::uint64_t iteration = 0) const {
+    const Wan* w = active_wan(iteration);
+    return w ? w->latency : Duration{0};
+  }
+  [[nodiscard]] Duration jitter(std::uint64_t iteration = 0) const {
+    const Wan* w = active_wan(iteration);
+    return w ? w->jitter : Duration{0};
+  }
+  [[nodiscard]] const std::vector<Wan>& wan() const { return wan_; }
   [[nodiscard]] const std::optional<Hetero>& hetero() const {
     return hetero_;
   }
-  [[nodiscard]] const std::optional<Straggler>& straggler() const {
-    return straggler_;
+  [[nodiscard]] const std::vector<LinkOverride>& links() const {
+    return links_;
   }
-  [[nodiscard]] const std::optional<Partition>& partition() const {
-    return partition_;
+  [[nodiscard]] const std::vector<Straggler>& stragglers() const {
+    return stragglers_;
+  }
+  [[nodiscard]] const std::vector<Partition>& partitions() const {
+    return partitions_;
   }
   [[nodiscard]] const std::vector<ChurnEvent>& churn() const {
     return churn_;
@@ -313,11 +413,11 @@ class NetworkConditions {
 
  private:
   std::string spec_;
-  Duration latency_{0};
-  Duration jitter_{0};
+  std::vector<Wan> wan_;
   std::optional<Hetero> hetero_;
-  std::optional<Straggler> straggler_;
-  std::optional<Partition> partition_;
+  std::vector<LinkOverride> links_;
+  std::vector<Straggler> stragglers_;
+  std::vector<Partition> partitions_;
   std::vector<ChurnEvent> churn_;
   std::optional<Fault> fault_;
 };

@@ -34,6 +34,7 @@ constexpr double kRetryBackoffFloor = 50e-6;
 struct StageNet {
   double link_factor = 1.0;  ///< slowest edge class the quorum must cross
   double wait = 0.0;         ///< unavoidable straggler/partition/jitter lag
+  double byte_rate = 0.0;    ///< spec-capped edge rate, bytes/s (0 = none)
 };
 
 /// Resolve a pull by node `from` over candidate responders [lo, hi)
@@ -72,8 +73,31 @@ StageNet resolve_pull(const SimSetup& s, std::size_t from, std::size_t lo,
   if (c.is_slow(from)) slow = avail;
   q = std::min(q, avail);
   if (q + slow > avail) net.link_factor = c.slow_factor();
-  if (q + straggling > avail) net.wait += c.straggler_lag_seconds();
-  if (q + cross > avail) net.wait += c.partition_lag_seconds();
+  if (q + straggling > avail) net.wait += c.straggler_lag_seconds(s.iteration);
+  if (q + cross > avail) net.wait += c.partition_lag_seconds(s.iteration);
+  // Bandwidth: the active wan rate binds every edge; the puller's own link
+  // overrides always bind (every reply crosses them); responder-side
+  // overrides bind only when the quorum cannot be met without a limited
+  // responder — the same fastest-q dodge as every other degraded class.
+  // The rate is pre-hetero: stage_time's degraded() derates bandwidth by
+  // the factor, matching the live byte_rate()'s rate / factor. (Churn
+  // shrinking the link-limited count is deliberately ignored — a small
+  // conservative approximation the crossval suite does not pin.)
+  {
+    double rate = c.wan_byte_rate(s.iteration);
+    const double own = c.link_rate_touching(from);
+    if (own > 0.0) rate = rate > 0.0 ? std::min(rate, own) : own;
+    std::size_t limited = c.count_link_limited(lo, hi);
+    if (from >= lo && from < hi && limited > 0 &&
+        c.link_rate_touching(from) > 0.0) {
+      limited -= 1;
+    }
+    if (limited > 0 && q + limited > avail) {
+      const double lim = c.min_link_rate(lo, hi);
+      if (lim > 0.0) rate = rate > 0.0 ? std::min(rate, lim) : lim;
+    }
+    net.byte_rate = rate;
+  }
   // Fault clause: a lost attempt (drop, or a corrupt frame the receiver's
   // CRC discards) surfaces on the live plane as a sender-side retry after
   // an exponential backoff — never as a hang. The analytic twin charges
@@ -99,7 +123,8 @@ StageNet resolve_pull(const SimSetup& s, std::size_t from, std::size_t lo,
     }
     if (faulty > 0 && q + faulty > avail) {
       const double p = std::min(c.fault_loss_rate(), 0.99);
-      const double edge_latency = s.link.latency + c.latency_seconds();
+      const double edge_latency =
+          s.link.latency + c.latency_seconds(s.iteration);
       net.wait += p / (1.0 - p) * (kRetryBackoffFloor + edge_latency) +
                   c.fault_spike_seconds();
     }
@@ -107,7 +132,7 @@ StageNet resolve_pull(const SimSetup& s, std::size_t from, std::size_t lo,
   // Expected tail of the q-th fastest of `avail` jittered replies: the
   // q-th order statistic of U[0, J) draws.
   if (avail > 0) {
-    net.wait += c.jitter_seconds() * double(q) / double(avail + 1);
+    net.wait += c.jitter_seconds(s.iteration) * double(q) / double(avail + 1);
   }
   return net;
 }
@@ -119,8 +144,20 @@ StageNet resolve_pull(const SimSetup& s, std::size_t from, std::size_t lo,
 /// total_floats: volume crossing the switch fabric.
 double stage_time(const SimSetup& s, double nic_floats, double ser_floats,
                   double total_floats, const StageNet& net = StageNet{}) {
+  // Codec compression shrinks what crosses the wire and the serializers,
+  // never the model itself.
+  nic_floats *= s.codec_ratio;
+  ser_floats *= s.codec_ratio;
+  total_floats *= s.codec_ratio;
   LinkProfile edge{s.link.bandwidth_floats,
-                   s.link.latency + s.conditions.latency_seconds()};
+                   s.link.latency + s.conditions.latency_seconds(s.iteration)};
+  // A spec byte rate caps the edge (4 bytes per wire float); degraded()
+  // below then derates the capped rate by the hetero factor, matching the
+  // live plane's byte_rate() / factor composition.
+  if (net.byte_rate > 0.0) {
+    edge.bandwidth_floats =
+        std::min(edge.bandwidth_floats, net.byte_rate / 4.0);
+  }
   if (net.link_factor > 1.0) edge = degraded(edge, net.link_factor);
   double t = edge.latency + nic_floats / edge.bandwidth_floats +
              total_floats / (s.fabric_links * s.link.bandwidth_floats) +

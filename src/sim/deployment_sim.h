@@ -28,6 +28,13 @@
 //    met on the puller's side of the cut (messages are delayed, not
 //    dropped — the pre-GST partial-synchrony regime);
 //  - jitter contributes the expected tail of the q-th fastest reply;
+//  - a configured byte rate (wan bw=, link: overrides) caps the stage's
+//    edge bandwidth at the spec's rate — the puller's own overrides always
+//    bind, responder-side overrides only when the quorum cannot be met
+//    without a limited responder (the usual fastest-q dodge), and the
+//    hetero factor derates the capped rate on degraded stages exactly as
+//    the live cluster derates byte_rate() — the analytic twin of the
+//    cluster's per-message serialization delay;
 //  - a churn schedule removes its down nodes from the stage's candidate
 //    pool outright (they are absent, not slow) and clamps the quorum to
 //    what remains — the analytic twin of the live cluster's lifecycle FSM
@@ -89,10 +96,15 @@ struct SimSetup {
   /// [0, nw). `link` is the fast edge class; a hetero clause derives the
   /// slow class via degraded(link, factor).
   net::NetworkConditions conditions{};
-  /// Iteration the breakdown is computed for — straggler phases and
-  /// partition windows are iteration-scheduled, so the breakdown is a
-  /// function of *when* you look.
+  /// Iteration the breakdown is computed for — straggler phases, partition
+  /// windows and windowed wan phases (latency/jitter/bandwidth) are
+  /// iteration-scheduled, so the breakdown is a function of *when* you
+  /// look.
   std::uint64_t iteration = 0;
+  /// Wire floats per model float after gradient compression (net/codec.h):
+  /// 1.0 for codec=none, ~2k/d for topk:k=..., ~0.25 for int8. Scales every
+  /// communication volume — computation and aggregation stay full-size.
+  double codec_ratio = 1.0;
 };
 
 struct IterationBreakdown {

@@ -116,6 +116,45 @@ std::chrono::microseconds SpecOptions::get_duration(
   return std::chrono::microseconds(std::int64_t(value * scale));
 }
 
+double SpecOptions::get_byte_rate(const std::string& key,
+                                  double fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  it->second.consumed = true;
+  const std::string& raw = it->second.value;
+  bool ok = !raw.empty() && std::isdigit(static_cast<unsigned char>(raw[0]));
+  double value = 0.0;
+  std::string unit;
+  if (ok) {
+    try {
+      std::size_t pos = 0;
+      value = std::stod(raw, &pos);
+      unit = raw.substr(pos);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+  }
+  // Network units are decimal: 1 Gbps = 1e9 bits/s = 1.25e8 bytes/s.
+  double scale = 0.0;
+  if (unit == "Gbps") {
+    scale = 1e9 / 8.0;
+  } else if (unit == "Mbps") {
+    scale = 1e6 / 8.0;
+  } else if (unit == "MBps") {
+    scale = 1e6;
+  } else {
+    ok = false;
+  }
+  if (ok && !(value > 0.0 && std::isfinite(value))) ok = false;
+  if (!ok) {
+    throw std::invalid_argument(
+        "spec: option '" + key +
+        "' expects a positive rate with a unit (e.g. 1Gbps, 200Mbps, "
+        "50MBps), got '" + raw + "'");
+  }
+  return value * scale;
+}
+
 std::vector<std::string> SpecOptions::unconsumed() const {
   std::vector<std::string> out;
   for (const auto& [key, entry] : entries_) {

@@ -60,6 +60,13 @@ class SpecOptions {
   /// must fail at parse/validate time, never run as a wrapped huge delay.
   [[nodiscard]] std::chrono::microseconds get_duration(
       const std::string& key, std::chrono::microseconds fallback) const;
+  /// Byte-rate option: a positive number with a mandatory unit suffix
+  /// ("1Gbps", "200Mbps", "50MBps"), returned in bytes/second. Zero,
+  /// negative, unit-less or otherwise malformed rates throw — a nonsense
+  /// bandwidth must fail at parse/validate time, never run as a
+  /// zero-division or an effectively-infinite serialization delay.
+  [[nodiscard]] double get_byte_rate(const std::string& key,
+                                     double fallback) const;
 
   /// Keys never read by any getter since parsing (drift guard).
   [[nodiscard]] std::vector<std::string> unconsumed() const;

@@ -1,0 +1,315 @@
+// Tests for the gradient-compression wire codecs (net/codec.h): spec
+// parsing, round-trips, the int8 saturation rails, top-k selection and
+// index canonicalization, error-feedback residuals, degenerate tensors
+// (empty, denormal, tiny) and the Byzantine-garbage ingress gate.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "net/codec.h"
+#include "tensor/rng.h"
+
+namespace gn = garfield::net;
+namespace gt = garfield::tensor;
+
+namespace {
+
+gn::Codec make(const std::string& spec) {
+  return gn::Codec(gn::CodecSpec::parse(spec));
+}
+
+gn::Payload random_payload(std::size_t d, std::uint64_t seed) {
+  gt::Rng rng(seed);
+  gn::Payload out(d);
+  for (float& x : out) x = rng.normal(0.0F, 1.0F);
+  return out;
+}
+
+double rms(const gn::Payload& a, const gn::Payload& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += double(a[i] - b[i]) * double(a[i] - b[i]);
+  }
+  return a.empty() ? 0.0 : std::sqrt(acc / double(a.size()));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ parse
+
+TEST(CodecSpec, ParsesTheGrammar) {
+  EXPECT_EQ(gn::CodecSpec::parse("none").kind, gn::CodecKind::kNone);
+  EXPECT_TRUE(gn::CodecSpec::parse("none").identity());
+  EXPECT_EQ(gn::CodecSpec::parse("int8").kind, gn::CodecKind::kInt8);
+  const gn::CodecSpec topk = gn::CodecSpec::parse("topk:k=0.05");
+  EXPECT_EQ(topk.kind, gn::CodecKind::kTopK);
+  EXPECT_DOUBLE_EQ(topk.k, 0.05);
+  // Default k when unspecified.
+  EXPECT_DOUBLE_EQ(gn::CodecSpec::parse("topk").k, 0.01);
+}
+
+TEST(CodecSpec, RejectsNonsense) {
+  EXPECT_THROW((void)gn::CodecSpec::parse("gzip"), std::invalid_argument);
+  EXPECT_THROW((void)gn::CodecSpec::parse("topk:k=0"), std::invalid_argument);
+  EXPECT_THROW((void)gn::CodecSpec::parse("topk:k=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)gn::CodecSpec::parse("topk:k=-0.1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)gn::CodecSpec::parse("int8:k=0.1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)gn::CodecSpec::parse("topk:frac=0.1"),
+               std::invalid_argument);
+}
+
+TEST(CodecSpec, TopkCountClampsToAtLeastOne) {
+  const gn::CodecSpec spec = gn::CodecSpec::parse("topk:k=0.01");
+  EXPECT_EQ(spec.topk_count(0), 0U);
+  EXPECT_EQ(spec.topk_count(10), 1U);  // 0.1 rounds to 0, clamped up
+  EXPECT_EQ(spec.topk_count(1000), 10U);
+  EXPECT_EQ(gn::CodecSpec::parse("topk:k=1").topk_count(7), 7U);
+}
+
+TEST(CodecSpec, WireRatioMatchesLayouts) {
+  EXPECT_DOUBLE_EQ(gn::CodecSpec::parse("none").wire_ratio(1000), 1.0);
+  // topk:k=0.01 at d=1000: (3 + 2*10) / 1000.
+  EXPECT_DOUBLE_EQ(gn::CodecSpec::parse("topk:k=0.01").wire_ratio(1000),
+                   23.0 / 1000.0);
+  // int8 at d=1000: (3 + 250) / 1000 — just over a quarter.
+  EXPECT_DOUBLE_EQ(gn::CodecSpec::parse("int8").wire_ratio(1000),
+                   253.0 / 1000.0);
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(Codec, IdentityIsExact) {
+  const gn::Codec codec = make("none");
+  const gn::Payload dense = random_payload(97, 1);
+  const gn::Payload wire = codec.encode_gradient(dense);
+  EXPECT_EQ(wire, dense);
+  const auto back = codec.decode(wire, dense.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, dense);
+}
+
+TEST(Codec, Int8RoundTripIsClose) {
+  const gn::Codec codec = make("int8");
+  const gn::Payload dense = random_payload(1001, 2);  // odd d: partial slot
+  const gn::Payload wire = codec.encode_gradient(dense);
+  EXPECT_EQ(wire.size(), 3U + (dense.size() + 3) / 4);
+  EXPECT_TRUE(gn::Codec::looks_encoded(wire));
+  const auto back = codec.decode(wire, dense.size());
+  ASSERT_TRUE(back.has_value());
+  // Quantization error is bounded by scale/2 = max|x| / 254 per coordinate.
+  float max_abs = 0.0F;
+  for (const float x : dense) max_abs = std::max(max_abs, std::abs(x));
+  const float bound = max_abs / 254.0F + 1e-6F;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    EXPECT_NEAR((*back)[i], dense[i], bound) << "coordinate " << i;
+  }
+}
+
+TEST(Codec, Int8SaturatesAtTheRails) {
+  const gn::Codec codec = make("int8");
+  // One huge outlier sets the scale; everything else quantizes small.
+  gn::Payload dense(8, 0.001F);
+  dense[3] = 127000.0F;
+  dense[5] = -127000.0F;
+  const auto back = codec.decode(codec.encode_gradient(dense), dense.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FLOAT_EQ((*back)[3], 127000.0F);   // exactly ±127 * scale
+  EXPECT_FLOAT_EQ((*back)[5], -127000.0F);
+  EXPECT_FLOAT_EQ((*back)[0], 0.0F);        // below half a step: rounds away
+}
+
+TEST(Codec, TopkKeepsTheHeaviestCoordinates) {
+  const gn::Codec codec = make("topk:k=0.25");  // d=8 -> keep 2
+  gn::Payload dense{0.1F, -5.0F, 0.2F, 0.0F, 3.0F, -0.3F, 0.05F, 0.2F};
+  const gn::Payload wire = codec.encode_gradient(dense);
+  ASSERT_EQ(wire.size(), 3U + 2U * 2U);
+  EXPECT_TRUE(gn::Codec::looks_encoded(wire));
+  // Canonical form: strictly ascending indices, then their values.
+  EXPECT_FLOAT_EQ(wire[3], 1.0F);
+  EXPECT_FLOAT_EQ(wire[4], 4.0F);
+  EXPECT_FLOAT_EQ(wire[5], -5.0F);
+  EXPECT_FLOAT_EQ(wire[6], 3.0F);
+  const auto back = codec.decode(wire, dense.size());
+  ASSERT_TRUE(back.has_value());
+  const gn::Payload expect{0.0F, -5.0F, 0.0F, 0.0F, 3.0F, 0.0F, 0.0F, 0.0F};
+  EXPECT_EQ(*back, expect);
+}
+
+TEST(Codec, TopkTieBreaksOnLowerIndex) {
+  const gn::Codec codec = make("topk:k=0.5");  // d=4 -> keep 2
+  const gn::Payload dense{1.0F, -1.0F, 1.0F, 1.0F};  // all tied in |.|
+  const gn::Payload wire = codec.encode_gradient(dense);
+  ASSERT_EQ(wire.size(), 3U + 2U * 2U);
+  EXPECT_FLOAT_EQ(wire[3], 0.0F);
+  EXPECT_FLOAT_EQ(wire[4], 1.0F);
+}
+
+TEST(Codec, EmptyTensorRoundTrips) {
+  for (const char* spec : {"none", "int8", "topk:k=0.5"}) {
+    const gn::Codec codec = make(spec);
+    const gn::Payload dense;
+    const gn::Payload wire = codec.encode_gradient(dense);
+    const auto back = codec.decode(wire, 0);
+    ASSERT_TRUE(back.has_value()) << spec;
+    EXPECT_TRUE(back->empty()) << spec;
+  }
+}
+
+TEST(Codec, DenormalAndZeroTensorsSurvive) {
+  const float denorm = std::numeric_limits<float>::denorm_min();
+  for (const char* spec : {"int8", "topk:k=0.5"}) {
+    const gn::Codec codec = make(spec);
+    gn::Payload dense(6, 0.0F);
+    dense[2] = denorm;
+    dense[4] = -denorm;
+    const auto back =
+        codec.decode(codec.encode_gradient(dense), dense.size());
+    ASSERT_TRUE(back.has_value()) << spec;
+    for (const float x : *back) EXPECT_TRUE(std::isfinite(x)) << spec;
+    // All-zero input must encode/decode to all zeros (scale = 0 path).
+    const gn::Payload zeros(6, 0.0F);
+    const auto zback =
+        codec.decode(codec.encode_gradient(zeros), zeros.size());
+    ASSERT_TRUE(zback.has_value()) << spec;
+    EXPECT_EQ(*zback, zeros) << spec;
+  }
+}
+
+TEST(Codec, StateEncodingDegradesTopkToInt8) {
+  const gn::Codec topk = make("topk:k=0.01");
+  const gn::Payload model = random_payload(512, 3);
+  const gn::Payload wire = topk.encode_state(model);
+  // int8 layout, not topk: a model missing 99% of coordinates is no model.
+  EXPECT_EQ(wire.size(), 3U + (model.size() + 3) / 4);
+  const auto back = topk.decode(wire, model.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_LT(rms(*back, model), 0.02);
+  // And the identity codec's state path stays exact.
+  EXPECT_EQ(make("none").encode_state(model), model);
+}
+
+// --------------------------------------------------------- error feedback
+
+TEST(Codec, ErrorFeedbackCarriesDroppedMass) {
+  const gn::Codec codec = make("topk:k=0.25");  // d=4 -> keep 1
+  gn::Payload residual;
+  const gn::Payload g{1.0F, 0.6F, 0.5F, 0.4F};
+  // Round 1: keeps index 0, drops the rest into the residual.
+  const gn::Payload w1 = codec.encode_gradient(g, &residual);
+  ASSERT_EQ(residual.size(), g.size());
+  EXPECT_FLOAT_EQ(residual[0], 0.0F);
+  EXPECT_FLOAT_EQ(residual[1], 0.6F);
+  // Round 2 with a zero gradient: the carried residual alone must win the
+  // selection — compressed communication converges to the true sum.
+  const gn::Payload zero(4, 0.0F);
+  const gn::Payload w2 = codec.encode_gradient(zero, &residual);
+  const auto back = codec.decode(w2, 4);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FLOAT_EQ((*back)[1], 0.6F);  // last round's dropped coordinate
+  EXPECT_FLOAT_EQ(residual[1], 0.0F);
+  EXPECT_FLOAT_EQ(residual[2], 0.5F);  // still waiting its turn
+}
+
+TEST(Codec, Int8ErrorFeedbackShrinksQuantizationError) {
+  const gn::Codec codec = make("int8");
+  const gn::Payload g = random_payload(256, 4);
+  // Sum of decoded transmissions with feedback approaches n*g better than
+  // n independent quantizations: the residual re-injects rounding error.
+  gn::Payload residual;
+  gn::Payload sum_fb(g.size(), 0.0F);
+  gn::Payload sum_plain(g.size(), 0.0F);
+  constexpr int kRounds = 16;
+  for (int r = 0; r < kRounds; ++r) {
+    const auto fb = codec.decode(codec.encode_gradient(g, &residual), 256);
+    const auto plain = codec.decode(codec.encode_gradient(g), 256);
+    ASSERT_TRUE(fb && plain);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      sum_fb[i] += (*fb)[i];
+      sum_plain[i] += (*plain)[i];
+    }
+  }
+  gn::Payload target = g;
+  for (float& x : target) x *= float(kRounds);
+  EXPECT_LE(rms(sum_fb, target), rms(sum_plain, target));
+  EXPECT_LT(rms(sum_fb, target) / double(kRounds), 1e-3);
+}
+
+// ------------------------------------------------------------ ingress gate
+
+TEST(Codec, DecodeRejectsStructuralGarbage) {
+  const gn::Codec codec = make("topk:k=0.5");
+  const gn::Payload dense = random_payload(16, 5);
+  const gn::Payload wire = codec.encode_gradient(dense);
+
+  // Wrong dimension claim.
+  EXPECT_FALSE(codec.decode(wire, 17).has_value());
+  // Truncated frame.
+  gn::Payload cut(wire.begin(), wire.end() - 1);
+  EXPECT_FALSE(codec.decode(cut, 16).has_value());
+  // Out-of-range index.
+  gn::Payload bad_idx = wire;
+  bad_idx[3] = 99.0F;
+  EXPECT_FALSE(codec.decode(bad_idx, 16).has_value());
+  // Non-integral index.
+  gn::Payload frac_idx = wire;
+  frac_idx[3] = 0.5F;
+  EXPECT_FALSE(codec.decode(frac_idx, 16).has_value());
+  // Duplicate / non-ascending indices are garbage, not an alt encoding.
+  gn::Payload dup = wire;
+  dup[4] = dup[3];
+  EXPECT_FALSE(codec.decode(dup, 16).has_value());
+  // k > d.
+  gn::Payload too_many = wire;
+  too_many[2] = 17.0F;
+  EXPECT_FALSE(codec.decode(too_many, 16).has_value());
+
+  const gn::Codec int8 = make("int8");
+  const gn::Payload iwire = int8.encode_gradient(dense);
+  // Non-finite scale.
+  gn::Payload nan_scale = iwire;
+  nan_scale[2] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(int8.decode(nan_scale, 16).has_value());
+  gn::Payload neg_scale = iwire;
+  neg_scale[2] = -1.0F;
+  EXPECT_FALSE(int8.decode(neg_scale, 16).has_value());
+  // Wrong slot count for the claimed dimension.
+  gn::Payload short_frame(iwire.begin(), iwire.end() - 1);
+  EXPECT_FALSE(int8.decode(short_frame, 16).has_value());
+
+  // A plain dense payload of the wrong size is garbage too.
+  EXPECT_FALSE(codec.decode(random_payload(8, 6), 16).has_value());
+  // ... but of the right size passes through unchanged.
+  const gn::Payload plain = random_payload(16, 7);
+  const auto through = codec.decode(plain, 16);
+  ASSERT_TRUE(through.has_value());
+  EXPECT_EQ(*through, plain);
+}
+
+TEST(Codec, DecodeDispatchesOnMagicNotOnSpec) {
+  // A topk-configured receiver still decodes an int8 state frame (model
+  // snapshots degrade to int8 regardless of the gradient codec).
+  const gn::Codec topk = make("topk:k=0.01");
+  const gn::Payload model = random_payload(128, 8);
+  const gn::Payload state = topk.encode_state(model);
+  const auto back = topk.decode(state, model.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_LT(rms(*back, model), 0.02);
+}
+
+TEST(Codec, MagicWordsAreQuietNans) {
+  // The frame marker must be a bit pattern the all_finite ingress gate
+  // would reject in a plain gradient — i.e. NaN space.
+  const gn::Codec codec = make("int8");
+  const gn::Payload wire = codec.encode_gradient(random_payload(8, 9));
+  EXPECT_TRUE(std::isnan(wire[0]));
+  EXPECT_TRUE(gn::Codec::looks_encoded(wire));
+  EXPECT_FALSE(gn::Codec::looks_encoded(random_payload(8, 10)));
+  EXPECT_FALSE(gn::Codec::looks_encoded({}));
+}

@@ -74,22 +74,28 @@ TEST(NetworkConditions, EmptySpecIsIdeal) {
 
 TEST(NetworkConditions, ParsesEveryClause) {
   const gn::NetworkConditions c = gn::NetworkConditions::parse(
-      "wan:latency=5ms,jitter=2ms;"
+      "wan:latency=5ms,jitter=2ms,bw=1Gbps;"
       "hetero:slow_links=0-3,factor=10;"
+      "link:nodes=7,bw=200Mbps;"
       "straggler:nodes=2,lag=50ms,from_iter=100;"
       "partition:a=0-2,b=3-8,from_iter=50,len=20");
   EXPECT_FALSE(c.ideal());
   EXPECT_EQ(c.latency(), Duration{5000});
   EXPECT_EQ(c.jitter(), Duration{2000});
+  ASSERT_EQ(c.wan().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.wan().front().byte_rate, 1e9 / 8.0);
   ASSERT_TRUE(c.hetero().has_value());
   EXPECT_DOUBLE_EQ(c.hetero()->factor, 10.0);
-  ASSERT_TRUE(c.straggler().has_value());
-  EXPECT_EQ(c.straggler()->lag, Duration{50'000});
-  EXPECT_EQ(c.straggler()->from_iter, 100u);
-  EXPECT_EQ(c.straggler()->len, 0u);  // open-ended
-  ASSERT_TRUE(c.partition().has_value());
-  EXPECT_EQ(c.partition()->from_iter, 50u);
-  EXPECT_EQ(c.partition()->len, 20u);
+  ASSERT_EQ(c.links().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.links().front().byte_rate, 200e6 / 8.0);
+  EXPECT_TRUE(c.links().front().nodes.contains(7));
+  ASSERT_EQ(c.stragglers().size(), 1u);
+  EXPECT_EQ(c.stragglers().front().lag, Duration{50'000});
+  EXPECT_EQ(c.stragglers().front().from_iter, 100u);
+  EXPECT_EQ(c.stragglers().front().len, 0u);  // open-ended
+  ASSERT_EQ(c.partitions().size(), 1u);
+  EXPECT_EQ(c.partitions().front().from_iter, 50u);
+  EXPECT_EQ(c.partitions().front().len, 20u);
 }
 
 TEST(NetworkConditions, RejectsUnknownClausesAndOptions) {
@@ -104,19 +110,132 @@ TEST(NetworkConditions, RejectsUnknownClausesAndOptions) {
                std::invalid_argument);
 }
 
-TEST(NetworkConditions, RejectsDuplicateClausesAndBadShapes) {
-  EXPECT_THROW(
-      (void)gn::NetworkConditions::parse("wan:latency=1ms;wan:jitter=1ms"),
-      std::invalid_argument);
-  // factor < 1, missing required ranges, overlapping partition groups.
+TEST(NetworkConditions, RejectsBadClauseShapes) {
+  // factor < 1, missing required ranges/rates, overlapping partition
+  // groups, repeated singleton clauses (hetero/fault — the windowed
+  // clauses repeat freely, see the MultiWindow tests).
   EXPECT_THROW(
       (void)gn::NetworkConditions::parse("hetero:slow_links=0,factor=0.5"),
       std::invalid_argument);
   EXPECT_THROW((void)gn::NetworkConditions::parse("hetero:factor=2"),
                std::invalid_argument);
+  EXPECT_THROW((void)gn::NetworkConditions::parse(
+                   "hetero:slow_links=0,factor=2;hetero:slow_links=1,factor=3"),
+               std::invalid_argument);
   EXPECT_THROW((void)gn::NetworkConditions::parse("straggler:lag=5ms"),
                std::invalid_argument);
   EXPECT_THROW((void)gn::NetworkConditions::parse("partition:a=0-3,b=3-6"),
+               std::invalid_argument);
+  // link: requires both its nodes and its rate.
+  EXPECT_THROW((void)gn::NetworkConditions::parse("link:nodes=0-1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)gn::NetworkConditions::parse("link:bw=1Gbps"),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------- multi-window
+
+TEST(NetworkConditions, RepeatedWanClausesBindLastActive) {
+  // Two overlapping phases: the later clause in spec order wins while
+  // both windows are open; outside every window the network is ideal.
+  const gn::NetworkConditions c = gn::NetworkConditions::parse(
+      "wan:latency=1ms,len=100;"
+      "wan:latency=9ms,from_iter=50,len=10");
+  EXPECT_EQ(c.latency(0), Duration{1000});
+  EXPECT_EQ(c.latency(50), Duration{9000});
+  EXPECT_EQ(c.latency(59), Duration{9000});
+  EXPECT_EQ(c.latency(60), Duration{1000});
+  EXPECT_EQ(c.latency(100), Duration{0});  // every window closed
+  EXPECT_EQ(c.delay(0, 1, "m", 55, 1), Duration{9000});
+  EXPECT_EQ(c.delay(0, 1, "m", 60, 1), Duration{1000});
+  EXPECT_EQ(c.delay(0, 1, "m", 100, 1), Duration{0});
+}
+
+TEST(NetworkConditions, RepeatedStragglerAndPartitionWindows) {
+  const gn::NetworkConditions c = gn::NetworkConditions::parse(
+      "straggler:nodes=2,lag=10ms,from_iter=0,len=5;"
+      "straggler:nodes=3,lag=20ms,from_iter=10,len=5;"
+      "partition:a=0,b=1,from_iter=0,len=5;"
+      "partition:a=0,b=2,from_iter=10,len=5,lag=40ms");
+  // First window: node 2 straggles, node 3 does not.
+  EXPECT_TRUE(c.is_straggling(2, 0));
+  EXPECT_FALSE(c.is_straggling(3, 0));
+  // Gap between windows: nobody straggles.
+  EXPECT_FALSE(c.is_straggling(2, 7));
+  // Second window: the roles flip.
+  EXPECT_FALSE(c.is_straggling(2, 12));
+  EXPECT_TRUE(c.is_straggling(3, 12));
+  EXPECT_EQ(c.delay(0, 3, "m", 12, 1), Duration{20'000});
+  // Partitions re-cut along a different boundary per window.
+  EXPECT_TRUE(c.partitioned(0, 1, 0));
+  EXPECT_FALSE(c.partitioned(0, 2, 0));
+  EXPECT_FALSE(c.partitioned(0, 1, 12));
+  EXPECT_TRUE(c.partitioned(0, 2, 12));
+  EXPECT_EQ(c.delay(0, 2, "m", 12, 1), Duration{40'000});
+  // Overlap *within one clause* is still rejected; re-cutting the same
+  // nodes across separate windows is the whole point.
+  EXPECT_THROW((void)gn::NetworkConditions::parse("partition:a=0-3,b=3-6"),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------- byte rates
+
+TEST(SpecByteRate, ParsesUnitsAndRejectsNonsense) {
+  gu::SpecOptions opts;
+  opts.set("a", "1Gbps");
+  opts.set("b", "200Mbps");
+  opts.set("c", "25MBps");
+  EXPECT_DOUBLE_EQ(opts.get_byte_rate("a", 0.0), 1e9 / 8.0);
+  EXPECT_DOUBLE_EQ(opts.get_byte_rate("b", 0.0), 200e6 / 8.0);
+  EXPECT_DOUBLE_EQ(opts.get_byte_rate("c", 0.0), 25e6);
+  EXPECT_DOUBLE_EQ(opts.get_byte_rate("absent", 7.0), 7.0);
+  for (const char* bad : {"1", "Gbps", "-1Gbps", "0Gbps", "1gbit", "",
+                          "1.5.2Mbps", "infGbps"}) {
+    gu::SpecOptions o;
+    o.set("bw", bad);
+    EXPECT_THROW((void)o.get_byte_rate("bw", 0.0), std::invalid_argument)
+        << "accepted '" << bad << "'";
+  }
+}
+
+TEST(NetworkConditions, ByteRateComposesWanLinksAndHetero) {
+  const gn::NetworkConditions c = gn::NetworkConditions::parse(
+      "wan:latency=1ms,bw=1Gbps;"
+      "link:nodes=3,bw=100Mbps;"
+      "hetero:slow_links=5,factor=10");
+  EXPECT_TRUE(c.has_bandwidth());
+  const double wan = 1e9 / 8.0;
+  const double link = 100e6 / 8.0;
+  // Plain edge: the wan rate. Edge touching node 3 (either direction):
+  // the slower link override. Edge touching slow node 5: wan derated.
+  EXPECT_DOUBLE_EQ(c.byte_rate(0, 1, 0), wan);
+  EXPECT_DOUBLE_EQ(c.byte_rate(0, 3, 0), link);
+  EXPECT_DOUBLE_EQ(c.byte_rate(3, 0, 0), link);
+  EXPECT_DOUBLE_EQ(c.byte_rate(5, 0, 0), wan / 10.0);
+  // Sim-plane helpers agree with the per-edge resolution.
+  EXPECT_DOUBLE_EQ(c.wan_byte_rate(0), wan);
+  EXPECT_DOUBLE_EQ(c.link_rate_touching(3), link);
+  EXPECT_DOUBLE_EQ(c.link_rate_touching(4), 0.0);
+  EXPECT_EQ(c.count_link_limited(0, 8), 1u);
+  EXPECT_DOUBLE_EQ(c.min_link_rate(0, 8), link);
+}
+
+TEST(NetworkConditions, LinkOverrideWithoutWanStillLimits) {
+  // A link override alone (no wan bw=) must gate has_bandwidth() and bind
+  // on edges touching its nodes while leaving the rest unlimited.
+  const gn::NetworkConditions c =
+      gn::NetworkConditions::parse("link:nodes=0-1,bw=80Mbps");
+  EXPECT_TRUE(c.has_bandwidth());
+  EXPECT_DOUBLE_EQ(c.byte_rate(0, 2, 0), 80e6 / 8.0);
+  EXPECT_DOUBLE_EQ(c.byte_rate(2, 3, 0), 0.0);  // unlimited
+}
+
+TEST(NetworkConditions, WindowedBandwidthFollowsTheActiveWanPhase) {
+  const gn::NetworkConditions c = gn::NetworkConditions::parse(
+      "wan:bw=1Gbps,len=10;wan:bw=100Mbps,from_iter=10");
+  EXPECT_DOUBLE_EQ(c.byte_rate(0, 1, 5), 1e9 / 8.0);
+  EXPECT_DOUBLE_EQ(c.byte_rate(0, 1, 10), 100e6 / 8.0);
+  EXPECT_THROW((void)gn::NetworkConditions::parse("wan:bw=fast"),
                std::invalid_argument);
 }
 

@@ -25,9 +25,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstring>
+#include <optional>
 
 #include "core/config.h"
 #include "core/trainer.h"
+#include "net/cluster.h"
 #include "sim/deployment_sim.h"
 #include "support/test_support.h"
 #include "tensor/parallel.h"
@@ -317,6 +320,111 @@ TEST(NetcondCrossval, FaultRetryTailBindsOnlyInsideTheWindowOnBothPlanes) {
   EXPECT_GT(faulted.net_stats.retries, 0u);
   EXPECT_EQ(faulted.net_stats.retry_give_ups, 0u);
   expect_same_curve(plain, faulted, "recovered faults are pure latency");
+}
+
+// ------------------------------------------- scenario 6: bandwidth caps
+
+TEST(NetcondCrossval, BandwidthMakesBytesCostTimeOnBothPlanes) {
+  // A `bw=` cap turns payload size into delivery time. Both planes must
+  // agree on the shape: a full-gradient exchange costs measurably more
+  // than a scalar exchange under the same spec, and without the cap the
+  // two cost (nearly) the same.
+  const char* spec = "wan:latency=1ms,bw=10Mbps";  // 1.25 MB/s
+
+  // Analytic plane: capping the edge rate inflates communication by the
+  // serialization time of the d-float gradient; a scalar-sized payload
+  // barely notices the same cap.
+  gs::SimSetup big = sim_ssmw();  // d = 1e6 floats = 4 MB => ~3.2 s/frame
+  big.asynchronous = false;
+  const double big_ideal = gs::simulate_iteration(big).communication;
+  big.conditions = garfield::net::NetworkConditions::parse(spec);
+  const double big_capped = gs::simulate_iteration(big).communication;
+  gs::SimSetup scalar = sim_ssmw();
+  scalar.asynchronous = false;
+  scalar.d = 100;
+  const double scalar_ideal = gs::simulate_iteration(scalar).communication;
+  scalar.conditions = garfield::net::NetworkConditions::parse(spec);
+  const double scalar_capped = gs::simulate_iteration(scalar).communication;
+  EXPECT_GT(big_capped - big_ideal, 1.0)
+      << "the 4 MB exchange must pay seconds of serialization at 1.25 MB/s";
+  EXPECT_LT(scalar_capped - scalar_ideal, 0.01)
+      << "a 100-float exchange pays microseconds under the same cap";
+
+  // Live plane: same spec string on a raw two-node cluster. The serving
+  // handler is free (no compute), so elapsed time is the timer wheel's
+  // serialization charge — a hard floor no loaded runner can undercut.
+  garfield::net::Cluster::Options opts;
+  opts.nodes = 2;
+  opts.conditions = garfield::net::NetworkConditions::parse(spec);
+  opts.seed = 3;
+  garfield::net::Cluster cluster(opts);
+  constexpr std::size_t kBigD = 125'000;  // 500 KB frame => 0.4 s at the cap
+  auto big_payload = std::make_shared<const garfield::net::Payload>(
+      garfield::net::Payload(kBigD, 1.0F));
+  auto scalar_payload = std::make_shared<const garfield::net::Payload>(
+      garfield::net::Payload(1, 1.0F));
+  cluster.register_handler(1, "grad", [&](const garfield::net::Request&) {
+    return garfield::net::HandlerResult::reply(big_payload);
+  });
+  cluster.register_handler(1, "scalar", [&](const garfield::net::Request&) {
+    return garfield::net::HandlerResult::reply(scalar_payload);
+  });
+  const garfield::net::NodeId peer[] = {1};
+  const auto timed = [&](const char* method) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto replies = cluster.collect(0, peer, method, 0, nullptr, 1);
+    EXPECT_EQ(replies.size(), 1u) << method;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+  const double scalar_s = timed("scalar");
+  const double grad_s = timed("grad");
+  EXPECT_GT(grad_s, 0.35) << "500 KB at 1.25 MB/s is a 0.4 s hard floor";
+  // Differential with a margin far above scheduler noise (the injected
+  // serialization gap is ~0.4 s; the scalar reply pays ~1 ms of latency).
+  EXPECT_GT(grad_s, scalar_s + 0.3);
+}
+
+TEST(NetcondCrossval, BandwidthRunsStayBitwiseDeterministicAcrossBackends) {
+  // Serialization delays and the per-link busy queue shape *time*, never
+  // the trajectory: a synchronous run under a bw= cap is bitwise
+  // reproducible run-to-run, and identical across transport backends.
+  gc::DeploymentConfig live = live_ssmw();
+  live.network = "wan:latency=200us,jitter=100us,bw=50Mbps";
+  live.asynchronous = false;
+  ASSERT_NO_THROW(live.validate());
+  const gc::TrainResult a = gc::train(live);
+  const gc::TrainResult b = gc::train(live);
+  ASSERT_FALSE(a.final_parameters.empty());
+  ASSERT_EQ(a.final_parameters.size(), b.final_parameters.size());
+  EXPECT_EQ(std::memcmp(a.final_parameters.data(), b.final_parameters.data(),
+                        a.final_parameters.size() * sizeof(float)),
+            0)
+      << "bandwidth shaping changed the learned bits run-to-run";
+  expect_same_curve(a, b, "bw= is pure timing");
+  EXPECT_EQ(a.net_stats.bytes_sent, b.net_stats.bytes_sent);
+
+  gc::DeploymentConfig tcp_cfg = live;
+  tcp_cfg.transport = "tcp";
+  std::optional<gc::TrainResult> tcp;
+  try {
+    tcp = gc::train(tcp_cfg);
+  } catch (const std::runtime_error& e) {
+    if (std::string(e.what()).find("garfield_node") == std::string::npos) {
+      throw;
+    }
+  }
+  if (!tcp.has_value()) {
+    GTEST_SKIP() << "garfield_node launcher unavailable in this build";
+  }
+  ASSERT_EQ(a.final_parameters.size(), tcp->final_parameters.size());
+  EXPECT_EQ(std::memcmp(a.final_parameters.data(),
+                        tcp->final_parameters.data(),
+                        a.final_parameters.size() * sizeof(float)),
+            0)
+      << "bw= broke the inproc|tcp parity contract";
+  expect_same_curve(a, *tcp, "bw= parity across backends");
 }
 
 // -------------------------------------- matrix: (GAR x attack x network)

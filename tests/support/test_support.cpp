@@ -77,9 +77,8 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   const std::size_t aggregator = scenario.n;
   const auto reaches_quorum = [&](std::size_t node) {
     if (conditions.is_straggling(node, scenario.iteration)) return false;
-    if (conditions.partition() &&
-        conditions.partition_window_active(scenario.iteration) &&
-        conditions.partition()->b.contains(node)) {
+    const auto* partition = conditions.active_partition(scenario.iteration);
+    if (partition != nullptr && partition->b.contains(node)) {
       return false;
     }
     if (conditions.has_fault()) {

@@ -11,9 +11,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "net/codec.h"
 #include "net/wire.h"
 #include "tensor/rng.h"
 
@@ -378,6 +381,100 @@ TEST(WireStreamFuzz, ManyCorruptFramesAcrossSplitBoundaries) {
     EXPECT_EQ(decoder.corrupt_frames(), corrupted) << "round " << round;
     EXPECT_TRUE(decoder.idle());
   }
+}
+
+TEST(WireStreamFuzz, CorruptedCodecPayloadsNeverEscapeTheIngressGates) {
+  // End-to-end adversarial pipeline for the compression path: encode a
+  // gradient with a wire codec, wrap it in a wire message, frame it for
+  // the TCP stream, then run the full receive path — FrameDecoder ->
+  // wire decode -> Codec::decode. Two attacker models per round:
+  //   - link noise: flip raw bytes of the framed stream. The frame and
+  //     wire CRCs screen these; they must be dropped, never fatal.
+  //   - Byzantine sender: corrupt the *encoded codec floats* and then
+  //     frame them with honest CRCs. These always survive the CRC
+  //     layers and land on Codec::decode — the ingress gate the codec
+  //     exists for. Contract: nullopt or a well-formed d-float vector;
+  //     no other exception type, no out-of-bounds scatter from a
+  //     corrupted top-k index (ASan-checked in the debug-asan preset).
+  gt::Rng rng(kSeed + 12);
+  const gn::Codec topk(gn::CodecSpec::parse("topk:k=0.25"));
+  const gn::Codec int8(gn::CodecSpec::parse("int8"));
+  std::size_t reached_codec = 0;
+  std::size_t rejected = 0;
+  for (int round = 0; round < 400; ++round) {
+    const std::size_t d = 1 + rng.index(64);
+    std::vector<float> dense(d);
+    for (float& x : dense) x = rng.normal();
+    const gn::Codec& codec = rng.bernoulli(0.5) ? topk : int8;
+    std::vector<float> encoded = codec.encode_gradient(dense);
+    const bool byzantine_sender = rng.bernoulli(0.5);
+    if (byzantine_sender && !encoded.empty()) {
+      switch (rng.index(4)) {
+        case 0: {  // bit-flip inside the encoded words (indices, scale, k)
+          const std::size_t flips = 1 + rng.index(4);
+          for (std::size_t k = 0; k < flips; ++k) {
+            std::uint32_t bits;
+            float& slot = encoded[rng.index(encoded.size())];
+            std::memcpy(&bits, &slot, sizeof bits);
+            bits ^= 1U << rng.index(32);
+            std::memcpy(&slot, &bits, sizeof bits);
+          }
+          break;
+        }
+        case 1:  // truncate the encoded frame, possibly to nothing
+          encoded.resize(rng.index(encoded.size()));
+          break;
+        case 2: {  // pad with junk words
+          const std::size_t extra = 1 + rng.index(8);
+          for (std::size_t k = 0; k < extra; ++k)
+            encoded.push_back(rng.normal() * 1e6F);
+          break;
+        }
+        default:  // scramble a header/index slot with a huge value
+          encoded[rng.index(std::min<std::size_t>(encoded.size(), 4))] =
+              float(1U << (10 + rng.index(20)));
+          break;
+      }
+    }
+    std::vector<std::uint8_t> framed =
+        gn::frame(gn::encode(std::uint64_t(round), encoded));
+    if (!byzantine_sender) {
+      const std::size_t flips = 1 + rng.index(6);
+      for (std::size_t k = 0; k < flips; ++k) {
+        framed[rng.index(framed.size())] ^= std::uint8_t(1U << rng.index(8));
+      }
+    }
+    gn::FrameDecoder decoder;
+    try {
+      decoder.feed(framed);
+      while (auto body = decoder.next()) {
+        try {
+          const gn::WireMessage msg = gn::decode(*body);
+          ++reached_codec;
+          const std::optional<std::vector<float>> back =
+              codec.decode(msg.payload, d);
+          if (back.has_value()) {
+            EXPECT_EQ(back->size(), d);
+          } else {
+            ++rejected;
+          }
+        } catch (const gn::WireError&) {
+          // The wire CRC layer caught it first — also a valid outcome.
+        } catch (const std::exception& e) {
+          FAIL() << "codec pipeline leaked a non-WireError exception: "
+                 << e.what();
+        }
+      }
+    } catch (const gn::WireError&) {
+      continue;  // hostile length prefix: rejected before any allocation
+    }
+  }
+  // The Byzantine-sender rounds must actually exercise the gate — both
+  // sides of it. (Deterministic seed: these counts are stable.)
+  EXPECT_GT(reached_codec, 0u)
+      << "no frame ever reached Codec::decode — the case is dead";
+  EXPECT_GT(rejected, 0u)
+      << "the ingress gate never fired — corruption was too gentle";
 }
 
 TEST(WireFuzz, UncorruptedRoundTripStillHolds) {

@@ -5,8 +5,9 @@
 // ("multi_krum:m=4", gars/registry.h), attack specs/plans
 // ("little_is_enough:z=2.5", "2*sign_flip;reversed", attacks/registry.h),
 // network-conditions specs ("wan:latency=5ms,jitter=2ms;churn:...",
-// net/conditions.h) and the transport backend key ("transport=tcp",
-// core/config.h). Benches, tests, examples and the README quote dozens
+// net/conditions.h, including bw=/link: bandwidth clauses), the transport
+// backend key ("transport=tcp", core/config.h) and the wire-codec key
+// ("codec=topk:k=0.01", net/codec.h). Benches, tests, examples and the README quote dozens
 // of them, and nothing ties those literals to the grammar: a registry
 // rename or an option change rots them silently until someone pastes one.
 //
@@ -201,7 +202,14 @@ std::string leading_name(const std::string& text) {
   return text.substr(0, i);
 }
 
-enum class SpecKind { kNone, kConditions, kGar, kAttackPlan, kTransport };
+enum class SpecKind {
+  kNone,
+  kConditions,
+  kGar,
+  kAttackPlan,
+  kTransport,
+  kCodec
+};
 
 /// The transport backend key: "transport=tcp" in docs and specs,
 /// "transport = tcp" in controller config text. Returns the assigned
@@ -219,9 +227,25 @@ std::optional<std::string> transport_value(const std::string& text) {
   return value;
 }
 
+/// The wire-codec key: "codec=topk:k=0.01" in docs and bench specs,
+/// "codec = int8" in controller config text. Same shape as the transport
+/// key; returns the assigned value, nullopt when not a codec assignment.
+std::optional<std::string> codec_value(const std::string& text) {
+  static const std::string kKey = "codec";
+  if (text.compare(0, kKey.size(), kKey) != 0) return std::nullopt;
+  std::size_t i = kKey.size();
+  while (i < text.size() && text[i] == ' ') ++i;
+  if (i >= text.size() || text[i] != '=') return std::nullopt;
+  ++i;
+  while (i < text.size() && text[i] == ' ') ++i;
+  std::string value = text.substr(i);
+  while (!value.empty() && value.back() == ' ') value.pop_back();
+  return value;
+}
+
 const std::unordered_set<std::string>& conditions_clauses() {
   static const std::unordered_set<std::string> kClauses{
-      "wan", "hetero", "straggler", "partition", "churn", "fault"};
+      "wan", "hetero", "straggler", "partition", "link", "churn", "fault"};
   return kClauses;
 }
 
@@ -256,6 +280,7 @@ SpecKind classify(const std::string& text,
     return SpecKind::kNone;
   }
   if (transport_value(text)) return SpecKind::kTransport;
+  if (codec_value(text)) return SpecKind::kCodec;
   const std::string name = leading_name(text);
   if (name.empty()) return SpecKind::kNone;
   // A conditions spec needs a clause body ("churn:crash=..."); the bare
@@ -306,6 +331,14 @@ std::string validate(SpecKind kind, const std::string& text) {
         cfg.validate();
         return {};
       }
+      case SpecKind::kCodec: {
+        // Same closed loop for the wire-codec key: cfg.validate() runs
+        // CodecSpec::parse on the value, the exact gate the trainer uses.
+        garfield::core::DeploymentConfig cfg;
+        cfg.codec = *codec_value(text);
+        cfg.validate();
+        return {};
+      }
       case SpecKind::kNone:
         return {};
     }
@@ -325,6 +358,8 @@ const char* kind_name(SpecKind kind) {
       return "attack";
     case SpecKind::kTransport:
       return "transport";
+    case SpecKind::kCodec:
+      return "codec";
     case SpecKind::kNone:
       return "none";
   }
